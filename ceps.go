@@ -1,0 +1,266 @@
+// Package ceps is a from-scratch Go implementation of Center-Piece
+// Subgraphs (CePS) — Tong & Faloutsos, "Center-Piece Subgraphs: Problem
+// Definition and Fast Solutions".
+//
+// Given Q query nodes in an edge-weighted undirected graph (say, authors in
+// a co-authorship network), CePS finds a small connected subgraph whose
+// nodes have strong direct or indirect connections to all — or, with
+// K_softAND queries, to at least k — of the query nodes. The pipeline is:
+//
+//  1. Individual scores: random walk with restart from each query node
+//     (with the paper's column, degree-penalized, or symmetric
+//     normalization of the adjacency matrix).
+//  2. Combination: AND / OR / K_softAND meeting probabilities (or the
+//     order-statistic variants) fold the Q score vectors into one.
+//  3. EXTRACT: a dynamic program grows the budgeted output subgraph out of
+//     source→destination key paths.
+//
+// The package also provides Fast CePS — pre-partition the graph once
+// (a built-in multilevel k-way partitioner stands in for METIS), then
+// answer queries on the union of the partitions containing the query nodes
+// for a large speedup at a small quality cost — plus the paper's evaluation
+// metrics (NRatio, ERatio, RelRatio), the delivered-current baseline it is
+// compared against, and a synthetic DBLP-style co-authorship generator.
+//
+// # Quick start
+//
+//	ds, _ := ceps.GenerateDBLP(ceps.DefaultDBLPConfig())
+//	eng := ceps.NewEngine(ds.Graph, ceps.DefaultConfig())
+//	res, _ := eng.Query(ds.Repository[0][0], ds.Repository[1][0])
+//	for _, u := range res.Subgraph.Nodes {
+//	    fmt.Println(ds.Graph.Label(u))
+//	}
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// full architecture.
+package ceps
+
+import (
+	"fmt"
+	"sync"
+
+	"ceps/internal/core"
+	"ceps/internal/current"
+	"ceps/internal/dblp"
+	"ceps/internal/graph"
+	"ceps/internal/partition"
+	"ceps/internal/rwr"
+	"ceps/internal/steiner"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Graph is an immutable edge-weighted undirected graph.
+	Graph = graph.Graph
+	// Builder accumulates nodes and edges into a Graph.
+	Builder = graph.Builder
+	// Edge is an undirected weighted edge.
+	Edge = graph.Edge
+	// Subgraph is an extracted center-piece subgraph.
+	Subgraph = graph.Subgraph
+	// DOTOptions controls Graphviz rendering of subgraphs.
+	DOTOptions = graph.DOTOptions
+	// Config holds all CePS pipeline parameters.
+	Config = core.Config
+	// Result is the outcome of a CePS query.
+	Result = core.Result
+	// Partitioned is the pre-partitioned Fast CePS state.
+	Partitioned = core.Partitioned
+	// PartitionOptions tunes the built-in graph partitioner.
+	PartitionOptions = partition.Options
+	// RWRConfig configures the random walk with restart.
+	RWRConfig = rwr.Config
+	// NormKind selects the adjacency normalization.
+	NormKind = rwr.NormKind
+	// DBLPConfig parameterizes the synthetic co-authorship generator.
+	DBLPConfig = dblp.Config
+	// DBLPCommunity describes one synthetic research community.
+	DBLPCommunity = dblp.Community
+	// Dataset is a generated co-authorship dataset.
+	Dataset = dblp.Dataset
+	// CurrentConfig configures the delivered-current baseline.
+	CurrentConfig = current.Config
+	// CurrentResult is the delivered-current baseline's output.
+	CurrentResult = current.Result
+	// SteinerResult is the approximate Steiner tree baseline's output.
+	SteinerResult = steiner.Result
+	// RankedNode is a node with its combined closeness score.
+	RankedNode = core.RankedNode
+)
+
+// Normalization kinds (§4.3 and Appendix A of the paper).
+const (
+	// NormColumn is plain column normalization (Eq. 5).
+	NormColumn = rwr.NormColumn
+	// NormDegreePenalized penalizes high-degree nodes (Eq. 10 + Eq. 5).
+	NormDegreePenalized = rwr.NormDegreePenalized
+	// NormSymmetric is the symmetric manifold-ranking variant (Eq. 20).
+	NormSymmetric = rwr.NormSymmetric
+)
+
+// NewBuilder returns a graph builder pre-sized for n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph from an edge list over n nodes.
+func FromEdges(n int, edges []Edge) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// ReadGraphFile loads a graph from the text format written by
+// (*Graph).WriteFile.
+func ReadGraphFile(path string) (*Graph, error) { return graph.ReadFile(path) }
+
+// DefaultConfig returns the paper's §7 parameter setting: c = 0.5, m = 50,
+// degree-penalized normalization with α = 0.5, AND query, budget 20.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Query answers a center-piece subgraph query on g (the CePS pipeline of
+// Table 1 in the paper).
+func Query(g *Graph, queries []int, cfg Config) (*Result, error) {
+	return core.CePS(g, queries, cfg)
+}
+
+// PrePartition builds the one-time Fast CePS state: g split into p parts.
+func PrePartition(g *Graph, p int, opts PartitionOptions) (*Partitioned, error) {
+	return core.PrePartition(g, p, opts)
+}
+
+// RelRatio compares a Fast CePS result against a full-graph run (Eq. 19).
+func RelRatio(full, fast *Result) (float64, error) { return core.RelRatio(full, fast) }
+
+// GenerateDBLP builds a synthetic DBLP-style co-authorship dataset.
+func GenerateDBLP(cfg DBLPConfig) (*Dataset, error) { return dblp.Generate(cfg) }
+
+// DefaultDBLPConfig mirrors the paper's evaluation setup at a
+// laptop-friendly scale.
+func DefaultDBLPConfig() DBLPConfig { return dblp.DefaultConfig() }
+
+// ScaleDBLP multiplies a DBLP config's community sizes by f.
+func ScaleDBLP(cfg DBLPConfig, f float64) DBLPConfig { return dblp.Scale(cfg, f) }
+
+// TopCenterPieces ranks the strongest center-piece candidates — the
+// highest combined closeness scores r(Q, j) outside the query set —
+// without extracting a display subgraph (Steps 1–2 of the pipeline only).
+func TopCenterPieces(g *Graph, queries []int, cfg Config, topN int) ([]RankedNode, error) {
+	return core.TopCenterPieces(g, queries, cfg, topN)
+}
+
+// InferK chooses a K_softAND coefficient from the mutual-support structure
+// of the query set (the paper's Future Work 3: inferring the "optimal" k
+// when the user does not supply one). tau ≤ 0 uses the default support
+// threshold. It returns the inferred k and each query's supporter count.
+func InferK(g *Graph, queries []int, cfg Config, tau float64) (int, []int, error) {
+	return core.InferK(g, queries, cfg, tau)
+}
+
+// QueryAutoK infers the K_softAND coefficient with InferK and answers the
+// query with it; the chosen k is recoverable from the result's Combiner.
+func QueryAutoK(g *Graph, queries []int, cfg Config) (*Result, error) {
+	return core.CePSAutoK(g, queries, cfg)
+}
+
+// SteinerTree computes the metric-closure 2-approximate Steiner tree over
+// the terminals — the alternative connection formalism §2 of the paper
+// compares CePS against. lengthFn converts edge weight to length; nil uses
+// 1/weight (strong ties are short).
+func SteinerTree(g *Graph, terminals []int, lengthFn func(float64) float64) (*SteinerResult, error) {
+	return steiner.Tree(g, terminals, lengthFn)
+}
+
+// ConnectionSubgraph runs the delivered-current baseline (Faloutsos,
+// McCurley & Tomkins, KDD 2004) between a source and sink query node. It
+// is the method CePS generalizes and is provided for comparison; note its
+// output depends on the argument order, which Fig. 2 of the paper (and the
+// fig2 experiment here) demonstrates.
+func ConnectionSubgraph(g *Graph, source, sink int, cfg CurrentConfig) (*CurrentResult, error) {
+	return current.ConnectionSubgraph(g, source, sink, cfg)
+}
+
+// Engine bundles a graph with a configuration for repeated querying. It
+// caches the normalized random-walk transition matrix across queries (the
+// dominant setup cost) and optionally holds Fast CePS pre-partition state.
+// An Engine is safe for concurrent Query calls as long as no goroutine is
+// concurrently reconfiguring it.
+type Engine struct {
+	g   *Graph
+	cfg Config
+	pt  *Partitioned
+
+	mu     sync.Mutex   // guards runner's lazy initialization
+	runner *core.Runner // lazily built, keyed to cfg.RWR
+}
+
+// NewEngine creates an engine over g with the given configuration.
+func NewEngine(g *Graph, cfg Config) *Engine {
+	return &Engine{g: g, cfg: cfg}
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// SetConfig replaces the engine's configuration for subsequent queries.
+// Changing the RWR parameters invalidates the cached transition matrix.
+func (e *Engine) SetConfig(cfg Config) {
+	if cfg.RWR != e.cfg.RWR {
+		e.mu.Lock()
+		e.runner = nil
+		e.mu.Unlock()
+	}
+	e.cfg = cfg
+}
+
+// EnableFastMode pre-partitions the graph into p parts (Table 5 Step 0);
+// subsequent Query calls use Fast CePS. It reports the one-time partition
+// cost through the returned Partitioned's PartitionTime.
+func (e *Engine) EnableFastMode(p int, opts PartitionOptions) (*Partitioned, error) {
+	pt, err := core.PrePartition(e.g, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	e.pt = pt
+	return pt, nil
+}
+
+// DisableFastMode reverts the engine to full-graph CePS.
+func (e *Engine) DisableFastMode() { e.pt = nil }
+
+// FastMode reports whether Fast CePS is active.
+func (e *Engine) FastMode() bool { return e.pt != nil }
+
+// Query answers a center-piece subgraph query for the given query nodes,
+// using Fast CePS when fast mode is enabled and the cached transition
+// matrix otherwise.
+func (e *Engine) Query(queries ...int) (*Result, error) {
+	return e.queryWith(e.cfg, queries)
+}
+
+// QueryKSoftAND is a convenience wrapper that answers a K_softAND query
+// without mutating the engine's stored configuration.
+func (e *Engine) QueryKSoftAND(k int, queries ...int) (*Result, error) {
+	cfg := e.cfg
+	cfg.K = k
+	return e.queryWith(cfg, queries)
+}
+
+func (e *Engine) queryWith(cfg Config, queries []int) (*Result, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("ceps: no query nodes given")
+	}
+	if e.pt != nil {
+		return e.pt.CePS(queries, cfg)
+	}
+	e.mu.Lock()
+	if e.runner == nil {
+		r, err := core.NewRunner(e.g, cfg.RWR)
+		if err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+		e.runner = r
+	}
+	runner := e.runner
+	e.mu.Unlock()
+	return runner.Query(queries, cfg)
+}

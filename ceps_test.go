@@ -1,0 +1,241 @@
+package ceps_test
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ceps"
+)
+
+func smallDataset(t testing.TB) *ceps.Dataset {
+	t.Helper()
+	cfg := ceps.ScaleDBLP(ceps.DefaultDBLPConfig(), 0.1)
+	cfg.Seed = 42
+	ds, err := ceps.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func quickConfig() ceps.Config {
+	cfg := ceps.DefaultConfig()
+	cfg.RWR.Iterations = 25
+	cfg.Budget = 10
+	return cfg
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	ds := smallDataset(t)
+	eng := ceps.NewEngine(ds.Graph, quickConfig())
+	res, err := eng.Query(ds.Repository[0][0], ds.Repository[1][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subgraph.Size() < 2 {
+		t.Fatal("subgraph too small")
+	}
+	if !res.Subgraph.Has(ds.Repository[0][0]) {
+		t.Fatal("query missing")
+	}
+	if res.NRatio() <= 0 {
+		t.Fatal("NRatio should be positive")
+	}
+}
+
+func TestEngineFastMode(t *testing.T) {
+	ds := smallDataset(t)
+	eng := ceps.NewEngine(ds.Graph, quickConfig())
+	queries := []int{ds.Repository[0][0], ds.Repository[0][1]}
+
+	full, err := eng.Query(queries...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := eng.EnableFastMode(6, ceps.PartitionOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.FastMode() || pt.PartitionTime <= 0 {
+		t.Fatal("fast mode not active")
+	}
+	fast, err := eng.Query(queries...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.WorkGraph.N() >= full.WorkGraph.N() {
+		t.Errorf("fast work graph %d not smaller than full %d", fast.WorkGraph.N(), full.WorkGraph.N())
+	}
+	rel, err := ceps.RelRatio(full, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel <= 0 {
+		t.Errorf("RelRatio = %v", rel)
+	}
+	eng.DisableFastMode()
+	if eng.FastMode() {
+		t.Fatal("fast mode should be off")
+	}
+}
+
+func TestEngineKSoftAND(t *testing.T) {
+	ds := smallDataset(t)
+	eng := ceps.NewEngine(ds.Graph, quickConfig())
+	queries := []int{
+		ds.Repository[0][0], ds.Repository[0][1],
+		ds.Repository[1][0], ds.Repository[1][1],
+	}
+	res, err := eng.QueryKSoftAND(2, queries...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Combiner.String() != "2_softAND" {
+		t.Errorf("combiner = %s", res.Combiner)
+	}
+	// The engine's stored config must be untouched.
+	if eng.Config().K != 0 {
+		t.Error("QueryKSoftAND mutated the engine config")
+	}
+}
+
+func TestEngineEmptyQuery(t *testing.T) {
+	ds := smallDataset(t)
+	eng := ceps.NewEngine(ds.Graph, quickConfig())
+	if _, err := eng.Query(); err == nil {
+		t.Fatal("empty query should fail")
+	}
+}
+
+func TestPublicGraphBuildAndIO(t *testing.T) {
+	b := ceps.NewBuilder(0)
+	a := b.AddNode("alice")
+	c := b.AddNode("bob")
+	b.AddEdge(a, c, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "g.txt")
+	if err := g.WriteFile(p); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ceps.ReadGraphFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 2 || g2.Weight(0, 1) != 2 {
+		t.Fatal("round trip failed")
+	}
+	g3, err := ceps.FromEdges(3, []ceps.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.M() != 2 {
+		t.Fatal("FromEdges failed")
+	}
+}
+
+func TestPublicBaseline(t *testing.T) {
+	ds := smallDataset(t)
+	res, err := ceps.ConnectionSubgraph(ds.Graph, ds.Repository[0][0], ds.Repository[0][1], ceps.CurrentConfig{Budget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Subgraph.Has(ds.Repository[0][0]) || !res.Subgraph.Has(ds.Repository[0][1]) {
+		t.Fatal("baseline lost the query endpoints")
+	}
+}
+
+func TestQueryFunctionMatchesEngine(t *testing.T) {
+	ds := smallDataset(t)
+	cfg := quickConfig()
+	queries := []int{ds.Repository[2][0], ds.Repository[3][0]}
+	a, err := ceps.Query(ds.Graph, queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ceps.NewEngine(ds.Graph, cfg).Query(queries...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Subgraph.Size() != b.Subgraph.Size() {
+		t.Fatal("Query and Engine.Query disagree")
+	}
+	for i := range a.Subgraph.Nodes {
+		if a.Subgraph.Nodes[i] != b.Subgraph.Nodes[i] {
+			t.Fatal("node sets differ")
+		}
+	}
+}
+
+func TestPublicInferKAndAutoK(t *testing.T) {
+	ds := smallDataset(t)
+	queries := []int{
+		ds.Repository[0][0], ds.Repository[0][1],
+		ds.Repository[1][0], ds.Repository[1][1],
+	}
+	k, supports, err := ceps.InferK(ds.Graph, queries, quickConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(supports) != 4 || k < 1 || k > 4 {
+		t.Fatalf("InferK gave k=%d supports=%v", k, supports)
+	}
+	res, err := ceps.QueryAutoK(ds.Graph, queries, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subgraph.Size() < 4 {
+		t.Fatal("auto-k result too small")
+	}
+}
+
+func TestPublicSteinerTree(t *testing.T) {
+	ds := smallDataset(t)
+	terms := []int{ds.Repository[0][0], ds.Repository[0][1]}
+	if !ds.Graph.SameComponent(terms) {
+		t.Skip("terminals disconnected in this draw")
+	}
+	res, err := ceps.SteinerTree(ds.Graph, terms, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range terms {
+		if !res.Subgraph.Has(term) {
+			t.Fatal("terminal missing from Steiner tree")
+		}
+	}
+}
+
+func TestEngineConcurrentQueries(t *testing.T) {
+	ds := smallDataset(t)
+	eng := ceps.NewEngine(ds.Graph, quickConfig())
+	queries := []int{ds.Repository[0][0], ds.Repository[1][0]}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = eng.Query(queries...)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNormConstantsExported(t *testing.T) {
+	if ceps.NormColumn == ceps.NormDegreePenalized || ceps.NormDegreePenalized == ceps.NormSymmetric {
+		t.Fatal("normalization constants must be distinct")
+	}
+	cfg := ceps.DefaultConfig()
+	if cfg.RWR.Norm != ceps.NormDegreePenalized {
+		t.Fatal("default normalization should be degree-penalized")
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"ceps"
+)
+
+// jsonResult is the machine-readable form of a query answer.
+type jsonResult struct {
+	QueryType  string     `json:"queryType"`
+	Budget     int        `json:"budget"`
+	ResponseMS float64    `json:"responseMs"`
+	NRatio     float64    `json:"nRatio"`
+	ERatio     *float64   `json:"eRatio,omitempty"`
+	Queries    []int      `json:"queries"`
+	Nodes      []jsonNode `json:"nodes"`
+	PathEdges  []jsonEdge `json:"pathEdges"`
+}
+
+type jsonNode struct {
+	ID      int     `json:"id"`
+	Label   string  `json:"label"`
+	Score   float64 `json:"score"`
+	IsQuery bool    `json:"isQuery,omitempty"`
+	Why     string  `json:"why,omitempty"`
+}
+
+type jsonEdge struct {
+	U      int     `json:"u"`
+	V      int     `json:"v"`
+	Weight float64 `json:"w"`
+}
+
+// writeJSON serializes a query result, sorted by descending combined score.
+func writeJSON(w io.Writer, g *ceps.Graph, res *ceps.Result, queries []int, cfg ceps.Config, explain bool) error {
+	isQuery := make(map[int]bool, len(queries))
+	for _, q := range queries {
+		isQuery[q] = true
+	}
+	out := jsonResult{
+		QueryType:  cfg.QueryTypeName(len(queries)),
+		Budget:     cfg.Budget,
+		ResponseMS: float64(res.Elapsed.Microseconds()) / 1000,
+		NRatio:     res.NRatio(),
+		Queries:    queries,
+	}
+	if er, err := res.ERatio(); err == nil {
+		out.ERatio = &er
+	}
+	for _, u := range res.Subgraph.Nodes {
+		n := jsonNode{ID: u, Label: g.Label(u), IsQuery: isQuery[u]}
+		w := u
+		if res.ToOrig != nil {
+			w = sort.SearchInts(res.ToOrig, u)
+		}
+		n.Score = res.Combined[w]
+		if explain && !isQuery[u] {
+			if line, ok := res.Explain(u); ok {
+				n.Why = line
+			}
+		}
+		out.Nodes = append(out.Nodes, n)
+	}
+	sort.SliceStable(out.Nodes, func(a, b int) bool { return out.Nodes[a].Score > out.Nodes[b].Score })
+	for _, e := range res.Subgraph.PathEdges {
+		out.PathEdges = append(out.PathEdges, jsonEdge{U: e.U, V: e.V, Weight: e.W})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,190 @@
+// Command ceps answers center-piece subgraph queries over a graph file.
+//
+// Usage:
+//
+//	ceps -graph g.txt -q "Alice,Bob,Carol" [flags]
+//
+// Query nodes may be given as node ids or labels (mixed). The result is
+// printed as a readable listing and, with -dot, as Graphviz DOT.
+//
+// Flags mirror the paper's parameters: -k for the K_softAND coefficient
+// (0 = AND, 1 = OR), -b for the budget, -c and -m for the random walk,
+// -alpha and -norm for the normalization, and -partitions to enable Fast
+// CePS (pre-partition, then answer on the query partitions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ceps"
+	"ceps/internal/rwr"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "path to a ceps-graph text file (required)")
+		queryList = flag.String("q", "", "comma-separated query nodes: ids or labels (required)")
+		k         = flag.Int("k", 0, "K_softAND coefficient: 0 = AND, 1 = OR, else k-out-of-Q")
+		autoK     = flag.Bool("auto-k", false, "infer the K_softAND coefficient from the query set (overrides -k)")
+		budget    = flag.Int("b", 20, "budget: max non-query nodes in the subgraph")
+		c         = flag.Float64("c", 0.5, "random-walk continuation coefficient")
+		m         = flag.Int("m", 50, "random-walk iterations")
+		alpha     = flag.Float64("alpha", 0.5, "degree-penalization strength")
+		norm      = flag.String("norm", "penalized", "normalization: column | penalized | symmetric")
+		parts     = flag.Int("partitions", 0, "enable Fast CePS with this many pre-partitions (0 = off)")
+		dot       = flag.Bool("dot", false, "emit Graphviz DOT instead of a listing")
+		jsonFmt   = flag.Bool("json", false, "emit the result as JSON instead of a listing")
+		explain   = flag.Bool("explain", false, "print the key path that justified each node")
+	)
+	flag.Parse()
+	if *graphPath == "" || *queryList == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := ceps.ReadGraphFile(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	queries, err := parseQueries(g, *queryList)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := ceps.DefaultConfig()
+	cfg.K = *k
+	cfg.Budget = *budget
+	cfg.RWR.C = *c
+	cfg.RWR.Iterations = *m
+	cfg.RWR.Alpha = *alpha
+	switch *norm {
+	case "column":
+		cfg.RWR.Norm = rwr.NormColumn
+	case "penalized":
+		cfg.RWR.Norm = rwr.NormDegreePenalized
+	case "symmetric":
+		cfg.RWR.Norm = rwr.NormSymmetric
+	default:
+		fatal(fmt.Errorf("unknown normalization %q", *norm))
+	}
+
+	if *autoK {
+		inferred, supports, err := ceps.InferK(g, queries, cfg, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "inferred k = %d (query support counts %v)\n", inferred, supports)
+		cfg.K = inferred
+	}
+
+	eng := ceps.NewEngine(g, cfg)
+	if *parts > 0 {
+		pt, err := eng.EnableFastMode(*parts, ceps.PartitionOptions{Seed: 1})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pre-partitioned into %d parts in %v\n", *parts, pt.PartitionTime)
+	}
+	res, err := eng.Query(queries...)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dot {
+		if err := res.Subgraph.WriteDOT(os.Stdout, g, cepsDotOptions(queries)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *jsonFmt {
+		if err := writeJSON(os.Stdout, g, res, queries, cfg, *explain); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("query type: %s, budget %d, response time %v\n",
+		cfg.QueryTypeName(len(queries)), *budget, res.Elapsed)
+	fmt.Printf("subgraph: %d nodes, %d path edges, %d induced edges\n",
+		res.Subgraph.Size(), len(res.Subgraph.PathEdges), len(res.Subgraph.InducedEdges))
+	fmt.Printf("NRatio: %.4f", res.NRatio())
+	if er, err := res.ERatio(); err == nil {
+		fmt.Printf("  ERatio: %.4f", er)
+	}
+	fmt.Println()
+
+	// List nodes by descending combined score.
+	type row struct {
+		id    int
+		score float64
+	}
+	rows := make([]row, 0, res.Subgraph.Size())
+	isQuery := make(map[int]bool, len(queries))
+	for _, q := range queries {
+		isQuery[q] = true
+	}
+	for _, u := range res.Subgraph.Nodes {
+		// Combined scores live in working-graph space; map via ToOrig.
+		w := u
+		if res.ToOrig != nil {
+			w = sort.SearchInts(res.ToOrig, u)
+		}
+		rows = append(rows, row{id: u, score: res.Combined[w]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].score > rows[j].score })
+	for _, r := range rows {
+		tag := " "
+		if isQuery[r.id] {
+			tag = "Q"
+		}
+		fmt.Printf("  %s %6d  %-40s r(Q,j)=%.3e\n", tag, r.id, g.Label(r.id), r.score)
+	}
+
+	if *explain {
+		fmt.Println("\nwhy each node is here:")
+		for _, line := range res.ExplainAll() {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}
+
+func cepsDotOptions(queries []int) ceps.DOTOptions {
+	return ceps.DOTOptions{Highlight: queries, IncludeInduced: true, Name: "ceps"}
+}
+
+// parseQueries resolves comma-separated ids or labels to node ids.
+func parseQueries(g *ceps.Graph, list string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if id, err := strconv.Atoi(tok); err == nil {
+			if id < 0 || id >= g.N() {
+				return nil, fmt.Errorf("query id %d out of range [0,%d)", id, g.N())
+			}
+			out = append(out, id)
+			continue
+		}
+		id, ok := g.NodeByLabel(tok)
+		if !ok {
+			return nil, fmt.Errorf("no node labeled %q", tok)
+		}
+		out = append(out, id)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no query nodes given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ceps:", err)
+	os.Exit(1)
+}

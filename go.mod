@@ -1,0 +1,3 @@
+module ceps
+
+go 1.22

@@ -1,0 +1,44 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchIncidence(b *testing.B) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	bb := NewBuilder(5000)
+	for p := 0; p < 20000; p++ {
+		team := make([]int, 2+rng.Intn(4))
+		for i := range team {
+			team[i] = rng.Intn(5000)
+		}
+		if _, err := bb.AddPaper(team); err != nil {
+			b.Fatal(err)
+		}
+	}
+	g, err := bb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkProjectUnit(b *testing.B) {
+	g := benchIncidence(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Project(UnitWeighting, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoAuthoredPapers(b *testing.B) {
+	g := benchIncidence(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CoAuthoredPapers(i%5000, (i*7)%5000)
+	}
+}

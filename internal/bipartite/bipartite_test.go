@@ -1,0 +1,161 @@
+package bipartite
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func build(t *testing.T, papers [][]int) *Graph {
+	t.Helper()
+	b := NewBuilder(0)
+	for _, p := range papers {
+		if _, err := b.AddPaper(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := build(t, [][]int{
+		{0, 1},
+		{0, 1, 2},
+		{2, 3},
+		{1, 1, 0}, // duplicate author collapses
+	})
+	if g.Authors() != 4 || g.Papers() != 4 {
+		t.Fatalf("authors=%d papers=%d", g.Authors(), g.Papers())
+	}
+	if g.PaperCount(0) != 3 || g.PaperCount(3) != 1 {
+		t.Fatalf("paper counts wrong: %d %d", g.PaperCount(0), g.PaperCount(3))
+	}
+	if got := g.PaperAuthors(3); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("paper 3 authors = %v", got)
+	}
+	if g.CoAuthoredPapers(0, 1) != 3 {
+		t.Fatalf("CoAuthoredPapers(0,1) = %d, want 3", g.CoAuthoredPapers(0, 1))
+	}
+	if g.CoAuthoredPapers(0, 3) != 0 {
+		t.Fatalf("CoAuthoredPapers(0,3) = %d, want 0", g.CoAuthoredPapers(0, 3))
+	}
+	h := g.TeamSizeHistogram()
+	if h[2] != 3 || h[3] != 1 {
+		t.Fatalf("team size histogram = %v", h)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(2)
+	if _, err := b.AddPaper(nil); err == nil {
+		t.Error("empty paper should fail")
+	}
+	if _, err := b.AddPaper([]int{-1}); err == nil {
+		t.Error("negative author should fail")
+	}
+	if _, err := (&Builder{}).Build(); err == nil {
+		t.Error("no papers should fail")
+	}
+}
+
+func TestProjectUnitMatchesPaperConvention(t *testing.T) {
+	g := build(t, [][]int{
+		{0, 1},
+		{0, 1, 2},
+		{1, 2},
+	})
+	proj, err := g.Project(UnitWeighting, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0,1): papers 0 and 1 → weight 2; (1,2): papers 1 and 2 → weight 2;
+	// (0,2): paper 1 only → weight 1.
+	if proj.Weight(0, 1) != 2 || proj.Weight(1, 2) != 2 || proj.Weight(0, 2) != 1 {
+		t.Fatalf("projection weights: %v %v %v",
+			proj.Weight(0, 1), proj.Weight(1, 2), proj.Weight(0, 2))
+	}
+	// Projection weight always equals CoAuthoredPapers under unit weights.
+	for a := 0; a < g.Authors(); a++ {
+		for b := a + 1; b < g.Authors(); b++ {
+			if int(proj.Weight(a, b)) != g.CoAuthoredPapers(a, b) {
+				t.Fatalf("(%d,%d): projection %v vs count %d", a, b, proj.Weight(a, b), g.CoAuthoredPapers(a, b))
+			}
+		}
+	}
+}
+
+func TestProjectFractionalDiscountsBigTeams(t *testing.T) {
+	g := build(t, [][]int{
+		{0, 1},          // contributes 1 to (0,1)
+		{0, 1, 2, 3, 4}, // contributes 1/4 per pair
+	})
+	proj, err := g.Project(FractionalWeighting, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(proj.Weight(0, 1)-1.25) > 1e-12 {
+		t.Fatalf("weight(0,1) = %v, want 1.25", proj.Weight(0, 1))
+	}
+	if math.Abs(proj.Weight(2, 3)-0.25) > 1e-12 {
+		t.Fatalf("weight(2,3) = %v, want 0.25", proj.Weight(2, 3))
+	}
+	// Solo papers contribute nothing and must not break projection.
+	g2 := build(t, [][]int{{0}, {0, 1}})
+	proj2, err := g2.Project(FractionalWeighting, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj2.Weight(0, 1) != 1 {
+		t.Fatalf("solo paper affected projection: %v", proj2.Weight(0, 1))
+	}
+}
+
+func TestProjectLabels(t *testing.T) {
+	g := build(t, [][]int{{0, 1}})
+	proj, err := g.Project(nil, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Label(0) != "a" || proj.Label(1) != "b" {
+		t.Fatal("labels not carried")
+	}
+	if _, err := g.Project(nil, []string{"only-one"}); err == nil {
+		t.Error("label length mismatch should fail")
+	}
+}
+
+func TestProjectRandomConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder(60)
+	for p := 0; p < 300; p++ {
+		team := make([]int, 2+rng.Intn(4))
+		for i := range team {
+			team[i] = rng.Intn(60)
+		}
+		if _, err := b.AddPaper(team); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := g.Project(UnitWeighting, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 60; a += 7 {
+		for c := a + 1; c < 60; c += 5 {
+			if int(proj.Weight(a, c)) != g.CoAuthoredPapers(a, c) {
+				t.Fatalf("projection inconsistent at (%d,%d)", a, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"ceps/internal/partition"
+)
+
+func benchDataset(b *testing.B) ([]int, *Runner, Config) {
+	b.Helper()
+	ds := testDataset(b, 97)
+	cfg := DefaultConfig()
+	runner, err := NewRunner(ds.Graph, cfg.RWR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []int{ds.Repository[0][0], ds.Repository[1][0]}, runner, cfg
+}
+
+func BenchmarkRunnerQuery(b *testing.B) {
+	queries, runner, cfg := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Query(queries, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCePSColdSolver(b *testing.B) {
+	ds := testDataset(b, 97)
+	cfg := DefaultConfig()
+	queries := []int{ds.Repository[0][0], ds.Repository[1][0]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CePS(ds.Graph, queries, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFastCePSQuery(b *testing.B) {
+	ds := testDataset(b, 97)
+	cfg := DefaultConfig()
+	queries := []int{ds.Repository[0][0], ds.Repository[1][0]}
+	pt, err := PrePartition(ds.Graph, 8, partition.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pt.CePS(queries, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInferKCore(b *testing.B) {
+	ds := testDataset(b, 97)
+	cfg := DefaultConfig()
+	queries := []int{
+		ds.Repository[0][0], ds.Repository[0][1],
+		ds.Repository[1][0], ds.Repository[1][1],
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := InferK(ds.Graph, queries, cfg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopCenterPieces(b *testing.B) {
+	queries, runner, cfg := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.TopCenterPieces(queries, cfg, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ceps/internal/extract"
+	"ceps/internal/graph"
+	"ceps/internal/rwr"
+	"ceps/internal/score"
+)
+
+// Result is the outcome of one CePS query.
+type Result struct {
+	// Subgraph is the extracted center-piece subgraph in *original* graph
+	// ids (even for Fast CePS runs on an induced working graph).
+	Subgraph *graph.Subgraph
+	// Queries are the original query node ids.
+	Queries []int
+
+	// WorkGraph is the graph the pipeline actually ran on: the input graph
+	// for plain CePS, the induced partition union for Fast CePS.
+	WorkGraph *graph.Graph
+	// ToOrig maps WorkGraph node ids to original ids; nil means identity.
+	ToOrig []int
+	// WorkQueries are the query ids in WorkGraph space.
+	WorkQueries []int
+
+	// R[i] = r(q_i, ·) over WorkGraph nodes.
+	R [][]float64
+	// Combined[j] = r(Q, j) over WorkGraph nodes.
+	Combined []float64
+	// Solver is the RWR solver used (needed for edge scores).
+	Solver *rwr.Solver
+	// Combiner is the query-type combiner used.
+	Combiner score.Combiner
+	// Extraction carries EXTRACT bookkeeping (destinations, goodness).
+	Extraction *extract.Result
+
+	// Elapsed is the wall-clock response time of the query phase
+	// (scores + combination + extraction); for Fast CePS it includes the
+	// partition-picking and induction steps but not the one-time
+	// pre-partitioning.
+	Elapsed time.Duration
+}
+
+// OrigID converts a WorkGraph node id to an original id.
+func (r *Result) OrigID(u int) int {
+	if r.ToOrig == nil {
+		return u
+	}
+	return r.ToOrig[u]
+}
+
+// CePS answers a center-piece subgraph query on g (Table 1): Step 1
+// computes individual RWR scores, Step 2 combines them under the configured
+// query type, Step 3 extracts the connection subgraph.
+func CePS(g *graph.Graph, queries []int, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkQueries(g, queries); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := runPipeline(g, queries, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Queries = append([]int(nil), queries...)
+	res.WorkQueries = append([]int(nil), queries...)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// runPipeline executes steps 1–3 on the given (work) graph.
+func runPipeline(g *graph.Graph, queries []int, cfg Config) (*Result, error) {
+	solver, err := rwr.NewSolver(g, cfg.RWR)
+	if err != nil {
+		return nil, err
+	}
+	var R [][]float64
+	switch {
+	case cfg.Workers == 0 || cfg.Workers == 1:
+		R, err = solver.ScoresSet(queries)
+	case cfg.Workers < 0:
+		R, err = solver.ScoresSetParallel(queries, 0)
+	default:
+		R, err = solver.ScoresSetParallel(queries, cfg.Workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	comb := cfg.Combiner(len(queries))
+	combined, err := score.CombineNodes(R, comb)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := extract.Extract(extract.Input{
+		G:          g,
+		Queries:    queries,
+		R:          R,
+		Combined:   combined,
+		K:          cfg.EffectiveK(len(queries)),
+		Budget:     cfg.Budget,
+		MaxPathLen: cfg.MaxPathLen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Subgraph:   ext.Subgraph,
+		WorkGraph:  g,
+		R:          R,
+		Combined:   combined,
+		Solver:     solver,
+		Combiner:   comb,
+		Extraction: ext,
+	}, nil
+}
+
+func checkQueries(g *graph.Graph, queries []int) error {
+	if g == nil {
+		return fmt.Errorf("core: nil graph")
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("core: empty query set")
+	}
+	seen := make(map[int]bool, len(queries))
+	for _, q := range queries {
+		if q < 0 || q >= g.N() {
+			return fmt.Errorf("core: query node %d out of range [0,%d)", q, g.N())
+		}
+		if seen[q] {
+			return fmt.Errorf("core: duplicate query node %d", q)
+		}
+		seen[q] = true
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain returns a human-readable justification for node u's presence in
+// the result subgraph (u is an original-graph id): the key path that
+// introduced it, rendered with node labels. The second return is false
+// when u is not part of the subgraph.
+//
+// This surfaces what §5 calls the algorithm's "interpretations on why such
+// nodes are good/close wrt the query set": every non-query node arrived on
+// a specific downhill key path from one of the query nodes toward a chosen
+// destination.
+func (r *Result) Explain(u int) (string, bool) {
+	if !r.Subgraph.Has(u) {
+		return "", false
+	}
+	for _, q := range r.Queries {
+		if q == u {
+			return fmt.Sprintf("%s is a query node", r.label(u)), true
+		}
+	}
+	prov, ok := r.Extraction.Provenance[r.workID(u)]
+	if !ok {
+		// Should not happen: every non-query subgraph node has provenance.
+		return fmt.Sprintf("%s was extracted into the subgraph", r.label(u)), true
+	}
+	parts := make([]string, len(prov.Path))
+	for i, w := range prov.Path {
+		parts[i] = r.label(r.OrigID(w))
+	}
+	return fmt.Sprintf("%s joined on the key path %s (from query %s toward center-piece %s)",
+		r.label(u),
+		strings.Join(parts, " -> "),
+		r.label(r.Queries[prov.Source]),
+		r.label(r.OrigID(prov.Dest)),
+	), true
+}
+
+// ExplainAll returns one explanation line per subgraph node, queries first,
+// in subgraph order.
+func (r *Result) ExplainAll() []string {
+	out := make([]string, 0, r.Subgraph.Size())
+	for _, u := range r.Subgraph.Nodes {
+		if line, ok := r.Explain(u); ok {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+func (r *Result) label(u int) string {
+	if r.ToOrig == nil {
+		return r.WorkGraph.Label(u)
+	}
+	// WorkGraph carries the labels of the induced nodes; map original id
+	// back to working id for the lookup.
+	return r.WorkGraph.Label(r.workID(u))
+}

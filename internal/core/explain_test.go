@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ceps/internal/graph"
+	"ceps/internal/partition"
+)
+
+func labeledBridge(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(0)
+	b.AddNode("left")   // 0
+	b.AddNode("bridge") // 1
+	b.AddNode("right")  // 2
+	b.AddNode("spur")   // 3
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(1, 3, 1)
+	return b.MustBuild()
+}
+
+func TestExplainQueryAndPathNodes(t *testing.T) {
+	g := labeledBridge(t)
+	cfg := fastConfig()
+	cfg.Budget = 2
+	res, err := CePS(g, []int{0, 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Subgraph.Has(1) {
+		t.Fatal("bridge not extracted")
+	}
+	q, ok := res.Explain(0)
+	if !ok || !strings.Contains(q, "query node") || !strings.Contains(q, "left") {
+		t.Fatalf("query explanation = %q", q)
+	}
+	bexp, ok := res.Explain(1)
+	if !ok {
+		t.Fatal("bridge should be explainable")
+	}
+	if !strings.Contains(bexp, "bridge") || !strings.Contains(bexp, "key path") {
+		t.Fatalf("bridge explanation = %q", bexp)
+	}
+	if _, ok := res.Explain(3); ok && res.Subgraph.Has(3) == false {
+		t.Fatal("non-member should not be explainable")
+	}
+	all := res.ExplainAll()
+	if len(all) != res.Subgraph.Size() {
+		t.Fatalf("ExplainAll returned %d lines for %d nodes", len(all), res.Subgraph.Size())
+	}
+}
+
+func TestExplainFastCePSUsesOriginalLabels(t *testing.T) {
+	ds := testDataset(t, 37)
+	pt, err := PrePartition(ds.Graph, 4, partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	queries := []int{ds.Repository[0][0], ds.Repository[0][1]}
+	res, err := pt.CePS(queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range res.Subgraph.Nodes {
+		line, ok := res.Explain(u)
+		if !ok {
+			t.Fatalf("node %d not explainable", u)
+		}
+		if !strings.Contains(line, ds.Graph.Label(u)) {
+			t.Fatalf("explanation %q missing original label %q", line, ds.Graph.Label(u))
+		}
+	}
+}
+
+func TestProvenanceCoversAllNonQueryNodes(t *testing.T) {
+	ds := testDataset(t, 41)
+	cfg := fastConfig()
+	cfg.Budget = 12
+	queries := []int{ds.Repository[0][0], ds.Repository[1][0]}
+	res, err := CePS(ds.Graph, queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isQuery := map[int]bool{queries[0]: true, queries[1]: true}
+	for _, u := range res.Subgraph.Nodes {
+		if isQuery[u] {
+			continue
+		}
+		prov, ok := res.Extraction.Provenance[u]
+		if !ok {
+			t.Fatalf("node %d lacks provenance", u)
+		}
+		if prov.Source < 0 || prov.Source >= len(queries) {
+			t.Fatalf("bad provenance source %d", prov.Source)
+		}
+		if prov.Path[0] != queries[prov.Source] {
+			t.Fatalf("provenance path %v does not start at its source query %d", prov.Path, queries[prov.Source])
+		}
+		found := false
+		for _, w := range prov.Path {
+			if w == u {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d not on its own provenance path %v", u, prov.Path)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ceps/internal/graph"
+	"ceps/internal/partition"
+)
+
+// Partitioned is the one-time pre-partitioning state of Fast CePS
+// (Table 5, Step 0). Build it once per graph with PrePartition; queries
+// then run against the union of the partitions that contain the query
+// nodes, which is dramatically smaller than the whole graph because RWR
+// scores are skewed toward the query's neighborhood (§6).
+type Partitioned struct {
+	// G is the full graph.
+	G *graph.Graph
+	// Partition is the k-way partition of G.
+	Partition *partition.Result
+	// PartitionTime is the one-time cost of Step 0.
+	PartitionTime time.Duration
+}
+
+// PrePartition splits g into p parts (Table 5 Step 0). The partitioning is
+// deterministic for a fixed opts.Seed.
+func PrePartition(g *graph.Graph, p int, opts partition.Options) (*Partitioned, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	start := time.Now()
+	part, err := partition.KWay(g, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Partitioned{G: g, Partition: part, PartitionTime: time.Since(start)}, nil
+}
+
+// CePS answers a query with the Fast CePS pipeline (Table 5 Steps 1–2):
+// materialize the union of partitions containing the query nodes as a new
+// weighted graph nW, then run plain CePS on it. The returned Result's
+// Subgraph is remapped to original graph ids; the score vectors remain in
+// working-graph ids with ToOrig giving the mapping.
+func (pt *Partitioned) CePS(queries []int, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkQueries(pt.G, queries); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	parts := pt.Partition.PartsContaining(queries)
+	nodes := pt.Partition.NodesInParts(parts)
+	work, toOrig, toWork, err := pt.G.Induced(nodes)
+	if err != nil {
+		return nil, err
+	}
+	workQueries := make([]int, len(queries))
+	for i, q := range queries {
+		wq, ok := toWork[q]
+		if !ok {
+			return nil, fmt.Errorf("core: query %d missing from its own partition", q)
+		}
+		workQueries[i] = wq
+	}
+
+	res, err := runPipeline(work, workQueries, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Queries = append([]int(nil), queries...)
+	res.WorkQueries = workQueries
+	res.ToOrig = toOrig
+	remapSubgraph(res.Subgraph, toOrig)
+	res.Subgraph.FillInduced(pt.G)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// remapSubgraph rewrites a subgraph from working ids to original ids.
+func remapSubgraph(sub *graph.Subgraph, toOrig []int) {
+	for i, u := range sub.Nodes {
+		sub.Nodes[i] = toOrig[u]
+	}
+	for i, e := range sub.PathEdges {
+		u, v := toOrig[e.U], toOrig[e.V]
+		if u > v {
+			u, v = v, u
+		}
+		sub.PathEdges[i] = graph.Edge{U: u, V: v, W: e.W}
+	}
+	// InducedEdges are refilled against the original graph by the caller.
+	sub.InducedEdges = sub.InducedEdges[:0]
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"ceps/internal/score"
+)
+
+// NRatio is the Important Node Ratio (Eq. 13): the fraction of the total
+// combined goodness mass that the extracted subgraph captures,
+//
+//	NRatio = Σ_{j∈H} r(Q,j) / Σ_{j∈W} r(Q,j).
+//
+// It is computed over the result's working graph (for Fast CePS that is the
+// partition union; use RelRatio to compare against a full-graph run).
+func (r *Result) NRatio() float64 {
+	var total float64
+	for _, v := range r.Combined {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	var captured float64
+	for _, origU := range r.Subgraph.Nodes {
+		captured += r.Combined[r.workID(origU)]
+	}
+	return captured / total
+}
+
+// ERatio is the Important Edge Ratio (Eq. 14): the fraction of the total
+// combined edge goodness captured by the subgraph's induced edges,
+//
+//	ERatio = Σ_{(j,l)∈H} r(Q,(j,l)) / Σ_{(j,l)∈W} r(Q,(j,l)),
+//
+// with edge scores per Eqs. 15–18. O(Q·M) over the working graph.
+func (r *Result) ERatio() (float64, error) {
+	all, err := score.CombineEdges(r.WorkGraph, r.R, r.Solver, r.Combiner)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, v := range all {
+		total += v
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	var captured float64
+	for _, e := range r.Subgraph.InducedEdges {
+		u, v := r.workID(e.U), r.workID(e.V)
+		captured += score.EdgeScoreOf(r.R, r.Solver, r.Combiner, u, v)
+	}
+	return captured / total, nil
+}
+
+// workID converts an original node id back to the result's working-graph
+// id. It panics if the node is not part of the working graph — subgraph
+// nodes always are.
+func (r *Result) workID(orig int) int {
+	if r.ToOrig == nil {
+		return orig
+	}
+	// ToOrig is sorted ascending (graph.Induced guarantees it), so binary
+	// search recovers the working id.
+	lo, hi := 0, len(r.ToOrig)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case r.ToOrig[mid] == orig:
+			return mid
+		case r.ToOrig[mid] < orig:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	panic(fmt.Sprintf("core: node %d not in working graph", orig))
+}
+
+// RelRatio is the Relative Important Node Ratio (Eq. 19) comparing a Fast
+// CePS result against a full-graph run of the same query:
+//
+//	RelRatio = NRatio(fast) / NRatio(full)
+//
+// Both numerator and denominator are evaluated under the *full-graph*
+// combined scores, so the ratio isolates the quality loss caused by
+// restricting extraction to the query partitions. The full result must
+// come from plain CePS on the original graph (identity mapping).
+func RelRatio(full, fast *Result) (float64, error) {
+	if full.ToOrig != nil {
+		return 0, fmt.Errorf("core: RelRatio reference must be a full-graph result")
+	}
+	fullCaptured := sumScores(full.Combined, full.Subgraph.Nodes)
+	if fullCaptured == 0 {
+		return 0, fmt.Errorf("core: full-graph run captured zero goodness")
+	}
+	fastCaptured := sumScores(full.Combined, fast.Subgraph.Nodes)
+	return fastCaptured / fullCaptured, nil
+}
+
+func sumScores(combined []float64, nodes []int) float64 {
+	var s float64
+	for _, u := range nodes {
+		s += combined[u]
+	}
+	return s
+}

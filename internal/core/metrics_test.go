@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ceps/internal/graph"
+	"ceps/internal/score"
+)
+
+// TestNRatioHandComputed checks Eq. 13 against a manual calculation on a
+// tiny fully-controlled result.
+func TestNRatioHandComputed(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.MustBuild()
+
+	res := &Result{
+		WorkGraph: g,
+		Combined:  []float64{0.4, 0.3, 0.2, 0.1},
+		Subgraph:  &graph.Subgraph{Nodes: []int{0, 1}},
+	}
+	want := (0.4 + 0.3) / (0.4 + 0.3 + 0.2 + 0.1)
+	if got := res.NRatio(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("NRatio = %v, want %v", got, want)
+	}
+
+	// All nodes captured → exactly 1.
+	res.Subgraph.Nodes = []int{0, 1, 2, 3}
+	if got := res.NRatio(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("full NRatio = %v, want 1", got)
+	}
+
+	// Zero mass → 0 rather than NaN.
+	res.Combined = []float64{0, 0, 0, 0}
+	if got := res.NRatio(); got != 0 {
+		t.Fatalf("zero-mass NRatio = %v, want 0", got)
+	}
+}
+
+// TestERatioHandComputed checks Eq. 14 on a result where every edge score
+// is computable by hand through the pipeline's own primitives.
+func TestERatioHandComputed(t *testing.T) {
+	g := labeledBridge(t) // left-bridge-right plus a spur
+	cfg := fastConfig()
+	cfg.Budget = 1
+	res, err := CePS(g, []int{0, 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := score.CombineEdges(g, res.R, res.Solver, res.Combiner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range all {
+		total += v
+	}
+	var captured float64
+	for _, e := range res.Subgraph.InducedEdges {
+		captured += score.EdgeScoreOf(res.R, res.Solver, res.Combiner, e.U, e.V)
+	}
+	want := captured / total
+	got, err := res.ERatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ERatio = %v, want %v", got, want)
+	}
+	if got <= 0 || got > 1 {
+		t.Fatalf("ERatio = %v out of range", got)
+	}
+}
+
+// TestRelRatioHandComputed checks Eq. 19's numerator/denominator wiring.
+func TestRelRatioHandComputed(t *testing.T) {
+	g := labeledBridge(t)
+	full := &Result{
+		WorkGraph: g,
+		Combined:  []float64{0.5, 0.3, 0.2, 0.1},
+		Subgraph:  &graph.Subgraph{Nodes: []int{0, 1, 2}},
+	}
+	fast := &Result{
+		Subgraph: &graph.Subgraph{Nodes: []int{0, 2}},
+		ToOrig:   []int{0, 2}, // marks it as a reduced-graph result
+	}
+	rel, err := RelRatio(full, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.5 + 0.2) / (0.5 + 0.3 + 0.2)
+	if math.Abs(rel-want) > 1e-12 {
+		t.Fatalf("RelRatio = %v, want %v", rel, want)
+	}
+
+	// Zero-capture full run is an error, not a division by zero.
+	full.Combined = []float64{0, 0, 0, 0}
+	if _, err := RelRatio(full, fast); err == nil {
+		t.Fatal("zero-capture reference should error")
+	}
+}
+
+// TestWorkIDMapping exercises the binary-search original→working id map.
+func TestWorkIDMapping(t *testing.T) {
+	r := &Result{ToOrig: []int{2, 5, 9, 40}}
+	for want, orig := range []int{2, 5, 9, 40} {
+		if got := r.workID(orig); got != want {
+			t.Fatalf("workID(%d) = %d, want %d", orig, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("workID of a foreign node should panic")
+		}
+	}()
+	r.workID(7)
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRunnerMatchesCePS(t *testing.T) {
+	ds := testDataset(t, 43)
+	cfg := fastConfig()
+	cfg.Budget = 8
+	queries := []int{ds.Repository[0][0], ds.Repository[1][0]}
+
+	direct, err := CePS(ds.Graph, queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := NewRunner(ds.Graph, cfg.RWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := runner.Query(queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Subgraph.Nodes) != len(cached.Subgraph.Nodes) {
+		t.Fatal("runner and direct CePS disagree on size")
+	}
+	for i := range direct.Subgraph.Nodes {
+		if direct.Subgraph.Nodes[i] != cached.Subgraph.Nodes[i] {
+			t.Fatal("runner and direct CePS disagree on nodes")
+		}
+	}
+	for j := range direct.Combined {
+		if direct.Combined[j] != cached.Combined[j] {
+			t.Fatal("combined scores differ")
+		}
+	}
+}
+
+func TestRunnerRejectsMismatchedRWRConfig(t *testing.T) {
+	ds := testDataset(t, 47)
+	cfg := fastConfig()
+	runner, err := NewRunner(ds.Graph, cfg.RWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.RWR.C = 0.9
+	if _, err := runner.Query([]int{1, 2}, other); err == nil {
+		t.Fatal("mismatched RWR config should be rejected")
+	}
+	bad := cfg
+	bad.Budget = 0
+	if _, err := runner.Query([]int{1, 2}, bad); err == nil {
+		t.Fatal("bad config should be rejected")
+	}
+	if _, err := runner.Query([]int{-1}, cfg); err == nil {
+		t.Fatal("bad query should be rejected")
+	}
+	if _, err := NewRunner(nil, cfg.RWR); err == nil {
+		t.Fatal("nil graph should be rejected")
+	}
+}
+
+func TestRunnerConcurrentQueries(t *testing.T) {
+	ds := testDataset(t, 53)
+	cfg := fastConfig()
+	cfg.Budget = 6
+	runner, err := NewRunner(ds.Graph, cfg.RWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryBatches := [][]int{
+		{ds.Repository[0][0], ds.Repository[0][1]},
+		{ds.Repository[1][0], ds.Repository[1][1]},
+		{ds.Repository[2][0], ds.Repository[0][2]},
+		{ds.Repository[0][3], ds.Repository[1][3]},
+	}
+	// Reference answers, sequential.
+	want := make([]*Result, len(queryBatches))
+	for i, qs := range queryBatches {
+		res, err := runner.Query(qs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	// Concurrent answers must match exactly.
+	var wg sync.WaitGroup
+	errs := make([]error, len(queryBatches))
+	got := make([]*Result, len(queryBatches))
+	for round := 0; round < 4; round++ {
+		for i, qs := range queryBatches {
+			wg.Add(1)
+			go func(i int, qs []int) {
+				defer wg.Done()
+				got[i], errs[i] = runner.Query(qs, cfg)
+			}(i, qs)
+		}
+		wg.Wait()
+		for i := range queryBatches {
+			if errs[i] != nil {
+				t.Fatal(errs[i])
+			}
+			if len(got[i].Subgraph.Nodes) != len(want[i].Subgraph.Nodes) {
+				t.Fatal("concurrent query diverged")
+			}
+			for j := range want[i].Subgraph.Nodes {
+				if got[i].Subgraph.Nodes[j] != want[i].Subgraph.Nodes[j] {
+					t.Fatal("concurrent query nodes diverged")
+				}
+			}
+		}
+	}
+}
+
+// TestExtractionNeverExceedsIdealCapture: the budgeted, connectivity-bound
+// extraction can never capture more goodness than the unconstrained top-|H|
+// node selection.
+func TestExtractionNeverExceedsIdealCapture(t *testing.T) {
+	ds := testDataset(t, 59)
+	cfg := fastConfig()
+	for _, budget := range []int{3, 10, 25} {
+		cfg.Budget = budget
+		queries := []int{ds.Repository[0][0], ds.Repository[1][1]}
+		res, err := CePS(ds.Graph, queries, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ideal: |H| highest combined scores.
+		sorted := append([]float64(nil), res.Combined...)
+		for i := 1; i < len(sorted); i++ {
+			v := sorted[i]
+			j := i - 1
+			for j >= 0 && sorted[j] < v {
+				sorted[j+1] = sorted[j]
+				j--
+			}
+			sorted[j+1] = v
+		}
+		var ideal, total float64
+		for i, v := range sorted {
+			total += v
+			if i < res.Subgraph.Size() {
+				ideal += v
+			}
+		}
+		if total == 0 {
+			t.Fatal("no mass")
+		}
+		if got := res.NRatio(); got > ideal/total+1e-12 {
+			t.Fatalf("budget %d: NRatio %v exceeds ideal %v", budget, got, ideal/total)
+		}
+	}
+}

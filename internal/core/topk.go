@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sort"
+
+	"ceps/internal/graph"
+	"ceps/internal/rwr"
+	"ceps/internal/score"
+)
+
+// RankedNode is a node with its combined closeness score r(Q, j).
+type RankedNode struct {
+	Node  int
+	Score float64
+}
+
+// TopCenterPieces runs Steps 1–2 of the pipeline only — individual RWR
+// scores and combination — and returns the topN highest-scored non-query
+// nodes. It answers "who are the center-piece candidates" without paying
+// for subgraph extraction, which is what callers ranking or paginating
+// candidates (rather than displaying a connection subgraph) want.
+func TopCenterPieces(g *graph.Graph, queries []int, cfg Config, topN int) ([]RankedNode, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkQueries(g, queries); err != nil {
+		return nil, err
+	}
+	solver, err := rwr.NewSolver(g, cfg.RWR)
+	if err != nil {
+		return nil, err
+	}
+	return topCenterPieces(solver, g, queries, cfg, topN)
+}
+
+// TopCenterPieces is the Runner variant reusing the cached solver.
+func (r *Runner) TopCenterPieces(queries []int, cfg Config, topN int) ([]RankedNode, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RWR != r.rwrCfg {
+		return nil, errMismatchedRWR(r.rwrCfg, cfg.RWR)
+	}
+	if err := checkQueries(r.g, queries); err != nil {
+		return nil, err
+	}
+	return topCenterPieces(r.solver, r.g, queries, cfg, topN)
+}
+
+func topCenterPieces(solver *rwr.Solver, g *graph.Graph, queries []int, cfg Config, topN int) ([]RankedNode, error) {
+	if topN <= 0 {
+		topN = 10
+	}
+	R, err := solver.ScoresSet(queries)
+	if err != nil {
+		return nil, err
+	}
+	combined, err := score.CombineNodes(R, cfg.Combiner(len(queries)))
+	if err != nil {
+		return nil, err
+	}
+	isQuery := make(map[int]bool, len(queries))
+	for _, q := range queries {
+		isQuery[q] = true
+	}
+	ranked := make([]RankedNode, 0, g.N()-len(queries))
+	for j, s := range combined {
+		if !isQuery[j] && s > 0 {
+			ranked = append(ranked, RankedNode{Node: j, Score: s})
+		}
+	}
+	sort.SliceStable(ranked, func(a, b int) bool { return ranked[a].Score > ranked[b].Score })
+	if len(ranked) > topN {
+		ranked = ranked[:topN]
+	}
+	return ranked, nil
+}
+
+func errMismatchedRWR(have, want rwr.Config) error {
+	return &rwrMismatchError{have: have, want: want}
+}
+
+type rwrMismatchError struct{ have, want rwr.Config }
+
+func (e *rwrMismatchError) Error() string {
+	return "core: runner RWR config does not match the query's (build a new Runner)"
+}

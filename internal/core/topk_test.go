@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestTopCenterPiecesRankedAndQueryFree(t *testing.T) {
+	ds := testDataset(t, 61)
+	cfg := fastConfig()
+	queries := []int{ds.Repository[0][0], ds.Repository[0][1]}
+	top, err := TopCenterPieces(ds.Graph, queries, cfg, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 15 {
+		t.Fatalf("got %d ranked nodes", len(top))
+	}
+	for i, r := range top {
+		if r.Node == queries[0] || r.Node == queries[1] {
+			t.Fatalf("query node %d in the ranking", r.Node)
+		}
+		if r.Score <= 0 {
+			t.Fatalf("non-positive score at rank %d", i)
+		}
+		if i > 0 && r.Score > top[i-1].Score {
+			t.Fatalf("ranking not sorted at %d", i)
+		}
+	}
+}
+
+func TestTopCenterPiecesMatchesExtractionPick(t *testing.T) {
+	// The first ranked node must be the first destination EXTRACT picks —
+	// both are argmax of the same combined score outside the queries.
+	ds := testDataset(t, 67)
+	cfg := fastConfig()
+	cfg.Budget = 5
+	queries := []int{ds.Repository[1][0], ds.Repository[1][1]}
+	top, err := TopCenterPieces(ds.Graph, queries, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CePS(ds.Graph, queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Extraction.Destinations) == 0 {
+		t.Fatal("no destinations picked")
+	}
+	if top[0].Node != res.Extraction.Destinations[0] {
+		t.Fatalf("top ranked %d vs first destination %d", top[0].Node, res.Extraction.Destinations[0])
+	}
+}
+
+func TestTopCenterPiecesDefaults(t *testing.T) {
+	ds := testDataset(t, 71)
+	cfg := fastConfig()
+	queries := []int{ds.Repository[0][0], ds.Repository[1][0]}
+	top, err := TopCenterPieces(ds.Graph, queries, cfg, 0) // default 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 10 {
+		t.Fatalf("default topN gave %d", len(top))
+	}
+}
+
+func TestTopCenterPiecesViaRunner(t *testing.T) {
+	ds := testDataset(t, 73)
+	cfg := fastConfig()
+	runner, err := NewRunner(ds.Graph, cfg.RWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []int{ds.Repository[0][0], ds.Repository[1][0]}
+	a, err := TopCenterPieces(ds.Graph, queries, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runner.TopCenterPieces(queries, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("runner variant disagrees on length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("runner variant disagrees on ranking")
+		}
+	}
+	bad := cfg
+	bad.RWR.C = 0.9
+	if _, err := runner.TopCenterPieces(queries, bad, 8); err == nil {
+		t.Fatal("mismatched RWR config should fail")
+	}
+}
+
+func TestTopCenterPiecesValidation(t *testing.T) {
+	ds := testDataset(t, 79)
+	cfg := fastConfig()
+	if _, err := TopCenterPieces(ds.Graph, nil, cfg, 5); err == nil {
+		t.Error("empty queries should fail")
+	}
+	bad := cfg
+	bad.Budget = 0
+	if _, err := TopCenterPieces(ds.Graph, []int{1}, bad, 5); err == nil {
+		t.Error("bad config should fail")
+	}
+}

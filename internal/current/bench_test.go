@@ -1,0 +1,23 @@
+package current
+
+import "testing"
+
+func BenchmarkVoltages(b *testing.B) {
+	g := randomGraph(b, 3000, 12000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Voltages(g, 0, 2999, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConnectionSubgraph(b *testing.B) {
+	g := randomGraph(b, 3000, 12000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ConnectionSubgraph(g, 0, 2999, Config{Budget: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

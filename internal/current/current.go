@@ -1,0 +1,339 @@
+// Package current implements the delivered-current connection-subgraph
+// method of Faloutsos, McCurley and Tomkins (KDD 2004) — reference [8] of
+// the CePS paper and the baseline it is evaluated against in §7.1 (Fig. 2).
+//
+// The graph is interpreted as a resistor network: +1 volt is applied to the
+// source query node, the sink query node is grounded at 0, and every other
+// node is additionally connected to a universal sink (also at 0 volts) with
+// conductance proportional to its degree — the device [8] uses to penalize
+// high-degree nodes. Voltages are the solution of the resulting linear
+// system; edge currents follow Ohm's law; and the display-generation
+// algorithm extracts end-to-end paths that maximize *delivered* current per
+// new node, where the current delivered along a path dissipates at every
+// intermediate node in proportion to the node's other outflows.
+//
+// The method only handles exactly two query nodes and — as Fig. 2 of the
+// CePS paper shows — its output depends on which of the two is chosen as
+// the source. Both limitations are what CePS's K_softAND machinery removes;
+// this package exists so the comparison can be reproduced.
+package current
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ceps/internal/graph"
+	"ceps/internal/linalg"
+)
+
+// Config controls the electric-network solve and extraction.
+type Config struct {
+	// SinkFactor a sets each node's conductance to the universal sink as
+	// a·d(u). Larger values bleed more current and punish long paths
+	// harder. Must be positive; default 1.
+	SinkFactor float64
+	// Tol is the Gauss–Seidel convergence tolerance (default 1e-10).
+	Tol float64
+	// MaxIter bounds the Gauss–Seidel sweeps (default 2000).
+	MaxIter int
+	// Budget is the maximum number of nodes besides source and sink in
+	// the output subgraph (default 8, the neighborhood of the paper's
+	// b = 4…20 display sizes).
+	Budget int
+	// MaxPathLen caps new nodes per extracted path (default Budget).
+	MaxPathLen int
+}
+
+func (c *Config) fillDefaults() {
+	if c.SinkFactor <= 0 {
+		c.SinkFactor = 1
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-10
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 2000
+	}
+	if c.Budget <= 0 {
+		c.Budget = 8
+	}
+	if c.MaxPathLen <= 0 {
+		c.MaxPathLen = c.Budget
+	}
+}
+
+// Voltages solves the electric network for source s (+1V) and sink t (0V)
+// with a universal grounded sink attached to every other node. The returned
+// slice holds each node's voltage; unreachable nodes stay at 0.
+func Voltages(g *graph.Graph, s, t int, cfg Config) ([]float64, error) {
+	cfg.fillDefaults()
+	n := g.N()
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return nil, fmt.Errorf("current: query nodes (%d,%d) out of range [0,%d)", s, t, n)
+	}
+	if s == t {
+		return nil, fmt.Errorf("current: source and sink must differ")
+	}
+
+	// Unknowns: all nodes except s and t. Node u's balance equation:
+	//   (d_u + a·d_u)·V(u) − Σ_v w(u,v)·V(v) = w(u,s)·1
+	// where the a·d_u term is the universal-sink conductance at 0 volts.
+	idx := make([]int, n)
+	var interior []int
+	for u := 0; u < n; u++ {
+		if u == s || u == t {
+			idx[u] = -1
+			continue
+		}
+		idx[u] = len(interior)
+		interior = append(interior, u)
+	}
+	if len(interior) == 0 {
+		v := make([]float64, n)
+		v[s] = 1
+		return v, nil
+	}
+
+	var entries []linalg.Triple
+	rhs := make([]float64, len(interior))
+	for row, u := range interior {
+		du := g.WeightedDegree(u)
+		diag := du * (1 + cfg.SinkFactor)
+		if du == 0 {
+			diag = 1 // isolated node: voltage 0
+		}
+		entries = append(entries, linalg.Triple{Row: row, Col: row, Val: diag})
+		nbrs, ws := g.Neighbors(u)
+		for i, v := range nbrs {
+			switch {
+			case v == s:
+				rhs[row] += ws[i] // V(s) = 1
+			case v == t:
+				// V(t) = 0 contributes nothing
+			default:
+				entries = append(entries, linalg.Triple{Row: row, Col: idx[v], Val: -ws[i]})
+			}
+		}
+	}
+	m, err := linalg.NewCSR(len(interior), len(interior), entries)
+	if err != nil {
+		return nil, err
+	}
+	sol, res, err := linalg.GaussSeidel(m, rhs, nil, cfg.Tol, cfg.MaxIter)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("current: voltage solve did not converge after %d sweeps (residual %g)", res.Iterations, res.Residual)
+	}
+	v := make([]float64, n)
+	for row, u := range interior {
+		v[u] = sol[row]
+	}
+	v[s] = 1
+	v[t] = 0
+	return v, nil
+}
+
+// Result is the output of the delivered-current extraction.
+type Result struct {
+	Subgraph *graph.Subgraph
+	// Voltages holds the solved node potentials.
+	Voltages []float64
+	// Delivered is the total delivered current captured by the extracted
+	// paths.
+	Delivered float64
+	// Paths lists each extracted source→sink path.
+	Paths [][]int
+}
+
+// ConnectionSubgraph runs the full delivered-current pipeline between a
+// source and sink query node: solve voltages, then repeatedly extract the
+// end-to-end path with the highest delivered current per new node until the
+// budget is exhausted.
+func ConnectionSubgraph(g *graph.Graph, s, t int, cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+	volt, err := Voltages(g, s, t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+
+	// Downhill currents and per-node outflow (including the universal
+	// sink's share, which is what makes delivery dissipative).
+	outflow := make([]float64, n)
+	for u := 0; u < n; u++ {
+		nbrs, ws := g.Neighbors(u)
+		for i, v := range nbrs {
+			if volt[u] > volt[v] {
+				outflow[u] += ws[i] * (volt[u] - volt[v])
+			}
+		}
+		if u != t {
+			outflow[u] += cfg.SinkFactor * g.WeightedDegree(u) * volt[u]
+		}
+	}
+
+	sub := &graph.Subgraph{}
+	inH := make([]bool, n)
+	add := func(u int) bool {
+		if inH[u] {
+			return false
+		}
+		inH[u] = true
+		sub.Nodes = append(sub.Nodes, u)
+		return true
+	}
+	add(s)
+	add(t)
+
+	res := &Result{Voltages: volt}
+	newNodes := 0
+	for newNodes < cfg.Budget {
+		remaining := cfg.Budget - newNodes
+		maxNew := cfg.MaxPathLen
+		if maxNew > remaining {
+			maxNew = remaining
+		}
+		path, delivered, ok := bestDeliveryPath(g, volt, outflow, s, t, inH, maxNew)
+		if !ok {
+			break
+		}
+		res.Paths = append(res.Paths, path)
+		res.Delivered += delivered
+		advanced := false
+		for i, u := range path {
+			if add(u) {
+				newNodes++
+				advanced = true
+			}
+			if i > 0 {
+				a, b := path[i-1], u
+				if a > b {
+					a, b = b, a
+				}
+				sub.PathEdges = append(sub.PathEdges, graph.Edge{U: a, V: b, W: g.Weight(a, b)})
+			}
+		}
+		if !advanced {
+			break // only reuses existing nodes; no progress possible
+		}
+	}
+	dedupeEdges(sub)
+	sub.FillInduced(g)
+	res.Subgraph = sub
+	return res, nil
+}
+
+// bestDeliveryPath finds the source→sink path maximizing delivered current
+// per new node, with at most maxNew new nodes and at least one. Delivered
+// current along a path multiplies by I(u→v)/outflow(u) at every hop after
+// the first; the DP runs over nodes in descending voltage order, which
+// topologically orders the downhill DAG.
+func bestDeliveryPath(g *graph.Graph, volt, outflow []float64, s, t int, inH []bool, maxNew int) ([]int, float64, bool) {
+	if maxNew < 1 {
+		return nil, 0, false
+	}
+	n := g.N()
+	order := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if v == s || v == t || volt[v] > volt[t] {
+			order = append(order, v)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return volt[order[a]] > volt[order[b]] })
+	pos := make(map[int]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+
+	width := maxNew + 1
+	nc := len(order)
+	best := make([]float64, nc*width)
+	parent := make([]int32, nc*width)
+	for i := range best {
+		best[i] = math.Inf(-1)
+		parent[i] = -2
+	}
+	sIdx, okS := pos[s]
+	if !okS {
+		return nil, 0, false
+	}
+	best[sIdx*width+0] = outflow[s] // multiplied by I/outflow on the first hop
+	parent[sIdx*width+0] = -1
+
+	for oi, v := range order {
+		if v == s {
+			continue
+		}
+		cost := 1
+		if inH[v] {
+			cost = 0
+		}
+		nbrs, ws := g.Neighbors(v)
+		vBase := oi * width
+		for i, u := range nbrs {
+			ui, ok := pos[u]
+			if !ok || volt[u] <= volt[v] {
+				continue
+			}
+			if outflow[u] <= 0 {
+				continue
+			}
+			frac := ws[i] * (volt[u] - volt[v]) / outflow[u]
+			uBase := ui * width
+			for sNew := cost; sNew < width; sNew++ {
+				prev := best[uBase+sNew-cost]
+				if math.IsInf(prev, -1) {
+					continue
+				}
+				if cand := prev * frac; cand > best[vBase+sNew] {
+					best[vBase+sNew] = cand
+					parent[vBase+sNew] = int32(uBase + sNew - cost)
+				}
+			}
+		}
+	}
+
+	tIdx, okT := pos[t]
+	if !okT {
+		return nil, 0, false
+	}
+	tBase := tIdx * width
+	bestS, bestScore := -1, math.Inf(-1)
+	for sNew := 1; sNew < width; sNew++ {
+		if math.IsInf(best[tBase+sNew], -1) {
+			continue
+		}
+		if score := best[tBase+sNew] / float64(sNew); score > bestScore {
+			bestScore, bestS = score, sNew
+		}
+	}
+	if bestS < 0 {
+		return nil, 0, false
+	}
+	var rev []int
+	state := int32(tBase + bestS)
+	for state != -1 {
+		rev = append(rev, order[int(state)/width])
+		state = parent[state]
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, best[tBase+bestS], true
+}
+
+func dedupeEdges(sub *graph.Subgraph) {
+	seen := make(map[[2]int]bool, len(sub.PathEdges))
+	out := sub.PathEdges[:0]
+	for _, e := range sub.PathEdges {
+		key := [2]int{e.U, e.V}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, e)
+		}
+	}
+	sub.PathEdges = out
+}

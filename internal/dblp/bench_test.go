@@ -1,0 +1,13 @@
+package dblp
+
+import "testing"
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := Scale(DefaultConfig(), 0.5)
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,469 @@
+// Package dblp generates synthetic DBLP-style co-authorship graphs.
+//
+// The paper's evaluation (§7) runs on the real DBLP author graph: ~315K
+// authors, ~1,834K weighted edges where the weight of (a, b) is the number
+// of papers a and b co-authored, and a query repository of researchers
+// drawn from four research communities (13 database/mining, 13
+// statistics/ML, 11 information retrieval, 11 computer vision). That dump
+// is not available here, so this package builds the closest synthetic
+// equivalent with the structural properties the experiments depend on:
+//
+//   - community structure: papers are written inside a home community with
+//     occasional cross-community collaborations, giving the clustered
+//     topology Fast CePS's pre-partition exploits;
+//   - heavy-tailed productivity: authors per community are sampled from a
+//     Zipf distribution, so a few prolific authors become hubs — exactly
+//     the "pizza delivery person" effect §4.3's normalization targets;
+//   - integer co-paper edge weights accumulated per collaboration;
+//   - planted cross-disciplinary connectors: authors who publish in two
+//     communities, the ground-truth "center-pieces" of the Fig. 1 and
+//     Fig. 3 case studies;
+//   - a per-community query repository of the most prolific authors,
+//     mirroring the paper's 13/13/11/11 selection.
+//
+// Generation is deterministic for a fixed Config.Seed.
+package dblp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ceps/internal/bipartite"
+	"ceps/internal/graph"
+)
+
+// Community describes one research community to synthesize.
+type Community struct {
+	// Name labels the community (e.g. "databases & mining").
+	Name string
+	// Authors is the number of authors in the community.
+	Authors int
+	// Papers is the number of papers generated inside the community.
+	Papers int
+	// RepositorySize is how many of the community's most prolific authors
+	// enter the query repository (the paper uses 13/13/11/11).
+	RepositorySize int
+}
+
+// Config parameterizes the generator.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical datasets.
+	Seed int64
+	// Communities to generate. Defaults to the paper's four.
+	Communities []Community
+	// MinTeam and MaxTeam bound the number of authors on a paper
+	// (defaults 2 and 5).
+	MinTeam, MaxTeam int
+	// CrossProb is the probability that a paper includes one author from
+	// a neighboring community (default 0.05).
+	CrossProb float64
+	// ZipfS is the Zipf exponent for author productivity (must be > 1;
+	// default 1.6). Larger values concentrate papers on fewer authors.
+	ZipfS float64
+	// ConnectorsPerPair plants this many cross-disciplinary authors for
+	// each pair of adjacent communities (default 3).
+	ConnectorsPerPair int
+	// ConnectorPapers is how many bridging papers each connector writes
+	// per linked community (default 8).
+	ConnectorPapers int
+	// GroupSize is the size of the research groups each community is
+	// divided into (default 15). Co-authors come mostly from the lead
+	// author's group, which gives the graph the local clustering real
+	// co-authorship networks have.
+	GroupSize int
+	// LocalProb is the probability that a non-lead team slot is filled
+	// from the lead's research group rather than community-wide Zipf
+	// sampling (default 0.7). The community-wide draws are what create
+	// hub authors that collaborate across groups.
+	LocalProb float64
+	// MegaHubsPerCommunity plants this many "pizza delivery person"
+	// authors per community (default Authors/400 + 1): nodes with a huge
+	// number of weak one-paper ties scattered across their community and
+	// beyond. They are the §4.3 motivation for the degree-penalized
+	// normalization — without penalization, random walks leak through
+	// them to everywhere. Set to -1 to disable.
+	MegaHubsPerCommunity int
+	// MegaHubFanout is the fraction of a community the mega-hub has weak
+	// ties to (default 0.25).
+	MegaHubFanout float64
+}
+
+// DefaultConfig mirrors the paper's evaluation setup at a laptop-friendly
+// scale (~4K authors). Use Scale to approach the real DBLP size.
+func DefaultConfig() Config {
+	return Config{
+		Seed: 1,
+		Communities: []Community{
+			{Name: "databases & mining", Authors: 1200, Papers: 3600, RepositorySize: 13},
+			{Name: "statistics & machine learning", Authors: 1200, Papers: 3600, RepositorySize: 13},
+			{Name: "information retrieval", Authors: 800, Papers: 2400, RepositorySize: 11},
+			{Name: "computer vision", Authors: 800, Papers: 2400, RepositorySize: 11},
+		},
+		MinTeam:           2,
+		MaxTeam:           5,
+		CrossProb:         0.05,
+		ZipfS:             1.6,
+		ConnectorsPerPair: 3,
+		ConnectorPapers:   8,
+	}
+}
+
+// Scale multiplies every community's author and paper counts by f
+// (repository sizes stay fixed). Scale(cfg, 80) approaches the real DBLP's
+// ~315K authors.
+func Scale(cfg Config, f float64) Config {
+	out := cfg
+	out.Communities = make([]Community, len(cfg.Communities))
+	for i, c := range cfg.Communities {
+		c.Authors = int(float64(c.Authors) * f)
+		c.Papers = int(float64(c.Papers) * f)
+		out.Communities[i] = c
+	}
+	return out
+}
+
+func (c *Config) fillDefaults() {
+	if len(c.Communities) == 0 {
+		c.Communities = DefaultConfig().Communities
+	}
+	if c.MinTeam < 2 {
+		c.MinTeam = 2
+	}
+	if c.MaxTeam < c.MinTeam {
+		c.MaxTeam = c.MinTeam + 3
+	}
+	if c.CrossProb < 0 || c.CrossProb > 1 {
+		c.CrossProb = 0.05
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.6
+	}
+	if c.ConnectorsPerPair < 0 {
+		c.ConnectorsPerPair = 3
+	}
+	if c.ConnectorPapers <= 0 {
+		c.ConnectorPapers = 8
+	}
+	if c.GroupSize <= 1 {
+		c.GroupSize = 15
+	}
+	if c.LocalProb <= 0 || c.LocalProb > 1 {
+		c.LocalProb = 0.7
+	}
+	if c.MegaHubFanout <= 0 || c.MegaHubFanout > 1 {
+		c.MegaHubFanout = 0.25
+	}
+}
+
+// Dataset is a generated co-authorship graph plus the metadata the
+// experiments need.
+type Dataset struct {
+	// Graph is the weighted co-authorship graph.
+	Graph *graph.Graph
+	// Communities echoes the generating config.
+	Communities []Community
+	// CommunityOf maps author id → community index (connectors belong to
+	// their home community).
+	CommunityOf []int
+	// Repository holds, per community index, the ids of the most prolific
+	// authors (sorted by descending weighted degree).
+	Repository [][]int
+	// Connectors lists the planted cross-disciplinary authors.
+	Connectors []int
+	// MegaHubs lists the planted weak-tie hub authors (the §4.3 "pizza
+	// delivery persons"). They are excluded from the query repository.
+	MegaHubs []int
+	// Papers is the underlying author–paper incidence structure; Graph is
+	// its unit-weighted projection, matching the paper's §7 construction.
+	Papers *bipartite.Graph
+	// PaperCount is the total number of papers generated.
+	PaperCount int
+}
+
+// Generate builds a synthetic dataset.
+func Generate(cfg Config) (*Dataset, error) {
+	cfg.fillDefaults()
+	for i, c := range cfg.Communities {
+		if c.Authors < cfg.MaxTeam {
+			return nil, fmt.Errorf("dblp: community %d (%q) has %d authors, need at least a full team of %d",
+				i, c.Name, c.Authors, cfg.MaxTeam)
+		}
+		if c.Papers <= 0 {
+			return nil, fmt.Errorf("dblp: community %d (%q) has no papers", i, c.Name)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Assign contiguous author id ranges per community.
+	total := 0
+	base := make([]int, len(cfg.Communities))
+	for i, c := range cfg.Communities {
+		base[i] = total
+		total += c.Authors
+	}
+	ds := &Dataset{Communities: cfg.Communities, CommunityOf: make([]int, total)}
+	bp := bipartite.NewBuilder(total)
+	labels := make([]string, total)
+	for ci, c := range cfg.Communities {
+		for a := 0; a < c.Authors; a++ {
+			id := base[ci] + a
+			ds.CommunityOf[id] = ci
+			labels[id] = authorName(rng, ci, a)
+		}
+	}
+
+	// Zipf samplers per community: author rank 0 is the most prolific.
+	zipfs := make([]*rand.Zipf, len(cfg.Communities))
+	for i, c := range cfg.Communities {
+		zipfs[i] = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(c.Authors-1))
+	}
+	sample := func(ci int) int { return base[ci] + int(zipfs[ci].Uint64()) }
+
+	addPaper := func(team []int) {
+		if _, err := bp.AddPaper(team); err != nil {
+			panic(err) // teams are generated in-range; impossible by construction
+		}
+		ds.PaperCount++
+	}
+
+	// Regular papers. Every paper has a "lead" author chosen round-robin
+	// through a random permutation of the community — so each author
+	// (co-)authors at least ⌊Papers/Authors⌋ papers and nobody is isolated,
+	// as in real DBLP where every listed author has at least one paper —
+	// while the remaining team slots are Zipf-sampled, which is what makes
+	// a few prolific authors into hubs.
+	// groupDraw samples a co-author near the lead: from the lead's research
+	// group with probability LocalProb (local clustering), otherwise by
+	// community-wide Zipf (hub collaborators).
+	groupDraw := func(ci, lead int) int {
+		if rng.Float64() < cfg.LocalProb {
+			local := lead - base[ci]
+			g0 := (local / cfg.GroupSize) * cfg.GroupSize
+			g1 := g0 + cfg.GroupSize
+			if g1 > cfg.Communities[ci].Authors {
+				g1 = cfg.Communities[ci].Authors
+			}
+			return base[ci] + g0 + rng.Intn(g1-g0)
+		}
+		return sample(ci)
+	}
+
+	for ci, c := range cfg.Communities {
+		leads := rng.Perm(c.Authors)
+		for p := 0; p < c.Papers; p++ {
+			size := cfg.MinTeam + rng.Intn(cfg.MaxTeam-cfg.MinTeam+1)
+			lead := base[ci] + leads[p%c.Authors]
+			team := sampleTeam(rng, size-1, base[ci], base[ci]+c.Authors, func() int { return groupDraw(ci, lead) })
+			if !contains(team, lead) {
+				team = append(team, lead)
+			}
+			if len(cfg.Communities) > 1 && rng.Float64() < cfg.CrossProb {
+				other := rng.Intn(len(cfg.Communities) - 1)
+				if other >= ci {
+					other++
+				}
+				foreign := sample(other)
+				if !contains(team, foreign) {
+					for i, m := range team {
+						if m != lead {
+							team[i] = foreign
+							break
+						}
+					}
+				}
+			}
+			addPaper(team)
+		}
+	}
+
+	// Planted connectors between adjacent community pairs.
+	for ci := 0; ci+1 < len(cfg.Communities); ci++ {
+		for n := 0; n < cfg.ConnectorsPerPair; n++ {
+			conn := sample(ci)
+			ds.Connectors = append(ds.Connectors, conn)
+			for _, side := range []int{ci, ci + 1} {
+				for p := 0; p < cfg.ConnectorPapers; p++ {
+					size := cfg.MinTeam + rng.Intn(cfg.MaxTeam-cfg.MinTeam+1)
+					team := sampleTeam(rng, size-1, base[side], base[side]+cfg.Communities[side].Authors,
+						func() int { return sample(side) })
+					team = append(team, conn)
+					addPaper(team)
+				}
+			}
+		}
+	}
+
+	// Planted mega-hubs: the last few authors of each community become
+	// "pizza delivery persons" (§4.3) with a large number of weak
+	// one-paper ties spread across their community and, more thinly,
+	// across the others. Without degree penalization, random walks leak
+	// through them to everywhere in the graph.
+	isMegaHub := make(map[int]bool)
+	for ci, c := range cfg.Communities {
+		hubs := cfg.MegaHubsPerCommunity
+		if hubs == 0 {
+			hubs = c.Authors/400 + 1
+		}
+		if hubs < 0 {
+			continue // disabled
+		}
+		fanout := int(float64(c.Authors) * cfg.MegaHubFanout)
+		for h := 0; h < hubs && h < c.Authors; h++ {
+			hub := base[ci] + c.Authors - 1 - h
+			ds.MegaHubs = append(ds.MegaHubs, hub)
+			isMegaHub[hub] = true
+			// One-off two-author papers: the bibliographic form of a weak
+			// tie.
+			for i := 0; i < fanout; i++ {
+				a := base[ci] + rng.Intn(c.Authors)
+				if a != hub {
+					addPaper([]int{hub, a})
+				}
+			}
+			// Thin cross-community spread.
+			if len(cfg.Communities) > 1 {
+				for i := 0; i < fanout/5; i++ {
+					other := rng.Intn(len(cfg.Communities) - 1)
+					if other >= ci {
+						other++
+					}
+					a := base[other] + rng.Intn(cfg.Communities[other].Authors)
+					if a != hub {
+						addPaper([]int{hub, a})
+					}
+				}
+			}
+		}
+	}
+
+	papers, err := bp.Build()
+	if err != nil {
+		return nil, err
+	}
+	ds.Papers = papers
+	g, err := papers.Project(bipartite.UnitWeighting, labels)
+	if err != nil {
+		return nil, err
+	}
+	ds.Graph = g
+
+	// Query repository: most prolific (highest weighted degree) authors
+	// per community, excluding planted mega-hubs — their degree is an
+	// artifact of weak ties, not the sustained collaboration that makes a
+	// researcher a natural query.
+	ds.Repository = make([][]int, len(cfg.Communities))
+	for ci, c := range cfg.Communities {
+		ids := make([]int, 0, c.Authors)
+		for a := 0; a < c.Authors; a++ {
+			if id := base[ci] + a; !isMegaHub[id] {
+				ids = append(ids, id)
+			}
+		}
+		sort.SliceStable(ids, func(x, y int) bool {
+			return g.WeightedDegree(ids[x]) > g.WeightedDegree(ids[y])
+		})
+		size := c.RepositorySize
+		if size <= 0 || size > len(ids) {
+			size = min(13, len(ids))
+		}
+		ds.Repository[ci] = ids[:size]
+	}
+	return ds, nil
+}
+
+// sampleTeam draws `size` distinct authors in [lo, hi) using the provided
+// sampler, falling back to linear probing (wrapped into the range) if the
+// Zipf head keeps colliding.
+func sampleTeam(rng *rand.Rand, size, lo, hi int, draw func() int) []int {
+	if size < 1 {
+		size = 1
+	}
+	if size > hi-lo {
+		size = hi - lo
+	}
+	team := make([]int, 0, size)
+	seen := make(map[int]bool, size)
+	for attempts := 0; len(team) < size && attempts < size*20; attempts++ {
+		a := draw()
+		if !seen[a] {
+			seen[a] = true
+			team = append(team, a)
+		}
+	}
+	// Extremely skewed Zipf can fail to produce distinct draws; probe
+	// linearly from the last draw, wrapping within the community.
+	for next := 1; len(team) < size; next++ {
+		a := lo + (draw()-lo+next)%(hi-lo)
+		if !seen[a] {
+			seen[a] = true
+			team = append(team, a)
+		}
+	}
+	return team
+}
+
+// RandomQueries draws q distinct query nodes from the repository. When
+// spread is true the draws rotate across communities (the paper composes
+// queries "by randomly selecting a small number of queries from the
+// repository" built from several communities); otherwise they come from
+// anywhere in the repository.
+func (d *Dataset) RandomQueries(rng *rand.Rand, q int, spread bool) ([]int, error) {
+	var pool []int
+	if spread {
+		// Interleave communities round-robin, then pick a prefix window to
+		// sample from.
+		maxLen := 0
+		for _, r := range d.Repository {
+			if len(r) > maxLen {
+				maxLen = len(r)
+			}
+		}
+		for i := 0; i < maxLen; i++ {
+			for _, r := range d.Repository {
+				if i < len(r) {
+					pool = append(pool, r[i])
+				}
+			}
+		}
+	} else {
+		for _, r := range d.Repository {
+			pool = append(pool, r...)
+		}
+	}
+	if q <= 0 || q > len(pool) {
+		return nil, fmt.Errorf("dblp: cannot draw %d queries from a repository of %d", q, len(pool))
+	}
+	perm := rng.Perm(len(pool))
+	out := make([]int, 0, q)
+	seen := make(map[int]bool, q)
+	for _, i := range perm {
+		if !seen[pool[i]] {
+			seen[pool[i]] = true
+			out = append(out, pool[i])
+		}
+		if len(out) == q {
+			break
+		}
+	}
+	if len(out) < q {
+		return nil, fmt.Errorf("dblp: repository too small for %d distinct queries", q)
+	}
+	return out, nil
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,330 @@
+package dblp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// smallConfig keeps tests fast.
+func smallConfig(seed int64) Config {
+	return Config{
+		Seed: seed,
+		Communities: []Community{
+			{Name: "db", Authors: 150, Papers: 450, RepositorySize: 13},
+			{Name: "ml", Authors: 150, Papers: 450, RepositorySize: 13},
+			{Name: "ir", Authors: 100, Papers: 300, RepositorySize: 11},
+			{Name: "cv", Authors: 100, Papers: 300, RepositorySize: 11},
+		},
+		MinTeam:           2,
+		MaxTeam:           5,
+		CrossProb:         0.05,
+		ZipfS:             1.6,
+		ConnectorsPerPair: 2,
+		ConnectorPapers:   6,
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	ds, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Graph.N() != 500 {
+		t.Fatalf("N = %d, want 500", ds.Graph.N())
+	}
+	if ds.Graph.M() == 0 {
+		t.Fatal("no edges generated")
+	}
+	if err := ds.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.PaperCount < 1500 {
+		t.Fatalf("paper count %d too small", ds.PaperCount)
+	}
+	if !ds.Graph.Labeled() {
+		t.Fatal("authors should be labeled")
+	}
+	// Labels are unique.
+	seen := make(map[string]bool, ds.Graph.N())
+	for u := 0; u < ds.Graph.N(); u++ {
+		l := ds.Graph.Label(u)
+		if seen[l] {
+			t.Fatalf("duplicate author name %q", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.M() != b.Graph.M() || a.Graph.TotalWeight() != b.Graph.TotalWeight() {
+		t.Fatal("same seed produced different graphs")
+	}
+	c, err := Generate(smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.M() == c.Graph.M() && a.Graph.TotalWeight() == c.Graph.TotalWeight() {
+		t.Fatal("different seeds suspiciously identical")
+	}
+}
+
+func TestCommunityAssignmentContiguous(t *testing.T) {
+	ds, err := Generate(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{150, 150, 100, 100}
+	counts := make([]int, 4)
+	for _, ci := range ds.CommunityOf {
+		counts[ci]++
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("community %d has %d authors, want %d", i, counts[i], want[i])
+		}
+	}
+}
+
+func TestCommunityStructureDominatesEdges(t *testing.T) {
+	ds, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, inter float64
+	ds.Graph.ForEachEdge(func(u, v int, w float64) {
+		if ds.CommunityOf[u] == ds.CommunityOf[v] {
+			intra += w
+		} else {
+			inter += w
+		}
+	})
+	if intra < 5*inter {
+		t.Fatalf("intra %v vs inter %v: community structure too weak", intra, inter)
+	}
+	if inter == 0 {
+		t.Fatal("communities must be linked (cross papers + connectors)")
+	}
+}
+
+func TestProductivityIsHeavyTailed(t *testing.T) {
+	ds, err := Generate(smallConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	// Top 10% of authors should hold a large multiple of their uniform
+	// share of the total weighted degree.
+	degs := make([]float64, g.N())
+	var total float64
+	for u := 0; u < g.N(); u++ {
+		degs[u] = g.WeightedDegree(u)
+		total += degs[u]
+	}
+	// partial selection: count mass above the 90th percentile by sorting
+	sorted := append([]float64(nil), degs...)
+	for i := 1; i < len(sorted); i++ { // insertion sort is fine at n=500
+		v := sorted[i]
+		j := i - 1
+		for j >= 0 && sorted[j] < v {
+			sorted[j+1] = sorted[j]
+			j--
+		}
+		sorted[j+1] = v
+	}
+	top := len(sorted) / 10
+	var topMass float64
+	for i := 0; i < top; i++ {
+		topMass += sorted[i]
+	}
+	if frac := topMass / total; frac < 0.3 {
+		t.Fatalf("top-10%% degree share = %.2f; productivity should be heavy-tailed", frac)
+	}
+}
+
+func TestRepositoryHoldsProlificAuthors(t *testing.T) {
+	ds, err := Generate(smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{13, 13, 11, 11}
+	for ci, repo := range ds.Repository {
+		if len(repo) != sizes[ci] {
+			t.Fatalf("repository %d size = %d, want %d", ci, len(repo), sizes[ci])
+		}
+		for i, a := range repo {
+			if ds.CommunityOf[a] != ci {
+				t.Fatalf("repository %d contains foreign author %d", ci, a)
+			}
+			if i > 0 && ds.Graph.WeightedDegree(repo[i-1]) < ds.Graph.WeightedDegree(a) {
+				t.Fatalf("repository %d not sorted by degree", ci)
+			}
+		}
+		// Repository members should be well above the community median.
+		med := medianDegreeOf(ds, ci)
+		if ds.Graph.WeightedDegree(repo[0]) < 2*med {
+			t.Fatalf("top repository author not prolific: %v vs median %v",
+				ds.Graph.WeightedDegree(repo[0]), med)
+		}
+	}
+}
+
+func medianDegreeOf(ds *Dataset, ci int) float64 {
+	var degs []float64
+	for u := 0; u < ds.Graph.N(); u++ {
+		if ds.CommunityOf[u] == ci {
+			degs = append(degs, ds.Graph.WeightedDegree(u))
+		}
+	}
+	for i := 1; i < len(degs); i++ {
+		v := degs[i]
+		j := i - 1
+		for j >= 0 && degs[j] > v {
+			degs[j+1] = degs[j]
+			j--
+		}
+		degs[j+1] = v
+	}
+	return degs[len(degs)/2]
+}
+
+func TestConnectorsBridgeCommunities(t *testing.T) {
+	ds, err := Generate(smallConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Connectors) != 2*3 { // ConnectorsPerPair=2, 3 adjacent pairs
+		t.Fatalf("connectors = %d, want 6", len(ds.Connectors))
+	}
+	for _, conn := range ds.Connectors {
+		home := ds.CommunityOf[conn]
+		foreign := 0
+		nbrs, _ := ds.Graph.Neighbors(conn)
+		for _, v := range nbrs {
+			if ds.CommunityOf[v] != home {
+				foreign++
+			}
+		}
+		if foreign < 3 {
+			t.Fatalf("connector %d has only %d foreign co-authors", conn, foreign)
+		}
+	}
+}
+
+func TestRandomQueries(t *testing.T) {
+	ds, err := Generate(smallConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	qs, err := ds.RandomQueries(rng, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 4 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	seen := make(map[int]bool)
+	for _, q := range qs {
+		if seen[q] {
+			t.Fatal("duplicate query")
+		}
+		seen[q] = true
+	}
+	if _, err := ds.RandomQueries(rng, 0, false); err == nil {
+		t.Error("q=0 should fail")
+	}
+	if _, err := ds.RandomQueries(rng, 10_000, false); err == nil {
+		t.Error("oversized q should fail")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cfg := smallConfig(1)
+	cfg.Communities[0].Authors = 3 // below MaxTeam
+	if _, err := Generate(cfg); err == nil {
+		t.Error("tiny community should fail")
+	}
+	cfg = smallConfig(1)
+	cfg.Communities[1].Papers = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("zero papers should fail")
+	}
+}
+
+func TestBipartiteProjectionConsistency(t *testing.T) {
+	ds, err := Generate(smallConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Papers == nil {
+		t.Fatal("dataset should carry the author–paper incidence")
+	}
+	if ds.Papers.Papers() != ds.PaperCount {
+		t.Fatalf("paper count %d vs incidence %d", ds.PaperCount, ds.Papers.Papers())
+	}
+	if ds.Papers.Authors() != ds.Graph.N() {
+		t.Fatalf("author count mismatch: %d vs %d", ds.Papers.Authors(), ds.Graph.N())
+	}
+	// Every co-authorship edge weight is exactly the shared paper count.
+	checked := 0
+	ds.Graph.ForEachEdge(func(u, v int, w float64) {
+		if checked < 500 { // spot check; CoAuthoredPapers is O(papers)
+			if int(w) != ds.Papers.CoAuthoredPapers(u, v) {
+				t.Fatalf("edge (%d,%d) weight %v vs %d shared papers",
+					u, v, w, ds.Papers.CoAuthoredPapers(u, v))
+			}
+			checked++
+		}
+	})
+	// Everybody authored at least one paper (the no-isolated-authors
+	// property of the generator).
+	for a := 0; a < ds.Papers.Authors(); a++ {
+		if ds.Papers.PaperCount(a) == 0 {
+			t.Fatalf("author %d has no papers", a)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	cfg := Scale(DefaultConfig(), 0.1)
+	for i, c := range cfg.Communities {
+		want := int(float64(DefaultConfig().Communities[i].Authors) * 0.1)
+		if c.Authors != want {
+			t.Fatalf("scaled authors = %d, want %d", c.Authors, want)
+		}
+	}
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Graph.N() != 400 {
+		t.Fatalf("scaled N = %d, want 400", ds.Graph.N())
+	}
+}
+
+func TestDefaultConfigGenerates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-size generation skipped in -short")
+	}
+	ds, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Graph.N() != 4000 {
+		t.Fatalf("N = %d, want 4000", ds.Graph.N())
+	}
+	comp, count := ds.Graph.ConnectedComponents()
+	_ = comp
+	// The giant component should dominate; a few isolated authors are fine.
+	if count > ds.Graph.N()/2 {
+		t.Fatalf("graph too fragmented: %d components", count)
+	}
+}

@@ -1,0 +1,44 @@
+package dblp
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Synthetic author names: pronounceable, deterministic under the dataset
+// seed, and globally unique thanks to the community/index suffix encoded as
+// initials. They make the case-study examples readable without borrowing
+// any real researcher's name.
+
+var givenNames = []string{
+	"Ada", "Ben", "Chen", "Dana", "Elif", "Femi", "Goro", "Hana",
+	"Igor", "Jun", "Kira", "Liam", "Mei", "Nils", "Omar", "Priya",
+	"Quinn", "Rosa", "Sven", "Tara", "Uma", "Vik", "Wen", "Xia",
+	"Yara", "Zane",
+}
+
+var surnameHeads = []string{
+	"Bal", "Cor", "Dal", "Fen", "Gar", "Hol", "Jin", "Kov",
+	"Lam", "Mor", "Nak", "Ols", "Pet", "Ros", "Sar", "Tan",
+	"Ved", "Wal", "Yam", "Zel",
+}
+
+var surnameTails = []string{
+	"akis", "berg", "chev", "dano", "ero", "ford", "gupta", "hara",
+	"inski", "jona", "karov", "lund", "mann", "nova", "oso", "pulos",
+	"quist", "rossi", "sen", "tti",
+}
+
+// communityTag gives each community a distinct middle initial so labels
+// hint at their community in example output.
+var communityTags = []string{"D", "S", "I", "V", "W", "X", "Y", "Z"}
+
+// authorName generates a deterministic, unique display name for the a-th
+// author of community ci.
+func authorName(rng *rand.Rand, ci, a int) string {
+	g := givenNames[rng.Intn(len(givenNames))]
+	s := surnameHeads[rng.Intn(len(surnameHeads))] + surnameTails[rng.Intn(len(surnameTails))]
+	tag := communityTags[ci%len(communityTags)]
+	// The numeric suffix guarantees uniqueness; the tag hints at community.
+	return fmt.Sprintf("%s %s.%s-%d", g, tag, s, a)
+}

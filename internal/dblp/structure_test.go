@@ -1,0 +1,72 @@
+package dblp
+
+import (
+	"testing"
+
+	"ceps/internal/graphstat"
+)
+
+// TestGeneratorStructureClass pins the structural properties DESIGN.md's
+// substitution argument relies on: the synthetic graph must look like a
+// co-authorship network — heavy-tailed degrees with a sane power-law
+// exponent, strong local clustering (research groups), and one giant
+// component.
+func TestGeneratorStructureClass(t *testing.T) {
+	ds, err := Generate(smallConfig(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graphstat.Compute(ds.Graph)
+
+	if s.TailExponent < 1.5 || s.TailExponent > 4.5 {
+		t.Errorf("degree tail exponent %.2f outside the social-network range [1.5, 4.5]", s.TailExponent)
+	}
+	if s.MeanLocalClustering < 0.3 {
+		t.Errorf("mean local clustering %.3f too low; co-authorship graphs are locally dense", s.MeanLocalClustering)
+	}
+	if s.GiantShare < 0.9 {
+		t.Errorf("giant component holds only %.2f of nodes", s.GiantShare)
+	}
+	if s.MaxDegree < 5*s.DegreeP50 {
+		t.Errorf("max degree %d vs median %d: hubs missing", s.MaxDegree, s.DegreeP50)
+	}
+	if s.MeanDegree < 2 {
+		t.Errorf("mean degree %.1f too sparse", s.MeanDegree)
+	}
+}
+
+// TestMegaHubsDominateDegree confirms the planted "pizza delivery persons"
+// really are the extreme-degree nodes the §4.3 normalization targets.
+func TestMegaHubsDominateDegree(t *testing.T) {
+	cfg := smallConfig(78)
+	cfg.MegaHubsPerCommunity = 2
+	// The test communities are small (100–150 authors); use the fanout a
+	// default-scale community would get so the hubs are unmistakable.
+	cfg.MegaHubFanout = 0.6
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.MegaHubs) != 2*len(cfg.Communities) {
+		t.Fatalf("mega hubs = %d", len(ds.MegaHubs))
+	}
+	// Every mega hub must sit far above its community's median degree.
+	for _, hub := range ds.MegaHubs {
+		ci := ds.CommunityOf[hub]
+		med := medianDegreeOf(ds, ci)
+		if ds.Graph.WeightedDegree(hub) < 3*med {
+			t.Errorf("mega hub %d degree %.0f not hubby (community median %.0f)",
+				hub, ds.Graph.WeightedDegree(hub), med)
+		}
+	}
+	// And they are excluded from the repository.
+	for _, repo := range ds.Repository {
+		for _, a := range repo {
+			for _, hub := range ds.MegaHubs {
+				if a == hub {
+					t.Fatalf("mega hub %d leaked into the repository", hub)
+				}
+			}
+		}
+	}
+}

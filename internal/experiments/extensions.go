@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ceps/internal/core"
+	"ceps/internal/graph"
+	"ceps/internal/graphstat"
+	"ceps/internal/steiner"
+)
+
+// DataStats profiles the synthetic dataset's structure — the evidence for
+// DESIGN.md's substitution argument that the generator reproduces the real
+// co-authorship graph's structure class.
+func DataStats(s *Setup) graphstat.Summary {
+	return graphstat.Compute(s.Dataset.Graph)
+}
+
+// --- Injection evaluation (paper §8, Future Work 2, item 1) -------------
+//
+// "We inject the resulting center-piece which are well justified [by] the
+// users into the original graph and test if the proposed algorithm can
+// find them."
+
+// InjectPoint is the recovery rate for one injected-tie strength.
+type InjectPoint struct {
+	Q int
+	// Strength is the weight of each injected edge, as a multiple of the
+	// graph's mean query-incident edge weight.
+	Strength float64
+	// Recovered is the fraction of trials in which the injected node was
+	// extracted into the subgraph.
+	Recovered float64
+	// MeanRank is the injected node's mean rank by combined score among
+	// non-query nodes (1 = strongest center-piece in the graph).
+	MeanRank float64
+}
+
+// Inject plants a synthetic center-piece node with direct ties of varying
+// strength to every query, then checks that CePS recovers it. Strong
+// planted connectors must be found essentially always; as the tie strength
+// decays toward noise level the recovery rate must decay too — the curve
+// is the experiment's output.
+func Inject(s *Setup, q, budget int, strengths []float64) ([]InjectPoint, error) {
+	rng := s.rng(9)
+	cfg := s.Base
+	cfg.Budget = budget
+
+	// Baseline edge weight near queries: mean weight of query-incident
+	// edges across the repository.
+	var meanW float64
+	{
+		var sum float64
+		var n int
+		for _, repo := range s.Dataset.Repository {
+			for _, a := range repo {
+				_, ws := s.Dataset.Graph.Neighbors(a)
+				for _, w := range ws {
+					sum += w
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("experiments: empty repository")
+		}
+		meanW = sum / float64(n)
+	}
+
+	var out []InjectPoint
+	for _, strength := range strengths {
+		var recovered, rankSum float64
+		for t := 0; t < s.Trials; t++ {
+			queries, err := s.drawQueries(rng, q)
+			if err != nil {
+				return nil, err
+			}
+			// Rebuild the graph with one extra node tied to every query.
+			b := graph.NewBuilder(s.Dataset.Graph.N() + 1)
+			s.Dataset.Graph.ForEachEdge(func(u, v int, w float64) {
+				b.AddEdge(u, v, w)
+			})
+			injected := s.Dataset.Graph.N()
+			for _, qn := range queries {
+				b.AddEdge(injected, qn, strength*meanW)
+			}
+			g, err := b.Build()
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.CePS(g, queries, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if res.Subgraph.Has(injected) {
+				recovered++
+			}
+			rank := 1
+			isQuery := make(map[int]bool, q)
+			for _, qn := range queries {
+				isQuery[qn] = true
+			}
+			for j, sc := range res.Combined {
+				if j != injected && !isQuery[j] && sc > res.Combined[injected] {
+					rank++
+				}
+			}
+			rankSum += float64(rank)
+		}
+		out = append(out, InjectPoint{
+			Q:         q,
+			Strength:  strength,
+			Recovered: recovered / float64(s.Trials),
+			MeanRank:  rankSum / float64(s.Trials),
+		})
+	}
+	return out, nil
+}
+
+// RenderInject prints the recovery curve.
+func RenderInject(w io.Writer, pts []InjectPoint) {
+	fmt.Fprintln(w, "Injection test (§8 FW2): recovery of a planted center-piece")
+	fmt.Fprintf(w, "%4s %10s %10s %10s\n", "Q", "strength", "recovered", "mean rank")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%4d %10.2f %10.2f %10.1f\n", p.Q, p.Strength, p.Recovered, p.MeanRank)
+	}
+	fmt.Fprintln(w)
+}
+
+// --- Retrieval evaluation (paper §8, Future Work 2, item 2) -------------
+//
+// "Use the proposed CePS as a retrieval/classification tool and evaluate
+// it by standard precision/recall."
+
+// RetrievalPoint is precision at one budget for one community.
+type RetrievalPoint struct {
+	Community int
+	Budget    int
+	// Precision is the fraction of retrieved (non-query) nodes that
+	// belong to the query community.
+	Precision float64
+	// Retrieved is the mean number of non-query nodes returned.
+	Retrieved float64
+}
+
+// Retrieval treats CePS as a community-member retrieval tool: queries are
+// drawn from one community's repository and the extracted non-query nodes
+// are judged by whether they belong to that community.
+func Retrieval(s *Setup, q int, budgets []int) ([]RetrievalPoint, error) {
+	rng := s.rng(10)
+	var out []RetrievalPoint
+	for ci := range s.Dataset.Repository {
+		repo := s.Dataset.Repository[ci]
+		if len(repo) < q {
+			return nil, fmt.Errorf("experiments: community %d repository smaller than %d", ci, q)
+		}
+		for _, budget := range budgets {
+			cfg := s.Base
+			cfg.Budget = budget
+			var precSum, retSum float64
+			for t := 0; t < s.Trials; t++ {
+				perm := rng.Perm(len(repo))
+				queries := make([]int, q)
+				for i := 0; i < q; i++ {
+					queries[i] = repo[perm[i]]
+				}
+				res, err := core.CePS(s.Dataset.Graph, queries, cfg)
+				if err != nil {
+					return nil, err
+				}
+				isQuery := make(map[int]bool, q)
+				for _, qn := range queries {
+					isQuery[qn] = true
+				}
+				var hits, total float64
+				for _, u := range res.Subgraph.Nodes {
+					if isQuery[u] {
+						continue
+					}
+					total++
+					if s.Dataset.CommunityOf[u] == ci {
+						hits++
+					}
+				}
+				if total > 0 {
+					precSum += hits / total
+				} else {
+					precSum++ // nothing retrieved, vacuously precise
+				}
+				retSum += total
+			}
+			out = append(out, RetrievalPoint{
+				Community: ci,
+				Budget:    budget,
+				Precision: precSum / float64(s.Trials),
+				Retrieved: retSum / float64(s.Trials),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderRetrieval prints the precision table.
+func RenderRetrieval(w io.Writer, pts []RetrievalPoint) {
+	fmt.Fprintln(w, "Retrieval test (§8 FW2): CePS as community-member retrieval")
+	fmt.Fprintf(w, "%10s %8s %10s %10s\n", "community", "budget", "precision", "retrieved")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%10d %8d %10.3f %10.1f\n", p.Community, p.Budget, p.Precision, p.Retrieved)
+	}
+	fmt.Fprintln(w)
+}
+
+// --- Steiner-tree comparison (paper §2) ----------------------------------
+//
+// §2 argues the Steiner tree is the wrong tool for center-piece discovery
+// because "the Steiner tree might suffer from those high degree nodes
+// exactly as the way the shortest path will suffer". This experiment makes
+// the argument measurable.
+
+// SteinerPoint compares one query batch's CePS subgraph with the
+// 2-approximate Steiner tree over the same queries.
+type SteinerPoint struct {
+	Q int
+	// CePSGoodness / SteinerGoodness: fraction of the total combined
+	// goodness mass captured by each method's node set (CePS's own
+	// objective, Eq. 13).
+	CePSGoodness    float64
+	SteinerGoodness float64
+	// CePSHubDegree / SteinerHubDegree: mean weighted degree of the
+	// intermediate (non-query) nodes each method selects — the
+	// high-degree-node attraction §2 warns about.
+	CePSHubDegree    float64
+	SteinerHubDegree float64
+	// CePSNodes / SteinerNodes: mean subgraph sizes.
+	CePSNodes    float64
+	SteinerNodes float64
+}
+
+// Steiner runs the comparison for one query count. To keep the comparison
+// fair, CePS's budget is set per-trial to the Steiner tree's intermediate
+// node count (at least 1).
+func Steiner(s *Setup, q int) (*SteinerPoint, error) {
+	rng := s.rng(11)
+	pt := &SteinerPoint{Q: q}
+	trials := 0
+	for t := 0; t < s.Trials; t++ {
+		queries, err := s.drawQueries(rng, q)
+		if err != nil {
+			return nil, err
+		}
+		if !s.Dataset.Graph.SameComponent(queries) {
+			continue // Steiner needs connected terminals
+		}
+		st, err := steiner.Tree(s.Dataset.Graph, queries, nil)
+		if err != nil {
+			return nil, err
+		}
+		budget := st.Subgraph.Size() - q
+		if budget < 1 {
+			budget = 1
+		}
+		cfg := s.Base
+		cfg.Budget = budget
+		res, err := core.CePS(s.Dataset.Graph, queries, cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		var total float64
+		for _, v := range res.Combined {
+			total += v
+		}
+		if total == 0 {
+			continue
+		}
+		pt.CePSGoodness += nodeMass(res.Combined, res.Subgraph.Nodes) / total
+		pt.SteinerGoodness += nodeMass(res.Combined, st.Subgraph.Nodes) / total
+		pt.CePSHubDegree += meanDegree(s.Dataset.Graph, res.Subgraph.Nodes, queries)
+		pt.SteinerHubDegree += meanDegree(s.Dataset.Graph, st.Subgraph.Nodes, queries)
+		pt.CePSNodes += float64(res.Subgraph.Size())
+		pt.SteinerNodes += float64(st.Subgraph.Size())
+		trials++
+	}
+	if trials == 0 {
+		return nil, fmt.Errorf("experiments: no connected query draws for the Steiner comparison")
+	}
+	n := float64(trials)
+	pt.CePSGoodness /= n
+	pt.SteinerGoodness /= n
+	pt.CePSHubDegree /= n
+	pt.SteinerHubDegree /= n
+	pt.CePSNodes /= n
+	pt.SteinerNodes /= n
+	return pt, nil
+}
+
+func nodeMass(combined []float64, nodes []int) float64 {
+	var s float64
+	for _, u := range nodes {
+		s += combined[u]
+	}
+	return s
+}
+
+func meanDegree(g *graph.Graph, nodes, queries []int) float64 {
+	isQuery := make(map[int]bool, len(queries))
+	for _, q := range queries {
+		isQuery[q] = true
+	}
+	var sum float64
+	var n int
+	for _, u := range nodes {
+		if !isQuery[u] {
+			sum += g.WeightedDegree(u)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RenderSteiner prints the comparison.
+func RenderSteiner(w io.Writer, pts []*SteinerPoint) {
+	fmt.Fprintln(w, "Steiner-tree comparison (§2): same queries, matched node counts")
+	fmt.Fprintf(w, "%4s %14s %14s %14s %14s %10s %10s\n",
+		"Q", "CePS-goodness", "Stnr-goodness", "CePS-hub-deg", "Stnr-hub-deg", "CePS-|H|", "Stnr-|H|")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%4d %14.4f %14.4f %14.1f %14.1f %10.1f %10.1f\n",
+			p.Q, p.CePSGoodness, p.SteinerGoodness, p.CePSHubDegree, p.SteinerHubDegree,
+			p.CePSNodes, p.SteinerNodes)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInjectStrongTiesRecovered(t *testing.T) {
+	s := tinySetup(t)
+	pts, err := Inject(s, 2, 10, []float64{5, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	strong, weak := pts[0], pts[1]
+	if strong.Recovered < 1 {
+		t.Fatalf("strength-5 injected node recovered only %.2f of the time", strong.Recovered)
+	}
+	if strong.MeanRank > 3 {
+		t.Fatalf("strength-5 injected node mean rank %.1f, want near 1", strong.MeanRank)
+	}
+	// The weak plant must not score better than the strong one.
+	if weak.Recovered > strong.Recovered {
+		t.Fatalf("weak plant recovered more often (%.2f) than strong (%.2f)", weak.Recovered, strong.Recovered)
+	}
+	if weak.MeanRank < strong.MeanRank {
+		t.Fatalf("weak plant ranked better (%.1f) than strong (%.1f)", weak.MeanRank, strong.MeanRank)
+	}
+	var sb strings.Builder
+	RenderInject(&sb, pts)
+	if !strings.Contains(sb.String(), "recovered") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRetrievalPrecisionHigh(t *testing.T) {
+	s := tinySetup(t)
+	pts, err := Retrieval(s, 2, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(s.Dataset.Repository) {
+		t.Fatalf("got %d points, want one per community", len(pts))
+	}
+	var mean float64
+	for _, p := range pts {
+		if p.Precision < 0 || p.Precision > 1 {
+			t.Fatalf("precision out of range: %+v", p)
+		}
+		mean += p.Precision
+	}
+	mean /= float64(len(pts))
+	// Queries from one community should retrieve mostly that community.
+	if mean < 0.7 {
+		t.Fatalf("mean retrieval precision %.3f; community retrieval should be precise", mean)
+	}
+	var sb strings.Builder
+	RenderRetrieval(&sb, pts)
+	if !strings.Contains(sb.String(), "precision") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestSteinerComparison(t *testing.T) {
+	s := tinySetup(t)
+	pt, err := Steiner(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.CePSNodes <= 0 || pt.SteinerNodes <= 0 {
+		t.Fatalf("empty comparison: %+v", pt)
+	}
+	// CePS optimizes goodness directly, so at matched node counts it must
+	// capture at least as much goodness mass as the Steiner tree.
+	if pt.CePSGoodness < pt.SteinerGoodness {
+		t.Fatalf("CePS goodness %.4f below Steiner %.4f", pt.CePSGoodness, pt.SteinerGoodness)
+	}
+	var sb strings.Builder
+	RenderSteiner(&sb, []*SteinerPoint{pt})
+	if !strings.Contains(sb.String(), "CePS-goodness") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestScalingRuns(t *testing.T) {
+	s := tinySetup(t)
+	pts, err := Scaling(s, []float64{0.05, 0.1}, 2, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[1].Nodes <= pts[0].Nodes {
+		t.Fatalf("scales out of order: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.Full <= 0 || p.Fast <= 0 || p.Speedup <= 0 || p.RelRatio <= 0 {
+			t.Fatalf("missing measurements: %+v", p)
+		}
+	}
+	var sb strings.Builder
+	RenderScaling(&sb, pts)
+	if !strings.Contains(sb.String(), "speedup") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestInjectAndRetrievalValidation(t *testing.T) {
+	s := tinySetup(t)
+	if _, err := Retrieval(s, 100, []int{5}); err == nil {
+		t.Error("oversized q should fail")
+	}
+}

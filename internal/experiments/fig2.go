@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ceps/internal/core"
+	"ceps/internal/current"
+)
+
+// Fig2Result reproduces the Fig. 2 / §7.1 comparison between the
+// delivered-current connection-subgraph baseline and CePS with pairwise AND
+// queries:
+//
+//   - order sensitivity: the baseline's output depends on which query is
+//     the source; CePS is symmetric by construction. Overlap is the Jaccard
+//     similarity of the intermediate-node sets under the two orders.
+//   - connection strength: how strongly the chosen intermediate nodes are
+//     wired into the rest of the subgraph (the paper's "more connections
+//     and more co-authored papers" argument), measured as the mean
+//     weighted internal degree of intermediate nodes within the extracted
+//     subgraph.
+type Fig2Result struct {
+	Trials int
+	// CurrentOrderOverlap is the mean Jaccard overlap of the baseline's
+	// intermediate nodes between the two query orders (Fig. 2a vs 2b).
+	CurrentOrderOverlap float64
+	// CePSOrderOverlap is the same for CePS (always 1: AND is symmetric).
+	CePSOrderOverlap float64
+	// CurrentStrength and CePSStrength are the mean weighted internal
+	// degrees of intermediate nodes (Fig. 2b vs 2c).
+	CurrentStrength float64
+	CePSStrength    float64
+	// CurrentConnections and CePSConnections are the mean numbers of
+	// internal connections per intermediate node.
+	CurrentConnections float64
+	CePSConnections    float64
+}
+
+// Fig2 runs the comparison over random 2-query draws with the given budget
+// (the paper uses budget 4 for Fig. 2).
+func Fig2(s *Setup, budget int) (*Fig2Result, error) {
+	rng := s.rng(2)
+	cfg := s.Base
+	cfg.Budget = budget
+	curCfg := current.Config{Budget: budget}
+
+	res := &Fig2Result{Trials: s.Trials}
+	for t := 0; t < s.Trials; t++ {
+		qs, err := s.drawQueries(rng, 2)
+		if err != nil {
+			return nil, err
+		}
+		a, b := qs[0], qs[1]
+
+		curAB, err := current.ConnectionSubgraph(s.Dataset.Graph, a, b, curCfg)
+		if err != nil {
+			return nil, err
+		}
+		curBA, err := current.ConnectionSubgraph(s.Dataset.Graph, b, a, curCfg)
+		if err != nil {
+			return nil, err
+		}
+		cepsAB, err := core.CePS(s.Dataset.Graph, []int{a, b}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cepsBA, err := core.CePS(s.Dataset.Graph, []int{b, a}, cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		res.CurrentOrderOverlap += jaccard(intermediates(curAB.Subgraph.Nodes, a, b), intermediates(curBA.Subgraph.Nodes, a, b))
+		res.CePSOrderOverlap += jaccard(intermediates(cepsAB.Subgraph.Nodes, a, b), intermediates(cepsBA.Subgraph.Nodes, a, b))
+
+		cs, cc := strength(s, curAB.Subgraph.Nodes, a, b)
+		ps, pc := strength(s, cepsAB.Subgraph.Nodes, a, b)
+		res.CurrentStrength += cs
+		res.CurrentConnections += cc
+		res.CePSStrength += ps
+		res.CePSConnections += pc
+	}
+	n := float64(s.Trials)
+	res.CurrentOrderOverlap /= n
+	res.CePSOrderOverlap /= n
+	res.CurrentStrength /= n
+	res.CePSStrength /= n
+	res.CurrentConnections /= n
+	res.CePSConnections /= n
+	return res, nil
+}
+
+// intermediates drops the query endpoints from a node list.
+func intermediates(nodes []int, a, b int) map[int]bool {
+	out := make(map[int]bool, len(nodes))
+	for _, u := range nodes {
+		if u != a && u != b {
+			out[u] = true
+		}
+	}
+	return out
+}
+
+func jaccard(a, b map[int]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for u := range a {
+		if b[u] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// strength returns the mean weighted internal degree and mean internal
+// connection count of the intermediate nodes within the subgraph's induced
+// edges.
+func strength(s *Setup, nodes []int, a, b int) (wdeg, conns float64) {
+	in := make(map[int]bool, len(nodes))
+	for _, u := range nodes {
+		in[u] = true
+	}
+	inter := 0
+	for _, u := range nodes {
+		if u == a || u == b {
+			continue
+		}
+		inter++
+		nbrs, ws := s.Dataset.Graph.Neighbors(u)
+		for i, v := range nbrs {
+			if in[v] {
+				wdeg += ws[i]
+				conns++
+			}
+		}
+	}
+	if inter == 0 {
+		return 0, 0
+	}
+	return wdeg / float64(inter), conns / float64(inter)
+}
+
+// RenderFig2 prints the comparison table.
+func RenderFig2(w io.Writer, r *Fig2Result) {
+	fmt.Fprintln(w, "Fig 2: delivered-current baseline vs CePS (Q=2, AND)")
+	fmt.Fprintf(w, "%-34s %12s %12s\n", "", "current", "CePS")
+	fmt.Fprintf(w, "%-34s %12.4f %12.4f\n", "order-swap node overlap (Jaccard)", r.CurrentOrderOverlap, r.CePSOrderOverlap)
+	fmt.Fprintf(w, "%-34s %12.3f %12.3f\n", "intermediate connections/node", r.CurrentConnections, r.CePSConnections)
+	fmt.Fprintf(w, "%-34s %12.3f %12.3f\n", "intermediate weighted strength", r.CurrentStrength, r.CePSStrength)
+	fmt.Fprintf(w, "(%d trials; CePS is order-invariant, the baseline is not)\n\n", r.Trials)
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ceps/internal/core"
+)
+
+// Fig4Point is one (Q, b) cell of Fig. 4: mean NRatio (Fig. 4a) and mean
+// ERatio (Fig. 4b) over the setup's trials.
+type Fig4Point struct {
+	Q      int
+	Budget int
+	NRatio float64
+	ERatio float64
+}
+
+// Fig4 reproduces Fig. 4: for each query count Q and budget b, run AND-query
+// CePS on random repository queries and average the Important Node Ratio
+// (Eq. 13) and Important Edge Ratio (Eq. 14).
+func Fig4(s *Setup, queryCounts, budgets []int) ([]Fig4Point, error) {
+	rng := s.rng(4)
+	var out []Fig4Point
+	for _, q := range queryCounts {
+		// Fix the query draws per Q so the budget sweep sees identical
+		// workloads (paired comparison, as in the paper's "mean over
+		// multiple runs").
+		draws := make([][]int, s.Trials)
+		for t := range draws {
+			qs, err := s.drawQueries(rng, q)
+			if err != nil {
+				return nil, err
+			}
+			draws[t] = qs
+		}
+		for _, b := range budgets {
+			cfg := s.Base
+			cfg.Budget = b
+			var nSum, eSum float64
+			for _, qs := range draws {
+				res, err := core.CePS(s.Dataset.Graph, qs, cfg)
+				if err != nil {
+					return nil, err
+				}
+				nSum += res.NRatio()
+				er, err := res.ERatio()
+				if err != nil {
+					return nil, err
+				}
+				eSum += er
+			}
+			out = append(out, Fig4Point{
+				Q:      q,
+				Budget: b,
+				NRatio: nSum / float64(s.Trials),
+				ERatio: eSum / float64(s.Trials),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderFig4 prints the two Fig. 4 panels as budget-indexed series, one
+// column per query count.
+func RenderFig4(w io.Writer, pts []Fig4Point) {
+	budgets, qs := fig4Axes(pts)
+	lookup := make(map[[2]int]Fig4Point, len(pts))
+	for _, p := range pts {
+		lookup[[2]int{p.Q, p.Budget}] = p
+	}
+	for _, panel := range []struct {
+		title string
+		get   func(Fig4Point) float64
+	}{
+		{"Fig 4(a): mean NRatio vs budget", func(p Fig4Point) float64 { return p.NRatio }},
+		{"Fig 4(b): mean ERatio vs budget", func(p Fig4Point) float64 { return p.ERatio }},
+	} {
+		fmt.Fprintf(w, "%s\n", panel.title)
+		fmt.Fprintf(w, "%8s", "budget")
+		for _, q := range qs {
+			fmt.Fprintf(w, "  Q=%-6d", q)
+		}
+		fmt.Fprintln(w)
+		for _, b := range budgets {
+			fmt.Fprintf(w, "%8d", b)
+			for _, q := range qs {
+				fmt.Fprintf(w, "  %-8.4f", panel.get(lookup[[2]int{q, b}]))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func fig4Axes(pts []Fig4Point) (budgets, qs []int) {
+	bset, qset := map[int]bool{}, map[int]bool{}
+	for _, p := range pts {
+		bset[p.Budget] = true
+		qset[p.Q] = true
+	}
+	for b := range bset {
+		budgets = append(budgets, b)
+	}
+	for q := range qset {
+		qs = append(qs, q)
+	}
+	sort.Ints(budgets)
+	sort.Ints(qs)
+	return budgets, qs
+}

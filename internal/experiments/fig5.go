@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ceps/internal/core"
+	"ceps/internal/rwr"
+)
+
+// Fig5Point is one (Q, α) cell of Fig. 5: mean NRatio and ERatio under the
+// degree-penalized normalization with coefficient α.
+type Fig5Point struct {
+	Q      int
+	Alpha  float64
+	NRatio float64
+	ERatio float64
+}
+
+// Fig5 reproduces the Fig. 5 parametric study of the normalization step
+// (§7.3): sweep α with a fixed budget and AND queries. α = 0 is the
+// un-normalized baseline the paper compares against.
+func Fig5(s *Setup, queryCounts []int, alphas []float64, budget int) ([]Fig5Point, error) {
+	rng := s.rng(5)
+	var out []Fig5Point
+	for _, q := range queryCounts {
+		draws := make([][]int, s.Trials)
+		for t := range draws {
+			qs, err := s.drawQueries(rng, q)
+			if err != nil {
+				return nil, err
+			}
+			draws[t] = qs
+		}
+		for _, alpha := range alphas {
+			cfg := s.Base
+			cfg.Budget = budget
+			cfg.RWR.Norm = rwr.NormDegreePenalized
+			cfg.RWR.Alpha = alpha
+			var nSum, eSum float64
+			for _, qs := range draws {
+				res, err := core.CePS(s.Dataset.Graph, qs, cfg)
+				if err != nil {
+					return nil, err
+				}
+				nSum += res.NRatio()
+				er, err := res.ERatio()
+				if err != nil {
+					return nil, err
+				}
+				eSum += er
+			}
+			out = append(out, Fig5Point{
+				Q:      q,
+				Alpha:  alpha,
+				NRatio: nSum / float64(s.Trials),
+				ERatio: eSum / float64(s.Trials),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderFig5 prints the two Fig. 5 panels as α-indexed series per query
+// count, plus the paper's headline delta (α = 0.5 vs α = 0).
+func RenderFig5(w io.Writer, pts []Fig5Point) {
+	alphas, qs := fig5Axes(pts)
+	lookup := make(map[string]Fig5Point, len(pts))
+	key := func(q int, a float64) string { return fmt.Sprintf("%d/%.3f", q, a) }
+	for _, p := range pts {
+		lookup[key(p.Q, p.Alpha)] = p
+	}
+	for _, panel := range []struct {
+		title string
+		get   func(Fig5Point) float64
+	}{
+		{"Fig 5(a): mean NRatio vs normalization α", func(p Fig5Point) float64 { return p.NRatio }},
+		{"Fig 5(b): mean ERatio vs normalization α", func(p Fig5Point) float64 { return p.ERatio }},
+	} {
+		fmt.Fprintf(w, "%s\n", panel.title)
+		fmt.Fprintf(w, "%8s", "alpha")
+		for _, q := range qs {
+			fmt.Fprintf(w, "  Q=%-6d", q)
+		}
+		fmt.Fprintln(w)
+		for _, a := range alphas {
+			fmt.Fprintf(w, "%8.2f", a)
+			for _, q := range qs {
+				fmt.Fprintf(w, "  %-8.4f", panel.get(lookup[key(q, a)]))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+	// Paper headline: α = 0.5 captures X% more important nodes/edges than
+	// α = 0.
+	hasZero, hasHalf := false, false
+	for _, a := range alphas {
+		if a == 0 {
+			hasZero = true
+		}
+		if a == 0.5 {
+			hasHalf = true
+		}
+	}
+	if hasZero && hasHalf {
+		for _, q := range qs {
+			z, h := lookup[key(q, 0)], lookup[key(q, 0.5)]
+			if z.NRatio > 0 && z.ERatio > 0 {
+				fmt.Fprintf(w, "alpha=0.5 vs alpha=0 (Q=%d): %+.1f%% nodes, %+.1f%% edges\n",
+					q, 100*(h.NRatio-z.NRatio)/z.NRatio, 100*(h.ERatio-z.ERatio)/z.ERatio)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func fig5Axes(pts []Fig5Point) (alphas []float64, qs []int) {
+	aset, qset := map[float64]bool{}, map[int]bool{}
+	for _, p := range pts {
+		aset[p.Alpha] = true
+		qset[p.Q] = true
+	}
+	for a := range aset {
+		alphas = append(alphas, a)
+	}
+	for q := range qset {
+		qs = append(qs, q)
+	}
+	sort.Float64s(alphas)
+	sort.Ints(qs)
+	return alphas, qs
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ceps/internal/core"
+	"ceps/internal/partition"
+)
+
+// Fig6Point is one (Q, p) cell of Fig. 6: the quality (RelRatio, Eq. 19)
+// and mean response time of Fast CePS with p partitions. Partitions == 1
+// denotes the un-partitioned full-graph run.
+type Fig6Point struct {
+	Q          int
+	Partitions int
+	RelRatio   float64
+	// Response is the mean per-query response time.
+	Response time.Duration
+	// PartitionTime is the one-time Step 0 cost (zero for Partitions==1).
+	PartitionTime time.Duration
+}
+
+// Fig6 reproduces Fig. 6 (§7.4): for each query count, sweep the number of
+// pre-partitions and measure quality loss and response time against the
+// full-graph run. Budget is fixed (the paper uses b = 20, AND queries).
+func Fig6(s *Setup, queryCounts, partitions []int, budget int) ([]Fig6Point, error) {
+	rng := s.rng(6)
+	cfg := s.Base
+	cfg.Budget = budget
+
+	// Pre-partition once per p (Table 5 Step 0 is a one-time cost shared
+	// across queries).
+	parted := make(map[int]*core.Partitioned, len(partitions))
+	for _, p := range partitions {
+		if p <= 1 {
+			continue
+		}
+		pt, err := core.PrePartition(s.Dataset.Graph, p, partition.Options{Seed: s.Seed})
+		if err != nil {
+			return nil, err
+		}
+		parted[p] = pt
+	}
+
+	var out []Fig6Point
+	for _, q := range queryCounts {
+		draws := make([][]int, s.Trials)
+		fulls := make([]*core.Result, s.Trials)
+		var fullTime time.Duration
+		for t := range draws {
+			qs, err := s.drawQueries(rng, q)
+			if err != nil {
+				return nil, err
+			}
+			draws[t] = qs
+			full, err := core.CePS(s.Dataset.Graph, qs, cfg)
+			if err != nil {
+				return nil, err
+			}
+			fulls[t] = full
+			fullTime += full.Elapsed
+		}
+		for _, p := range partitions {
+			if p <= 1 {
+				out = append(out, Fig6Point{
+					Q:          q,
+					Partitions: 1,
+					RelRatio:   1,
+					Response:   fullTime / time.Duration(s.Trials),
+				})
+				continue
+			}
+			pt := parted[p]
+			var relSum float64
+			var respTime time.Duration
+			for t, qs := range draws {
+				fast, err := pt.CePS(qs, cfg)
+				if err != nil {
+					return nil, err
+				}
+				rel, err := core.RelRatio(fulls[t], fast)
+				if err != nil {
+					return nil, err
+				}
+				relSum += rel
+				respTime += fast.Elapsed
+			}
+			out = append(out, Fig6Point{
+				Q:             q,
+				Partitions:    p,
+				RelRatio:      relSum / float64(s.Trials),
+				Response:      respTime / time.Duration(s.Trials),
+				PartitionTime: pt.PartitionTime,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderFig6 prints both Fig. 6 panels: mean RelRatio vs response time
+// (panel a) and mean response time vs number of partitions (panel b).
+func RenderFig6(w io.Writer, pts []Fig6Point) {
+	qs := map[int]bool{}
+	for _, p := range pts {
+		qs[p.Q] = true
+	}
+	var qlist []int
+	for q := range qs {
+		qlist = append(qlist, q)
+	}
+	sort.Ints(qlist)
+
+	fmt.Fprintln(w, "Fig 6(a): mean RelRatio vs response time")
+	fmt.Fprintf(w, "%4s %12s %14s %10s\n", "Q", "partitions", "response(ms)", "RelRatio")
+	for _, q := range qlist {
+		for _, p := range pts {
+			if p.Q == q {
+				fmt.Fprintf(w, "%4d %12d %14.2f %10.4f\n",
+					p.Q, p.Partitions, float64(p.Response.Microseconds())/1000, p.RelRatio)
+			}
+		}
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Fig 6(b): mean response time vs number of partitions")
+	fmt.Fprintf(w, "%12s", "partitions")
+	for _, q := range qlist {
+		fmt.Fprintf(w, "  Q=%d(ms)%-2s", q, "")
+	}
+	fmt.Fprintln(w)
+	pset := map[int]bool{}
+	for _, p := range pts {
+		pset[p.Partitions] = true
+	}
+	var plist []int
+	for p := range pset {
+		plist = append(plist, p)
+	}
+	sort.Ints(plist)
+	for _, part := range plist {
+		fmt.Fprintf(w, "%12d", part)
+		for _, q := range qlist {
+			for _, p := range pts {
+				if p.Q == q && p.Partitions == part {
+					fmt.Fprintf(w, "  %-10.2f", float64(p.Response.Microseconds())/1000)
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

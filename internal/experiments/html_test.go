@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ceps/internal/report"
+)
+
+func TestFig4ChartsShape(t *testing.T) {
+	pts := []Fig4Point{
+		{Q: 2, Budget: 10, NRatio: 0.8, ERatio: 0.2},
+		{Q: 2, Budget: 20, NRatio: 0.9, ERatio: 0.3},
+		{Q: 3, Budget: 10, NRatio: 0.95, ERatio: 0.4},
+		{Q: 3, Budget: 20, NRatio: 0.97, ERatio: 0.5},
+	}
+	a, b := Fig4Charts(pts)
+	if len(a.Series) != 2 || len(b.Series) != 2 {
+		t.Fatalf("series counts: %d, %d", len(a.Series), len(b.Series))
+	}
+	if a.Series[0].Name != "Q=2" || a.Series[1].Name != "Q=3" {
+		t.Fatalf("series order: %v, %v", a.Series[0].Name, a.Series[1].Name)
+	}
+	if a.Series[0].Points[1].Y != 0.9 || b.Series[1].Points[0].Y != 0.4 {
+		t.Fatal("values misplaced")
+	}
+	if a.YMax != 1 {
+		t.Fatal("ratio charts must use a fixed [0,1] frame")
+	}
+	if _, err := a.SVG(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig5ChartsShape(t *testing.T) {
+	pts := []Fig5Point{
+		{Q: 2, Alpha: 0, NRatio: 0.9, ERatio: 0.7},
+		{Q: 2, Alpha: 0.5, NRatio: 0.85, ERatio: 0.6},
+	}
+	a, b := Fig5Charts(pts)
+	if len(a.Series) != 1 || len(b.Series) != 1 {
+		t.Fatal("series counts wrong")
+	}
+	if a.Series[0].Points[1].X != 0.5 {
+		t.Fatal("alpha axis wrong")
+	}
+}
+
+func TestFig6ChartLogAxis(t *testing.T) {
+	pts := []Fig6Point{
+		{Q: 2, Partitions: 1, Response: 40 * time.Millisecond, RelRatio: 1},
+		{Q: 2, Partitions: 10, Response: 8 * time.Millisecond, RelRatio: 0.98},
+		{Q: 2, Partitions: 100, Response: 2 * time.Millisecond, RelRatio: 0.95},
+	}
+	chart, table := Fig6Chart(pts)
+	if !chart.XLog {
+		t.Fatal("partition axis should be logarithmic")
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("table rows = %d", len(table.Rows))
+	}
+	if _, err := chart.SVG(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupTiles(t *testing.T) {
+	tiles, table := SpeedupTiles([]SpeedupPoint{
+		{Q: 2, Partitions: 20, FullTime: 40 * time.Millisecond, FastTime: 5 * time.Millisecond, Speedup: 8, RelRatio: 0.97},
+	})
+	if len(tiles) != 1 || tiles[0].Value != "8.0x" {
+		t.Fatalf("tiles = %+v", tiles)
+	}
+	if len(table.Rows) != 1 || table.Rows[0][4] != "8.0x" {
+		t.Fatalf("table = %+v", table.Rows)
+	}
+}
+
+func TestFig2AndScalingAndDataStatsTables(t *testing.T) {
+	f2 := Fig2Table(&Fig2Result{CurrentOrderOverlap: 0.8, CePSOrderOverlap: 1})
+	if len(f2.Rows) != 3 || f2.Rows[0][2] != "1.0000" {
+		t.Fatalf("fig2 table = %+v", f2.Rows)
+	}
+	chart, table := ScalingChartAndTable([]ScalingPoint{
+		{Scale: 1, Nodes: 4000, Edges: 38000, Full: 40 * time.Millisecond, Fast: 6 * time.Millisecond, Speedup: 6.6, RelRatio: 0.99},
+	})
+	if len(chart.Series) != 2 || chart.Series[0].Name != "full CePS" {
+		t.Fatalf("scaling chart = %+v", chart.Series)
+	}
+	if table.Rows[0][0] != "4000" {
+		t.Fatalf("scaling table = %+v", table.Rows)
+	}
+	s := tinySetup(t)
+	ds := DataStatsTable(DataStats(s))
+	if len(ds.Rows) != 8 {
+		t.Fatalf("datastats rows = %d", len(ds.Rows))
+	}
+}
+
+func TestHTMLPageAssemblesFromAdapters(t *testing.T) {
+	s := tinySetup(t)
+	pts, err := Fig4(s, []int{2}, []int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Fig4Charts(pts)
+	page := &report.Page{
+		Title:    "test",
+		Sections: []report.Section{{Title: "a", Chart: a}, {Title: "b", Chart: b}},
+	}
+	var sb strings.Builder
+	if err := page.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Fig 4(a)") {
+		t.Fatal("page missing chart")
+	}
+}

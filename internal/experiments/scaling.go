@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ceps/internal/core"
+	"ceps/internal/dblp"
+	"ceps/internal/partition"
+)
+
+// ScalingPoint records full vs Fast CePS response times at one graph size.
+// This backs the paper's wall-clock discussion (§7.4: "it might take
+// 40s~60s without pre-partition" vs 5–10 s with): as the graph grows, the
+// full-graph response time grows with the edge count while Fast CePS grows
+// with the query partitions only, so the speedup widens.
+type ScalingPoint struct {
+	Scale float64
+	Nodes int
+	Edges int
+	// Full and Fast are mean per-query response times; Partition is the
+	// one-time Step 0 cost at this size.
+	Full      time.Duration
+	Fast      time.Duration
+	Partition time.Duration
+	Speedup   float64
+	RelRatio  float64
+}
+
+// Scaling generates datasets at the given scales and measures the
+// full-vs-fast response time and quality at each, with q queries, the
+// given partition count and budget.
+func Scaling(base *Setup, scales []float64, q, partitions, budget int) ([]ScalingPoint, error) {
+	var out []ScalingPoint
+	for _, scale := range scales {
+		cfg := dblp.Scale(dblp.DefaultConfig(), scale)
+		cfg.Seed = base.Seed
+		ds, err := dblp.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s := &Setup{Dataset: ds, Base: base.Base, Trials: base.Trials, Seed: base.Seed}
+		rng := s.rng(12)
+
+		ccfg := s.Base
+		ccfg.Budget = budget
+		pt, err := core.PrePartition(ds.Graph, partitions, partition.Options{Seed: s.Seed})
+		if err != nil {
+			return nil, err
+		}
+		var fullT, fastT time.Duration
+		var relSum float64
+		for t := 0; t < s.Trials; t++ {
+			queries, err := s.drawQueries(rng, q)
+			if err != nil {
+				return nil, err
+			}
+			full, err := core.CePS(ds.Graph, queries, ccfg)
+			if err != nil {
+				return nil, err
+			}
+			fast, err := pt.CePS(queries, ccfg)
+			if err != nil {
+				return nil, err
+			}
+			rel, err := core.RelRatio(full, fast)
+			if err != nil {
+				return nil, err
+			}
+			fullT += full.Elapsed
+			fastT += fast.Elapsed
+			relSum += rel
+		}
+		p := ScalingPoint{
+			Scale:     scale,
+			Nodes:     ds.Graph.N(),
+			Edges:     ds.Graph.M(),
+			Full:      fullT / time.Duration(s.Trials),
+			Fast:      fastT / time.Duration(s.Trials),
+			Partition: pt.PartitionTime,
+			RelRatio:  relSum / float64(s.Trials),
+		}
+		if p.Fast > 0 {
+			p.Speedup = float64(p.Full) / float64(p.Fast)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RenderScaling prints the scaling table.
+func RenderScaling(w io.Writer, pts []ScalingPoint) {
+	fmt.Fprintln(w, "Scaling: full vs Fast CePS response time as the graph grows")
+	fmt.Fprintf(w, "%7s %9s %9s %10s %10s %10s %9s %9s\n",
+		"scale", "nodes", "edges", "full(ms)", "fast(ms)", "part(ms)", "speedup", "RelRatio")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%7.2f %9d %9d %10.2f %10.2f %10.0f %8.1fx %9.4f\n",
+			p.Scale, p.Nodes, p.Edges,
+			float64(p.Full.Microseconds())/1000,
+			float64(p.Fast.Microseconds())/1000,
+			float64(p.Partition.Microseconds())/1000,
+			p.Speedup, p.RelRatio)
+	}
+	fmt.Fprintln(w)
+}

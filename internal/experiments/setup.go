@@ -1,0 +1,66 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§7) on the synthetic DBLP substrate:
+//
+//	fig2    — delivered-current baseline vs CePS: order sensitivity and
+//	          connection strength (Fig. 2)
+//	fig4    — NRatio and ERatio vs budget b per query count Q (Fig. 4a/4b)
+//	fig5    — NRatio and ERatio vs normalization coefficient α (Fig. 5a/5b)
+//	fig6    — RelRatio vs response time, and response time vs number of
+//	          partitions (Fig. 6a/6b)
+//	speedup — the headline "~6:1 speedup at ~90% quality" operating point
+//	skew    — the §6 skewness observation motivating pre-partitioning
+//
+// Each experiment is a pure function of a Setup, returns structured points,
+// and has a Render* companion that prints the same rows/series the paper
+// reports. The root bench_test.go wires one benchmark per experiment;
+// cmd/cepsbench runs them at paper scale.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ceps/internal/core"
+	"ceps/internal/dblp"
+)
+
+// Setup fixes the dataset and base configuration all experiments share.
+type Setup struct {
+	// Dataset is the synthetic DBLP co-authorship dataset.
+	Dataset *dblp.Dataset
+	// Base is the pipeline configuration experiments start from (they
+	// override the swept parameter only).
+	Base core.Config
+	// Trials is the number of random query draws averaged per data point.
+	Trials int
+	// Seed drives query sampling.
+	Seed int64
+}
+
+// NewSetup generates a dataset at the given scale (1.0 ≈ 4K authors,
+// 80 ≈ the paper's 315K) and returns a Setup with the paper's default
+// parameters.
+func NewSetup(scale float64, seed int64, trials int) (*Setup, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("experiments: trials must be positive")
+	}
+	cfg := dblp.Scale(dblp.DefaultConfig(), scale)
+	cfg.Seed = seed
+	ds, err := dblp.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Setup{Dataset: ds, Base: core.DefaultConfig(), Trials: trials, Seed: seed}, nil
+}
+
+// rng returns a fresh deterministic generator for one experiment, offset so
+// experiments do not share streams.
+func (s *Setup) rng(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(s.Seed*1_000_003 + salt))
+}
+
+// drawQueries samples q distinct repository queries, retrying across the
+// repository if a draw fails (it only fails when q exceeds the pool).
+func (s *Setup) drawQueries(rng *rand.Rand, q int) ([]int, error) {
+	return s.Dataset.RandomQueries(rng, q, true)
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ceps/internal/core"
+	"ceps/internal/partition"
+	"ceps/internal/rwr"
+)
+
+// SpeedupPoint is one row of the headline speedup table (§1, §8: "about
+// 6:1 speedup with ~90% accuracy"): full-graph CePS vs Fast CePS at a fixed
+// partition count.
+type SpeedupPoint struct {
+	Q          int
+	Partitions int
+	FullTime   time.Duration
+	FastTime   time.Duration
+	Speedup    float64
+	RelRatio   float64
+}
+
+// Speedup measures the headline operating point for each query count.
+func Speedup(s *Setup, queryCounts []int, partitions, budget int) ([]SpeedupPoint, error) {
+	rng := s.rng(7)
+	cfg := s.Base
+	cfg.Budget = budget
+
+	pt, err := core.PrePartition(s.Dataset.Graph, partitions, partition.Options{Seed: s.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []SpeedupPoint
+	for _, q := range queryCounts {
+		var fullTime, fastTime time.Duration
+		var relSum float64
+		for t := 0; t < s.Trials; t++ {
+			qs, err := s.drawQueries(rng, q)
+			if err != nil {
+				return nil, err
+			}
+			full, err := core.CePS(s.Dataset.Graph, qs, cfg)
+			if err != nil {
+				return nil, err
+			}
+			fast, err := pt.CePS(qs, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rel, err := core.RelRatio(full, fast)
+			if err != nil {
+				return nil, err
+			}
+			fullTime += full.Elapsed
+			fastTime += fast.Elapsed
+			relSum += rel
+		}
+		p := SpeedupPoint{
+			Q:          q,
+			Partitions: partitions,
+			FullTime:   fullTime / time.Duration(s.Trials),
+			FastTime:   fastTime / time.Duration(s.Trials),
+			RelRatio:   relSum / float64(s.Trials),
+		}
+		if p.FastTime > 0 {
+			p.Speedup = float64(p.FullTime) / float64(p.FastTime)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RenderSpeedup prints the headline table.
+func RenderSpeedup(w io.Writer, pts []SpeedupPoint) {
+	fmt.Fprintln(w, "Headline: Fast CePS speedup vs quality (paper: ~6:1 at ~90%)")
+	fmt.Fprintf(w, "%4s %12s %12s %12s %10s %10s\n", "Q", "partitions", "full(ms)", "fast(ms)", "speedup", "RelRatio")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%4d %12d %12.2f %12.2f %9.1fx %10.4f\n",
+			p.Q, p.Partitions,
+			float64(p.FullTime.Microseconds())/1000,
+			float64(p.FastTime.Microseconds())/1000,
+			p.Speedup, p.RelRatio)
+	}
+	fmt.Fprintln(w)
+}
+
+// SkewPoint summarizes the §6 skewness observation for one query draw.
+type SkewPoint struct {
+	Q        int
+	Gini     float64
+	Top1Pct  float64 // share of RWR mass held by the top 1% of nodes
+	Top10Pct float64
+}
+
+// Skew measures how concentrated individual RWR score vectors are —
+// the property that justifies answering queries on the query partitions
+// only.
+func Skew(s *Setup, samples int) ([]SkewPoint, error) {
+	rng := s.rng(8)
+	solver, err := rwr.NewSolver(s.Dataset.Graph, s.Base.RWR)
+	if err != nil {
+		return nil, err
+	}
+	var out []SkewPoint
+	for i := 0; i < samples; i++ {
+		qs, err := s.drawQueries(rng, 1)
+		if err != nil {
+			return nil, err
+		}
+		scores, err := solver.Scores(qs[0])
+		if err != nil {
+			return nil, err
+		}
+		st := rwr.Skewness(scores, []float64{0.01, 0.1})
+		out = append(out, SkewPoint{
+			Q:        qs[0],
+			Gini:     st.Gini,
+			Top1Pct:  st.TopMass[0.01],
+			Top10Pct: st.TopMass[0.1],
+		})
+	}
+	return out, nil
+}
+
+// RenderSkew prints the skewness table plus its means.
+func RenderSkew(w io.Writer, pts []SkewPoint) {
+	fmt.Fprintln(w, "RWR score skewness (§6 motivation for pre-partitioning)")
+	fmt.Fprintf(w, "%8s %8s %10s %10s\n", "query", "Gini", "top1%", "top10%")
+	var g, t1, t10 float64
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8d %8.4f %10.4f %10.4f\n", p.Q, p.Gini, p.Top1Pct, p.Top10Pct)
+		g += p.Gini
+		t1 += p.Top1Pct
+		t10 += p.Top10Pct
+	}
+	n := float64(len(pts))
+	if n > 0 {
+		fmt.Fprintf(w, "%8s %8.4f %10.4f %10.4f\n", "mean", g/n, t1/n, t10/n)
+	}
+	fmt.Fprintln(w)
+}

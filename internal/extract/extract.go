@@ -1,0 +1,391 @@
+// Package extract implements the paper's EXTRACT algorithm (§5): given the
+// individual and combined closeness scores, it grows a small connected
+// explanation subgraph H that maximizes the captured goodness within a node
+// budget.
+//
+// The algorithm (Table 4) repeatedly (1) picks the most promising
+// destination node pd — the highest combined score outside H (Eq. 11) —
+// (2) determines the k active sources for pd (the k query nodes with the
+// largest individual score at pd), and (3) for each active source runs the
+// single-key-path dynamic program of Table 3 over the "specified downhill"
+// DAG: node u precedes v w.r.t. source q_i iff r(i,u) > r(i,v), so paths
+// always descend the source's score landscape and can be found by a DP in
+// topological (score) order. Path length is measured in *new* nodes, which
+// makes paths prefer to travel through nodes that are already part of H —
+// exactly the sharing behaviour the paper wants from a budget-limited
+// display.
+package extract
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ceps/internal/graph"
+)
+
+// Input bundles everything EXTRACT needs.
+type Input struct {
+	// G is the graph being explained.
+	G *graph.Graph
+	// Queries are the query node ids; they are always part of the output.
+	Queries []int
+	// R[i][j] = r(q_i, j): individual closeness score of node j w.r.t.
+	// query i (same order as Queries).
+	R [][]float64
+	// Combined[j] = r(Q, j): the combined goodness score under the chosen
+	// query type.
+	Combined []float64
+	// K is the number of active sources per destination: Q for AND
+	// queries, 1 for OR queries, k for K_softAND (§5, footnote 2). Values
+	// outside [1, len(Queries)] are clamped.
+	K int
+	// Budget is the maximum number of non-query nodes in H (Problem 1's
+	// b). Must be positive.
+	Budget int
+	// MaxPathLen caps the number of new nodes a single key path may
+	// introduce. Zero means the paper's default ceil(Budget/K) (§7).
+	MaxPathLen int
+	// NoSharing disables the paper's path-sharing discount: normally a
+	// path is charged only for *new* nodes ("we define the length of the
+	// path as the number of new nodes … to encourage different paths to
+	// share", §5), which makes later paths reuse the subgraph already
+	// built. With NoSharing every node on a path costs 1 whether or not
+	// it is already in H. This exists for the ablation benchmark; leave
+	// it false for the paper's algorithm.
+	NoSharing bool
+}
+
+// Result is the extracted subgraph plus bookkeeping that the evaluation
+// metrics and the experiments use.
+type Result struct {
+	Subgraph *graph.Subgraph
+	// ExtractedGoodness is CF(H) = Σ_{j∈H} r(Q, j) (§5).
+	ExtractedGoodness float64
+	// Destinations lists the chosen pd nodes in pick order.
+	Destinations []int
+	// PathsFound counts the key paths added to H.
+	PathsFound int
+	// Provenance records, for every non-query node of H, the key path
+	// that introduced it — the paper's "interpretations on why such nodes
+	// are good/close wrt the query set" (§5). Keys are node ids.
+	Provenance map[int]Provenance
+}
+
+// Provenance explains one extracted node: it joined H on the key path from
+// source query Source (an index into Input.Queries) toward destination
+// Dest.
+type Provenance struct {
+	// Source is the index into Input.Queries of the path's source.
+	Source int
+	// Dest is the destination node pd the path was aimed at.
+	Dest int
+	// Path is the full source→destination key path the node arrived on.
+	Path []int
+}
+
+// Extract runs the EXTRACT algorithm of Table 4.
+func Extract(in Input) (*Result, error) {
+	if err := validate(&in); err != nil {
+		return nil, err
+	}
+	n := in.G.N()
+	k := in.K
+	maxLen := in.MaxPathLen
+	if maxLen <= 0 {
+		maxLen = (in.Budget + k - 1) / k
+	}
+	if maxLen < 1 {
+		maxLen = 1
+	}
+
+	inH := make([]bool, n)
+	sub := &graph.Subgraph{}
+	addNode := func(u int) bool {
+		if inH[u] {
+			return false
+		}
+		inH[u] = true
+		sub.Nodes = append(sub.Nodes, u)
+		return true
+	}
+	for _, qi := range in.Queries {
+		addNode(qi)
+	}
+
+	excluded := make([]bool, n) // destinations proven unreachable
+	newNodes := 0
+	res := &Result{Provenance: make(map[int]Provenance)}
+
+	dp := newPathDP(in.G, n)
+
+	for newNodes < in.Budget {
+		pd := pickDestination(in.Combined, inH, excluded)
+		if pd < 0 {
+			break // nothing promising remains
+		}
+		actives := activeSources(in.R, pd, k)
+		pathsAdded := 0
+		for _, src := range actives {
+			remaining := in.Budget - newNodes
+			if remaining <= 0 {
+				break
+			}
+			budgetCap := maxLen
+			if budgetCap > remaining {
+				budgetCap = remaining
+			}
+			path, ok := dp.keyPath(in.R[src], in.Combined, in.Queries[src], pd, inH, budgetCap, in.NoSharing)
+			if !ok {
+				continue
+			}
+			pathsAdded++
+			res.PathsFound++
+			for idx, u := range path {
+				if addNode(u) {
+					newNodes++
+					res.Provenance[u] = Provenance{Source: src, Dest: pd, Path: path}
+				}
+				if idx > 0 {
+					prev := path[idx-1]
+					a, b := prev, u
+					if a > b {
+						a, b = b, a
+					}
+					sub.PathEdges = append(sub.PathEdges, graph.Edge{U: a, V: b, W: in.G.Weight(a, b)})
+				}
+			}
+		}
+		if pathsAdded == 0 {
+			// pd cannot be connected to any active source; never retry it.
+			excluded[pd] = true
+			continue
+		}
+		res.Destinations = append(res.Destinations, pd)
+	}
+
+	dedupePathEdges(sub)
+	sub.FillInduced(in.G)
+	for _, u := range sub.Nodes {
+		res.ExtractedGoodness += in.Combined[u]
+	}
+	res.Subgraph = sub
+	return res, nil
+}
+
+func validate(in *Input) error {
+	if in.G == nil {
+		return fmt.Errorf("extract: nil graph")
+	}
+	n := in.G.N()
+	if len(in.Queries) == 0 {
+		return fmt.Errorf("extract: empty query set")
+	}
+	seen := make(map[int]bool, len(in.Queries))
+	for _, q := range in.Queries {
+		if q < 0 || q >= n {
+			return fmt.Errorf("extract: query node %d out of range [0,%d)", q, n)
+		}
+		if seen[q] {
+			return fmt.Errorf("extract: duplicate query node %d", q)
+		}
+		seen[q] = true
+	}
+	if len(in.R) != len(in.Queries) {
+		return fmt.Errorf("extract: %d score rows for %d queries", len(in.R), len(in.Queries))
+	}
+	for i, row := range in.R {
+		if len(row) != n {
+			return fmt.Errorf("extract: score row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	if len(in.Combined) != n {
+		return fmt.Errorf("extract: combined scores have %d entries, want %d", len(in.Combined), n)
+	}
+	if in.Budget <= 0 {
+		return fmt.Errorf("extract: budget %d must be positive", in.Budget)
+	}
+	if in.K < 1 {
+		in.K = 1
+	}
+	if in.K > len(in.Queries) {
+		in.K = len(in.Queries)
+	}
+	return nil
+}
+
+// pickDestination implements Eq. 11: the highest combined score among nodes
+// outside H that have not been proven unreachable. Nodes with zero combined
+// score are never picked — they contribute nothing to g(H).
+func pickDestination(combined []float64, inH, excluded []bool) int {
+	best, bestScore := -1, 0.0
+	for j, s := range combined {
+		if inH[j] || excluded[j] || s <= 0 {
+			continue
+		}
+		if s > bestScore {
+			best, bestScore = j, s
+		}
+	}
+	return best
+}
+
+// activeSources returns the indices (into R) of the k sources with the
+// largest individual score at pd, i.e. the sources q_i with
+// r(i, pd) ≥ r^(k)(i, pd). Ties resolve by source order, so exactly k
+// sources are active (footnote 2 of the paper).
+func activeSources(R [][]float64, pd, k int) []int {
+	idx := make([]int, len(R))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return R[idx[a]][pd] > R[idx[b]][pd]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// dedupePathEdges removes duplicate path edges while keeping first-seen
+// order.
+func dedupePathEdges(sub *graph.Subgraph) {
+	seen := make(map[[2]int]bool, len(sub.PathEdges))
+	out := sub.PathEdges[:0]
+	for _, e := range sub.PathEdges {
+		key := [2]int{e.U, e.V}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, e)
+		}
+	}
+	sub.PathEdges = out
+}
+
+// pathDP holds the reusable scratch buffers for the Table 3 dynamic
+// program, so repeated key-path discoveries do not reallocate.
+type pathDP struct {
+	g *graph.Graph
+	// cand[v] is v's index in the candidate ordering, or -1.
+	cand []int
+	// order lists candidate nodes in descending score (topological for the
+	// downhill DAG).
+	order []int
+	stamp []int // generation marks to avoid clearing cand each call
+	gen   int
+}
+
+func newPathDP(g *graph.Graph, n int) *pathDP {
+	d := &pathDP{g: g, cand: make([]int, n), stamp: make([]int, n)}
+	return d
+}
+
+// keyPath discovers the best downhill path from source src to destination
+// pd (Table 3): among all "specified prefix paths" that start at src,
+// strictly descend r(i, ·), and end at pd, it returns the one maximizing
+// (Σ_{v on path} r(Q, v)) / s where s is the number of nodes not already in
+// H, subject to s ≤ maxNew. The returned path runs source→…→pd. ok is
+// false when pd is unreachable by a downhill path within the budget.
+func (d *pathDP) keyPath(ri, combined []float64, src, pd int, inH []bool, maxNew int, noSharing bool) ([]int, bool) {
+	scorePd := ri[pd]
+	if ri[src] <= scorePd {
+		return nil, false // source not uphill of destination: no downhill path
+	}
+
+	// Candidate set: every node strictly uphill of pd, plus pd itself.
+	d.gen++
+	d.order = d.order[:0]
+	for v := 0; v < len(ri); v++ {
+		if v == pd || ri[v] > scorePd {
+			d.order = append(d.order, v)
+		}
+	}
+	sort.SliceStable(d.order, func(a, b int) bool {
+		return ri[d.order[a]] > ri[d.order[b]]
+	})
+	for idx, v := range d.order {
+		d.cand[v] = idx
+		d.stamp[v] = d.gen
+	}
+	isCand := func(v int) bool { return d.stamp[v] == d.gen }
+
+	nc := len(d.order)
+	width := maxNew + 1
+	best := make([]float64, nc*width)
+	parent := make([]int32, nc*width) // candidate-index*width+s of predecessor, -1 = none, -2 = unreached
+	for i := range best {
+		best[i] = math.Inf(-1)
+		parent[i] = -2
+	}
+	srcIdx := d.cand[src]
+	srcCost := 0
+	if !inH[src] || noSharing {
+		srcCost = 1 // sources are normally in H already; be safe
+	}
+	if srcCost > maxNew {
+		return nil, false
+	}
+	if srcCost < width {
+		best[srcIdx*width+srcCost] = combined[src]
+		parent[srcIdx*width+srcCost] = -1
+	}
+
+	// Process in descending-score order; every edge we relax goes from a
+	// strictly higher-scored node to the current one, so all predecessor
+	// states are final (Table 3's "fill the extracted matrix C in
+	// topological order").
+	for oi, v := range d.order {
+		if v == src {
+			continue
+		}
+		cost := 1
+		if inH[v] && !noSharing {
+			cost = 0
+		}
+		nbrs, _ := d.g.Neighbors(v)
+		vBase := oi * width
+		for _, u := range nbrs {
+			if !isCand(u) || ri[u] <= ri[v] {
+				continue // not a specified downhill edge u → v
+			}
+			uBase := d.cand[u] * width
+			for s := cost; s < width; s++ {
+				prev := best[uBase+s-cost]
+				if math.IsInf(prev, -1) {
+					continue
+				}
+				if cand := prev + combined[v]; cand > best[vBase+s] {
+					best[vBase+s] = cand
+					parent[vBase+s] = int32(uBase + s - cost)
+				}
+			}
+		}
+	}
+
+	// Output the path maximizing C_s(i, pd)/s with s ≥ 1 (Table 3 step 3).
+	pdBase := d.cand[pd] * width
+	bestS, bestRatio := -1, math.Inf(-1)
+	for s := 1; s < width; s++ {
+		if math.IsInf(best[pdBase+s], -1) {
+			continue
+		}
+		if ratio := best[pdBase+s] / float64(s); ratio > bestRatio {
+			bestRatio, bestS = ratio, s
+		}
+	}
+	if bestS < 0 {
+		return nil, false
+	}
+	// Reconstruct pd → src, then reverse.
+	var rev []int
+	state := int32(pdBase + bestS)
+	for state != -1 {
+		rev = append(rev, d.order[int(state)/width])
+		state = parent[state]
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}

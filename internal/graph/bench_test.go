@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	return randomGraph(b, 5000, 20000, 1)
+}
+
+func BenchmarkBuild(b *testing.B) {
+	src := benchGraph(b)
+	edges := src.Edges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEdges(src.N(), edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNeighborsScan(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for u := 0; u < g.N(); u++ {
+			_, ws := g.Neighbors(u)
+			for _, w := range ws {
+				sink += w
+			}
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(i%g.N(), (i*7)%g.N())
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HopDistances([]int{i % g.N()})
+	}
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.Dijkstra(i%g.N(), InverseWeightLength); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInduced(b *testing.B) {
+	g := benchGraph(b)
+	nodes := make([]int, 0, g.N()/4)
+	for u := 0; u < g.N(); u += 4 {
+		nodes = append(nodes, u)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := g.Induced(nodes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecWrite(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecRead(b *testing.B) {
+	g := benchGraph(b)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

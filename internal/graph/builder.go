@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+//
+// Edges may be added in any order; parallel edges are merged by summing
+// their weights (this is exactly how the DBLP co-authorship weights are
+// formed: one unit per co-authored paper). The zero value is ready to use.
+type Builder struct {
+	n      int
+	labels []string
+	us, vs []int
+	ws     []float64
+}
+
+// NewBuilder returns a Builder pre-sized for n nodes.
+func NewBuilder(n int) *Builder {
+	b := &Builder{}
+	b.Grow(n)
+	return b
+}
+
+// Grow ensures the builder has at least n nodes.
+func (b *Builder) Grow(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// N returns the current number of nodes.
+func (b *Builder) N() int { return b.n }
+
+// AddNode appends a node with the given label and returns its id.
+func (b *Builder) AddNode(label string) int {
+	id := b.n
+	b.n++
+	for len(b.labels) < id {
+		b.labels = append(b.labels, "")
+	}
+	b.labels = append(b.labels, label)
+	return id
+}
+
+// SetLabel assigns a label to an existing node.
+func (b *Builder) SetLabel(u int, label string) {
+	if u >= b.n {
+		b.Grow(u + 1)
+	}
+	for len(b.labels) <= u {
+		b.labels = append(b.labels, "")
+	}
+	b.labels[u] = label
+}
+
+// AddEdge records the undirected edge (u, v) with weight w. Multiple calls
+// for the same pair accumulate. Nodes are created implicitly. Self-loops
+// and non-positive weights are silently dropped so that generators can call
+// AddEdge unconditionally.
+func (b *Builder) AddEdge(u, v int, w float64) {
+	if u == v || w <= 0 {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.Grow(v + 1)
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+	b.ws = append(b.ws, w)
+}
+
+// Build finalizes the builder into an immutable Graph. The builder may be
+// reused afterwards; Build does not consume it.
+func (b *Builder) Build() (*Graph, error) {
+	n := b.n
+	if n == 0 {
+		return nil, fmt.Errorf("graph: cannot build an empty graph")
+	}
+
+	// Sort edge triples by (u, v) so duplicates become adjacent, then merge.
+	idx := make([]int, len(b.us))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, c int) bool {
+		ia, ic := idx[a], idx[c]
+		if b.us[ia] != b.us[ic] {
+			return b.us[ia] < b.us[ic]
+		}
+		return b.vs[ia] < b.vs[ic]
+	})
+
+	type merged struct {
+		u, v int
+		w    float64
+	}
+	edges := make([]merged, 0, len(idx))
+	for _, i := range idx {
+		u, v, w := b.us[i], b.vs[i], b.ws[i]
+		if k := len(edges) - 1; k >= 0 && edges[k].u == u && edges[k].v == v {
+			edges[k].w += w
+			continue
+		}
+		edges = append(edges, merged{u, v, w})
+	}
+
+	// Count degrees, then fill CSR.
+	degree := make([]int, n)
+	for _, e := range edges {
+		degree[e.u]++
+		degree[e.v]++
+	}
+	rowPtr := make([]int, n+1)
+	for u := 0; u < n; u++ {
+		rowPtr[u+1] = rowPtr[u] + degree[u]
+	}
+	adj := make([]int, rowPtr[n])
+	w := make([]float64, rowPtr[n])
+	fill := make([]int, n)
+	copy(fill, rowPtr[:n])
+	// Edges are sorted by (u, v); inserting u->v in order keeps each row
+	// sorted for the u side. The v side receives u values in increasing
+	// order of u as well because the outer sort is by u first.
+	for _, e := range edges {
+		adj[fill[e.u]] = e.v
+		w[fill[e.u]] = e.w
+		fill[e.u]++
+	}
+	for _, e := range edges {
+		adj[fill[e.v]] = e.u
+		w[fill[e.v]] = e.w
+		fill[e.v]++
+	}
+	// Rows now contain the v-side entries appended after the u-side ones;
+	// each block is sorted but the concatenation may not be. Sort each row
+	// (by key with parallel weight moves) to restore the invariant.
+	for u := 0; u < n; u++ {
+		lo, hi := rowPtr[u], rowPtr[u+1]
+		sortRow(adj[lo:hi], w[lo:hi])
+	}
+
+	g := &Graph{
+		rowPtr:   rowPtr,
+		adj:      adj,
+		w:        w,
+		numEdges: len(edges),
+	}
+	if len(b.labels) > 0 {
+		g.labels = make([]string, n)
+		copy(g.labels, b.labels)
+	}
+	g.weightedDeg = make([]float64, n)
+	for u := 0; u < n; u++ {
+		var d float64
+		for i := rowPtr[u]; i < rowPtr[u+1]; i++ {
+			d += w[i]
+		}
+		g.weightedDeg[u] = d
+	}
+	for _, e := range edges {
+		g.totalWeight += e.w
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error, for tests and generators whose
+// inputs are known to be valid.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// sortRow sorts the neighbor ids with their parallel weights.
+func sortRow(adj []int, w []float64) {
+	sort.Sort(&rowSorter{adj: adj, w: w})
+}
+
+type rowSorter struct {
+	adj []int
+	w   []float64
+}
+
+func (r *rowSorter) Len() int           { return len(r.adj) }
+func (r *rowSorter) Less(i, j int) bool { return r.adj[i] < r.adj[j] }
+func (r *rowSorter) Swap(i, j int) {
+	r.adj[i], r.adj[j] = r.adj[j], r.adj[i]
+	r.w[i], r.w[j] = r.w[j], r.w[i]
+}
+
+// FromEdges is a convenience constructor building a graph directly from an
+// edge list over n nodes.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V, e.W)
+	}
+	return b.Build()
+}

@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text codec serializes a graph as a small line-oriented format:
+//
+//	ceps-graph 1
+//	nodes <n>
+//	labels <0|1>
+//	<label line per node, only if labels 1>
+//	edges <m>
+//	<u> <v> <w>      (one line per undirected edge, u < v)
+//
+// Labels are written with strconv.Quote so arbitrary author names survive
+// round-tripping.
+
+// WriteTo serializes the graph to w in the text format.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "ceps-graph 1\nnodes %d\nlabels %d\n", g.N(), boolInt(g.Labeled()))); err != nil {
+		return n, err
+	}
+	if g.Labeled() {
+		for _, l := range g.labels {
+			if err := count(fmt.Fprintf(bw, "%s\n", strconv.Quote(l))); err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := count(fmt.Fprintf(bw, "edges %d\n", g.M())); err != nil {
+		return n, err
+	}
+	var werr error
+	g.ForEachEdge(func(u, v int, wt float64) {
+		if werr != nil {
+			return
+		}
+		werr = count(fmt.Fprintf(bw, "%d %d %s\n", u, v, strconv.FormatFloat(wt, 'g', -1, 64)))
+	})
+	if werr != nil {
+		return n, werr
+	}
+	return n, bw.Flush()
+}
+
+// Read deserializes a graph from the text format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return sc.Text(), nil
+	}
+
+	hdr, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if hdr != "ceps-graph 1" {
+		return nil, fmt.Errorf("graph: unrecognized header %q", hdr)
+	}
+	var n int
+	if s, err := line(); err != nil {
+		return nil, err
+	} else if _, err := fmt.Sscanf(s, "nodes %d", &n); err != nil {
+		return nil, fmt.Errorf("graph: bad nodes line %q: %w", s, err)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("graph: non-positive node count %d", n)
+	}
+	// Sanity cap so corrupt or hostile headers cannot trigger a massive
+	// allocation; legitimate graphs at far beyond the paper's 315K nodes
+	// still fit comfortably.
+	const maxReadNodes = 50_000_000
+	if n > maxReadNodes {
+		return nil, fmt.Errorf("graph: node count %d exceeds the %d reader limit", n, maxReadNodes)
+	}
+	var hasLabels int
+	if s, err := line(); err != nil {
+		return nil, err
+	} else if _, err := fmt.Sscanf(s, "labels %d", &hasLabels); err != nil {
+		return nil, fmt.Errorf("graph: bad labels line %q: %w", s, err)
+	}
+	b := NewBuilder(n)
+	if hasLabels == 1 {
+		for i := 0; i < n; i++ {
+			s, err := line()
+			if err != nil {
+				return nil, fmt.Errorf("graph: reading label %d: %w", i, err)
+			}
+			l, err := strconv.Unquote(s)
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad label line %q: %w", s, err)
+			}
+			b.SetLabel(i, l)
+		}
+	}
+	var m int
+	if s, err := line(); err != nil {
+		return nil, err
+	} else if _, err := fmt.Sscanf(s, "edges %d", &m); err != nil {
+		return nil, fmt.Errorf("graph: bad edges line %q: %w", s, err)
+	}
+	for i := 0; i < m; i++ {
+		s, err := line()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		parts := strings.Fields(s)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("graph: bad edge line %q", s)
+		}
+		u, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad edge endpoint in %q: %w", s, err)
+		}
+		v, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad edge endpoint in %q: %w", s, err)
+		}
+		wt, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad edge weight in %q: %w", s, err)
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: self-loop (%d,%d) in input", u, v)
+		}
+		if wt <= 0 {
+			return nil, fmt.Errorf("graph: non-positive weight %v on edge (%d,%d)", wt, u, v)
+		}
+		b.AddEdge(u, v, wt)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return g, g.Validate()
+}
+
+// WriteFile serializes the graph to the named file.
+func (g *Graph) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := g.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile deserializes a graph from the named file.
+func ReadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

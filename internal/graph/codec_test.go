@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	b := NewBuilder(4)
+	b.SetLabel(0, `weird "name"`)
+	b.SetLabel(1, "täst")
+	b.SetLabel(2, "")
+	b.SetLabel(3, "x y\tz")
+	b.AddEdge(0, 1, 1.5)
+	b.AddEdge(1, 2, 0.25)
+	b.AddEdge(2, 3, 3)
+	g := b.MustBuild()
+
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed shape: N %d->%d, M %d->%d", g.N(), g2.N(), g.M(), g2.M())
+	}
+	g.ForEachEdge(func(u, v int, w float64) {
+		if g2.Weight(u, v) != w {
+			t.Errorf("edge (%d,%d): weight %v -> %v", u, v, w, g2.Weight(u, v))
+		}
+	})
+	for u := 0; u < g.N(); u++ {
+		if g.Label(u) != g2.Label(u) {
+			t.Errorf("label %d: %q -> %q", u, g.Label(u), g2.Label(u))
+		}
+	}
+}
+
+func TestCodecUnlabeledRoundTrip(t *testing.T) {
+	g := randomGraph(t, 64, 128, 99)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Labeled() {
+		t.Error("unlabeled graph became labeled")
+	}
+	if g2.M() != g.M() || g2.TotalWeight() != g.TotalWeight() {
+		t.Fatalf("round trip changed edges: M %d->%d", g.M(), g2.M())
+	}
+}
+
+func TestCodecFileRoundTrip(t *testing.T) {
+	g := randomGraph(t, 10, 10, 1)
+	p := filepath.Join(t.TempDir(), "g.txt")
+	if err := g.WriteFile(p); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatal("file round trip changed the graph")
+	}
+}
+
+func TestCodecRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad header":     "nope\n",
+		"missing nodes":  "ceps-graph 1\n",
+		"zero nodes":     "ceps-graph 1\nnodes 0\nlabels 0\nedges 0\n",
+		"truncated edge": "ceps-graph 1\nnodes 2\nlabels 0\nedges 1\n",
+		"edge oob":       "ceps-graph 1\nnodes 2\nlabels 0\nedges 1\n0 5 1\n",
+		"self loop":      "ceps-graph 1\nnodes 2\nlabels 0\nedges 1\n1 1 1\n",
+		"neg weight":     "ceps-graph 1\nnodes 2\nlabels 0\nedges 1\n0 1 -2\n",
+		"junk weight":    "ceps-graph 1\nnodes 2\nlabels 0\nedges 1\n0 1 xyz\n",
+		"short edge":     "ceps-graph 1\nnodes 2\nlabels 0\nedges 1\n0 1\n",
+		"bad label":      "ceps-graph 1\nnodes 1\nlabels 1\nnot-quoted\nedges 0\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Read accepted malformed input", name)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// DOTOptions controls Subgraph DOT rendering.
+type DOTOptions struct {
+	// Highlight nodes (typically the query nodes) drawn with a distinct
+	// style.
+	Highlight []int
+	// Name of the digraph; defaults to "ceps".
+	Name string
+	// IncludeInduced draws InducedEdges (dotted) in addition to PathEdges.
+	IncludeInduced bool
+}
+
+// WriteDOT renders the subgraph in Graphviz DOT syntax, labeling nodes with
+// the parent graph's labels. It is a presentation helper for the case-study
+// examples (Figs. 1–3 of the paper).
+func (s *Subgraph) WriteDOT(w io.Writer, g *Graph, opts DOTOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "ceps"
+	}
+	hl := make(map[int]bool, len(opts.Highlight))
+	for _, u := range opts.Highlight {
+		hl[u] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s {\n  node [shape=ellipse, fontsize=10];\n", dotID(name))
+	for _, u := range s.Nodes {
+		attrs := fmt.Sprintf("label=%s", strconv.Quote(g.Label(u)))
+		if hl[u] {
+			attrs += ", style=filled, fillcolor=gold, penwidth=2"
+		}
+		fmt.Fprintf(&b, "  %d [%s];\n", u, attrs)
+	}
+	drawn := make(map[[2]int]bool)
+	for _, e := range s.PathEdges {
+		key := [2]int{e.U, e.V}
+		if drawn[key] {
+			continue
+		}
+		drawn[key] = true
+		fmt.Fprintf(&b, "  %d -- %d [label=\"%g\"];\n", e.U, e.V, e.W)
+	}
+	if opts.IncludeInduced {
+		for _, e := range s.InducedEdges {
+			key := [2]int{e.U, e.V}
+			if drawn[key] {
+				continue
+			}
+			drawn[key] = true
+			fmt.Fprintf(&b, "  %d -- %d [style=dotted, label=\"%g\"];\n", e.U, e.V, e.W)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func dotID(s string) string {
+	ok := len(s) > 0
+	for _, r := range s {
+		if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return s
+	}
+	return strconv.Quote(s)
+}

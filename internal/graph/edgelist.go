@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses the ubiquitous whitespace-separated edge-list format
+// real graph dumps (including DBLP exports) ship in:
+//
+//	# comment lines start with '#' or '%'
+//	<u> <v> [w]
+//
+// Node ids are non-negative integers (not necessarily dense: the graph is
+// sized by the largest id seen); a missing weight means 1. Duplicate edges
+// accumulate, matching the co-paper-count convention. Self-loops are
+// skipped with a count returned in the stats rather than an error, because
+// real dumps contain them.
+func ReadEdgeList(r io.Reader) (*Graph, EdgeListStats, error) {
+	var stats EdgeListStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	b := &Builder{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			stats.Skipped++
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, stats, fmt.Errorf("graph: edge list line %d: want 'u v [w]', got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, stats, fmt.Errorf("graph: edge list line %d: bad node id %q", lineNo, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, stats, fmt.Errorf("graph: edge list line %d: bad node id %q", lineNo, fields[1])
+		}
+		if u < 0 || v < 0 {
+			return nil, stats, fmt.Errorf("graph: edge list line %d: negative node id", lineNo)
+		}
+		const maxReadNodes = 50_000_000 // same hostile-input cap as Read
+		if u >= maxReadNodes || v >= maxReadNodes {
+			return nil, stats, fmt.Errorf("graph: edge list line %d: node id beyond the %d reader limit", lineNo, maxReadNodes)
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, stats, fmt.Errorf("graph: edge list line %d: bad weight %q", lineNo, fields[2])
+			}
+			if w <= 0 {
+				return nil, stats, fmt.Errorf("graph: edge list line %d: non-positive weight %v", lineNo, w)
+			}
+		}
+		if u == v {
+			stats.SelfLoops++
+			continue
+		}
+		b.AddEdge(u, v, w)
+		stats.Edges++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, stats, err
+	}
+	if b.N() == 0 {
+		return nil, stats, fmt.Errorf("graph: edge list contains no edges")
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, stats, err
+	}
+	return g, stats, nil
+}
+
+// EdgeListStats summarizes an edge-list parse.
+type EdgeListStats struct {
+	// Edges counts accepted edge lines (before duplicate merging).
+	Edges int
+	// SelfLoops counts dropped self-loop lines.
+	SelfLoops int
+	// Skipped counts blank and comment lines.
+	Skipped int
+}
+
+// ReadEdgeListFile reads an edge list from a file.
+func ReadEdgeListFile(path string) (*Graph, EdgeListStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, EdgeListStats{}, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// WriteEdgeList writes the graph as "u v w" lines (one per undirected
+// edge, u < v).
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var werr error
+	g.ForEachEdge(func(u, v int, wt float64) {
+		if werr != nil {
+			return
+		}
+		_, werr = fmt.Fprintf(bw, "%d %d %s\n", u, v, strconv.FormatFloat(wt, 'g', -1, 64))
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}

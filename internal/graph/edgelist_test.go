@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# a comment
+% another comment
+
+0 1 2.5
+1 2
+2 2 9
+0 1 0.5
+`
+	g, stats, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 {
+		t.Fatalf("N = %d, want 3", g.N())
+	}
+	if g.Weight(0, 1) != 3 { // 2.5 + 0.5 accumulated
+		t.Fatalf("weight(0,1) = %v, want 3", g.Weight(0, 1))
+	}
+	if g.Weight(1, 2) != 1 { // default weight
+		t.Fatalf("weight(1,2) = %v, want 1", g.Weight(1, 2))
+	}
+	if stats.SelfLoops != 1 || stats.Edges != 3 || stats.Skipped != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields":  "0\n",
+		"too many fields": "0 1 2 3\n",
+		"bad id":          "x 1\n",
+		"bad second id":   "1 y\n",
+		"negative id":     "-1 2\n",
+		"bad weight":      "0 1 z\n",
+		"zero weight":     "0 1 0\n",
+		"empty input":     "# nothing\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted malformed input", name)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := randomGraph(t, 50, 120, 61)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, stats, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Edges != g.M() {
+		t.Fatalf("stats.Edges = %d, want %d", stats.Edges, g.M())
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed shape")
+	}
+	g.ForEachEdge(func(u, v int, w float64) {
+		if g2.Weight(u, v) != w {
+			t.Fatalf("edge (%d,%d) weight %v -> %v", u, v, w, g2.Weight(u, v))
+		}
+	})
+}
+
+func TestReadEdgeListFile(t *testing.T) {
+	g := randomGraph(t, 10, 20, 63)
+	p := filepath.Join(t.TempDir(), "g.el")
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(t, p, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := ReadEdgeListFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != g.M() {
+		t.Fatal("file round trip changed edges")
+	}
+	if _, _, err := ReadEdgeListFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestReadEdgeListSparseIDs(t *testing.T) {
+	// Ids need not be dense; the graph is sized by the max id.
+	g, _, err := ReadEdgeList(strings.NewReader("0 100 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 101 {
+		t.Fatalf("N = %d, want 101", g.N())
+	}
+	if g.Degree(50) != 0 {
+		t.Fatal("gap nodes should be isolated")
+	}
+}
+
+func writeFile(t *testing.T, path string, data []byte) error {
+	t.Helper()
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the ceps-graph text codec never panics and that anything
+// it accepts is a valid graph that round-trips.
+func FuzzRead(f *testing.F) {
+	seed := func(g *Graph) string {
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.String()
+	}
+	b := NewBuilder(3)
+	b.SetLabel(0, "a")
+	b.AddEdge(0, 1, 1.5)
+	b.AddEdge(1, 2, 2)
+	f.Add(seed(b.MustBuild()))
+	f.Add("ceps-graph 1\nnodes 2\nlabels 0\nedges 1\n0 1 1\n")
+	f.Add("ceps-graph 1\nnodes 1\nlabels 1\n\"x\"\nedges 0\n")
+	f.Add("garbage")
+	f.Add("ceps-graph 1\nnodes 999999999\nlabels 0\nedges 0\n")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return
+		}
+		g, err := Read(strings.NewReader(in))
+		if err != nil {
+			return // rejects are fine; panics are not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d", g.N(), g.M(), g2.N(), g2.M())
+		}
+	})
+}
+
+// FuzzReadEdgeList checks the edge-list parser never panics and accepted
+// graphs validate.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1 2.5\n1 2\n")
+	f.Add("# comment\n% other\n\n3 4 1e3\n")
+	f.Add("0 0 1\n")
+	f.Add("not numbers at all")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return
+		}
+		g, _, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted edge list fails validation: %v", err)
+		}
+	})
+}

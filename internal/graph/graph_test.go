@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// path returns the path graph 0-1-2-...-(n-1) with unit weights.
+func path(t testing.TB, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1, 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build path(%d): %v", n, err)
+	}
+	return g
+}
+
+// randomGraph builds a random connected graph with n nodes and extra random
+// edges, deterministic under the given seed.
+func randomGraph(t testing.TB, n, extra int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, rng.Intn(i), 1+rng.Float64()*4)
+	}
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		b.AddEdge(u, v, 1+rng.Float64()*4)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build random graph: %v", err)
+	}
+	return g
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(0)
+	a := b.AddNode("alice")
+	c := b.AddNode("bob")
+	d := b.AddNode("carol")
+	b.AddEdge(a, c, 2)
+	b.AddEdge(c, d, 3)
+	b.AddEdge(a, c, 1) // parallel edge merges: weight 3
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got N=%d M=%d, want 3, 2", g.N(), g.M())
+	}
+	if w := g.Weight(a, c); w != 3 {
+		t.Errorf("merged weight = %v, want 3", w)
+	}
+	if w := g.Weight(c, a); w != 3 {
+		t.Errorf("reverse weight = %v, want 3", w)
+	}
+	if g.Weight(a, d) != 0 || g.HasEdge(a, d) {
+		t.Errorf("edge (a,d) should not exist")
+	}
+	if g.TotalWeight() != 6 {
+		t.Errorf("TotalWeight = %v, want 6", g.TotalWeight())
+	}
+	if got := g.WeightedDegree(c); got != 6 {
+		t.Errorf("WeightedDegree(bob) = %v, want 6", got)
+	}
+	if g.Label(c) != "bob" {
+		t.Errorf("Label = %q, want bob", g.Label(c))
+	}
+	if id, ok := g.NodeByLabel("carol"); !ok || id != d {
+		t.Errorf("NodeByLabel(carol) = %d, %v", id, ok)
+	}
+	if _, ok := g.NodeByLabel("nobody"); ok {
+		t.Error("NodeByLabel(nobody) should miss")
+	}
+}
+
+func TestBuilderRejectsJunkEdges(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(1, 1, 5)  // self-loop dropped
+	b.AddEdge(0, 2, 0)  // zero weight dropped
+	b.AddEdge(0, 2, -1) // negative dropped
+	b.AddEdge(0, 1, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildEmptyFails(t *testing.T) {
+	b := &Builder{}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("building an empty graph should fail")
+	}
+}
+
+func TestIsolatedNodesSupported(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1, 1)
+	g := b.MustBuild()
+	if g.N() != 5 {
+		t.Fatalf("N = %d, want 5", g.N())
+	}
+	if g.Degree(4) != 0 || g.WeightedDegree(4) != 0 {
+		t.Errorf("node 4 should be isolated")
+	}
+	nbrs, ws := g.Neighbors(4)
+	if len(nbrs) != 0 || len(ws) != 0 {
+		t.Errorf("isolated node has neighbors %v", nbrs)
+	}
+}
+
+func TestNeighborsSortedAndSymmetric(t *testing.T) {
+	g := randomGraph(t, 200, 600, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for u := 0; u < g.N(); u++ {
+		nbrs, ws := g.Neighbors(u)
+		for i := 1; i < len(nbrs); i++ {
+			if nbrs[i-1] >= nbrs[i] {
+				t.Fatalf("row %d not sorted: %v", u, nbrs)
+			}
+		}
+		for i, v := range nbrs {
+			if g.Weight(v, u) != ws[i] {
+				t.Fatalf("asymmetric weight on (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestEdgesEnumeration(t *testing.T) {
+	g := path(t, 4)
+	edges := g.Edges()
+	if len(edges) != 3 {
+		t.Fatalf("len(Edges) = %d, want 3", len(edges))
+	}
+	for i, e := range edges {
+		if e.U != i || e.V != i+1 || e.W != 1 {
+			t.Errorf("edge %d = %+v, want {%d %d 1}", i, e, i, i+1)
+		}
+	}
+	count := 0
+	g.ForEachEdge(func(u, v int, w float64) {
+		if u >= v {
+			t.Errorf("ForEachEdge yielded u >= v: (%d,%d)", u, v)
+		}
+		count++
+	})
+	if count != 3 {
+		t.Errorf("ForEachEdge visited %d edges, want 3", count)
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 1, 1}, {1, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 || g.Weight(1, 2) != 2 {
+		t.Fatalf("FromEdges produced wrong graph")
+	}
+}
+
+func TestLabelFallback(t *testing.T) {
+	g := path(t, 2)
+	if g.Labeled() {
+		t.Fatal("path graph should be unlabeled")
+	}
+	if got := g.Label(1); got != "n1" {
+		t.Errorf("Label fallback = %q, want n1", got)
+	}
+}

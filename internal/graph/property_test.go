@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// edgeSpec is a generatable random edge description.
+type edgeSpec struct {
+	U, V uint8
+	W    float64
+}
+
+func buildFromSpecs(specs []edgeSpec) (*Graph, bool) {
+	b := NewBuilder(1)
+	for _, s := range specs {
+		w := s.W
+		if w < 0 {
+			w = -w
+		}
+		// Keep weights in a sane positive range.
+		w = 0.1 + float64(int(w*100)%1000)/100
+		b.AddEdge(int(s.U), int(s.V), w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, false
+	}
+	return g, true
+}
+
+// Property: any graph produced by the builder passes Validate.
+func TestQuickBuilderAlwaysValid(t *testing.T) {
+	f := func(specs []edgeSpec) bool {
+		g, ok := buildFromSpecs(specs)
+		if !ok {
+			return true // empty input, nothing to check
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialization round-trips exactly.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(specs []edgeSpec) bool {
+		g, ok := buildFromSpecs(specs)
+		if !ok {
+			return true
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			return false
+		}
+		ok2 := true
+		g.ForEachEdge(func(u, v int, w float64) {
+			if g2.Weight(u, v) != w {
+				ok2 = false
+			}
+		})
+		return ok2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the induced subgraph over a random node set preserves exactly
+// the edges with both endpoints inside, with identical weights.
+func TestQuickInducedPreservesEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 50; iter++ {
+		g := randomGraph(t, 30+rng.Intn(40), rng.Intn(200), rng.Int63())
+		k := 1 + rng.Intn(g.N())
+		nodes := rng.Perm(g.N())[:k]
+		sub, orig, toSub, err := g.Induced(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every sub edge exists in g with the same weight.
+		sub.ForEachEdge(func(su, sv int, w float64) {
+			if g.Weight(orig[su], orig[sv]) != w {
+				t.Fatalf("induced edge (%d,%d) weight %v mismatches parent", su, sv, w)
+			}
+		})
+		// Every parent edge with both endpoints selected exists in sub.
+		g.ForEachEdge(func(u, v int, w float64) {
+			su, okU := toSub[u]
+			sv, okV := toSub[v]
+			if okU && okV && sub.Weight(su, sv) != w {
+				t.Fatalf("parent edge (%d,%d) missing from induced subgraph", u, v)
+			}
+		})
+	}
+}
+
+// Property: components partition the node set, and every edge stays within
+// a component.
+func TestQuickComponentsArePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 30; iter++ {
+		n := 20 + rng.Intn(50)
+		b := NewBuilder(n)
+		m := rng.Intn(2 * n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n), 1)
+		}
+		g := b.MustBuild()
+		comp, count := g.ConnectedComponents()
+		seen := make(map[int]bool)
+		for _, c := range comp {
+			if c < 0 || c >= count {
+				t.Fatalf("component id %d out of range [0,%d)", c, count)
+			}
+			seen[c] = true
+		}
+		if len(seen) != count {
+			t.Fatalf("component ids not dense: %d distinct, count %d", len(seen), count)
+		}
+		g.ForEachEdge(func(u, v int, w float64) {
+			if comp[u] != comp[v] {
+				t.Fatalf("edge (%d,%d) crosses components", u, v)
+			}
+		})
+	}
+}
+
+// Property: build is deterministic — same inputs give identical graphs.
+func TestQuickBuildDeterministic(t *testing.T) {
+	f := func(specs []edgeSpec) bool {
+		g1, ok1 := buildFromSpecs(specs)
+		g2, ok2 := buildFromSpecs(specs)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		return reflect.DeepEqual(g1.Edges(), g2.Edges())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

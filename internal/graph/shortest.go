@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Dijkstra computes shortest-path distances from source under the given
+// edge-length function (len(w) for an edge of weight w). It returns the
+// distance slice (math.Inf(1) for unreachable nodes) and a parent slice for
+// path reconstruction (-1 for source/unreachable).
+//
+// For similarity-weighted graphs such as co-authorship networks, pass a
+// decreasing length like 1/w so strong ties are short — this is the
+// convention the Steiner-tree baseline uses.
+func (g *Graph) Dijkstra(source int, length func(w float64) float64) (dist []float64, parent []int, err error) {
+	if source < 0 || source >= g.N() {
+		return nil, nil, fmt.Errorf("graph: dijkstra source %d out of range [0,%d)", source, g.N())
+	}
+	if length == nil {
+		length = func(w float64) float64 { return w }
+	}
+	n := g.N()
+	dist = make([]float64, n)
+	parent = make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	dist[source] = 0
+
+	pq := &distHeap{}
+	heap.Push(pq, distEntry{node: source, dist: 0})
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(distEntry)
+		if e.dist > dist[e.node] {
+			continue // stale entry
+		}
+		nbrs, ws := g.Neighbors(e.node)
+		for i, v := range nbrs {
+			l := length(ws[i])
+			if l < 0 || math.IsNaN(l) {
+				return nil, nil, fmt.Errorf("graph: negative edge length %v on (%d,%d)", l, e.node, v)
+			}
+			if nd := e.dist + l; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = e.node
+				heap.Push(pq, distEntry{node: v, dist: nd})
+			}
+		}
+	}
+	return dist, parent, nil
+}
+
+// PathTo reconstructs the source→target path from a Dijkstra parent slice.
+// It returns nil if target is unreachable.
+func PathTo(parent []int, dist []float64, target int) []int {
+	if math.IsInf(dist[target], 1) {
+		return nil
+	}
+	var rev []int
+	for u := target; u != -1; u = parent[u] {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// InverseWeightLength is the standard length function for
+// similarity-weighted graphs: strong ties (many co-authored papers) become
+// short edges.
+func InverseWeightLength(w float64) float64 { return 1 / w }
+
+type distEntry struct {
+	node int
+	dist float64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

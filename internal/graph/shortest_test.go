@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDijkstraOnPath(t *testing.T) {
+	g := path(t, 5)
+	dist, parent, err := g.Dijkstra(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if dist[i] != float64(i) {
+			t.Fatalf("dist[%d] = %v, want %d", i, dist[i], i)
+		}
+	}
+	p := PathTo(parent, dist, 4)
+	want := []int{0, 1, 2, 3, 4}
+	if len(p) != 5 {
+		t.Fatalf("path = %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestDijkstraPicksCheaperRoute(t *testing.T) {
+	// 0-1-2 with lengths 1+1 vs direct 0-2 with length 3.
+	b := NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(0, 2, 3)
+	g := b.MustBuild()
+	dist, parent, err := g.Dijkstra(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[2] != 2 {
+		t.Fatalf("dist[2] = %v, want 2 (via node 1)", dist[2])
+	}
+	if parent[2] != 1 {
+		t.Fatalf("parent[2] = %d, want 1", parent[2])
+	}
+}
+
+func TestDijkstraInverseWeight(t *testing.T) {
+	// With inverse-weight lengths, the heavy route is the short one.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 10) // length 0.1
+	b.AddEdge(1, 3, 10)
+	b.AddEdge(0, 2, 1) // length 1
+	b.AddEdge(2, 3, 1)
+	g := b.MustBuild()
+	dist, parent, err := g.Dijkstra(0, InverseWeightLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PathTo(parent, dist, 3)
+	if len(p) != 3 || p[1] != 1 {
+		t.Fatalf("path = %v, want the heavy route through 1", p)
+	}
+	if math.Abs(dist[3]-0.2) > 1e-12 {
+		t.Fatalf("dist[3] = %v, want 0.2", dist[3])
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.MustBuild()
+	dist, parent, err := g.Dijkstra(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(dist[3], 1) {
+		t.Fatalf("dist[3] = %v, want +Inf", dist[3])
+	}
+	if PathTo(parent, dist, 3) != nil {
+		t.Fatal("unreachable path should be nil")
+	}
+}
+
+func TestDijkstraErrors(t *testing.T) {
+	g := path(t, 3)
+	if _, _, err := g.Dijkstra(-1, nil); err == nil {
+		t.Error("negative source should fail")
+	}
+	if _, _, err := g.Dijkstra(3, nil); err == nil {
+		t.Error("out-of-range source should fail")
+	}
+	if _, _, err := g.Dijkstra(0, func(w float64) float64 { return -w }); err == nil {
+		t.Error("negative lengths should fail")
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnitLengths(t *testing.T) {
+	g := randomGraph(t, 120, 300, 31)
+	dist, _, err := g.Dijkstra(0, func(float64) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := g.HopDistances([]int{0})
+	for u := range hops {
+		switch {
+		case hops[u] == -1:
+			if !math.IsInf(dist[u], 1) {
+				t.Fatalf("node %d: BFS unreachable but dijkstra %v", u, dist[u])
+			}
+		case dist[u] != float64(hops[u]):
+			t.Fatalf("node %d: dijkstra %v vs BFS %d", u, dist[u], hops[u])
+		}
+	}
+}
+
+func TestDijkstraTriangleInequalitySpotCheck(t *testing.T) {
+	g := randomGraph(t, 80, 240, 33)
+	dist, _, err := g.Dijkstra(5, InverseWeightLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		u := rng.Intn(g.N())
+		nbrs, ws := g.Neighbors(u)
+		for j, v := range nbrs {
+			if dist[v] > dist[u]+InverseWeightLength(ws[j])+1e-9 {
+				t.Fatalf("relaxation violated on edge (%d,%d)", u, v)
+			}
+		}
+	}
+}

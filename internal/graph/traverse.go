@@ -1,0 +1,95 @@
+package graph
+
+// BFS runs a breadth-first search from each of the given sources and calls
+// visit for every reached node with its hop distance. Traversal order is
+// deterministic (neighbor rows are sorted).
+func (g *Graph) BFS(sources []int, visit func(node, dist int)) {
+	seen := make([]bool, g.N())
+	queue := make([]int, 0, len(sources))
+	dist := make([]int, g.N())
+	for _, s := range sources {
+		if !seen[s] {
+			seen[s] = true
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		visit(u, dist[u])
+		nbrs, _ := g.Neighbors(u)
+		for _, v := range nbrs {
+			if !seen[v] {
+				seen[v] = true
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+}
+
+// HopDistances returns the hop distance from the nearest source to every
+// node, or -1 for unreachable nodes.
+func (g *Graph) HopDistances(sources []int) []int {
+	d := make([]int, g.N())
+	for i := range d {
+		d[i] = -1
+	}
+	g.BFS(sources, func(node, dist int) { d[node] = dist })
+	return d
+}
+
+// ConnectedComponents labels every node with a component id in [0, count)
+// and returns the labeling and the number of components. Component ids are
+// assigned in order of the smallest node id they contain.
+func (g *Graph) ConnectedComponents() (comp []int, count int) {
+	n := g.N()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int, 0, 64)
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = count
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			nbrs, _ := g.Neighbors(u)
+			for _, v := range nbrs {
+				if comp[v] == -1 {
+					comp[v] = count
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// IsConnected reports whether the graph has a single connected component.
+func (g *Graph) IsConnected() bool {
+	_, c := g.ConnectedComponents()
+	return c <= 1
+}
+
+// SameComponent reports whether all of the given nodes lie in one connected
+// component.
+func (g *Graph) SameComponent(nodes []int) bool {
+	if len(nodes) <= 1 {
+		return true
+	}
+	comp, _ := g.ConnectedComponents()
+	c := comp[nodes[0]]
+	for _, u := range nodes[1:] {
+		if comp[u] != c {
+			return false
+		}
+	}
+	return true
+}

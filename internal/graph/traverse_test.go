@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBFSDistancesOnPath(t *testing.T) {
+	g := path(t, 5)
+	d := g.HopDistances([]int{0})
+	want := []int{0, 1, 2, 3, 4}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("HopDistances = %v, want %v", d, want)
+	}
+}
+
+func TestBFSMultiSource(t *testing.T) {
+	g := path(t, 5)
+	d := g.HopDistances([]int{0, 4})
+	want := []int{0, 1, 2, 1, 0}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("HopDistances = %v, want %v", d, want)
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.MustBuild()
+	d := g.HopDistances([]int{0})
+	if d[2] != -1 || d[3] != -1 {
+		t.Fatalf("unreachable nodes should be -1, got %v", d)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(3, 4, 1)
+	g := b.MustBuild() // node 5 isolated
+	comp, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("nodes 0..2 should share a component: %v", comp)
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] {
+		t.Errorf("nodes 3,4 should form their own component: %v", comp)
+	}
+	if comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Errorf("node 5 should be isolated: %v", comp)
+	}
+	if g.IsConnected() {
+		t.Error("graph should not be connected")
+	}
+	if !g.SameComponent([]int{0, 1, 2}) {
+		t.Error("0,1,2 should be in the same component")
+	}
+	if g.SameComponent([]int{0, 3}) {
+		t.Error("0 and 3 should be in different components")
+	}
+	if !g.SameComponent([]int{5}) {
+		t.Error("a single node is trivially in one component")
+	}
+}
+
+func TestIsConnectedOnRandomGraph(t *testing.T) {
+	// randomGraph links node i to a random earlier node, so it is connected
+	// by construction.
+	g := randomGraph(t, 100, 50, 3)
+	if !g.IsConnected() {
+		t.Fatal("random construction should be connected")
+	}
+}
+
+func TestBFSVisitOrderDeterministic(t *testing.T) {
+	g := randomGraph(t, 50, 100, 11)
+	var a, b []int
+	g.BFS([]int{0}, func(node, dist int) { a = append(a, node) })
+	g.BFS([]int{0}, func(node, dist int) { b = append(b, node) })
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("BFS order should be deterministic")
+	}
+}

@@ -1,0 +1,24 @@
+package graphstat
+
+import (
+	"math/rand"
+	"testing"
+
+	"ceps/internal/graph"
+)
+
+func BenchmarkCompute(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	gb := graph.NewBuilder(5000)
+	for i := 1; i < 5000; i++ {
+		gb.AddEdge(i, rng.Intn(i), 1)
+	}
+	for i := 0; i < 20000; i++ {
+		gb.AddEdge(rng.Intn(5000), rng.Intn(5000), 1)
+	}
+	g := gb.MustBuild()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(g)
+	}
+}

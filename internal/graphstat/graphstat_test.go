@@ -1,0 +1,156 @@
+package graphstat
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ceps/internal/graph"
+)
+
+func clique(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j, 1)
+		}
+	}
+	return b.MustBuild()
+}
+
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1, 1)
+	}
+	return b.MustBuild()
+}
+
+func TestCliqueClusteringIsOne(t *testing.T) {
+	s := Compute(clique(t, 8))
+	if math.Abs(s.GlobalClustering-1) > 1e-12 {
+		t.Fatalf("clique global clustering = %v, want 1", s.GlobalClustering)
+	}
+	if math.Abs(s.MeanLocalClustering-1) > 1e-12 {
+		t.Fatalf("clique local clustering = %v, want 1", s.MeanLocalClustering)
+	}
+	if s.Components != 1 || s.GiantShare != 1 {
+		t.Fatalf("clique connectivity wrong: %+v", s)
+	}
+	if s.MeanDegree != 7 || s.MaxDegree != 7 {
+		t.Fatalf("clique degrees wrong: %+v", s)
+	}
+}
+
+func TestPathClusteringIsZero(t *testing.T) {
+	s := Compute(pathGraph(t, 20))
+	if s.GlobalClustering != 0 || s.MeanLocalClustering != 0 {
+		t.Fatalf("path clustering = %v / %v, want 0", s.GlobalClustering, s.MeanLocalClustering)
+	}
+}
+
+func TestTriangleCountExact(t *testing.T) {
+	// Two triangles sharing an edge: nodes 0-1-2 and 1-2-3.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(1, 3, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.MustBuild()
+	tri, wedges, _ := triangles(g)
+	if tri != 2 {
+		t.Fatalf("triangles = %d, want 2", tri)
+	}
+	// wedges: deg 2,3,3,2 → 1+3+3+1 = 8
+	if wedges != 8 {
+		t.Fatalf("wedges = %d, want 8", wedges)
+	}
+	s := Compute(g)
+	if math.Abs(s.GlobalClustering-6.0/8.0) > 1e-12 {
+		t.Fatalf("global clustering = %v, want 0.75", s.GlobalClustering)
+	}
+}
+
+func TestStarIsDisassortative(t *testing.T) {
+	b := graph.NewBuilder(11)
+	for i := 1; i <= 10; i++ {
+		b.AddEdge(0, i, 1)
+	}
+	s := Compute(b.MustBuild())
+	if s.Assortativity > -0.99 {
+		// A pure star has every edge joining degree 10 to degree 1:
+		// correlation is exactly -1.
+		t.Fatalf("star assortativity = %v, want -1", s.Assortativity)
+	}
+}
+
+func TestHillEstimateOnSyntheticPareto(t *testing.T) {
+	// Degrees drawn from a discrete Pareto with α = 2.5; the Hill estimate
+	// over the top decile should land near 2.5.
+	rng := rand.New(rand.NewSource(1))
+	alpha := 2.5
+	degrees := make([]int, 20000)
+	for i := range degrees {
+		u := rng.Float64()
+		degrees[i] = int(math.Pow(1-u, -1/(alpha-1))) // Pareto tail, x_min 1
+		if degrees[i] < 1 {
+			degrees[i] = 1
+		}
+	}
+	sortInts(degrees)
+	got, xmin := hillEstimate(degrees)
+	if xmin < 1 {
+		t.Fatalf("xmin = %d", xmin)
+	}
+	if got < 2.0 || got > 3.0 {
+		t.Fatalf("Hill estimate = %v, want ≈ 2.5", got)
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+func TestHillEstimateTinyInput(t *testing.T) {
+	if a, _ := hillEstimate([]int{1, 2, 3}); a != 0 {
+		t.Fatalf("tiny input should give 0, got %v", a)
+	}
+}
+
+func TestComponentsAndGiantShare(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for i := 0; i < 6; i++ {
+		b.AddEdge(i, (i+1)%7, 1) // 7-cycle on 0..6
+	}
+	b.AddEdge(8, 9, 1) // pair; node 7 isolated
+	s := Compute(b.MustBuild())
+	if s.Components != 3 {
+		t.Fatalf("components = %d, want 3", s.Components)
+	}
+	if math.Abs(s.GiantShare-0.7) > 1e-12 {
+		t.Fatalf("giant share = %v, want 0.7", s.GiantShare)
+	}
+}
+
+func TestRender(t *testing.T) {
+	var sb strings.Builder
+	Compute(clique(t, 5)).Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"nodes 5", "clustering", "assortativity", "giant"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

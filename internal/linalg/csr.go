@@ -1,0 +1,178 @@
+package linalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed-sparse-row form. Rows index the
+// output of MulVec; the matrix need not be square or symmetric.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	vals       []float64
+}
+
+// Triple is a coordinate-form matrix entry.
+type Triple struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR assembles a CSR matrix from coordinate triples. Duplicate
+// coordinates are summed. Zero values are kept (callers may rely on
+// explicit zeros); out-of-range coordinates are an error.
+func NewCSR(rows, cols int, entries []Triple) (*CSR, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("linalg: invalid CSR shape %dx%d", rows, cols)
+	}
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			return nil, fmt.Errorf("linalg: entry (%d,%d) out of %dx%d", e.Row, e.Col, rows, cols)
+		}
+	}
+	sorted := make([]Triple, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
+	for i := 0; i < len(sorted); {
+		j := i
+		val := 0.0
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			val += sorted[j].Val
+			j++
+		}
+		m.colIdx = append(m.colIdx, sorted[i].Col)
+		m.vals = append(m.vals, val)
+		m.rowPtr[sorted[i].Row+1]++
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.rowPtr[r+1] += m.rowPtr[r]
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// Row returns the column indices and values of row r as views into the
+// matrix storage.
+func (m *CSR) Row(r int) (cols []int, vals []float64) {
+	lo, hi := m.rowPtr[r], m.rowPtr[r+1]
+	return m.colIdx[lo:hi], m.vals[lo:hi]
+}
+
+// At returns the (r, c) entry, 0 if absent. O(log nnz(row)).
+func (m *CSR) At(r, c int) float64 {
+	lo, hi := m.rowPtr[r], m.rowPtr[r+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case m.colIdx[mid] == c:
+			return m.vals[mid]
+		case m.colIdx[mid] < c:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return 0
+}
+
+// MulVec computes y = M x, allocating y. len(x) must equal Cols.
+func (m *CSR) MulVec(x []float64) []float64 {
+	y := make([]float64, m.rows)
+	m.MulVecTo(y, x)
+	return y
+}
+
+// MulVecTo computes y = M x into a caller-provided y of length Rows.
+func (m *CSR) MulVecTo(y, x []float64) {
+	if len(x) != m.cols || len(y) != m.rows {
+		panic(fmt.Sprintf("linalg: MulVec shape mismatch: M %dx%d, x %d, y %d", m.rows, m.cols, len(x), len(y)))
+	}
+	for r := 0; r < m.rows; r++ {
+		var s float64
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			s += m.vals[i] * x[m.colIdx[i]]
+		}
+		y[r] = s
+	}
+}
+
+// MulVecTransTo computes y = Mᵀ x into y of length Cols (x of length Rows).
+func (m *CSR) MulVecTransTo(y, x []float64) {
+	if len(x) != m.rows || len(y) != m.cols {
+		panic(fmt.Sprintf("linalg: MulVecTrans shape mismatch: M %dx%d, x %d, y %d", m.rows, m.cols, len(x), len(y)))
+	}
+	Fill(y, 0)
+	for r := 0; r < m.rows; r++ {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			y[m.colIdx[i]] += m.vals[i] * xr
+		}
+	}
+}
+
+// Transpose returns Mᵀ as a new CSR matrix.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{rows: m.cols, cols: m.rows, rowPtr: make([]int, m.cols+1)}
+	t.colIdx = make([]int, len(m.colIdx))
+	t.vals = make([]float64, len(m.vals))
+	for _, c := range m.colIdx {
+		t.rowPtr[c+1]++
+	}
+	for r := 0; r < t.rows; r++ {
+		t.rowPtr[r+1] += t.rowPtr[r]
+	}
+	fill := make([]int, t.rows)
+	copy(fill, t.rowPtr[:t.rows])
+	for r := 0; r < m.rows; r++ {
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			c := m.colIdx[i]
+			t.colIdx[fill[c]] = r
+			t.vals[fill[c]] = m.vals[i]
+			fill[c]++
+		}
+	}
+	return t
+}
+
+// ColumnSums returns the vector of column sums, used to verify stochastic
+// normalization in tests.
+func (m *CSR) ColumnSums() []float64 {
+	s := make([]float64, m.cols)
+	for r := 0; r < m.rows; r++ {
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			s[m.colIdx[i]] += m.vals[i]
+		}
+	}
+	return s
+}
+
+// Dense expands the matrix to a dense representation (tests only).
+func (m *CSR) Dense() *Dense {
+	d := NewDense(m.rows, m.cols)
+	for r := 0; r < m.rows; r++ {
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			d.Set(r, m.colIdx[i], m.vals[i])
+		}
+	}
+	return d
+}

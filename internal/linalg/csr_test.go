@@ -1,0 +1,135 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !almostEq(a[i], b[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func randCSR(t testing.TB, rng *rand.Rand, rows, cols, nnz int) *CSR {
+	t.Helper()
+	entries := make([]Triple, 0, nnz)
+	for i := 0; i < nnz; i++ {
+		entries = append(entries, Triple{rng.Intn(rows), rng.Intn(cols), rng.NormFloat64()})
+	}
+	m, err := NewCSR(rows, cols, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewCSRBasic(t *testing.T) {
+	m, err := NewCSR(2, 3, []Triple{
+		{0, 0, 1}, {0, 2, 2}, {1, 1, 3},
+		{0, 0, 4}, // duplicate sums to 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 3 || m.NNZ() != 3 {
+		t.Fatalf("shape/nnz wrong: %dx%d nnz=%d", m.Rows(), m.Cols(), m.NNZ())
+	}
+	if m.At(0, 0) != 5 || m.At(0, 2) != 2 || m.At(1, 1) != 3 || m.At(1, 0) != 0 {
+		t.Fatalf("At values wrong")
+	}
+	cols, vals := m.Row(0)
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 2 || vals[0] != 5 {
+		t.Fatalf("Row(0) = %v %v", cols, vals)
+	}
+}
+
+func TestNewCSRErrors(t *testing.T) {
+	if _, err := NewCSR(0, 2, nil); err == nil {
+		t.Error("zero rows should fail")
+	}
+	if _, err := NewCSR(2, 2, []Triple{{2, 0, 1}}); err == nil {
+		t.Error("out-of-range row should fail")
+	}
+	if _, err := NewCSR(2, 2, []Triple{{0, -1, 1}}); err == nil {
+		t.Error("negative col should fail")
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 20; iter++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := randCSR(t, rng, rows, cols, rng.Intn(60))
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := m.MulVec(x)
+		want := m.Dense().MulVec(x)
+		if !vecAlmostEq(got, want, 1e-12) {
+			t.Fatalf("MulVec mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestMulVecTrans(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 20; iter++ {
+		rows, cols := 1+rng.Intn(15), 1+rng.Intn(15)
+		m := randCSR(t, rng, rows, cols, rng.Intn(50))
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, cols)
+		m.MulVecTransTo(got, x)
+		want := m.Transpose().MulVec(x)
+		if !vecAlmostEq(got, want, 1e-12) {
+			t.Fatalf("MulVecTrans mismatch")
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randCSR(t, rng, 7, 11, 30)
+	tt := m.Transpose().Transpose()
+	for r := 0; r < m.Rows(); r++ {
+		for c := 0; c < m.Cols(); c++ {
+			if m.At(r, c) != tt.At(r, c) {
+				t.Fatalf("double transpose changed (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestColumnSums(t *testing.T) {
+	m, err := NewCSR(2, 2, []Triple{{0, 0, 1}, {1, 0, 2}, {1, 1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.ColumnSums()
+	if s[0] != 3 || s[1] != 4 {
+		t.Fatalf("ColumnSums = %v, want [3 4]", s)
+	}
+}
+
+func TestMulVecShapePanics(t *testing.T) {
+	m, _ := NewCSR(2, 3, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	m.MulVec(make([]float64, 2))
+}

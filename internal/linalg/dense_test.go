@@ -1,0 +1,104 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLUSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3
+	a := NewDense(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	f, err := a.Factorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve([]float64{5, 10})
+	if !vecAlmostEq(x, []float64{1, 3}, 1e-12) {
+		t.Fatalf("solve = %v, want [1 3]", x)
+	}
+}
+
+func TestLUSolveRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 20; iter++ {
+		n := 1 + rng.Intn(25)
+		a := NewDense(n, n)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				a.Set(r, c, rng.NormFloat64())
+			}
+			a.Add(r, r, float64(n)) // diagonally dominant => nonsingular
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		f, err := a.Factorize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := f.Solve(b)
+		if !vecAlmostEq(got, want, 1e-8) {
+			t.Fatalf("LU solve round trip failed (n=%d)", n)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := a.Factorize(); err == nil {
+		t.Fatal("singular matrix should fail to factorize")
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	a := NewDense(2, 3)
+	if _, err := a.Factorize(); err == nil {
+		t.Fatal("non-square factorization should fail")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 8
+	a := NewDense(n, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			a.Set(r, c, rng.NormFloat64())
+		}
+		a.Add(r, r, float64(n))
+	}
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A * A⁻¹ = I, checked column by column.
+	for c := 0; c < n; c++ {
+		col := make([]float64, n)
+		for r := 0; r < n; r++ {
+			col[r] = inv.At(r, c)
+		}
+		prod := a.MulVec(col)
+		want := Unit(n, c)
+		if !vecAlmostEq(prod, want, 1e-8) {
+			t.Fatalf("A·A⁻¹ column %d = %v, want unit", c, prod)
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	x := []float64{1, 2, 3}
+	if !vecAlmostEq(id.MulVec(x), x, 0) {
+		t.Fatal("identity should preserve vectors")
+	}
+}

@@ -1,0 +1,151 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveResult reports how an iterative solve went.
+type SolveResult struct {
+	Iterations int
+	Residual   float64 // max-norm of the final update or residual
+	Converged  bool
+}
+
+// Jacobi solves A x = b with the Jacobi iteration. A must have nonzero
+// diagonal. x0 may be nil for a zero initial guess. The iteration stops when
+// the max-norm update falls below tol or after maxIter sweeps.
+func Jacobi(a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, SolveResult, error) {
+	if a.Rows() != a.Cols() || len(b) != a.Rows() {
+		return nil, SolveResult{}, fmt.Errorf("linalg: Jacobi shape mismatch")
+	}
+	n := a.Rows()
+	diag := make([]float64, n)
+	for r := 0; r < n; r++ {
+		d := a.At(r, r)
+		if d == 0 {
+			return nil, SolveResult{}, fmt.Errorf("linalg: Jacobi zero diagonal at row %d", r)
+		}
+		diag[r] = d
+	}
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	next := make([]float64, n)
+	res := SolveResult{}
+	for it := 0; it < maxIter; it++ {
+		for r := 0; r < n; r++ {
+			cols, vals := a.Row(r)
+			s := b[r]
+			for i, c := range cols {
+				if c != r {
+					s -= vals[i] * x[c]
+				}
+			}
+			next[r] = s / diag[r]
+		}
+		res.Iterations = it + 1
+		res.Residual = MaxDiff(next, x)
+		copy(x, next)
+		if res.Residual < tol {
+			res.Converged = true
+			break
+		}
+	}
+	return x, res, nil
+}
+
+// GaussSeidel solves A x = b with forward Gauss–Seidel sweeps. Converges for
+// diagonally dominant systems such as the grounded graph Laplacians used by
+// the delivered-current baseline.
+func GaussSeidel(a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, SolveResult, error) {
+	if a.Rows() != a.Cols() || len(b) != a.Rows() {
+		return nil, SolveResult{}, fmt.Errorf("linalg: GaussSeidel shape mismatch")
+	}
+	n := a.Rows()
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	res := SolveResult{}
+	for it := 0; it < maxIter; it++ {
+		var maxDelta float64
+		for r := 0; r < n; r++ {
+			cols, vals := a.Row(r)
+			s := b[r]
+			var d float64
+			for i, c := range cols {
+				if c == r {
+					d = vals[i]
+				} else {
+					s -= vals[i] * x[c]
+				}
+			}
+			if d == 0 {
+				return nil, SolveResult{}, fmt.Errorf("linalg: GaussSeidel zero diagonal at row %d", r)
+			}
+			nv := s / d
+			if delta := math.Abs(nv - x[r]); delta > maxDelta {
+				maxDelta = delta
+			}
+			x[r] = nv
+		}
+		res.Iterations = it + 1
+		res.Residual = maxDelta
+		if maxDelta < tol {
+			res.Converged = true
+			break
+		}
+	}
+	return x, res, nil
+}
+
+// CG solves A x = b for symmetric positive-definite A with conjugate
+// gradients.
+func CG(a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, SolveResult, error) {
+	if a.Rows() != a.Cols() || len(b) != a.Rows() {
+		return nil, SolveResult{}, fmt.Errorf("linalg: CG shape mismatch")
+	}
+	n := a.Rows()
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	r := make([]float64, n)
+	a.MulVecTo(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	p := Clone(r)
+	ap := make([]float64, n)
+	rr := Dot(r, r)
+	res := SolveResult{Residual: math.Sqrt(rr)}
+	if res.Residual < tol {
+		res.Converged = true
+		return x, res, nil
+	}
+	for it := 0; it < maxIter; it++ {
+		a.MulVecTo(ap, p)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return nil, res, fmt.Errorf("linalg: CG matrix not positive definite (pᵀAp = %v)", pap)
+		}
+		alpha := rr / pap
+		Axpy(alpha, p, x)
+		Axpy(-alpha, ap, r)
+		rrNew := Dot(r, r)
+		res.Iterations = it + 1
+		res.Residual = math.Sqrt(rrNew)
+		if res.Residual < tol {
+			res.Converged = true
+			return x, res, nil
+		}
+		beta := rrNew / rr
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rr = rrNew
+	}
+	return x, res, nil
+}

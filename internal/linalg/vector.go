@@ -1,0 +1,108 @@
+// Package linalg provides the small linear-algebra substrate CePS needs:
+// dense vectors, CSR sparse matrices with matrix–vector products, stationary
+// iterative solvers (Jacobi, Gauss–Seidel), conjugate gradients for
+// symmetric positive-definite systems, and a dense LU factorization used to
+// validate the iterative random-walk solver against the closed form
+// (Eq. 12 of the paper) on small graphs.
+//
+// Everything is float64 and single-threaded; graphs at the paper's scale
+// (~315K nodes, ~1.8M edges) fit comfortably.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Scale multiplies x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Norm1 returns the L1 norm of x.
+func Norm1(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// NormInf returns the max-abs norm of x.
+func NormInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	y := make([]float64, len(x))
+	copy(y, x)
+	return y
+}
+
+// Unit returns the length-n unit vector e_i (the paper's query vector).
+func Unit(n, i int) []float64 {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("linalg: unit index %d out of range [0,%d)", i, n))
+	}
+	e := make([]float64, n)
+	e[i] = 1
+	return e
+}
+
+// MaxDiff returns max_i |x_i - y_i|, the convergence check used by the
+// iterative solvers.
+func MaxDiff(x, y []float64) float64 {
+	var m float64
+	for i, v := range x {
+		if d := math.Abs(v - y[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,34 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkKWay(b *testing.B) {
+	g := randomConnected(b, 5000, 20000, 1)
+	for _, k := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := KWay(g, k, Options{Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCoarsenOneLevel(b *testing.B) {
+	g := randomConnected(b, 5000, 20000, 1)
+	mg := fromGraph(g)
+	order := make([]int, mg.n)
+	for i := range order {
+		order[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := mg.coarsen(order); !ok {
+			b.Fatal("coarsening stalled")
+		}
+	}
+}

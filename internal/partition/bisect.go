@@ -1,0 +1,282 @@
+package partition
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// multilevelBisect splits mg into side 0 (targeting frac of the vertex
+// weight) and side 1, using coarsen → grow → uncoarsen+FM.
+func multilevelBisect(mg *multigraph, frac float64, opts *Options, rng *rand.Rand) []int {
+	// Coarsening phase. Keep the chain of maps to project the partition
+	// back up.
+	graphs := []*multigraph{mg}
+	var maps [][]int
+	cur := mg
+	for cur.n > opts.CoarsenTo {
+		order := rng.Perm(cur.n)
+		coarse, f2c, ok := cur.coarsen(order)
+		if !ok || coarse.n >= cur.n*9/10 {
+			break // stalled: little left to contract
+		}
+		graphs = append(graphs, coarse)
+		maps = append(maps, f2c)
+		cur = coarse
+	}
+
+	// Initial partition on the coarsest level.
+	side := growRegion(cur, frac, rng)
+	refineFM(cur, side, frac, opts)
+
+	// Uncoarsen with refinement at every level.
+	for lvl := len(maps) - 1; lvl >= 0; lvl-- {
+		fine := graphs[lvl]
+		f2c := maps[lvl]
+		fineSide := make([]int, fine.n)
+		for v := 0; v < fine.n; v++ {
+			fineSide[v] = side[f2c[v]]
+		}
+		side = fineSide
+		refineFM(fine, side, frac, opts)
+	}
+	return side
+}
+
+// growRegion produces an initial bisection by BFS region growing: starting
+// from a pseudo-peripheral seed, nodes join side 0 in breadth-first order
+// until it reaches the target weight. Disconnected graphs keep seeding new
+// regions.
+func growRegion(mg *multigraph, frac float64, rng *rand.Rand) []int {
+	target := frac * mg.totW
+	side := make([]int, mg.n)
+	for i := range side {
+		side[i] = 1
+	}
+	visited := make([]bool, mg.n)
+	var w0 float64
+	queue := make([]int, 0, mg.n)
+
+	seed := pseudoPeripheral(mg, rng)
+	for w0 < target {
+		if seed < 0 {
+			break
+		}
+		visited[seed] = true
+		queue = append(queue[:0], seed)
+		for len(queue) > 0 && w0 < target {
+			u := queue[0]
+			queue = queue[1:]
+			side[u] = 0
+			w0 += mg.nodeW[u]
+			for _, a := range mg.nbr[u] {
+				if !visited[a.to] {
+					visited[a.to] = true
+					queue = append(queue, a.to)
+				}
+			}
+		}
+		// Disconnected and target not reached: grab a fresh seed.
+		seed = -1
+		for v := 0; v < mg.n; v++ {
+			if !visited[v] {
+				seed = v
+				break
+			}
+		}
+	}
+	return side
+}
+
+// pseudoPeripheral returns a node far from a random start: a double-BFS
+// heuristic that gives region growing a good corner to start from.
+func pseudoPeripheral(mg *multigraph, rng *rand.Rand) int {
+	if mg.n == 0 {
+		return -1
+	}
+	start := rng.Intn(mg.n)
+	far := bfsFarthest(mg, start)
+	return bfsFarthest(mg, far)
+}
+
+func bfsFarthest(mg *multigraph, start int) int {
+	dist := make([]int, mg.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[start] = 0
+	queue := []int{start}
+	last := start
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		last = u
+		for _, a := range mg.nbr[u] {
+			if dist[a.to] == -1 {
+				dist[a.to] = dist[u] + 1
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return last
+}
+
+// gainHeap is a lazy max-heap of candidate moves. Entries carry the gain
+// they were pushed with; stale entries (whose node gain has since changed
+// or which got locked) are discarded at pop time.
+type gainEntry struct {
+	v    int
+	gain float64
+}
+
+type gainHeap []gainEntry
+
+func (h gainHeap) Len() int            { return len(h) }
+func (h gainHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainEntry)) }
+func (h *gainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// refineFM runs best-prefix Fiduccia–Mattheyses passes on the bisection.
+// Only boundary nodes are candidates and the best move is found through a
+// lazy max-heap, so a pass is O(moves · log n) instead of O(n²) — this is
+// what keeps the partitioner usable at the paper's 315K-node scale.
+func refineFM(mg *multigraph, side []int, frac float64, opts *Options) {
+	target0 := frac * mg.totW
+	target1 := mg.totW - target0
+	maxW0 := target0 * opts.ImbalanceTol
+	maxW1 := target1 * opts.ImbalanceTol
+
+	gain := make([]float64, mg.n)
+	locked := make([]bool, mg.n)
+	inHeap := make([]bool, mg.n) // whether a *fresh* entry for v exists
+
+	computeGain := func(v int) float64 {
+		var internal, external float64
+		for _, a := range mg.nbr[v] {
+			if side[a.to] == side[v] {
+				internal += a.w
+			} else {
+				external += a.w
+			}
+		}
+		return external - internal
+	}
+	isBoundary := func(v int) bool {
+		for _, a := range mg.nbr[v] {
+			if side[a.to] != side[v] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for pass := 0; pass < opts.RefinePasses; pass++ {
+		var w0 float64
+		h := make(gainHeap, 0, mg.n/4+8)
+		for v := 0; v < mg.n; v++ {
+			if side[v] == 0 {
+				w0 += mg.nodeW[v]
+			}
+			locked[v] = false
+			inHeap[v] = false
+		}
+		for v := 0; v < mg.n; v++ {
+			if isBoundary(v) {
+				gain[v] = computeGain(v)
+				h = append(h, gainEntry{v: v, gain: gain[v]})
+				inHeap[v] = true
+			}
+		}
+		heap.Init(&h)
+		w1 := mg.totW - w0
+
+		push := func(v int) {
+			if !locked[v] && !inHeap[v] {
+				gain[v] = computeGain(v)
+				heap.Push(&h, gainEntry{v: v, gain: gain[v]})
+				inHeap[v] = true
+			}
+		}
+
+		var seq []int
+		var cumGain, bestGain float64
+		bestLen := 0
+		var deferred []gainEntry // balance-blocked entries within a pop round
+
+		for h.Len() > 0 {
+			// Pop the best fresh, feasible entry.
+			var chosen gainEntry
+			found := false
+			deferred = deferred[:0]
+			for h.Len() > 0 {
+				e := heap.Pop(&h).(gainEntry)
+				if locked[e.v] || !inHeap[e.v] || e.gain != gain[e.v] {
+					continue // stale
+				}
+				feasible := false
+				if side[e.v] == 0 {
+					feasible = w1+mg.nodeW[e.v] <= maxW1
+				} else {
+					feasible = w0+mg.nodeW[e.v] <= maxW0
+				}
+				if !feasible {
+					deferred = append(deferred, e)
+					continue
+				}
+				chosen = e
+				found = true
+				break
+			}
+			for _, e := range deferred {
+				heap.Push(&h, e) // blocked now, maybe feasible later
+			}
+			if !found {
+				break
+			}
+			v := chosen.v
+			inHeap[v] = false
+			locked[v] = true
+			if side[v] == 0 {
+				w0 -= mg.nodeW[v]
+				w1 += mg.nodeW[v]
+				side[v] = 1
+			} else {
+				w1 -= mg.nodeW[v]
+				w0 += mg.nodeW[v]
+				side[v] = 0
+			}
+			cumGain += chosen.gain
+			seq = append(seq, v)
+			if cumGain > bestGain {
+				bestGain = cumGain
+				bestLen = len(seq)
+			}
+			// Refresh neighbors: their gains changed and they may have just
+			// become boundary nodes.
+			for _, a := range mg.nbr[v] {
+				if !locked[a.to] {
+					inHeap[a.to] = false // invalidate any stale entry
+					push(a.to)
+				}
+			}
+			// Give up on a long losing streak.
+			if len(seq)-bestLen > 100 {
+				break
+			}
+		}
+
+		// Roll back past the best prefix.
+		for i := len(seq) - 1; i >= bestLen; i-- {
+			side[seq[i]] ^= 1
+		}
+		if bestGain <= 0 {
+			break // pass achieved nothing; stop refining
+		}
+	}
+}

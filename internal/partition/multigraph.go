@@ -1,0 +1,157 @@
+package partition
+
+import (
+	"sort"
+
+	"ceps/internal/graph"
+)
+
+// arc is one direction of a weighted edge inside the partitioner's working
+// representation.
+type arc struct {
+	to int
+	w  float64
+}
+
+// multigraph is the partitioner's mutable working graph: adjacency lists
+// plus per-node vertex weights (the number of original vertices a coarse
+// node represents).
+type multigraph struct {
+	n     int
+	nbr   [][]arc
+	nodeW []float64
+	totW  float64 // sum of nodeW
+}
+
+// fromGraph converts an immutable graph.Graph into a unit-weight
+// multigraph.
+func fromGraph(g *graph.Graph) *multigraph {
+	n := g.N()
+	mg := &multigraph{n: n, nbr: make([][]arc, n), nodeW: make([]float64, n), totW: float64(n)}
+	for u := 0; u < n; u++ {
+		mg.nodeW[u] = 1
+		nbrs, ws := g.Neighbors(u)
+		row := make([]arc, len(nbrs))
+		for i, v := range nbrs {
+			row[i] = arc{to: v, w: ws[i]}
+		}
+		mg.nbr[u] = row
+	}
+	return mg
+}
+
+// induce returns the subgraph over the given local nodes together with the
+// original-id slice for the new local ids.
+func (mg *multigraph) induce(nodes []int, origIDs []int) (*multigraph, []int) {
+	remap := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		remap[v] = i
+	}
+	sub := &multigraph{
+		n:     len(nodes),
+		nbr:   make([][]arc, len(nodes)),
+		nodeW: make([]float64, len(nodes)),
+	}
+	ids := make([]int, len(nodes))
+	for i, v := range nodes {
+		sub.nodeW[i] = mg.nodeW[v]
+		sub.totW += mg.nodeW[v]
+		ids[i] = origIDs[v]
+		var row []arc
+		for _, a := range mg.nbr[v] {
+			if j, ok := remap[a.to]; ok {
+				row = append(row, arc{to: j, w: a.w})
+			}
+		}
+		sub.nbr[i] = row
+	}
+	return sub, ids
+}
+
+// coarsen contracts a heavy-edge matching and returns the coarse graph plus
+// the fine→coarse node map. It returns ok=false when matching cannot shrink
+// the graph meaningfully (the coarsening has stalled).
+func (mg *multigraph) coarsen(order []int) (coarse *multigraph, fineToCoarse []int, ok bool) {
+	match := make([]int, mg.n)
+	for i := range match {
+		match[i] = -1
+	}
+	coarseCount := 0
+	for _, u := range order {
+		if match[u] != -1 {
+			continue
+		}
+		// Heavy-edge rule: pair with the heaviest unmatched neighbor.
+		best, bestW := -1, -1.0
+		for _, a := range mg.nbr[u] {
+			if match[a.to] == -1 && a.to != u && a.w > bestW {
+				best, bestW = a.to, a.w
+			}
+		}
+		if best >= 0 {
+			match[u] = best
+			match[best] = u
+		} else {
+			match[u] = u // stays single
+		}
+		coarseCount++
+	}
+	if coarseCount >= mg.n { // no contraction happened at all
+		return nil, nil, false
+	}
+
+	fineToCoarse = make([]int, mg.n)
+	for i := range fineToCoarse {
+		fineToCoarse[i] = -1
+	}
+	next := 0
+	for u := 0; u < mg.n; u++ {
+		if fineToCoarse[u] != -1 {
+			continue
+		}
+		fineToCoarse[u] = next
+		if m := match[u]; m != u && m >= 0 {
+			fineToCoarse[m] = next
+		}
+		next++
+	}
+
+	coarse = &multigraph{n: next, nbr: make([][]arc, next), nodeW: make([]float64, next)}
+	agg := make(map[int]float64)
+	for cu := 0; cu < next; cu++ {
+		coarse.nbr[cu] = nil
+	}
+	// Aggregate arcs per coarse node.
+	done := make([]bool, mg.n)
+	for u := 0; u < mg.n; u++ {
+		cu := fineToCoarse[u]
+		coarse.nodeW[cu] += mg.nodeW[u]
+		if done[u] {
+			continue
+		}
+		group := []int{u}
+		if m := match[u]; m != u && m >= 0 {
+			group = append(group, m)
+		}
+		for k := range agg {
+			delete(agg, k)
+		}
+		for _, f := range group {
+			done[f] = true
+			for _, a := range mg.nbr[f] {
+				cv := fineToCoarse[a.to]
+				if cv != cu {
+					agg[cv] += a.w
+				}
+			}
+		}
+		row := make([]arc, 0, len(agg))
+		for cv, w := range agg {
+			row = append(row, arc{to: cv, w: w})
+		}
+		sort.Slice(row, func(i, j int) bool { return row[i].to < row[j].to })
+		coarse.nbr[cu] = row
+	}
+	coarse.totW = mg.totW
+	return coarse, fineToCoarse, true
+}

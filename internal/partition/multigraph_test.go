@@ -1,0 +1,176 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFromGraphShape(t *testing.T) {
+	g := randomConnected(t, 40, 80, 71)
+	mg := fromGraph(g)
+	if mg.n != g.N() {
+		t.Fatalf("n = %d, want %d", mg.n, g.N())
+	}
+	if mg.totW != float64(g.N()) {
+		t.Fatalf("totW = %v, want %v", mg.totW, float64(g.N()))
+	}
+	for u := 0; u < mg.n; u++ {
+		if mg.nodeW[u] != 1 {
+			t.Fatalf("nodeW[%d] = %v, want 1", u, mg.nodeW[u])
+		}
+		var deg float64
+		for _, a := range mg.nbr[u] {
+			deg += a.w
+		}
+		if math.Abs(deg-g.WeightedDegree(u)) > 1e-12 {
+			t.Fatalf("degree mismatch at %d: %v vs %v", u, deg, g.WeightedDegree(u))
+		}
+	}
+}
+
+func TestCoarsenConservation(t *testing.T) {
+	g := randomConnected(t, 100, 300, 73)
+	mg := fromGraph(g)
+	rng := rand.New(rand.NewSource(1))
+	coarse, f2c, ok := mg.coarsen(rng.Perm(mg.n))
+	if !ok {
+		t.Fatal("coarsening a connected graph should contract")
+	}
+	if coarse.n >= mg.n {
+		t.Fatalf("coarse graph not smaller: %d vs %d", coarse.n, mg.n)
+	}
+	// Vertex weight is conserved.
+	var totW float64
+	for _, w := range coarse.nodeW {
+		totW += w
+	}
+	if math.Abs(totW-mg.totW) > 1e-9 {
+		t.Fatalf("vertex weight changed: %v -> %v", mg.totW, totW)
+	}
+	// Every fine node maps to a valid coarse node and matched pairs share
+	// their target.
+	for v, c := range f2c {
+		if c < 0 || c >= coarse.n {
+			t.Fatalf("fine node %d maps to invalid coarse node %d", v, c)
+		}
+	}
+	// Edge weight between two distinct coarse nodes equals the sum of fine
+	// edge weights crossing them.
+	want := map[[2]int]float64{}
+	for u := 0; u < mg.n; u++ {
+		for _, a := range mg.nbr[u] {
+			if u < a.to {
+				cu, cv := f2c[u], f2c[a.to]
+				if cu == cv {
+					continue
+				}
+				if cu > cv {
+					cu, cv = cv, cu
+				}
+				want[[2]int{cu, cv}] += a.w
+			}
+		}
+	}
+	got := map[[2]int]float64{}
+	for u := 0; u < coarse.n; u++ {
+		for _, a := range coarse.nbr[u] {
+			if u < a.to {
+				got[[2]int{u, a.to}] += a.w
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("coarse edge count %d, want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		if math.Abs(got[k]-w) > 1e-9 {
+			t.Fatalf("coarse edge %v weight %v, want %v", k, got[k], w)
+		}
+	}
+}
+
+func TestCoarsenStallsOnEdgelessGraph(t *testing.T) {
+	mg := &multigraph{n: 5, nbr: make([][]arc, 5), nodeW: []float64{1, 1, 1, 1, 1}, totW: 5}
+	if _, _, ok := mg.coarsen([]int{0, 1, 2, 3, 4}); ok {
+		t.Fatal("edgeless graph cannot contract and must report a stall")
+	}
+}
+
+func TestInduceSubsets(t *testing.T) {
+	g := randomConnected(t, 30, 60, 79)
+	mg := fromGraph(g)
+	orig := identity(mg.n)
+	nodes := []int{3, 7, 8, 20, 29}
+	sub, ids := mg.induce(nodes, orig)
+	if sub.n != len(nodes) {
+		t.Fatalf("sub.n = %d", sub.n)
+	}
+	for i, v := range nodes {
+		if ids[i] != v {
+			t.Fatalf("ids[%d] = %d, want %d", i, ids[i], v)
+		}
+		if sub.nodeW[i] != mg.nodeW[v] {
+			t.Fatalf("node weight not carried")
+		}
+	}
+	// All arcs stay inside the subset.
+	for i := range nodes {
+		for _, a := range sub.nbr[i] {
+			if a.to < 0 || a.to >= len(nodes) {
+				t.Fatalf("arc leaves subset: %d", a.to)
+			}
+		}
+	}
+}
+
+func TestGrowRegionHitsTarget(t *testing.T) {
+	g := randomConnected(t, 200, 500, 83)
+	mg := fromGraph(g)
+	rng := rand.New(rand.NewSource(5))
+	side := growRegion(mg, 0.5, rng)
+	var w0 float64
+	for v, s := range side {
+		if s == 0 {
+			w0 += mg.nodeW[v]
+		}
+	}
+	// Region growing overshoots by at most one node.
+	if w0 < 0.5*mg.totW || w0 > 0.5*mg.totW+1 {
+		t.Fatalf("side 0 weight %v, target %v", w0, 0.5*mg.totW)
+	}
+}
+
+func TestRefineFMImprovesOrKeepsCut(t *testing.T) {
+	g, _ := communityGraph(t, 2, 60, 87)
+	mg := fromGraph(g)
+	rng := rand.New(rand.NewSource(7))
+	// Start from a random balanced split.
+	side := make([]int, mg.n)
+	for _, v := range rng.Perm(mg.n)[:mg.n/2] {
+		side[v] = 1
+	}
+	cut := func() float64 {
+		var c float64
+		for u := 0; u < mg.n; u++ {
+			for _, a := range mg.nbr[u] {
+				if u < a.to && side[u] != side[a.to] {
+					c += a.w
+				}
+			}
+		}
+		return c
+	}
+	before := cut()
+	opts := Options{}
+	opts.fillDefaults()
+	refineFM(mg, side, 0.5, &opts)
+	after := cut()
+	if after > before {
+		t.Fatalf("FM increased the cut: %v -> %v", before, after)
+	}
+	// On a planted 2-community graph, a random split must improve a lot.
+	if after > before*0.8 {
+		t.Fatalf("FM barely improved the cut: %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,201 @@
+// Package partition provides a from-scratch multilevel k-way graph
+// partitioner in the METIS family, which the paper uses (via METIS [20])
+// for the Fast CePS pre-partition speedup (§6, Table 5).
+//
+// The algorithm is multilevel recursive bisection:
+//
+//  1. Coarsen: repeatedly contract a heavy-edge matching until the graph is
+//     small; merged nodes accumulate vertex weight so balance is tracked in
+//     original-vertex units.
+//  2. Initial partition: greedy graph growing (a BFS region grown from a
+//     pseudo-peripheral seed until it holds the target share of vertex
+//     weight).
+//  3. Uncoarsen + refine: project the bisection back level by level,
+//     running boundary Fiduccia–Mattheyses passes (best-prefix move
+//     sequences under a balance constraint) at each level.
+//
+// k-way partitions are obtained by recursive bisection with proportional
+// weight targets. Quality is not identical to METIS but is of the same
+// character: balanced parts and a small edge cut, which is all Fast CePS
+// needs — it only requires that most of a query's random-walk mass lies in
+// the query's own partition.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ceps/internal/graph"
+)
+
+// Options tunes the partitioner. The zero value gets sensible defaults.
+type Options struct {
+	// Seed makes the randomized matching and seeding deterministic.
+	Seed int64
+	// ImbalanceTol is the allowed multiplicative imbalance per side of
+	// each bisection (default 1.10).
+	ImbalanceTol float64
+	// CoarsenTo stops coarsening once the graph has at most this many
+	// nodes (default 100).
+	CoarsenTo int
+	// RefinePasses is the number of FM passes per uncoarsening level
+	// (default 4).
+	RefinePasses int
+}
+
+func (o *Options) fillDefaults() {
+	if o.ImbalanceTol <= 1 {
+		o.ImbalanceTol = 1.10
+	}
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 100
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 4
+	}
+}
+
+// Result is a k-way partition of a graph.
+type Result struct {
+	// Assign maps node id to part id in [0, K).
+	Assign []int
+	// K is the number of parts.
+	K int
+	// EdgeCut is the total weight of edges crossing parts.
+	EdgeCut float64
+	// PartSizes counts nodes per part.
+	PartSizes []int
+}
+
+// KWay partitions g into k balanced parts.
+func KWay(g *graph.Graph, k int, opts Options) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("partition: nil graph")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("partition: k = %d must be positive", k)
+	}
+	if k > g.N() {
+		return nil, fmt.Errorf("partition: k = %d exceeds node count %d", k, g.N())
+	}
+	opts.fillDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	mg := fromGraph(g)
+	assign := make([]int, g.N())
+	bisectRecursive(mg, identity(g.N()), k, 0, assign, &opts, rng)
+
+	res := &Result{Assign: assign, K: k, PartSizes: make([]int, k)}
+	for _, p := range assign {
+		res.PartSizes[p]++
+	}
+	g.ForEachEdge(func(u, v int, w float64) {
+		if assign[u] != assign[v] {
+			res.EdgeCut += w
+		}
+	})
+	return res, nil
+}
+
+// Balance returns the imbalance factor of the partition: the largest part
+// size divided by the ideal N/K. 1.0 is perfectly balanced; Fast CePS
+// quality depends on partitions staying within a modest factor of ideal.
+func (r *Result) Balance() float64 {
+	if len(r.PartSizes) == 0 {
+		return 0
+	}
+	max := 0
+	total := 0
+	for _, sz := range r.PartSizes {
+		total += sz
+		if sz > max {
+			max = sz
+		}
+	}
+	ideal := float64(total) / float64(r.K)
+	if ideal == 0 {
+		return 0
+	}
+	return float64(max) / ideal
+}
+
+// PartsContaining returns the sorted distinct part ids that the given nodes
+// fall into (Table 5 Step 1: "pick up partitions of W that contain all the
+// query nodes").
+func (r *Result) PartsContaining(nodes []int) []int {
+	set := make(map[int]bool, len(nodes))
+	for _, u := range nodes {
+		set[r.Assign[u]] = true
+	}
+	parts := make([]int, 0, len(set))
+	for p := range set {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	return parts
+}
+
+// NodesInParts returns all node ids assigned to any of the given parts, in
+// ascending order.
+func (r *Result) NodesInParts(parts []int) []int {
+	want := make(map[int]bool, len(parts))
+	for _, p := range parts {
+		want[p] = true
+	}
+	var nodes []int
+	for u, p := range r.Assign {
+		if want[p] {
+			nodes = append(nodes, u)
+		}
+	}
+	return nodes
+}
+
+// identity returns [0, 1, …, n).
+func identity(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// bisectRecursive splits mg (whose nodes map to original ids via origIDs)
+// into k parts labeled [base, base+k) in assign.
+func bisectRecursive(mg *multigraph, origIDs []int, k, base int, assign []int, opts *Options, rng *rand.Rand) {
+	if k == 1 {
+		for _, orig := range origIDs {
+			assign[orig] = base
+		}
+		return
+	}
+	kLeft := k / 2
+	frac := float64(kLeft) / float64(k)
+	side := multilevelBisect(mg, frac, opts, rng)
+
+	leftLocal, rightLocal := make([]int, 0, mg.n), make([]int, 0, mg.n)
+	for v := 0; v < mg.n; v++ {
+		if side[v] == 0 {
+			leftLocal = append(leftLocal, v)
+		} else {
+			rightLocal = append(rightLocal, v)
+		}
+	}
+	// Degenerate split (can happen on tiny or disconnected graphs): force a
+	// non-empty side by moving the lightest nodes.
+	if len(leftLocal) == 0 || len(rightLocal) == 0 {
+		all := append(leftLocal, rightLocal...)
+		sort.Ints(all)
+		mid := len(all) * kLeft / k
+		if mid == 0 {
+			mid = 1
+		}
+		leftLocal, rightLocal = all[:mid], all[mid:]
+	}
+
+	leftG, leftIDs := mg.induce(leftLocal, origIDs)
+	rightG, rightIDs := mg.induce(rightLocal, origIDs)
+	bisectRecursive(leftG, leftIDs, kLeft, base, assign, opts, rng)
+	bisectRecursive(rightG, rightIDs, k-kLeft, base+kLeft, assign, opts, rng)
+}

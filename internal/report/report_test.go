@@ -1,0 +1,177 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *LineChart {
+	return &LineChart{
+		Title:  "NRatio vs budget",
+		XLabel: "budget",
+		YLabel: "NRatio",
+		YMax:   1,
+		Series: []Series{
+			{Name: "Q=2", Points: []XY{{10, 0.8}, {20, 0.85}, {50, 0.9}}},
+			{Name: "Q=3", Points: []XY{{10, 0.95}, {20, 0.97}, {50, 0.99}}},
+		},
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	svg, err := sampleChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`<svg class="chart"`,
+		`aria-label="NRatio vs budget"`,
+		`class="line s1"`,
+		`class="line s2"`,
+		`class="dot s1"`,
+		`<title>Q=2 — 10: 0.8</title>`,
+		`class="end-label"`,
+		"Q=3",
+		`class="grid"`,
+		"budget", // axis label
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 6 dots total (3 per series).
+	if n := strings.Count(svg, `<circle`); n != 6 {
+		t.Errorf("got %d markers, want 6", n)
+	}
+	// 2px line spec.
+	if !strings.Contains(svg, `class="line`) {
+		t.Error("lines missing")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	if _, err := (&LineChart{Title: "x"}).SVG(); err == nil {
+		t.Error("no series should fail")
+	}
+	c := sampleChart()
+	c.Series = append(c.Series, Series{Name: "empty"})
+	if _, err := c.SVG(); err == nil {
+		t.Error("empty series should fail")
+	}
+	c = sampleChart()
+	for i := 0; i < 6; i++ {
+		c.Series = append(c.Series, Series{Name: "s", Points: []XY{{1, 1}}})
+	}
+	if _, err := c.SVG(); err == nil {
+		t.Error("more series than fixed slots should fail, not cycle hues")
+	}
+	c = sampleChart()
+	c.XLog = true
+	c.Series[0].Points[0].X = 0
+	if _, err := c.SVG(); err == nil {
+		t.Error("log axis with x=0 should fail")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{
+		0.7: 1, 1: 1, 1.2: 2, 3: 5, 7: 10, 45: 50, 90: 100, 0.03: 0.05,
+	}
+	for in, want := range cases {
+		if got := niceCeil(in); math.Abs(got-want) > 1e-12 {
+			t.Errorf("niceCeil(%v) = %v, want %v", in, got, want)
+		}
+	}
+	if niceCeil(0) != 0 {
+		t.Error("niceCeil(0) should be 0")
+	}
+}
+
+func TestTicksClean(t *testing.T) {
+	got := ticks(1, 4)
+	want := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	if len(got) != len(want) {
+		t.Fatalf("ticks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("ticks = %v, want %v", got, want)
+		}
+	}
+	if ticks(0, 4) != nil {
+		t.Error("no ticks for zero max")
+	}
+}
+
+func TestTableOf(t *testing.T) {
+	tab := TableOf(sampleChart())
+	if len(tab.Headers) != 3 || tab.Headers[0] != "budget" || tab.Headers[2] != "Q=3" {
+		t.Fatalf("headers = %v", tab.Headers)
+	}
+	if len(tab.Rows) != 3 || tab.Rows[0][0] != "10" {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+}
+
+func TestPageRender(t *testing.T) {
+	p := &Page{
+		Title:    "CePS experiments",
+		Subtitle: "scale 1, 5 trials",
+		Tiles: []StatTile{
+			{Label: "speedup", Value: "6.4x", Context: "Fast CePS vs full, p=20"},
+		},
+		Sections: []Section{
+			{Title: "Fig 4(a)", Prose: "NRatio vs budget.", Chart: sampleChart()},
+			{Title: "Fig 2", Table: &Table{Headers: []string{"metric", "current", "CePS"},
+				Rows: [][]string{{"overlap", "0.84", "1.00"}}}},
+		},
+	}
+	var sb strings.Builder
+	if err := p.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<!doctype html>",
+		"CePS experiments",
+		"6.4x",
+		"Fig 4(a)",
+		"data table",
+		"prefers-color-scheme: dark",
+		"--series: #2a78d6", // slot 1 light
+		"--series: #3987e5", // slot 1 dark
+		"tabular-nums",
+		"id=\"tooltip\"",
+		"<td>0.84</td>",
+		`class="legend"`,
+		`class="swatch s1"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+}
+
+func TestPageRenderChartError(t *testing.T) {
+	p := &Page{Sections: []Section{{Title: "bad", Chart: &LineChart{}}}}
+	var sb strings.Builder
+	if err := p.Render(&sb); err == nil {
+		t.Fatal("bad chart should surface an error")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if formatTick(20000) != "20K" {
+		t.Errorf("formatTick(20000) = %q", formatTick(20000))
+	}
+	if formatTick(0.5) != "0.5" {
+		t.Errorf("formatTick(0.5) = %q", formatTick(0.5))
+	}
+	if formatVal(123.456) != "123.5" {
+		t.Errorf("formatVal = %q", formatVal(123.456))
+	}
+	if esc(`<a&"b">`) != "&lt;a&amp;&quot;b&quot;&gt;" {
+		t.Errorf("esc = %q", esc(`<a&"b">`))
+	}
+}

@@ -1,0 +1,291 @@
+// Package report renders cepsbench experiment results as a self-contained
+// HTML page: SVG line charts for the paper's figures, stat tiles for the
+// headline numbers, and a data table under every chart so no value is
+// gated behind color or hover. Charts follow a fixed spec — categorical
+// series colors assigned in fixed slot order, 2px lines, ≥8px markers with
+// a 2px surface ring, hairline gridlines, a legend for two or more series
+// — with light and dark palettes selected per mode (not auto-inverted).
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// XY is one data point.
+type XY struct {
+	X, Y float64
+}
+
+// Series is a named line on a chart. Slot colors are assigned by series
+// position in fixed order, never cycled; charts in this package are
+// limited to the five slots the experiments need.
+type Series struct {
+	Name   string
+	Points []XY
+}
+
+// LineChart describes one figure.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// YMax forces the y-axis top (0 means auto from the data). Ratios use
+	// 1 so the [0,1] frame is honest.
+	YMax float64
+	// XLog plots log10(x) positions (for partition counts); tick labels
+	// still show the raw values.
+	XLog bool
+}
+
+const (
+	chartW  = 640
+	chartH  = 320
+	marginL = 64
+	marginR = 140 // room for direct end labels
+	marginT = 36
+	marginB = 46
+)
+
+// categorical slots 1–5 (light/dark) from the validated reference palette.
+var seriesLight = []string{"#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7"}
+var seriesDark = []string{"#3987e5", "#199e70", "#c98500", "#008300", "#9085e9"}
+
+// SVG renders the chart. It returns an error when the chart is malformed
+// (no series, too many series for the fixed slots, or empty series).
+func (c *LineChart) SVG() (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("report: chart %q has no series", c.Title)
+	}
+	if len(c.Series) > len(seriesLight) {
+		return "", fmt.Errorf("report: chart %q has %d series; the fixed palette carries %d — fold or facet",
+			c.Title, len(c.Series), len(seriesLight))
+	}
+	var xMin, xMax, yMax float64
+	xMin = math.Inf(1)
+	first := true
+	for _, s := range c.Series {
+		if len(s.Points) == 0 {
+			return "", fmt.Errorf("report: chart %q series %q is empty", c.Title, s.Name)
+		}
+		for _, p := range s.Points {
+			x := p.X
+			if c.XLog {
+				if p.X <= 0 {
+					return "", fmt.Errorf("report: chart %q has non-positive x on a log axis", c.Title)
+				}
+				x = math.Log10(p.X)
+			}
+			if first || x < xMin {
+				xMin = x
+			}
+			if first || x > xMax {
+				xMax = x
+				first = false
+			}
+			if p.Y > yMax {
+				yMax = p.Y
+			}
+		}
+	}
+	if c.YMax > 0 {
+		yMax = c.YMax
+	} else {
+		yMax = niceCeil(yMax)
+	}
+	if yMax == 0 {
+		yMax = 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	plotW := float64(chartW - marginL - marginR)
+	plotH := float64(chartH - marginT - marginB)
+	px := func(x float64) float64 {
+		if c.XLog {
+			x = math.Log10(x)
+		}
+		return marginL + (x-xMin)/(xMax-xMin)*plotW
+	}
+	py := func(y float64) float64 {
+		return marginT + (1-y/yMax)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg class="chart" viewBox="0 0 %d %d" role="img" aria-label=%q>`, chartW, chartH, c.Title)
+	b.WriteString("\n")
+
+	// Gridlines + y ticks: hairline, recessive, clean numbers.
+	for _, t := range ticks(yMax, 4) {
+		y := py(t)
+		fmt.Fprintf(&b, `<line class="grid" x1="%d" y1="%.1f" x2="%d" y2="%.1f"/>`, marginL, y, chartW-marginR, y)
+		fmt.Fprintf(&b, `<text class="tick" x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`,
+			marginL-8, y, formatTick(t))
+		b.WriteString("\n")
+	}
+	// X ticks at each distinct x of the first series.
+	for _, p := range c.Series[0].Points {
+		x := px(p.X)
+		fmt.Fprintf(&b, `<text class="tick" x="%.1f" y="%d" text-anchor="middle">%s</text>`,
+			x, chartH-marginB+18, formatTick(p.X))
+		b.WriteString("\n")
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text class="axis-label" x="%.1f" y="%d" text-anchor="middle">%s</text>`,
+		marginL+plotW/2, chartH-8, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text class="axis-label" x="14" y="%.1f" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`,
+		marginT+plotH/2, marginT+plotH/2, esc(c.YLabel))
+	b.WriteString("\n")
+
+	// Series: 2px round-joined lines, then ≥8px markers with a 2px
+	// surface ring.
+	for i, s := range c.Series {
+		var path strings.Builder
+		for j, p := range s.Points {
+			cmd := "L"
+			if j == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, px(p.X), py(p.Y))
+		}
+		fmt.Fprintf(&b, `<path class="line s%d" d="%s"/>`, i+1, strings.TrimSpace(path.String()))
+		b.WriteString("\n")
+		for _, p := range s.Points {
+			fmt.Fprintf(&b,
+				`<circle class="dot s%d" cx="%.1f" cy="%.1f" r="4" data-series=%q data-x="%s" data-y="%s"><title>%s — %s: %s</title></circle>`,
+				i+1, px(p.X), py(p.Y), esc(s.Name), formatTick(p.X), formatVal(p.Y),
+				esc(s.Name), formatTick(p.X), formatVal(p.Y))
+			b.WriteString("\n")
+		}
+	}
+
+	// Direct end labels, with collision resolution: when series converge
+	// at the right edge, spread the labels vertically (≥14px apart) and
+	// connect each to its line end with a hairline leader so the label
+	// never detaches silently from its series.
+	type endLabel struct {
+		series int
+		lineY  float64
+		labelY float64
+	}
+	labels := make([]endLabel, len(c.Series))
+	for i, s := range c.Series {
+		last := s.Points[len(s.Points)-1]
+		y := py(last.Y)
+		labels[i] = endLabel{series: i, lineY: y, labelY: y}
+	}
+	order := make([]int, len(labels))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ { // insertion sort by lineY
+		v := order[i]
+		j := i - 1
+		for j >= 0 && labels[order[j]].lineY > labels[v].lineY {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = v
+	}
+	const minGap = 14
+	for k := 1; k < len(order); k++ {
+		prev, cur := &labels[order[k-1]], &labels[order[k]]
+		if cur.labelY < prev.labelY+minGap {
+			cur.labelY = prev.labelY + minGap
+		}
+	}
+	endX := marginL + plotW
+	for _, li := range labels {
+		s := c.Series[li.series]
+		last := s.Points[len(s.Points)-1]
+		lx := px(last.X)
+		if math.Abs(li.labelY-li.lineY) > 1 {
+			fmt.Fprintf(&b, `<line class="leader" x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`,
+				lx+5, li.lineY, endX+8, li.labelY)
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, `<text class="end-label" x="%.1f" y="%.1f" dominant-baseline="middle"><tspan class="key s%d">●</tspan> %s</text>`,
+			endX+10, li.labelY, li.series+1, esc(s.Name))
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>")
+	return b.String(), nil
+}
+
+// ticks returns ~n clean tick values in (0, max].
+func ticks(max float64, n int) []float64 {
+	if max <= 0 || n < 1 {
+		return nil
+	}
+	step := niceFloor(max / float64(n))
+	var out []float64
+	for v := step; v <= max*1.0001 && len(out) < 10; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// niceFloor rounds down to 1/2/5 × 10^k.
+func niceFloor(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	frac := v / mag
+	switch {
+	case frac >= 5:
+		return 5 * mag
+	case frac >= 2:
+		return 2 * mag
+	default:
+		return mag
+	}
+}
+
+// niceCeil rounds up to 1/2/5 × 10^k.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	frac := v / mag
+	switch {
+	case frac <= 1:
+		return mag
+	case frac <= 2:
+		return 2 * mag
+	case frac <= 5:
+		return 5 * mag
+	default:
+		return 10 * mag
+	}
+}
+
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		if math.Abs(v) >= 10000 {
+			return fmt.Sprintf("%dK", int(v)/1000)
+		}
+		return fmt.Sprintf("%d", int(v))
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+}
+
+func formatVal(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e7:
+		return fmt.Sprintf("%d", int(v))
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

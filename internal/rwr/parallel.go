@@ -1,0 +1,58 @@
+package rwr
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ScoresSetParallel computes the same score matrix as ScoresSet but runs
+// the per-query power iterations on up to `workers` goroutines (≤ 0 means
+// GOMAXPROCS). The Q random walks of Step 1 are independent — each query's
+// iteration only reads the shared transition matrix — so this is a safe
+// and effective speedup for multi-query workloads: the CePS pipeline's
+// dominant cost is exactly these Q solves.
+func (s *Solver) ScoresSetParallel(queries []int, workers int) ([][]float64, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("rwr: empty query set")
+	}
+	for _, q := range queries {
+		if q < 0 || q >= s.n {
+			return nil, fmt.Errorf("rwr: query node %d out of range [0,%d)", q, s.n)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers == 1 {
+		return s.ScoresSet(queries)
+	}
+
+	R := make([][]float64, len(queries))
+	errs := make([]error, len(queries))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				R[i], errs[i] = s.Scores(queries[i])
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return R, nil
+}

@@ -1,0 +1,64 @@
+package rwr
+
+import (
+	"testing"
+)
+
+func TestScoresSetParallelMatchesSequential(t *testing.T) {
+	g := randomGraph(t, 200, 500, 51)
+	s, err := NewSolver(g, colConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []int{0, 17, 42, 99, 150, 199}
+	seq, err := s.ScoresSet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		par, err := s.ScoresSetParallel(queries, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: got %d rows", workers, len(par))
+		}
+		for i := range seq {
+			for j := range seq[i] {
+				if seq[i][j] != par[i][j] {
+					t.Fatalf("workers=%d: row %d node %d differs: %v vs %v",
+						workers, i, j, seq[i][j], par[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestScoresSetParallelDefaultWorkers(t *testing.T) {
+	g := randomGraph(t, 50, 100, 53)
+	s, err := NewSolver(g, colConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	R, err := s.ScoresSetParallel([]int{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(R) != 3 {
+		t.Fatalf("got %d rows", len(R))
+	}
+}
+
+func TestScoresSetParallelErrors(t *testing.T) {
+	g := randomGraph(t, 10, 10, 55)
+	s, err := NewSolver(g, colConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ScoresSetParallel(nil, 2); err == nil {
+		t.Error("empty queries should fail")
+	}
+	if _, err := s.ScoresSetParallel([]int{55}, 2); err == nil {
+		t.Error("out-of-range query should fail")
+	}
+}

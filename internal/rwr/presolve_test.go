@@ -1,0 +1,111 @@
+package rwr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPreSolverMatchesExact(t *testing.T) {
+	g := randomGraph(t, 60, 150, 41)
+	for _, norm := range []NormKind{NormColumn, NormDegreePenalized, NormSymmetric} {
+		s, err := NewSolver(g, Config{C: 0.5, Iterations: 50, Norm: norm, Alpha: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewPreSolver(s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []int{0, 29, 59} {
+			pre, err := p.Scores(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := s.ExactScores(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range pre {
+				if math.Abs(pre[j]-exact[j]) > 1e-9 {
+					t.Fatalf("norm %v q %d node %d: pre %v vs exact %v", norm, q, j, pre[j], exact[j])
+				}
+			}
+		}
+	}
+}
+
+func TestPreSolverMatchesIterativeClosely(t *testing.T) {
+	g := randomGraph(t, 50, 120, 43)
+	s, err := NewSolver(g, Config{C: 0.5, Iterations: 200, Norm: NormColumn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPreSolver(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	R1, err := s.ScoresSet([]int{3, 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	R2, err := p.ScoresSet([]int{3, 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range R1 {
+		for j := range R1[i] {
+			if math.Abs(R1[i][j]-R2[i][j]) > 1e-9 {
+				t.Fatalf("row %d node %d: iter %v vs pre %v", i, j, R1[i][j], R2[i][j])
+			}
+		}
+	}
+}
+
+func TestPreSolverLimits(t *testing.T) {
+	g := randomGraph(t, 30, 60, 45)
+	s, err := NewSolver(g, colConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPreSolver(s, 10); err == nil {
+		t.Error("node limit should be enforced")
+	}
+	p, err := NewPreSolver(s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 30 {
+		t.Errorf("N = %d", p.N())
+	}
+	if p.MemoryBytes() != 30*30*8 {
+		t.Errorf("MemoryBytes = %d", p.MemoryBytes())
+	}
+	if _, err := p.Scores(-1); err == nil {
+		t.Error("bad query should fail")
+	}
+	if _, err := p.Scores(30); err == nil {
+		t.Error("out-of-range query should fail")
+	}
+	if _, err := p.ScoresSet(nil); err == nil {
+		t.Error("empty query set should fail")
+	}
+}
+
+func TestPreSolverDistribution(t *testing.T) {
+	g := randomGraph(t, 40, 120, 47)
+	s, err := NewSolver(g, colConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPreSolver(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Scores(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum := sumOf(r); math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("precomputed scores sum to %v, want 1", sum)
+	}
+}

@@ -1,0 +1,67 @@
+package rwr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSkewnessUniform(t *testing.T) {
+	scores := make([]float64, 100)
+	for i := range scores {
+		scores[i] = 0.01
+	}
+	st := Skewness(scores, []float64{0.1, 0.5})
+	if math.Abs(st.Gini) > 1e-9 {
+		t.Errorf("uniform Gini = %v, want 0", st.Gini)
+	}
+	if math.Abs(st.TopMass[0.1]-0.1) > 1e-9 {
+		t.Errorf("uniform top-10%% mass = %v, want 0.1", st.TopMass[0.1])
+	}
+	if st.NonZero != 100 {
+		t.Errorf("NonZero = %d, want 100", st.NonZero)
+	}
+}
+
+func TestSkewnessDelta(t *testing.T) {
+	scores := make([]float64, 1000)
+	scores[123] = 1
+	st := Skewness(scores, []float64{0.001, 0.01})
+	if st.TopMass[0.001] != 1 {
+		t.Errorf("delta top mass = %v, want 1", st.TopMass[0.001])
+	}
+	if st.Gini < 0.99 {
+		t.Errorf("delta Gini = %v, want ~1", st.Gini)
+	}
+	if st.NonZero != 1 {
+		t.Errorf("NonZero = %d, want 1", st.NonZero)
+	}
+}
+
+func TestSkewnessEmptyFractionsAndZeroVector(t *testing.T) {
+	st := Skewness(make([]float64, 5), nil)
+	if st.Gini != 0 || st.NonZero != 0 || len(st.TopMass) != 0 {
+		t.Errorf("zero vector stats = %+v", st)
+	}
+}
+
+func TestRWRScoresAreSkewed(t *testing.T) {
+	// The §6 motivation: RWR mass concentrates near the query. On a random
+	// graph with local structure, the top 10% of nodes should hold well
+	// over half the mass.
+	g := randomGraph(t, 400, 700, 23)
+	s, err := NewSolver(g, colConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Scores(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Skewness(r, []float64{0.1})
+	if st.TopMass[0.1] < 0.5 {
+		t.Errorf("top-10%% mass = %v; RWR scores should be skewed", st.TopMass[0.1])
+	}
+	if st.Gini <= 0.3 {
+		t.Errorf("Gini = %v; expected strong concentration", st.Gini)
+	}
+}

@@ -1,0 +1,68 @@
+package score
+
+import (
+	"math/rand"
+	"testing"
+
+	"ceps/internal/graph"
+	"ceps/internal/rwr"
+)
+
+func BenchmarkCombineNodes(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, q := 50000, 5
+	R := make([][]float64, q)
+	for i := range R {
+		R[i] = make([]float64, n)
+		for j := range R[i] {
+			R[i][j] = rng.Float64() * 1e-3
+		}
+	}
+	for _, comb := range []Combiner{AND{}, OR{}, KSoftAND{K: 3}, MinOrderStat{}} {
+		b.Run(comb.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := CombineNodes(R, comb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCombineEdges(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	gb := graph.NewBuilder(2000)
+	for i := 1; i < 2000; i++ {
+		gb.AddEdge(i, rng.Intn(i), 1+rng.Float64())
+	}
+	for i := 0; i < 8000; i++ {
+		gb.AddEdge(rng.Intn(2000), rng.Intn(2000), 1)
+	}
+	g := gb.MustBuild()
+	s, err := rwr.NewSolver(g, rwr.Config{C: 0.5, Iterations: 30, Norm: rwr.NormColumn})
+	if err != nil {
+		b.Fatal(err)
+	}
+	R, err := s.ScoresSet([]int{1, 500, 1500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CombineEdges(g, R, s, AND{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAtLeastKWide(b *testing.B) {
+	p := make([]float64, 32)
+	rng := rand.New(rand.NewSource(3))
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AtLeastK(p, 16)
+	}
+}

@@ -1,0 +1,59 @@
+package score
+
+import (
+	"fmt"
+
+	"ceps/internal/graph"
+)
+
+// TransitionProber exposes one-step walk probabilities; *rwr.Solver
+// implements it. It is the W̃ access the edge goodness score needs.
+type TransitionProber interface {
+	// TransitionProb returns the probability that a particle at `from`
+	// steps to `to`.
+	TransitionProb(from, to int) float64
+}
+
+// EdgeIndividual computes r(i, (j,l)) for one edge and one query's score
+// vector r = R[i] (Eq. 15):
+//
+//	r(i,(j,l)) = ½ · ( r(i,j)·W̃_{l,j} + r(i,l)·W̃_{j,l} )
+//
+// i.e. the steady-state probability that the particle traverses the edge in
+// either direction.
+func EdgeIndividual(r []float64, tp TransitionProber, j, l int) float64 {
+	return 0.5 * (r[j]*tp.TransitionProb(j, l) + r[l]*tp.TransitionProb(l, j))
+}
+
+// CombineEdges returns the combined edge scores r(Q, (j,l)) for every edge
+// of g, in g.Edges() order, by applying the combiner to the per-query edge
+// scores (Eqs. 16–18 use the same AND/OR/K_softAND structure as the node
+// scores).
+func CombineEdges(g *graph.Graph, R [][]float64, tp TransitionProber, c Combiner) ([]float64, error) {
+	if len(R) == 0 {
+		return nil, fmt.Errorf("score: empty score matrix")
+	}
+	for i, row := range R {
+		if len(row) != g.N() {
+			return nil, fmt.Errorf("score: row %d has %d entries, want %d", i, len(row), g.N())
+		}
+	}
+	out := make([]float64, 0, g.M())
+	p := make([]float64, len(R))
+	g.ForEachEdge(func(u, v int, w float64) {
+		for i := range R {
+			p[i] = EdgeIndividual(R[i], tp, u, v)
+		}
+		out = append(out, c.Combine(p))
+	})
+	return out, nil
+}
+
+// EdgeScoreOf computes the combined score of a single edge.
+func EdgeScoreOf(R [][]float64, tp TransitionProber, c Combiner, u, v int) float64 {
+	p := make([]float64, len(R))
+	for i := range R {
+		p[i] = EdgeIndividual(R[i], tp, u, v)
+	}
+	return c.Combine(p)
+}

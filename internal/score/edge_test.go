@@ -1,0 +1,114 @@
+package score
+
+import (
+	"math"
+	"testing"
+
+	"ceps/internal/graph"
+	"ceps/internal/rwr"
+)
+
+func triangle(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(0, 2, 1)
+	return b.MustBuild()
+}
+
+func TestEdgeIndividualFormula(t *testing.T) {
+	g := triangle(t)
+	s, err := rwr.NewSolver(g, rwr.Config{C: 0.5, Iterations: 100, Norm: rwr.NormColumn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Scores(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := EdgeIndividual(r, s, 1, 2)
+	want := 0.5 * (r[1]*s.TransitionProb(1, 2) + r[2]*s.TransitionProb(2, 1))
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("EdgeIndividual = %v, want %v", got, want)
+	}
+	if got <= 0 {
+		t.Fatal("edge score on a reachable edge should be positive")
+	}
+	// Symmetric in argument order.
+	if rev := EdgeIndividual(r, s, 2, 1); math.Abs(rev-got) > 1e-15 {
+		t.Fatalf("edge score should be orientation-independent: %v vs %v", got, rev)
+	}
+}
+
+func TestCombineEdgesMatchesPerEdge(t *testing.T) {
+	g := triangle(t)
+	s, err := rwr.NewSolver(g, rwr.Config{C: 0.5, Iterations: 100, Norm: rwr.NormColumn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	R, err := s.ScoresSet([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, comb := range []Combiner{AND{}, OR{}, KSoftAND{K: 2}} {
+		scores, err := CombineEdges(g, R, s, comb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges := g.Edges()
+		if len(scores) != len(edges) {
+			t.Fatalf("got %d edge scores for %d edges", len(scores), len(edges))
+		}
+		for i, e := range edges {
+			want := EdgeScoreOf(R, s, comb, e.U, e.V)
+			if math.Abs(scores[i]-want) > 1e-15 {
+				t.Fatalf("%v edge %d score %v, want %v", comb, i, scores[i], want)
+			}
+			if scores[i] < 0 || scores[i] > 1 {
+				t.Fatalf("edge score %v outside [0,1]", scores[i])
+			}
+		}
+	}
+}
+
+func TestCombineEdgesErrors(t *testing.T) {
+	g := triangle(t)
+	s, err := rwr.NewSolver(g, rwr.Config{C: 0.5, Iterations: 10, Norm: rwr.NormColumn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CombineEdges(g, nil, s, AND{}); err == nil {
+		t.Error("empty R should fail")
+	}
+	if _, err := CombineEdges(g, [][]float64{{1, 2}}, s, AND{}); err == nil {
+		t.Error("short row should fail")
+	}
+}
+
+func TestEdgeScoresConcentrateNearQuery(t *testing.T) {
+	// On a path 0-1-2-3-4-5 with query 0, edges near the query should
+	// carry more AND mass than edges far away.
+	b := graph.NewBuilder(6)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(i, i+1, 1)
+	}
+	g := b.MustBuild()
+	s, err := rwr.NewSolver(g, rwr.Config{C: 0.5, Iterations: 100, Norm: rwr.NormColumn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	R, err := s.ScoresSet([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := CombineEdges(g, R, s, AND{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(scores); i++ {
+		if scores[i] >= scores[i-1] {
+			t.Fatalf("edge scores should decay with distance from the query: %v", scores)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package steiner
+
+import "testing"
+
+func BenchmarkSteinerTree(b *testing.B) {
+	g := randomGraph(b, 3000, 12000, 1)
+	terminals := []int{3, 777, 1500, 2900}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Tree(g, terminals, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

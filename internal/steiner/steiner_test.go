@@ -1,0 +1,226 @@
+package steiner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ceps/internal/graph"
+)
+
+func unit(w float64) float64 { return 1 }
+
+func randomGraph(t testing.TB, n, extra int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, rng.Intn(i), 1+float64(rng.Intn(5)))
+	}
+	for i := 0; i < extra; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n), 1+float64(rng.Intn(5)))
+	}
+	return b.MustBuild()
+}
+
+// checkTree verifies the result is a tree containing all terminals.
+func checkTree(t *testing.T, res *Result) {
+	t.Helper()
+	inNodes := make(map[int]bool, len(res.Subgraph.Nodes))
+	for _, u := range res.Subgraph.Nodes {
+		inNodes[u] = true
+	}
+	for _, term := range res.Terminals {
+		if !inNodes[term] {
+			t.Fatalf("terminal %d missing from tree", term)
+		}
+	}
+	// Tree property: connected and |E| = |V| - 1 over nodes touched by
+	// edges (plus possibly isolated single-terminal case).
+	if len(res.Terminals) > 1 {
+		if len(res.Subgraph.PathEdges) != len(res.Subgraph.Nodes)-1 {
+			t.Fatalf("not a tree: %d nodes, %d edges", len(res.Subgraph.Nodes), len(res.Subgraph.PathEdges))
+		}
+	}
+	adj := map[int][]int{}
+	for _, e := range res.Subgraph.PathEdges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	// Connectivity via DFS from the first terminal.
+	seen := map[int]bool{res.Terminals[0]: true}
+	stack := []int{res.Terminals[0]}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	for _, u := range res.Subgraph.Nodes {
+		if !seen[u] {
+			t.Fatalf("tree node %d disconnected", u)
+		}
+	}
+}
+
+func TestSteinerSimplePath(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.MustBuild()
+	res, err := Tree(g, []int{0, 3}, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, res)
+	if len(res.Subgraph.Nodes) != 4 || res.Length != 3 {
+		t.Fatalf("tree = %v nodes, length %v", res.Subgraph.Nodes, res.Length)
+	}
+}
+
+func TestSteinerStarCenter(t *testing.T) {
+	// Three terminals around a hub: the optimal Steiner tree uses the hub.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 3, 1)
+	b.AddEdge(1, 3, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.MustBuild()
+	res, err := Tree(g, []int{0, 1, 2}, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, res)
+	if !res.Subgraph.Has(3) {
+		t.Fatal("Steiner point (hub) missing")
+	}
+	if res.Length != 3 {
+		t.Fatalf("length = %v, want 3", res.Length)
+	}
+}
+
+func TestSteinerWithinTwiceOptimal(t *testing.T) {
+	// Star of k leaves around a center, all unit lengths: OPT = k, the
+	// metric-closure approximation guarantees ≤ 2·OPT (here it finds OPT
+	// because all closure paths share the center).
+	k := 6
+	b := graph.NewBuilder(k + 1)
+	for i := 0; i < k; i++ {
+		b.AddEdge(i, k, 1)
+	}
+	g := b.MustBuild()
+	terms := []int{0, 1, 2, 3, 4, 5}
+	res, err := Tree(g, terms, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, res)
+	if res.Length > 2*float64(k) {
+		t.Fatalf("length %v exceeds 2x optimal %d", res.Length, k)
+	}
+}
+
+func TestSteinerPrunesUselessBranches(t *testing.T) {
+	// A dead-end branch off the path must not appear.
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(1, 3, 1) // dead end
+	b.AddEdge(3, 4, 1) // dead end continues
+	g := b.MustBuild()
+	res, err := Tree(g, []int{0, 2}, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, res)
+	if res.Subgraph.Has(3) || res.Subgraph.Has(4) {
+		t.Fatalf("dead-end branch kept: %v", res.Subgraph.Nodes)
+	}
+}
+
+func TestSteinerInverseWeightPrefersStrongTies(t *testing.T) {
+	// Heavy (strong) route vs light route; default lengths are 1/w.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 10)
+	b.AddEdge(1, 3, 10)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.MustBuild()
+	res, err := Tree(g, []int{0, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Subgraph.Has(1) || res.Subgraph.Has(2) {
+		t.Fatalf("expected the strong route: %v", res.Subgraph.Nodes)
+	}
+}
+
+func TestSteinerErrors(t *testing.T) {
+	g := randomGraph(t, 10, 10, 1)
+	if _, err := Tree(nil, []int{0}, unit); err == nil {
+		t.Error("nil graph should fail")
+	}
+	if _, err := Tree(g, nil, unit); err == nil {
+		t.Error("no terminals should fail")
+	}
+	if _, err := Tree(g, []int{0, 0}, unit); err == nil {
+		t.Error("duplicate terminals should fail")
+	}
+	if _, err := Tree(g, []int{-1}, unit); err == nil {
+		t.Error("bad terminal should fail")
+	}
+	// Disconnected terminals.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	dg := b.MustBuild()
+	if _, err := Tree(dg, []int{0, 3}, unit); err == nil {
+		t.Error("disconnected terminals should fail")
+	}
+}
+
+func TestSteinerSingleTerminal(t *testing.T) {
+	g := randomGraph(t, 10, 10, 2)
+	res, err := Tree(g, []int{4}, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Subgraph.Nodes) != 1 || res.Length != 0 {
+		t.Fatalf("single terminal tree = %v", res.Subgraph.Nodes)
+	}
+}
+
+func TestSteinerRandomGraphsAlwaysTrees(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(t, 80, 200, seed)
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(4)
+		perm := rng.Perm(g.N())
+		res, err := Tree(g, perm[:k], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTree(t, res)
+		// Sanity: tree length at least the largest terminal-pair distance.
+		d0, _, err := g.Dijkstra(perm[0], graph.InverseWeightLength)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var maxD float64
+		for _, term := range perm[1:k] {
+			if d0[term] > maxD {
+				maxD = d0[term]
+			}
+		}
+		if res.Length+1e-9 < maxD {
+			t.Fatalf("tree length %v shorter than a required path %v", res.Length, maxD)
+		}
+		if math.IsInf(res.Length, 0) || math.IsNaN(res.Length) {
+			t.Fatal("bad tree length")
+		}
+	}
+}
