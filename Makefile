@@ -1,0 +1,34 @@
+# Tier-1 gate: `make check` is what CI and pre-merge runs. It must stay
+# green — vet, build, the full test suite under the race detector, and a
+# short fuzz smoke over the text parsers.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check vet build test race fuzz-smoke bench clean
+
+check: vet build race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz passes over the graph parsers; crashers land in
+# internal/graph/testdata/fuzz and fail `make test` from then on.
+fuzz-smoke:
+	$(GO) test ./internal/graph -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/graph -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME)
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+clean:
+	$(GO) clean ./...

@@ -36,12 +36,14 @@
 package ceps
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"ceps/internal/core"
 	"ceps/internal/current"
 	"ceps/internal/dblp"
+	"ceps/internal/fault"
 	"ceps/internal/graph"
 	"ceps/internal/partition"
 	"ceps/internal/rwr"
@@ -87,6 +89,37 @@ type (
 	SteinerResult = steiner.Result
 	// RankedNode is a node with its combined closeness score.
 	RankedNode = core.RankedNode
+	// Diagnostics reports how one random-walk solve went (sweeps, final
+	// residual, convergence verdict).
+	Diagnostics = rwr.Diagnostics
+	// Fallback records a graceful degradation (e.g. Fast CePS answering on
+	// the full graph because the partition union was degenerate).
+	Fallback = core.Fallback
+)
+
+// Error taxonomy. Every failure on the query path wraps one of these
+// sentinels, so callers branch with errors.Is instead of matching message
+// strings. Context failures additionally satisfy errors.Is against
+// context.Canceled / context.DeadlineExceeded. See README.md "Failure
+// semantics".
+var (
+	// ErrCanceled: the query's context was canceled mid-flight.
+	ErrCanceled = fault.ErrCanceled
+	// ErrDeadlineExceeded: the query's context deadline passed mid-flight.
+	ErrDeadlineExceeded = fault.ErrDeadlineExceeded
+	// ErrDiverged: an iterative solve produced NaN/Inf values or a growing
+	// residual; the scores would have been garbage.
+	ErrDiverged = fault.ErrDiverged
+	// ErrBadQuery: the query set was empty, duplicated, or out of range.
+	ErrBadQuery = fault.ErrBadQuery
+	// ErrBadConfig: the pipeline configuration failed validation.
+	ErrBadConfig = fault.ErrBadConfig
+	// ErrDegeneratePartition: the Fast CePS partition union cannot answer
+	// the query (only surfaced when fallback is disabled).
+	ErrDegeneratePartition = fault.ErrDegeneratePartition
+	// ErrInternal: a panic crossed the Engine boundary and was converted
+	// to an error.
+	ErrInternal = fault.ErrInternal
 )
 
 // Normalization kinds (§4.3 and Appendix A of the paper).
@@ -119,9 +152,35 @@ func Query(g *Graph, queries []int, cfg Config) (*Result, error) {
 	return core.CePS(g, queries, cfg)
 }
 
+// QueryCtx is Query with cooperative cancellation: ctx is checked at every
+// power-iteration sweep and EXTRACT step, so a deadline or cancellation
+// aborts the query within one sweep's work. The returned error satisfies
+// errors.Is for both the ceps sentinels (ErrCanceled,
+// ErrDeadlineExceeded) and the standard context errors.
+func QueryCtx(ctx context.Context, g *Graph, queries []int, cfg Config) (*Result, error) {
+	return core.CePSCtx(ctx, g, queries, cfg)
+}
+
 // PrePartition builds the one-time Fast CePS state: g split into p parts.
 func PrePartition(g *Graph, p int, opts PartitionOptions) (*Partitioned, error) {
 	return core.PrePartition(g, p, opts)
+}
+
+// PrePartitionCtx is PrePartition with cooperative cancellation, checked
+// between the recursive bisections of the multilevel partitioner.
+func PrePartitionCtx(ctx context.Context, g *Graph, p int, opts PartitionOptions) (*Partitioned, error) {
+	return core.PrePartitionCtx(ctx, g, p, opts)
+}
+
+// FastQueryCtx answers a query with the Fast CePS pipeline (Table 5) under
+// ctx, degrading to a full-graph run (recorded in Result.Fallback) when
+// the partition union cannot answer the query. It is shorthand for
+// pt.CePSCtx for callers holding the pre-partition state directly.
+func FastQueryCtx(ctx context.Context, pt *Partitioned, queries []int, cfg Config) (*Result, error) {
+	if pt == nil {
+		return nil, fmt.Errorf("%w: nil pre-partition state", ErrBadQuery)
+	}
+	return pt.CePSCtx(ctx, queries, cfg)
 }
 
 // RelRatio compares a Fast CePS result against a full-graph run (Eq. 19).
@@ -144,12 +203,22 @@ func TopCenterPieces(g *Graph, queries []int, cfg Config, topN int) ([]RankedNod
 	return core.TopCenterPieces(g, queries, cfg, topN)
 }
 
+// TopCenterPiecesCtx is TopCenterPieces with cooperative cancellation.
+func TopCenterPiecesCtx(ctx context.Context, g *Graph, queries []int, cfg Config, topN int) ([]RankedNode, error) {
+	return core.TopCenterPiecesCtx(ctx, g, queries, cfg, topN)
+}
+
 // InferK chooses a K_softAND coefficient from the mutual-support structure
 // of the query set (the paper's Future Work 3: inferring the "optimal" k
 // when the user does not supply one). tau ≤ 0 uses the default support
 // threshold. It returns the inferred k and each query's supporter count.
 func InferK(g *Graph, queries []int, cfg Config, tau float64) (int, []int, error) {
 	return core.InferK(g, queries, cfg, tau)
+}
+
+// InferKCtx is InferK with cooperative cancellation.
+func InferKCtx(ctx context.Context, g *Graph, queries []int, cfg Config, tau float64) (int, []int, error) {
+	return core.InferKCtx(ctx, g, queries, cfg, tau)
 }
 
 // QueryAutoK infers the K_softAND coefficient with InferK and answers the
@@ -223,6 +292,25 @@ func (e *Engine) EnableFastMode(p int, opts PartitionOptions) (*Partitioned, err
 	return pt, nil
 }
 
+// Prepare eagerly builds the cached transition matrix the full-graph query
+// path uses, so the first QueryCtx call does not pay the O(M)
+// normalization inside its deadline. It is a no-op when the matrix is
+// already built. Services that hand out tight per-query deadlines should
+// call Prepare once at startup.
+func (e *Engine) Prepare() error {
+	_, err := e.cachedRunner()
+	return err
+}
+
+// SetPartitioned installs pre-built Fast CePS state (e.g. partitioned
+// under a caller-controlled context with PrePartitionCtx, or loaded from a
+// snapshot). A nil pt disables fast mode.
+func (e *Engine) SetPartitioned(pt *Partitioned) { e.pt = pt }
+
+// Partitioned returns the engine's Fast CePS state, nil when fast mode is
+// off.
+func (e *Engine) Partitioned() *Partitioned { return e.pt }
+
 // DisableFastMode reverts the engine to full-graph CePS.
 func (e *Engine) DisableFastMode() { e.pt = nil }
 
@@ -233,34 +321,60 @@ func (e *Engine) FastMode() bool { return e.pt != nil }
 // using Fast CePS when fast mode is enabled and the cached transition
 // matrix otherwise.
 func (e *Engine) Query(queries ...int) (*Result, error) {
-	return e.queryWith(e.cfg, queries)
+	return e.QueryCtx(context.Background(), queries...)
+}
+
+// QueryCtx is Query with cooperative cancellation and deadline support:
+// ctx is checked at every power-iteration sweep and EXTRACT step. The
+// Engine boundary additionally converts any panic escaping the pipeline
+// into an error wrapping ErrInternal, so one poisoned query cannot crash
+// a service that multiplexes many callers onto one Engine.
+func (e *Engine) QueryCtx(ctx context.Context, queries ...int) (res *Result, err error) {
+	defer recoverToError(&err)
+	return e.queryWith(ctx, e.cfg, queries)
 }
 
 // QueryKSoftAND is a convenience wrapper that answers a K_softAND query
 // without mutating the engine's stored configuration.
-func (e *Engine) QueryKSoftAND(k int, queries ...int) (*Result, error) {
+func (e *Engine) QueryKSoftAND(k int, queries ...int) (res *Result, err error) {
+	defer recoverToError(&err)
 	cfg := e.cfg
 	cfg.K = k
-	return e.queryWith(cfg, queries)
+	return e.queryWith(context.Background(), cfg, queries)
 }
 
-func (e *Engine) queryWith(cfg Config, queries []int) (*Result, error) {
+// recoverToError converts a panic on the public Engine boundary into an
+// error wrapping ErrInternal, preserving the panic value in the message.
+func recoverToError(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: recovered panic: %v", ErrInternal, r)
+	}
+}
+
+func (e *Engine) queryWith(ctx context.Context, cfg Config, queries []int) (*Result, error) {
 	if len(queries) == 0 {
-		return nil, fmt.Errorf("ceps: no query nodes given")
+		return nil, fmt.Errorf("%w: no query nodes given", ErrBadQuery)
 	}
 	if e.pt != nil {
-		return e.pt.CePS(queries, cfg)
+		return e.pt.CePSCtx(ctx, queries, cfg)
 	}
+	runner, err := e.cachedRunner()
+	if err != nil {
+		return nil, err
+	}
+	return runner.QueryCtx(ctx, queries, cfg)
+}
+
+// cachedRunner returns the engine's lazily built full-graph runner.
+func (e *Engine) cachedRunner() (*core.Runner, error) {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.runner == nil {
-		r, err := core.NewRunner(e.g, cfg.RWR)
+		r, err := core.NewRunner(e.g, e.cfg.RWR)
 		if err != nil {
-			e.mu.Unlock()
 			return nil, err
 		}
 		e.runner = r
 	}
-	runner := e.runner
-	e.mu.Unlock()
-	return runner.Query(queries, cfg)
+	return e.runner, nil
 }

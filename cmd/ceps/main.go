@@ -11,49 +11,117 @@
 // (0 = AND, 1 = OR), -b for the budget, -c and -m for the random walk,
 // -alpha and -norm for the normalization, and -partitions to enable Fast
 // CePS (pre-partition, then answer on the query partitions).
+//
+// Execution is context-aware: -timeout bounds the whole run (graph load,
+// optional pre-partition, and the query), and SIGINT/SIGTERM cancel the
+// in-flight query at its next iteration boundary. Exit codes are distinct
+// so scripts can tell failures apart:
+//
+//	0  success
+//	1  query or I/O error
+//	2  usage error
+//	3  the -timeout deadline expired
+//	4  canceled by SIGINT/SIGTERM
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"ceps"
 	"ceps/internal/rwr"
 )
 
+// Exit codes; see the package comment.
+const (
+	exitOK       = 0
+	exitError    = 1
+	exitUsage    = 2
+	exitDeadline = 3
+	exitSignal   = 4
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command against argv and returns the process exit code.
+// It installs the signal handler and the -timeout deadline around the
+// whole pipeline, so a stuck partitioner or query is interruptible.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ceps", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		graphPath = flag.String("graph", "", "path to a ceps-graph text file (required)")
-		queryList = flag.String("q", "", "comma-separated query nodes: ids or labels (required)")
-		k         = flag.Int("k", 0, "K_softAND coefficient: 0 = AND, 1 = OR, else k-out-of-Q")
-		autoK     = flag.Bool("auto-k", false, "infer the K_softAND coefficient from the query set (overrides -k)")
-		budget    = flag.Int("b", 20, "budget: max non-query nodes in the subgraph")
-		c         = flag.Float64("c", 0.5, "random-walk continuation coefficient")
-		m         = flag.Int("m", 50, "random-walk iterations")
-		alpha     = flag.Float64("alpha", 0.5, "degree-penalization strength")
-		norm      = flag.String("norm", "penalized", "normalization: column | penalized | symmetric")
-		parts     = flag.Int("partitions", 0, "enable Fast CePS with this many pre-partitions (0 = off)")
-		dot       = flag.Bool("dot", false, "emit Graphviz DOT instead of a listing")
-		jsonFmt   = flag.Bool("json", false, "emit the result as JSON instead of a listing")
-		explain   = flag.Bool("explain", false, "print the key path that justified each node")
+		graphPath = fs.String("graph", "", "path to a ceps-graph text file (required)")
+		queryList = fs.String("q", "", "comma-separated query nodes: ids or labels (required)")
+		k         = fs.Int("k", 0, "K_softAND coefficient: 0 = AND, 1 = OR, else k-out-of-Q")
+		autoK     = fs.Bool("auto-k", false, "infer the K_softAND coefficient from the query set (overrides -k)")
+		budget    = fs.Int("b", 20, "budget: max non-query nodes in the subgraph")
+		c         = fs.Float64("c", 0.5, "random-walk continuation coefficient")
+		m         = fs.Int("m", 50, "random-walk iterations")
+		alpha     = fs.Float64("alpha", 0.5, "degree-penalization strength")
+		norm      = fs.String("norm", "penalized", "normalization: column | penalized | symmetric")
+		parts     = fs.Int("partitions", 0, "enable Fast CePS with this many pre-partitions (0 = off)")
+		timeout   = fs.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+		dot       = fs.Bool("dot", false, "emit Graphviz DOT instead of a listing")
+		jsonFmt   = fs.Bool("json", false, "emit the result as JSON instead of a listing")
+		explain   = fs.Bool("explain", false, "print the key path that justified each node")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return exitUsage
+	}
 	if *graphPath == "" || *queryList == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return exitUsage
+	}
+	if *parts < 0 {
+		fmt.Fprintf(stderr, "ceps: -partitions %d must be non-negative\n", *parts)
+		return exitUsage
+	}
+
+	// SIGINT/SIGTERM cancel ctx; -timeout arms a deadline on top. Every
+	// phase below (InferK, pre-partition, the query itself) checks this
+	// context at its iteration boundaries.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	fail := func(err error) int {
+		// Library errors already carry the "ceps:" prefix; don't stutter.
+		msg := err.Error()
+		if !strings.HasPrefix(msg, "ceps:") {
+			msg = "ceps: " + msg
+		}
+		fmt.Fprintln(stderr, msg)
+		switch {
+		case errors.Is(err, ceps.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
+			return exitDeadline
+		case errors.Is(err, ceps.ErrCanceled) || errors.Is(err, context.Canceled):
+			return exitSignal
+		default:
+			return exitError
+		}
 	}
 
 	g, err := ceps.ReadGraphFile(*graphPath)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	queries, err := parseQueries(g, *queryList)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	cfg := ceps.DefaultConfig()
@@ -70,53 +138,58 @@ func main() {
 	case "symmetric":
 		cfg.RWR.Norm = rwr.NormSymmetric
 	default:
-		fatal(fmt.Errorf("unknown normalization %q", *norm))
+		fmt.Fprintf(stderr, "ceps: unknown normalization %q\n", *norm)
+		return exitUsage
 	}
 
 	if *autoK {
-		inferred, supports, err := ceps.InferK(g, queries, cfg, 0)
+		inferred, supports, err := ceps.InferKCtx(ctx, g, queries, cfg, 0)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "inferred k = %d (query support counts %v)\n", inferred, supports)
+		fmt.Fprintf(stderr, "inferred k = %d (query support counts %v)\n", inferred, supports)
 		cfg.K = inferred
 	}
 
 	eng := ceps.NewEngine(g, cfg)
 	if *parts > 0 {
-		pt, err := eng.EnableFastMode(*parts, ceps.PartitionOptions{Seed: 1})
+		pt, err := ceps.PrePartitionCtx(ctx, g, *parts, ceps.PartitionOptions{Seed: 1})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "pre-partitioned into %d parts in %v\n", *parts, pt.PartitionTime)
+		eng.SetPartitioned(pt)
+		fmt.Fprintf(stderr, "pre-partitioned into %d parts in %v\n", *parts, pt.PartitionTime)
 	}
-	res, err := eng.Query(queries...)
+	res, err := eng.QueryCtx(ctx, queries...)
 	if err != nil {
-		fatal(err)
+		return fail(err)
+	}
+	if res.Fallback != nil {
+		fmt.Fprintf(stderr, "warning: degraded: %s\n", res.Fallback)
 	}
 
 	if *dot {
-		if err := res.Subgraph.WriteDOT(os.Stdout, g, cepsDotOptions(queries)); err != nil {
-			fatal(err)
+		if err := res.Subgraph.WriteDOT(stdout, g, cepsDotOptions(queries)); err != nil {
+			return fail(err)
 		}
-		return
+		return exitOK
 	}
 	if *jsonFmt {
-		if err := writeJSON(os.Stdout, g, res, queries, cfg, *explain); err != nil {
-			fatal(err)
+		if err := writeJSON(stdout, g, res, queries, cfg, *explain); err != nil {
+			return fail(err)
 		}
-		return
+		return exitOK
 	}
 
-	fmt.Printf("query type: %s, budget %d, response time %v\n",
+	fmt.Fprintf(stdout, "query type: %s, budget %d, response time %v\n",
 		cfg.QueryTypeName(len(queries)), *budget, res.Elapsed)
-	fmt.Printf("subgraph: %d nodes, %d path edges, %d induced edges\n",
+	fmt.Fprintf(stdout, "subgraph: %d nodes, %d path edges, %d induced edges\n",
 		res.Subgraph.Size(), len(res.Subgraph.PathEdges), len(res.Subgraph.InducedEdges))
-	fmt.Printf("NRatio: %.4f", res.NRatio())
+	fmt.Fprintf(stdout, "NRatio: %.4f", res.NRatio())
 	if er, err := res.ERatio(); err == nil {
-		fmt.Printf("  ERatio: %.4f", er)
+		fmt.Fprintf(stdout, "  ERatio: %.4f", er)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
 	// List nodes by descending combined score.
 	type row struct {
@@ -142,15 +215,16 @@ func main() {
 		if isQuery[r.id] {
 			tag = "Q"
 		}
-		fmt.Printf("  %s %6d  %-40s r(Q,j)=%.3e\n", tag, r.id, g.Label(r.id), r.score)
+		fmt.Fprintf(stdout, "  %s %6d  %-40s r(Q,j)=%.3e\n", tag, r.id, g.Label(r.id), r.score)
 	}
 
 	if *explain {
-		fmt.Println("\nwhy each node is here:")
+		fmt.Fprintln(stdout, "\nwhy each node is here:")
 		for _, line := range res.ExplainAll() {
-			fmt.Printf("  %s\n", line)
+			fmt.Fprintf(stdout, "  %s\n", line)
 		}
 	}
+	return exitOK
 }
 
 func cepsDotOptions(queries []int) ceps.DOTOptions {
@@ -182,9 +256,4 @@ func parseQueries(g *ceps.Graph, list string) ([]int, error) {
 		return nil, fmt.Errorf("no query nodes given")
 	}
 	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ceps:", err)
-	os.Exit(1)
 }

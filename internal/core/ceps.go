@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"ceps/internal/extract"
+	"ceps/internal/fault"
 	"ceps/internal/graph"
 	"ceps/internal/rwr"
 	"ceps/internal/score"
@@ -37,11 +39,49 @@ type Result struct {
 	// Extraction carries EXTRACT bookkeeping (destinations, goodness).
 	Extraction *extract.Result
 
+	// RWRDiagnostics reports, per query (same order as Queries), how the
+	// random-walk solve went: sweeps run, final residual, and whether the
+	// scores converged rather than being truncated at m sweeps.
+	RWRDiagnostics []rwr.Diagnostics
+
+	// Fallback is non-nil when Fast CePS degraded to a full-graph run; it
+	// records why. Plain CePS results always have a nil Fallback.
+	Fallback *Fallback
+
 	// Elapsed is the wall-clock response time of the query phase
 	// (scores + combination + extraction); for Fast CePS it includes the
 	// partition-picking and induction steps but not the one-time
 	// pre-partitioning.
 	Elapsed time.Duration
+}
+
+// Fallback records one step down the graceful-degradation ladder: the
+// query was answered, but not by the path the caller asked for.
+type Fallback struct {
+	// From and To name the abandoned and substituted execution paths
+	// (currently always "fast-ceps" → "full-ceps").
+	From, To string
+	// Reason says what made the preferred path unusable.
+	Reason string
+}
+
+// String renders the fallback for logs.
+func (f *Fallback) String() string {
+	return fmt.Sprintf("%s → %s (%s)", f.From, f.To, f.Reason)
+}
+
+// Degraded reports whether the result was produced by a fallback path.
+func (r *Result) Degraded() bool { return r.Fallback != nil }
+
+// Converged reports whether every per-query random-walk solve converged
+// (vacuously true when no diagnostics were recorded).
+func (r *Result) Converged() bool {
+	for _, d := range r.RWRDiagnostics {
+		if !d.Converged {
+			return false
+		}
+	}
+	return true
 }
 
 // OrigID converts a WorkGraph node id to an original id.
@@ -56,6 +96,15 @@ func (r *Result) OrigID(u int) int {
 // computes individual RWR scores, Step 2 combines them under the configured
 // query type, Step 3 extracts the connection subgraph.
 func CePS(g *graph.Graph, queries []int, cfg Config) (*Result, error) {
+	return CePSCtx(context.Background(), g, queries, cfg)
+}
+
+// CePSCtx is CePS with cooperative cancellation: ctx is checked at every
+// power-iteration sweep and every EXTRACT step, so a deadline or cancel
+// aborts the query within one sweep's work. The returned error satisfies
+// errors.Is for both the fault sentinels (fault.ErrCanceled,
+// fault.ErrDeadlineExceeded) and the standard context errors.
+func CePSCtx(ctx context.Context, g *graph.Graph, queries []int, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -63,7 +112,7 @@ func CePS(g *graph.Graph, queries []int, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	res, err := runPipeline(g, queries, cfg)
+	res, err := runPipeline(ctx, g, queries, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -73,20 +122,31 @@ func CePS(g *graph.Graph, queries []int, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runPipeline executes steps 1–3 on the given (work) graph.
-func runPipeline(g *graph.Graph, queries []int, cfg Config) (*Result, error) {
+// runPipeline executes steps 1–3 on the given (work) graph, honoring ctx.
+func runPipeline(ctx context.Context, g *graph.Graph, queries []int, cfg Config) (*Result, error) {
 	solver, err := rwr.NewSolver(g, cfg.RWR)
 	if err != nil {
 		return nil, err
 	}
-	var R [][]float64
+	return runPipelineWith(ctx, solver, g, queries, cfg)
+}
+
+// runPipelineWith executes steps 1–3 with an already-built solver (the
+// Runner's cached-matrix path and the plain path share everything past
+// solver construction).
+func runPipelineWith(ctx context.Context, solver *rwr.Solver, g *graph.Graph, queries []int, cfg Config) (*Result, error) {
+	var (
+		R     [][]float64
+		diags []rwr.Diagnostics
+		err   error
+	)
 	switch {
 	case cfg.Workers == 0 || cfg.Workers == 1:
-		R, err = solver.ScoresSet(queries)
+		R, diags, err = solver.ScoresSetCtx(ctx, queries)
 	case cfg.Workers < 0:
-		R, err = solver.ScoresSetParallel(queries, 0)
+		R, diags, err = solver.ScoresSetParallelCtx(ctx, queries, 0)
 	default:
-		R, err = solver.ScoresSetParallel(queries, cfg.Workers)
+		R, diags, err = solver.ScoresSetParallelCtx(ctx, queries, cfg.Workers)
 	}
 	if err != nil {
 		return nil, err
@@ -96,7 +156,7 @@ func runPipeline(g *graph.Graph, queries []int, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ext, err := extract.Extract(extract.Input{
+	ext, err := extract.ExtractCtx(ctx, extract.Input{
 		G:          g,
 		Queries:    queries,
 		R:          R,
@@ -109,30 +169,31 @@ func runPipeline(g *graph.Graph, queries []int, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return &Result{
-		Subgraph:   ext.Subgraph,
-		WorkGraph:  g,
-		R:          R,
-		Combined:   combined,
-		Solver:     solver,
-		Combiner:   comb,
-		Extraction: ext,
+		Subgraph:       ext.Subgraph,
+		WorkGraph:      g,
+		R:              R,
+		Combined:       combined,
+		Solver:         solver,
+		Combiner:       comb,
+		Extraction:     ext,
+		RWRDiagnostics: diags,
 	}, nil
 }
 
 func checkQueries(g *graph.Graph, queries []int) error {
 	if g == nil {
-		return fmt.Errorf("core: nil graph")
+		return fmt.Errorf("%w: nil graph", fault.ErrBadQuery)
 	}
 	if len(queries) == 0 {
-		return fmt.Errorf("core: empty query set")
+		return fmt.Errorf("%w: empty query set", fault.ErrBadQuery)
 	}
 	seen := make(map[int]bool, len(queries))
 	for _, q := range queries {
 		if q < 0 || q >= g.N() {
-			return fmt.Errorf("core: query node %d out of range [0,%d)", q, g.N())
+			return fmt.Errorf("%w: query node %d out of range [0,%d)", fault.ErrBadQuery, q, g.N())
 		}
 		if seen[q] {
-			return fmt.Errorf("core: duplicate query node %d", q)
+			return fmt.Errorf("%w: duplicate query node %d", fault.ErrBadQuery, q)
 		}
 		seen[q] = true
 	}

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"ceps/internal/fault"
 	"ceps/internal/rwr"
 	"ceps/internal/score"
 )
@@ -51,19 +52,19 @@ func DefaultConfig() Config {
 	return Config{RWR: rwr.DefaultConfig(), K: 0, Budget: 20}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Rejections wrap fault.ErrBadConfig.
 func (c Config) Validate() error {
 	if err := c.RWR.Validate(); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", fault.ErrBadConfig, err)
 	}
 	if c.Budget <= 0 {
-		return fmt.Errorf("core: budget %d must be positive", c.Budget)
+		return fmt.Errorf("%w: budget %d must be positive", fault.ErrBadConfig, c.Budget)
 	}
 	if c.K < 0 {
-		return fmt.Errorf("core: K_softAND coefficient %d must be non-negative (0 = AND)", c.K)
+		return fmt.Errorf("%w: K_softAND coefficient %d must be non-negative (0 = AND)", fault.ErrBadConfig, c.K)
 	}
 	if c.MaxPathLen < 0 {
-		return fmt.Errorf("core: max path length %d must be non-negative", c.MaxPathLen)
+		return fmt.Errorf("%w: max path length %d must be non-negative", fault.ErrBadConfig, c.MaxPathLen)
 	}
 	return nil
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"ceps/internal/fault"
 	"ceps/internal/graph"
 	"ceps/internal/partition"
 )
@@ -20,16 +22,28 @@ type Partitioned struct {
 	Partition *partition.Result
 	// PartitionTime is the one-time cost of Step 0.
 	PartitionTime time.Duration
+	// NoFallback disables the graceful degradation to full-graph CePS:
+	// instead of answering a query whose partition union is degenerate on
+	// the full graph (recording the fallback in the Result), CePS returns
+	// an error wrapping fault.ErrDegeneratePartition. Leave false in
+	// production; tests and strict benchmarks set it.
+	NoFallback bool
 }
 
 // PrePartition splits g into p parts (Table 5 Step 0). The partitioning is
 // deterministic for a fixed opts.Seed.
 func PrePartition(g *graph.Graph, p int, opts partition.Options) (*Partitioned, error) {
+	return PrePartitionCtx(context.Background(), g, p, opts)
+}
+
+// PrePartitionCtx is PrePartition with cooperative cancellation, checked
+// between the recursive bisections of the multilevel partitioner.
+func PrePartitionCtx(ctx context.Context, g *graph.Graph, p int, opts partition.Options) (*Partitioned, error) {
 	if g == nil {
-		return nil, fmt.Errorf("core: nil graph")
+		return nil, fmt.Errorf("%w: nil graph", fault.ErrBadQuery)
 	}
 	start := time.Now()
-	part, err := partition.KWay(g, p, opts)
+	part, err := partition.KWayCtx(ctx, g, p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -42,6 +56,19 @@ func PrePartition(g *graph.Graph, p int, opts partition.Options) (*Partitioned, 
 // Subgraph is remapped to original graph ids; the score vectors remain in
 // working-graph ids with ToOrig giving the mapping.
 func (pt *Partitioned) CePS(queries []int, cfg Config) (*Result, error) {
+	return pt.CePSCtx(context.Background(), queries, cfg)
+}
+
+// CePSCtx is the context-aware Fast CePS query path with graceful
+// degradation. When the partition union is degenerate — the partitioner
+// state is missing or malformed, the union is empty or lost a query node,
+// or the query nodes are disconnected inside the union while the paper's
+// pipeline needs walk mass to flow between them — the query is re-run on
+// the full graph and the substitution is recorded in Result.Fallback
+// instead of surfacing an error (unless NoFallback is set). Context
+// cancellation and numerical faults are never degraded: they propagate as
+// typed errors.
+func (pt *Partitioned) CePSCtx(ctx context.Context, queries []int, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -50,22 +77,23 @@ func (pt *Partitioned) CePS(queries []int, cfg Config) (*Result, error) {
 	}
 	start := time.Now()
 
-	parts := pt.Partition.PartsContaining(queries)
-	nodes := pt.Partition.NodesInParts(parts)
-	work, toOrig, toWork, err := pt.G.Induced(nodes)
-	if err != nil {
-		return nil, err
-	}
-	workQueries := make([]int, len(queries))
-	for i, q := range queries {
-		wq, ok := toWork[q]
-		if !ok {
-			return nil, fmt.Errorf("core: query %d missing from its own partition", q)
+	work, toOrig, workQueries, why := pt.queryUnion(queries)
+	if why != "" {
+		if pt.NoFallback {
+			return nil, fmt.Errorf("%w: %s", fault.ErrDegeneratePartition, why)
 		}
-		workQueries[i] = wq
+		res, err := runPipeline(ctx, pt.G, queries, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Queries = append([]int(nil), queries...)
+		res.WorkQueries = append([]int(nil), queries...)
+		res.Fallback = &Fallback{From: "fast-ceps", To: "full-ceps", Reason: why}
+		res.Elapsed = time.Since(start)
+		return res, nil
 	}
 
-	res, err := runPipeline(work, workQueries, cfg)
+	res, err := runPipeline(ctx, work, workQueries, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -76,6 +104,48 @@ func (pt *Partitioned) CePS(queries []int, cfg Config) (*Result, error) {
 	res.Subgraph.FillInduced(pt.G)
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// queryUnion materializes the partition union for a query set (Table 5
+// Step 1) and vets it. A non-empty reason means the union cannot answer
+// the query and the caller should fall back to the full graph.
+func (pt *Partitioned) queryUnion(queries []int) (work *graph.Graph, toOrig []int, workQueries []int, reason string) {
+	if pt.Partition == nil {
+		return nil, nil, nil, "no partition state (partitioner failed or was never run)"
+	}
+	if len(pt.Partition.Assign) != pt.G.N() {
+		return nil, nil, nil, fmt.Sprintf("partition assigns %d nodes but the graph has %d", len(pt.Partition.Assign), pt.G.N())
+	}
+	parts := pt.Partition.PartsContaining(queries)
+	nodes := pt.Partition.NodesInParts(parts)
+	if len(nodes) == 0 {
+		return nil, nil, nil, "empty partition union"
+	}
+	var toWork map[int]int
+	var err error
+	work, toOrig, toWork, err = pt.G.Induced(nodes)
+	if err != nil {
+		return nil, nil, nil, fmt.Sprintf("inducing the partition union failed: %v", err)
+	}
+	workQueries = make([]int, len(queries))
+	for i, q := range queries {
+		wq, ok := toWork[q]
+		if !ok {
+			return nil, nil, nil, fmt.Sprintf("query node %d missing from its own partition", q)
+		}
+		workQueries[i] = wq
+	}
+	// The pipeline needs walk mass to flow between the query nodes: queries
+	// that the union separates (or strands with no edges at all) would get
+	// a near-zero combined score even though the full graph connects them.
+	if len(workQueries) > 1 {
+		if !work.SameComponent(workQueries) {
+			return nil, nil, nil, "query nodes disconnected inside the partition union"
+		}
+	} else if work.Degree(workQueries[0]) == 0 && pt.G.Degree(queries[0]) > 0 {
+		return nil, nil, nil, fmt.Sprintf("query node %d isolated inside the partition union", queries[0])
+	}
+	return work, toOrig, workQueries, ""
 }
 
 // remapSubgraph rewrites a subgraph from working ids to original ids.

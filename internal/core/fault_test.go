@@ -1,0 +1,229 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"ceps/internal/fault"
+	"ceps/internal/graph"
+	"ceps/internal/partition"
+)
+
+// degradedSetup builds a partitioned dataset plus a query pair for the
+// fallback tests.
+func degradedSetup(t *testing.T) (*Partitioned, []int, Config) {
+	t.Helper()
+	ds := testDataset(t, 7)
+	pt, err := PrePartition(ds.Graph, 6, partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := ds.RandomQueries(rand.New(rand.NewSource(2)), 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	cfg.Budget = 10
+	return pt, queries, cfg
+}
+
+// TestFastCePSFallbackOnPartitionerFailure injects a partitioner failure
+// (nil partition state) and checks the query is still answered — on the
+// full graph, with the substitution recorded — rather than erroring.
+func TestFastCePSFallbackOnPartitionerFailure(t *testing.T) {
+	pt, queries, cfg := degradedSetup(t)
+	pt.Partition = nil
+
+	res, err := pt.CePS(queries, cfg)
+	if err != nil {
+		t.Fatalf("degraded query should succeed, got %v", err)
+	}
+	if res.Fallback == nil || !res.Degraded() {
+		t.Fatal("fallback not recorded")
+	}
+	if res.Fallback.From != "fast-ceps" || res.Fallback.To != "full-ceps" {
+		t.Errorf("fallback = %+v", res.Fallback)
+	}
+	if !strings.Contains(res.Fallback.Reason, "no partition state") {
+		t.Errorf("reason = %q", res.Fallback.Reason)
+	}
+	for _, q := range queries {
+		if !res.Subgraph.Has(q) {
+			t.Errorf("query %d missing from degraded answer", q)
+		}
+	}
+	if res.ToOrig != nil {
+		t.Error("full-graph fallback should not carry an id remapping")
+	}
+}
+
+// TestFastCePSFallbackOnMalformedAssign covers partition state that no
+// longer matches the graph (e.g. state reused across graph versions).
+func TestFastCePSFallbackOnMalformedAssign(t *testing.T) {
+	pt, queries, cfg := degradedSetup(t)
+	pt.Partition.Assign = pt.Partition.Assign[:len(pt.Partition.Assign)-1]
+
+	res, err := pt.CePS(queries, cfg)
+	if err != nil {
+		t.Fatalf("degraded query should succeed, got %v", err)
+	}
+	if res.Fallback == nil || !strings.Contains(res.Fallback.Reason, "partition assigns") {
+		t.Fatalf("fallback = %+v", res.Fallback)
+	}
+}
+
+// TestFastCePSNoFallbackSurfacesTypedError: with NoFallback set the same
+// degenerate state must become ErrDegeneratePartition instead.
+func TestFastCePSNoFallbackSurfacesTypedError(t *testing.T) {
+	pt, queries, cfg := degradedSetup(t)
+	pt.Partition = nil
+	pt.NoFallback = true
+
+	_, err := pt.CePS(queries, cfg)
+	if !errors.Is(err, fault.ErrDegeneratePartition) {
+		t.Fatalf("err = %v, want ErrDegeneratePartition", err)
+	}
+}
+
+// TestFastCePSFallbackOnDisconnectedQueries builds a path graph whose
+// partition strands the two query nodes in edgeless isolation inside the
+// union: the full graph connects them, so the query must fall back.
+func TestFastCePSFallbackOnDisconnectedQueries(t *testing.T) {
+	b := graph.NewBuilder(5)
+	for u := 0; u < 4; u++ {
+		b.AddEdge(u, u+1, 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parts {0,2,4} and {1,3}: the union for queries 0 and 4 is part 0,
+	// whose induced subgraph has no edges at all.
+	pt := &Partitioned{G: g, Partition: &partition.Result{
+		Assign:    []int{0, 1, 0, 1, 0},
+		K:         2,
+		PartSizes: []int{3, 2},
+	}}
+	cfg := fastConfig()
+	cfg.Budget = 3
+
+	res, err := pt.CePSCtx(context.Background(), []int{0, 4}, cfg)
+	if err != nil {
+		t.Fatalf("degraded query should succeed, got %v", err)
+	}
+	if res.Fallback == nil || !strings.Contains(res.Fallback.Reason, "disconnected") {
+		t.Fatalf("fallback = %+v", res.Fallback)
+	}
+	if !res.Subgraph.Has(0) || !res.Subgraph.Has(4) {
+		t.Error("degraded answer lost a query node")
+	}
+
+	// The same shape with NoFallback is a typed error.
+	pt.NoFallback = true
+	if _, err := pt.CePSCtx(context.Background(), []int{0, 4}, cfg); !errors.Is(err, fault.ErrDegeneratePartition) {
+		t.Fatalf("err = %v, want ErrDegeneratePartition", err)
+	}
+}
+
+// TestFastCePSFallbackOnIsolatedSingleQuery: a single query node stranded
+// without edges inside the union (but not in the full graph) degrades too.
+func TestFastCePSFallbackOnIsolatedSingleQuery(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := &Partitioned{G: g, Partition: &partition.Result{
+		Assign:    []int{0, 1, 1, 1},
+		K:         2,
+		PartSizes: []int{1, 3},
+	}}
+	cfg := fastConfig()
+	cfg.Budget = 2
+
+	res, err := pt.CePSCtx(context.Background(), []int{0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback == nil || !strings.Contains(res.Fallback.Reason, "isolated") {
+		t.Fatalf("fallback = %+v", res.Fallback)
+	}
+}
+
+// TestFastCePSCancellationIsNotDegraded: context errors must propagate as
+// typed errors, never silently turn into a full-graph answer.
+func TestFastCePSCancellationIsNotDegraded(t *testing.T) {
+	pt, queries, cfg := degradedSetup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := pt.CePSCtx(ctx, queries, cfg)
+	if !errors.Is(err, fault.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+
+	// Even on the fallback path (degenerate union) the context wins.
+	pt.Partition = nil
+	_, err = pt.CePSCtx(ctx, queries, cfg)
+	if !errors.Is(err, fault.ErrCanceled) {
+		t.Fatalf("fallback path: err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestCePSCtxDeadline: the plain (non-fast) pipeline honors deadlines at
+// sweep boundaries.
+func TestCePSCtxDeadline(t *testing.T) {
+	ds := testDataset(t, 9)
+	cfg := fastConfig()
+	cfg.RWR.Iterations = 1 << 30
+	queries, err := ds.RandomQueries(rand.New(rand.NewSource(3)), 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = CePSCtx(ctx, ds.Graph, queries, cfg)
+	if !errors.Is(err, fault.ErrDeadlineExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded wrapping context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("abort took %v", elapsed)
+	}
+}
+
+// TestResultConvergedReflectsDiagnostics: the per-query diagnostics roll up
+// into the Result-level verdict.
+func TestResultConvergedReflectsDiagnostics(t *testing.T) {
+	ds := testDataset(t, 13)
+	queries, err := ds.RandomQueries(rand.New(rand.NewSource(5)), 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig() // 30 sweeps at c = 0.5: converged
+	res, err := CePS(ds.Graph, queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RWRDiagnostics) != len(queries) {
+		t.Fatalf("got %d diagnostics for %d queries", len(res.RWRDiagnostics), len(queries))
+	}
+	if !res.Converged() {
+		t.Errorf("30-sweep run should be converged: %+v", res.RWRDiagnostics)
+	}
+
+	cfg.RWR.Iterations = 1 // truncated
+	res, err = CePS(ds.Graph, queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged() {
+		t.Errorf("1-sweep run should not be converged: %+v", res.RWRDiagnostics)
+	}
+}

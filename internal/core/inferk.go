@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"ceps/internal/fault"
 	"ceps/internal/graph"
 	"ceps/internal/rwr"
 )
@@ -35,6 +37,12 @@ const DefaultSupportThreshold = 0.01
 // The returned supports slice holds each query's supporter count
 // (including itself), which callers can surface for diagnostics.
 func InferK(g *graph.Graph, queries []int, cfg Config, tau float64) (bestK int, supports []int, err error) {
+	return InferKCtx(context.Background(), g, queries, cfg, tau)
+}
+
+// InferKCtx is InferK with cooperative cancellation of the underlying
+// random-walk solves.
+func InferKCtx(ctx context.Context, g *graph.Graph, queries []int, cfg Config, tau float64) (bestK int, supports []int, err error) {
 	if err := cfg.Validate(); err != nil {
 		return 0, nil, err
 	}
@@ -46,14 +54,14 @@ func InferK(g *graph.Graph, queries []int, cfg Config, tau float64) (bestK int, 
 	}
 	q := len(queries)
 	if q < 2 {
-		return 0, nil, fmt.Errorf("core: inferring k needs at least 2 queries, got %d", q)
+		return 0, nil, fmt.Errorf("%w: inferring k needs at least 2 queries, got %d", fault.ErrBadQuery, q)
 	}
 
 	solver, err := rwr.NewSolver(g, cfg.RWR)
 	if err != nil {
 		return 0, nil, err
 	}
-	R, err := solver.ScoresSet(queries)
+	R, _, err := solver.ScoresSetCtx(ctx, queries)
 	if err != nil {
 		return 0, nil, err
 	}

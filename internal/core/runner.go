@@ -1,13 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"ceps/internal/extract"
+	"ceps/internal/fault"
 	"ceps/internal/graph"
 	"ceps/internal/rwr"
-	"ceps/internal/score"
 )
 
 // Runner answers repeated CePS queries over one graph while reusing the
@@ -26,7 +26,7 @@ type Runner struct {
 // configuration.
 func NewRunner(g *graph.Graph, rwrCfg rwr.Config) (*Runner, error) {
 	if g == nil {
-		return nil, fmt.Errorf("core: nil graph")
+		return nil, fmt.Errorf("%w: nil graph", fault.ErrBadQuery)
 	}
 	solver, err := rwr.NewSolver(g, rwrCfg)
 	if err != nil {
@@ -42,57 +42,29 @@ func (r *Runner) Graph() *graph.Graph { return r.g }
 // the configuration the Runner was built with — the walk parameters are
 // baked into the cached matrix.
 func (r *Runner) Query(queries []int, cfg Config) (*Result, error) {
+	return r.QueryCtx(context.Background(), queries, cfg)
+}
+
+// QueryCtx is Query with cooperative cancellation: the cached-matrix fast
+// path checks ctx at every power-iteration sweep and EXTRACT step, so a
+// deadline aborts the query promptly even on large graphs.
+func (r *Runner) QueryCtx(ctx context.Context, queries []int, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.RWR != r.rwrCfg {
-		return nil, fmt.Errorf("core: runner was built with RWR config %+v, query asks for %+v (build a new Runner)", r.rwrCfg, cfg.RWR)
+		return nil, fmt.Errorf("%w: runner was built with RWR config %+v, query asks for %+v (build a new Runner)", fault.ErrBadConfig, r.rwrCfg, cfg.RWR)
 	}
 	if err := checkQueries(r.g, queries); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-
-	var R [][]float64
-	var err error
-	switch {
-	case cfg.Workers == 0 || cfg.Workers == 1:
-		R, err = r.solver.ScoresSet(queries)
-	case cfg.Workers < 0:
-		R, err = r.solver.ScoresSetParallel(queries, 0)
-	default:
-		R, err = r.solver.ScoresSetParallel(queries, cfg.Workers)
-	}
+	res, err := runPipelineWith(ctx, r.solver, r.g, queries, cfg)
 	if err != nil {
 		return nil, err
 	}
-	comb := cfg.Combiner(len(queries))
-	combined, err := score.CombineNodes(R, comb)
-	if err != nil {
-		return nil, err
-	}
-	ext, err := extract.Extract(extract.Input{
-		G:          r.g,
-		Queries:    queries,
-		R:          R,
-		Combined:   combined,
-		K:          cfg.EffectiveK(len(queries)),
-		Budget:     cfg.Budget,
-		MaxPathLen: cfg.MaxPathLen,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Subgraph:    ext.Subgraph,
-		Queries:     append([]int(nil), queries...),
-		WorkGraph:   r.g,
-		WorkQueries: append([]int(nil), queries...),
-		R:           R,
-		Combined:    combined,
-		Solver:      r.solver,
-		Combiner:    comb,
-		Extraction:  ext,
-		Elapsed:     time.Since(start),
-	}, nil
+	res.Queries = append([]int(nil), queries...)
+	res.WorkQueries = append([]int(nil), queries...)
+	res.Elapsed = time.Since(start)
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"ceps/internal/graph"
@@ -20,6 +21,12 @@ type RankedNode struct {
 // for subgraph extraction, which is what callers ranking or paginating
 // candidates (rather than displaying a connection subgraph) want.
 func TopCenterPieces(g *graph.Graph, queries []int, cfg Config, topN int) ([]RankedNode, error) {
+	return TopCenterPiecesCtx(context.Background(), g, queries, cfg, topN)
+}
+
+// TopCenterPiecesCtx is TopCenterPieces with cooperative cancellation of
+// the underlying random-walk solves.
+func TopCenterPiecesCtx(ctx context.Context, g *graph.Graph, queries []int, cfg Config, topN int) ([]RankedNode, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -30,7 +37,7 @@ func TopCenterPieces(g *graph.Graph, queries []int, cfg Config, topN int) ([]Ran
 	if err != nil {
 		return nil, err
 	}
-	return topCenterPieces(solver, g, queries, cfg, topN)
+	return topCenterPieces(ctx, solver, g, queries, cfg, topN)
 }
 
 // TopCenterPieces is the Runner variant reusing the cached solver.
@@ -44,14 +51,14 @@ func (r *Runner) TopCenterPieces(queries []int, cfg Config, topN int) ([]RankedN
 	if err := checkQueries(r.g, queries); err != nil {
 		return nil, err
 	}
-	return topCenterPieces(r.solver, r.g, queries, cfg, topN)
+	return topCenterPieces(context.Background(), r.solver, r.g, queries, cfg, topN)
 }
 
-func topCenterPieces(solver *rwr.Solver, g *graph.Graph, queries []int, cfg Config, topN int) ([]RankedNode, error) {
+func topCenterPieces(ctx context.Context, solver *rwr.Solver, g *graph.Graph, queries []int, cfg Config, topN int) ([]RankedNode, error) {
 	if topN <= 0 {
 		topN = 10
 	}
-	R, err := solver.ScoresSet(queries)
+	R, _, err := solver.ScoresSetCtx(ctx, queries)
 	if err != nil {
 		return nil, err
 	}

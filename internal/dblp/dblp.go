@@ -220,9 +220,16 @@ func Generate(cfg Config) (*Dataset, error) {
 	}
 	sample := func(ci int) int { return base[ci] + int(zipfs[ci].Uint64()) }
 
+	// Teams are generated in-range, so AddPaper should never fail; if a
+	// future edit breaks that invariant the first failure is remembered
+	// and returned as an error instead of panicking out of a library call.
+	var addPaperErr error
 	addPaper := func(team []int) {
 		if _, err := bp.AddPaper(team); err != nil {
-			panic(err) // teams are generated in-range; impossible by construction
+			if addPaperErr == nil {
+				addPaperErr = err
+			}
+			return
 		}
 		ds.PaperCount++
 	}
@@ -337,6 +344,9 @@ func Generate(cfg Config) (*Dataset, error) {
 		}
 	}
 
+	if addPaperErr != nil {
+		return nil, fmt.Errorf("dblp: generated an invalid paper team: %w", addPaperErr)
+	}
 	papers, err := bp.Build()
 	if err != nil {
 		return nil, err

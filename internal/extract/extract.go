@@ -17,10 +17,12 @@
 package extract
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"ceps/internal/fault"
 	"ceps/internal/graph"
 )
 
@@ -86,6 +88,14 @@ type Provenance struct {
 
 // Extract runs the EXTRACT algorithm of Table 4.
 func Extract(in Input) (*Result, error) {
+	return ExtractCtx(context.Background(), in)
+}
+
+// ExtractCtx is Extract with cooperative cancellation: ctx is checked
+// before each destination pick and before each key-path dynamic program —
+// the two unbounded-work loops of Table 4 — so a fired deadline aborts
+// within one path discovery.
+func ExtractCtx(ctx context.Context, in Input) (*Result, error) {
 	if err := validate(&in); err != nil {
 		return nil, err
 	}
@@ -120,6 +130,9 @@ func Extract(in Input) (*Result, error) {
 	dp := newPathDP(in.G, n)
 
 	for newNodes < in.Budget {
+		if err := fault.FromContext(ctx); err != nil {
+			return nil, err
+		}
 		pd := pickDestination(in.Combined, inH, excluded)
 		if pd < 0 {
 			break // nothing promising remains
@@ -127,6 +140,9 @@ func Extract(in Input) (*Result, error) {
 		actives := activeSources(in.R, pd, k)
 		pathsAdded := 0
 		for _, src := range actives {
+			if err := fault.FromContext(ctx); err != nil {
+				return nil, err
+			}
 			remaining := in.Budget - newNodes
 			if remaining <= 0 {
 				break
@@ -179,15 +195,15 @@ func validate(in *Input) error {
 	}
 	n := in.G.N()
 	if len(in.Queries) == 0 {
-		return fmt.Errorf("extract: empty query set")
+		return fmt.Errorf("%w: extract: empty query set", fault.ErrBadQuery)
 	}
 	seen := make(map[int]bool, len(in.Queries))
 	for _, q := range in.Queries {
 		if q < 0 || q >= n {
-			return fmt.Errorf("extract: query node %d out of range [0,%d)", q, n)
+			return fmt.Errorf("%w: extract: query node %d out of range [0,%d)", fault.ErrBadQuery, q, n)
 		}
 		if seen[q] {
-			return fmt.Errorf("extract: duplicate query node %d", q)
+			return fmt.Errorf("%w: extract: duplicate query node %d", fault.ErrBadQuery, q)
 		}
 		seen[q] = true
 	}
@@ -203,7 +219,7 @@ func validate(in *Input) error {
 		return fmt.Errorf("extract: combined scores have %d entries, want %d", len(in.Combined), n)
 	}
 	if in.Budget <= 0 {
-		return fmt.Errorf("extract: budget %d must be positive", in.Budget)
+		return fmt.Errorf("%w: extract: budget %d must be positive", fault.ErrBadConfig, in.Budget)
 	}
 	if in.K < 1 {
 		in.K = 1

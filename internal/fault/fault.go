@@ -1,0 +1,68 @@
+// Package fault defines the error taxonomy shared by every layer of the
+// CePS pipeline. Public entry points classify failures into a small set of
+// sentinel errors so callers can branch with errors.Is instead of matching
+// message strings:
+//
+//   - ErrCanceled / ErrDeadlineExceeded: the caller's context fired while a
+//     solve, partition, or extraction was in flight. Errors built with
+//     FromContext also satisfy errors.Is(err, context.Canceled) /
+//     errors.Is(err, context.DeadlineExceeded), so code written against the
+//     standard library sentinels keeps working.
+//   - ErrDiverged: an iterative solver produced NaN/Inf values or a residual
+//     that grew instead of shrinking — the numerical analogue of a crash,
+//     surfaced instead of silently returned as garbage scores.
+//   - ErrBadQuery / ErrBadConfig: caller input rejected before any work ran.
+//   - ErrDegeneratePartition: the Fast CePS partition union cannot answer
+//     the query (empty union, query missing, or queries disconnected); the
+//     core layer normally degrades to a full-graph run instead of
+//     returning this, but it is exposed for callers that disable fallback.
+//   - ErrInternal: a panic crossed the public Engine boundary and was
+//     converted to an error.
+//
+// The sentinels live in an internal leaf package (importable from linalg
+// upward without cycles) and are re-exported by the root ceps package.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrCanceled marks work abandoned because the context was canceled.
+	ErrCanceled = errors.New("ceps: query canceled")
+	// ErrDeadlineExceeded marks work abandoned because the context deadline
+	// passed.
+	ErrDeadlineExceeded = errors.New("ceps: query deadline exceeded")
+	// ErrDiverged marks an iterative solve that produced NaN/Inf values or
+	// a growing residual.
+	ErrDiverged = errors.New("ceps: iterative solve diverged")
+	// ErrBadQuery marks an invalid query set (empty, duplicate, or
+	// out-of-range nodes).
+	ErrBadQuery = errors.New("ceps: bad query")
+	// ErrBadConfig marks an invalid pipeline configuration.
+	ErrBadConfig = errors.New("ceps: bad configuration")
+	// ErrDegeneratePartition marks a Fast CePS partition union that cannot
+	// answer the query.
+	ErrDegeneratePartition = errors.New("ceps: degenerate partition union")
+	// ErrInternal marks a panic recovered at the public API boundary.
+	ErrInternal = errors.New("ceps: internal error")
+)
+
+// FromContext converts a fired context into the taxonomy: the returned
+// error satisfies errors.Is for both the ceps sentinel (ErrCanceled or
+// ErrDeadlineExceeded) and the underlying context error. It returns nil
+// when ctx has not fired.
+func FromContext(ctx context.Context) error {
+	switch err := ctx.Err(); {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	default:
+		return err
+	}
+}

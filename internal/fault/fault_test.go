@@ -1,0 +1,55 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFromContextNil(t *testing.T) {
+	if err := FromContext(context.Background()); err != nil {
+		t.Fatalf("live context: err = %v", err)
+	}
+}
+
+func TestFromContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := FromContext(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v must keep the context.Canceled identity", err)
+	}
+	if errors.Is(err, ErrDeadlineExceeded) {
+		t.Errorf("err = %v must not match ErrDeadlineExceeded", err)
+	}
+}
+
+func TestFromContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := FromContext(ctx)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Errorf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v must keep the context.DeadlineExceeded identity", err)
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v must not match ErrCanceled", err)
+	}
+}
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	all := []error{ErrCanceled, ErrDeadlineExceeded, ErrDiverged, ErrBadQuery, ErrBadConfig, ErrDegeneratePartition, ErrInternal}
+	for i, a := range all {
+		for j, b := range all {
+			if (i == j) != errors.Is(a, b) {
+				t.Errorf("sentinel identity broken: Is(%v, %v) = %v", a, b, errors.Is(a, b))
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -61,7 +62,7 @@ func (b *Builder) SetLabel(u int, label string) {
 // and non-positive weights are silently dropped so that generators can call
 // AddEdge unconditionally.
 func (b *Builder) AddEdge(u, v int, w float64) {
-	if u == v || w <= 0 {
+	if u == v || !(w > 0) { // !(w > 0) also drops NaN
 		return
 	}
 	if u > v {
@@ -106,6 +107,14 @@ func (b *Builder) Build() (*Graph, error) {
 			continue
 		}
 		edges = append(edges, merged{u, v, w})
+	}
+	// Summing duplicates can overflow even though every input weight was a
+	// positive finite float; a non-finite weight here would poison every
+	// downstream solve, so refuse to build.
+	for _, e := range edges {
+		if math.IsInf(e.w, 0) {
+			return nil, fmt.Errorf("graph: weight of edge (%d,%d) overflowed to %v while merging duplicates", e.u, e.v, e.w)
+		}
 	}
 
 	// Count degrees, then fill CSR.
@@ -167,8 +176,12 @@ func (b *Builder) Build() (*Graph, error) {
 	return g, nil
 }
 
-// MustBuild is Build that panics on error, for tests and generators whose
-// inputs are known to be valid.
+// MustBuild is Build that panics on error. It exists for tests and small
+// example programs whose inputs are compile-time constants; library code
+// and anything reachable from user-supplied input (parsers, generators,
+// the query pipeline) must call Build and propagate the error instead —
+// MustBuild is deliberately kept out of every such call path, and the
+// Engine's panic recovery is a safety net, not a license.
 func (b *Builder) MustBuild() *Graph {
 	g, err := b.Build()
 	if err != nil {

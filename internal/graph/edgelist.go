@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -58,8 +59,10 @@ func ReadEdgeList(r io.Reader) (*Graph, EdgeListStats, error) {
 			if err != nil {
 				return nil, stats, fmt.Errorf("graph: edge list line %d: bad weight %q", lineNo, fields[2])
 			}
-			if w <= 0 {
-				return nil, stats, fmt.Errorf("graph: edge list line %d: non-positive weight %v", lineNo, w)
+			// NaN fails w > 0 too, so one comparison rejects NaN,
+			// -Inf, zero, and negatives; +Inf needs its own check.
+			if !(w > 0) || math.IsInf(w, 1) {
+				return nil, stats, fmt.Errorf("graph: edge list line %d: non-finite or non-positive weight %q", lineNo, fields[2])
 			}
 		}
 		if u == v {

@@ -2,13 +2,14 @@ package graph
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
 
-// FuzzRead checks the ceps-graph text codec never panics and that anything
-// it accepts is a valid graph that round-trips.
-func FuzzRead(f *testing.F) {
+// FuzzDecode checks the ceps-graph text codec (codec.go) never panics and
+// that anything it accepts is a valid graph that round-trips.
+func FuzzDecode(f *testing.F) {
 	seed := func(g *Graph) string {
 		var buf bytes.Buffer
 		if _, err := g.WriteTo(&buf); err != nil {
@@ -25,6 +26,10 @@ func FuzzRead(f *testing.F) {
 	f.Add("ceps-graph 1\nnodes 1\nlabels 1\n\"x\"\nedges 0\n")
 	f.Add("garbage")
 	f.Add("ceps-graph 1\nnodes 999999999\nlabels 0\nedges 0\n")
+	f.Add("ceps-graph 1\nnodes 2\nlabels 0\nedges 1\n0 1 NaN\n")
+	f.Add("ceps-graph 1\nnodes 2\nlabels 0\nedges 1\n0 1 +Inf\n")
+	f.Add("ceps-graph 1\nnodes 2\nlabels 0\nedges 999999999\n0 1 1\n")
+	f.Add("ceps-graph 1\nnodes 2\nlabels 2\nedges 0\n")
 
 	f.Fuzz(func(t *testing.T, in string) {
 		if len(in) > 1<<16 {
@@ -51,13 +56,18 @@ func FuzzRead(f *testing.F) {
 	})
 }
 
-// FuzzReadEdgeList checks the edge-list parser never panics and accepted
-// graphs validate.
+// FuzzReadEdgeList checks the edge-list parser (edgelist.go) never panics,
+// that accepted graphs validate, and that no non-finite weight slips
+// through into a graph the numerical pipeline would later choke on.
 func FuzzReadEdgeList(f *testing.F) {
 	f.Add("0 1 2.5\n1 2\n")
 	f.Add("# comment\n% other\n\n3 4 1e3\n")
 	f.Add("0 0 1\n")
 	f.Add("not numbers at all")
+	f.Add("0 1 NaN\n")
+	f.Add("0 1 Inf\n")
+	f.Add("0 1 1e308\n0 1 1e308\n")
+	f.Add("9999999 1\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		if len(in) > 1<<16 {
 			return
@@ -69,5 +79,10 @@ func FuzzReadEdgeList(f *testing.F) {
 		if err := g.Validate(); err != nil {
 			t.Fatalf("accepted edge list fails validation: %v", err)
 		}
+		g.ForEachEdge(func(u, v int, w float64) {
+			if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+				t.Fatalf("accepted edge (%d,%d) with non-finite or non-positive weight %v", u, v, w)
+			}
+		})
 	})
 }

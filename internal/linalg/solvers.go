@@ -1,21 +1,53 @@
 package linalg
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"ceps/internal/fault"
 )
 
-// SolveResult reports how an iterative solve went.
+// SolveResult reports how an iterative solve went: the convergence
+// diagnostics every solver returns alongside its solution instead of
+// silently truncating at maxIter.
 type SolveResult struct {
 	Iterations int
 	Residual   float64 // max-norm of the final update or residual
 	Converged  bool
 }
 
+// divergenceGrowth is how much the residual may grow past its starting
+// value before the solve is declared divergent. Stationary iterations on
+// the diagonally dominant systems CePS builds contract monotonically up to
+// rounding noise, so a residual orders of magnitude above its start means
+// the iteration is feeding on its own error and will never come back.
+const divergenceGrowth = 1e8
+
+// checkNumerics classifies a sweep's residual: a NaN/Inf residual or one
+// that grew divergenceGrowth-fold past the first sweep's residual is a
+// numerical fault.
+func checkNumerics(residual, first float64) error {
+	if math.IsNaN(residual) || math.IsInf(residual, 0) {
+		return fmt.Errorf("%w: residual is %v", fault.ErrDiverged, residual)
+	}
+	if first > 0 && residual > divergenceGrowth*first && residual > 1 {
+		return fmt.Errorf("%w: residual grew from %g to %g", fault.ErrDiverged, first, residual)
+	}
+	return nil
+}
+
 // Jacobi solves A x = b with the Jacobi iteration. A must have nonzero
 // diagonal. x0 may be nil for a zero initial guess. The iteration stops when
 // the max-norm update falls below tol or after maxIter sweeps.
 func Jacobi(a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, SolveResult, error) {
+	return JacobiCtx(context.Background(), a, b, x0, tol, maxIter)
+}
+
+// JacobiCtx is Jacobi with cooperative cancellation: ctx is checked at
+// every sweep boundary, and NaN/Inf or runaway residuals abort the solve
+// with fault.ErrDiverged instead of returning garbage.
+func JacobiCtx(ctx context.Context, a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, SolveResult, error) {
 	if a.Rows() != a.Cols() || len(b) != a.Rows() {
 		return nil, SolveResult{}, fmt.Errorf("linalg: Jacobi shape mismatch")
 	}
@@ -34,7 +66,11 @@ func Jacobi(a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, Solve
 	}
 	next := make([]float64, n)
 	res := SolveResult{}
+	var first float64
 	for it := 0; it < maxIter; it++ {
+		if err := fault.FromContext(ctx); err != nil {
+			return x, res, err
+		}
 		for r := 0; r < n; r++ {
 			cols, vals := a.Row(r)
 			s := b[r]
@@ -48,6 +84,12 @@ func Jacobi(a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, Solve
 		res.Iterations = it + 1
 		res.Residual = MaxDiff(next, x)
 		copy(x, next)
+		if it == 0 {
+			first = res.Residual
+		}
+		if err := checkNumerics(res.Residual, first); err != nil {
+			return x, res, err
+		}
 		if res.Residual < tol {
 			res.Converged = true
 			break
@@ -60,6 +102,12 @@ func Jacobi(a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, Solve
 // diagonally dominant systems such as the grounded graph Laplacians used by
 // the delivered-current baseline.
 func GaussSeidel(a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, SolveResult, error) {
+	return GaussSeidelCtx(context.Background(), a, b, x0, tol, maxIter)
+}
+
+// GaussSeidelCtx is GaussSeidel with per-sweep cancellation checks and
+// divergence detection.
+func GaussSeidelCtx(ctx context.Context, a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, SolveResult, error) {
 	if a.Rows() != a.Cols() || len(b) != a.Rows() {
 		return nil, SolveResult{}, fmt.Errorf("linalg: GaussSeidel shape mismatch")
 	}
@@ -69,7 +117,11 @@ func GaussSeidel(a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, 
 		copy(x, x0)
 	}
 	res := SolveResult{}
+	var first float64
 	for it := 0; it < maxIter; it++ {
+		if err := fault.FromContext(ctx); err != nil {
+			return x, res, err
+		}
 		var maxDelta float64
 		for r := 0; r < n; r++ {
 			cols, vals := a.Row(r)
@@ -86,13 +138,22 @@ func GaussSeidel(a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, 
 				return nil, SolveResult{}, fmt.Errorf("linalg: GaussSeidel zero diagonal at row %d", r)
 			}
 			nv := s / d
-			if delta := math.Abs(nv - x[r]); delta > maxDelta {
+			delta := math.Abs(nv - x[r])
+			if math.IsNaN(delta) {
+				maxDelta = delta // poisoned iterate: surface NaN, don't skip it
+			} else if delta > maxDelta {
 				maxDelta = delta
 			}
 			x[r] = nv
 		}
 		res.Iterations = it + 1
 		res.Residual = maxDelta
+		if it == 0 {
+			first = maxDelta
+		}
+		if err := checkNumerics(res.Residual, first); err != nil {
+			return x, res, err
+		}
 		if maxDelta < tol {
 			res.Converged = true
 			break
@@ -104,6 +165,13 @@ func GaussSeidel(a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, 
 // CG solves A x = b for symmetric positive-definite A with conjugate
 // gradients.
 func CG(a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, SolveResult, error) {
+	return CGCtx(context.Background(), a, b, x0, tol, maxIter)
+}
+
+// CGCtx is CG with per-iteration cancellation checks and divergence
+// detection (a non-positive pᵀAp already aborted before; NaN/Inf and
+// residual blow-up now abort too).
+func CGCtx(ctx context.Context, a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, SolveResult, error) {
 	if a.Rows() != a.Cols() || len(b) != a.Rows() {
 		return nil, SolveResult{}, fmt.Errorf("linalg: CG shape mismatch")
 	}
@@ -125,11 +193,15 @@ func CG(a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, SolveResu
 		res.Converged = true
 		return x, res, nil
 	}
+	first := res.Residual
 	for it := 0; it < maxIter; it++ {
+		if err := fault.FromContext(ctx); err != nil {
+			return x, res, err
+		}
 		a.MulVecTo(ap, p)
 		pap := Dot(p, ap)
-		if pap <= 0 {
-			return nil, res, fmt.Errorf("linalg: CG matrix not positive definite (pᵀAp = %v)", pap)
+		if pap <= 0 || math.IsNaN(pap) {
+			return nil, res, fmt.Errorf("%w: CG matrix not positive definite (pᵀAp = %v)", fault.ErrDiverged, pap)
 		}
 		alpha := rr / pap
 		Axpy(alpha, p, x)
@@ -137,6 +209,9 @@ func CG(a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, SolveResu
 		rrNew := Dot(r, r)
 		res.Iterations = it + 1
 		res.Residual = math.Sqrt(rrNew)
+		if err := checkNumerics(res.Residual, first); err != nil {
+			return x, res, err
+		}
 		if res.Residual < tol {
 			res.Converged = true
 			return x, res, nil

@@ -96,13 +96,30 @@ func Unit(n, i int) []float64 {
 }
 
 // MaxDiff returns max_i |x_i - y_i|, the convergence check used by the
-// iterative solvers.
+// iterative solvers. A NaN difference is returned as NaN rather than being
+// skipped by the > comparison — otherwise a poisoned iterate would report a
+// small finite residual and "converge" to garbage.
 func MaxDiff(x, y []float64) float64 {
 	var m float64
 	for i, v := range x {
-		if d := math.Abs(v - y[i]); d > m {
+		d := math.Abs(v - y[i])
+		if math.IsNaN(d) {
+			return d
+		}
+		if d > m {
 			m = d
 		}
 	}
 	return m
+}
+
+// HasNonFinite reports whether x contains a NaN or ±Inf entry — the
+// numerical-fault probe the iterative solvers run between sweeps.
+func HasNonFinite(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
 }

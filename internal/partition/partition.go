@@ -22,10 +22,12 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
+	"ceps/internal/fault"
 	"ceps/internal/graph"
 )
 
@@ -70,21 +72,31 @@ type Result struct {
 
 // KWay partitions g into k balanced parts.
 func KWay(g *graph.Graph, k int, opts Options) (*Result, error) {
+	return KWayCtx(context.Background(), g, k, opts)
+}
+
+// KWayCtx is KWay with cooperative cancellation: ctx is checked before
+// every recursive bisection (each of which runs a full coarsen → grow →
+// refine cycle), so a fired deadline aborts between bisections rather
+// than running the remaining ones to completion.
+func KWayCtx(ctx context.Context, g *graph.Graph, k int, opts Options) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("partition: nil graph")
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("partition: k = %d must be positive", k)
+		return nil, fmt.Errorf("%w: partition: k = %d must be positive", fault.ErrBadConfig, k)
 	}
 	if k > g.N() {
-		return nil, fmt.Errorf("partition: k = %d exceeds node count %d", k, g.N())
+		return nil, fmt.Errorf("%w: partition: k = %d exceeds node count %d", fault.ErrBadConfig, k, g.N())
 	}
 	opts.fillDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	mg := fromGraph(g)
 	assign := make([]int, g.N())
-	bisectRecursive(mg, identity(g.N()), k, 0, assign, &opts, rng)
+	if err := bisectRecursive(ctx, mg, identity(g.N()), k, 0, assign, &opts, rng); err != nil {
+		return nil, err
+	}
 
 	res := &Result{Assign: assign, K: k, PartSizes: make([]int, k)}
 	for _, p := range assign {
@@ -162,13 +174,17 @@ func identity(n int) []int {
 }
 
 // bisectRecursive splits mg (whose nodes map to original ids via origIDs)
-// into k parts labeled [base, base+k) in assign.
-func bisectRecursive(mg *multigraph, origIDs []int, k, base int, assign []int, opts *Options, rng *rand.Rand) {
+// into k parts labeled [base, base+k) in assign. It checks ctx before each
+// bisection and aborts the whole recursion when the context fires.
+func bisectRecursive(ctx context.Context, mg *multigraph, origIDs []int, k, base int, assign []int, opts *Options, rng *rand.Rand) error {
 	if k == 1 {
 		for _, orig := range origIDs {
 			assign[orig] = base
 		}
-		return
+		return nil
+	}
+	if err := fault.FromContext(ctx); err != nil {
+		return err
 	}
 	kLeft := k / 2
 	frac := float64(kLeft) / float64(k)
@@ -196,6 +212,8 @@ func bisectRecursive(mg *multigraph, origIDs []int, k, base int, assign []int, o
 
 	leftG, leftIDs := mg.induce(leftLocal, origIDs)
 	rightG, rightIDs := mg.induce(rightLocal, origIDs)
-	bisectRecursive(leftG, leftIDs, kLeft, base, assign, opts, rng)
-	bisectRecursive(rightG, rightIDs, k-kLeft, base+kLeft, assign, opts, rng)
+	if err := bisectRecursive(ctx, leftG, leftIDs, kLeft, base, assign, opts, rng); err != nil {
+		return err
+	}
+	return bisectRecursive(ctx, rightG, rightIDs, k-kLeft, base+kLeft, assign, opts, rng)
 }

@@ -1,9 +1,12 @@
 package rwr
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+
+	"ceps/internal/fault"
 )
 
 // ScoresSetParallel computes the same score matrix as ScoresSet but runs
@@ -13,12 +16,22 @@ import (
 // and effective speedup for multi-query workloads: the CePS pipeline's
 // dominant cost is exactly these Q solves.
 func (s *Solver) ScoresSetParallel(queries []int, workers int) ([][]float64, error) {
+	R, _, err := s.ScoresSetParallelCtx(context.Background(), queries, workers)
+	return R, err
+}
+
+// ScoresSetParallelCtx is ScoresSetParallel with cooperative cancellation:
+// when ctx fires, the dispatcher stops handing out queries, in-flight
+// walks abort at their next sweep boundary, and every worker goroutine is
+// joined before the call returns — cancellation never leaks goroutines.
+// Diagnostics are per query, in query order.
+func (s *Solver) ScoresSetParallelCtx(ctx context.Context, queries []int, workers int) ([][]float64, []Diagnostics, error) {
 	if len(queries) == 0 {
-		return nil, fmt.Errorf("rwr: empty query set")
+		return nil, nil, fmt.Errorf("%w: empty query set", fault.ErrBadQuery)
 	}
 	for _, q := range queries {
 		if q < 0 || q >= s.n {
-			return nil, fmt.Errorf("rwr: query node %d out of range [0,%d)", q, s.n)
+			return nil, nil, fmt.Errorf("%w: query node %d out of range [0,%d)", fault.ErrBadQuery, q, s.n)
 		}
 	}
 	if workers <= 0 {
@@ -28,10 +41,11 @@ func (s *Solver) ScoresSetParallel(queries []int, workers int) ([][]float64, err
 		workers = len(queries)
 	}
 	if workers == 1 {
-		return s.ScoresSet(queries)
+		return s.ScoresSetCtx(ctx, queries)
 	}
 
 	R := make([][]float64, len(queries))
+	diags := make([]Diagnostics, len(queries))
 	errs := make([]error, len(queries))
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -40,19 +54,30 @@ func (s *Solver) ScoresSetParallel(queries []int, workers int) ([][]float64, err
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				R[i], errs[i] = s.Scores(queries[i])
+				R[i], diags[i], errs[i] = s.ScoresCtx(ctx, queries[i])
 			}
 		}()
 	}
+	// The dispatcher stops early on cancellation; workers then drain the
+	// closed channel and exit (any walk already started aborts on its own
+	// next ctx check).
+feed:
 	for i := range queries {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := fault.FromContext(ctx); err != nil {
+		return nil, nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return R, nil
+	return R, diags, nil
 }

@@ -16,9 +16,11 @@
 package rwr
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"ceps/internal/fault"
 	"ceps/internal/graph"
 	"ceps/internal/linalg"
 )
@@ -185,53 +187,110 @@ func (s *Solver) TransitionProb(from, to int) float64 {
 	return s.trans.At(to, from)
 }
 
+// Diagnostics reports how one random-walk solve went: the convergence
+// verdict that replaces the old silent truncation at m sweeps.
+type Diagnostics struct {
+	// Sweeps is the number of power-iteration sweeps actually run.
+	Sweeps int
+	// Residual is the max-norm update of the final sweep.
+	Residual float64
+	// Converged reports whether the final residual fell below the
+	// effective tolerance (cfg.Tol when set, else a loose default): the
+	// scores are a fixed point of Eq. 4, not a truncation artifact.
+	Converged bool
+}
+
+// defaultConvergedTol classifies fixed-m runs (Tol = 0): with c = 0.5 the
+// update shrinks ~2× per sweep, so the paper's m = 50 lands far below this
+// while genuinely truncated runs sit above it.
+const defaultConvergedTol = 1e-9
+
 // Scores returns the RWR score vector r(q, ·) for a single query node,
 // computed with up to cfg.Iterations power-iteration sweeps of Eq. 4
 // (fewer when cfg.Tol is set and convergence arrives early).
 func (s *Solver) Scores(q int) ([]float64, error) {
-	r, _, err := s.ScoresWithStats(q)
+	r, _, err := s.ScoresCtx(context.Background(), q)
 	return r, err
 }
 
 // ScoresWithStats is Scores plus the number of sweeps actually run — the
 // observable for the early-stopping ablation.
 func (s *Solver) ScoresWithStats(q int) ([]float64, int, error) {
+	r, diag, err := s.ScoresCtx(context.Background(), q)
+	return r, diag.Sweeps, err
+}
+
+// ScoresCtx computes r(q, ·) with cooperative cancellation and numerical
+// fault detection: ctx is checked at every sweep boundary (so a deadline
+// aborts within one sweep's work), NaN/Inf score vectors abort with
+// fault.ErrDiverged, and the returned Diagnostics carry the sweep count,
+// final residual, and convergence verdict.
+func (s *Solver) ScoresCtx(ctx context.Context, q int) ([]float64, Diagnostics, error) {
+	var diag Diagnostics
 	if q < 0 || q >= s.n {
-		return nil, 0, fmt.Errorf("rwr: query node %d out of range [0,%d)", q, s.n)
+		return nil, diag, fmt.Errorf("%w: query node %d out of range [0,%d)", fault.ErrBadQuery, q, s.n)
 	}
 	r := linalg.Unit(s.n, q)
 	next := make([]float64, s.n)
 	restart := 1 - s.cfg.C
-	iters := 0
+	tol := s.cfg.Tol
+	if tol <= 0 {
+		tol = defaultConvergedTol
+	}
+	var first float64
 	for it := 0; it < s.cfg.Iterations; it++ {
+		if err := fault.FromContext(ctx); err != nil {
+			return r, diag, err
+		}
 		s.trans.MulVecTo(next, r)
 		linalg.Scale(s.cfg.C, next)
 		next[q] += restart
-		iters = it + 1
-		if s.cfg.Tol > 0 && linalg.MaxDiff(next, r) < s.cfg.Tol {
-			r, next = next, r
+		diag.Sweeps = it + 1
+		diag.Residual = linalg.MaxDiff(next, r)
+		r, next = next, r
+		if math.IsNaN(diag.Residual) || math.IsInf(diag.Residual, 0) || linalg.HasNonFinite(r) {
+			return r, diag, fmt.Errorf("%w: non-finite scores after sweep %d of walk from node %d", fault.ErrDiverged, diag.Sweeps, q)
+		}
+		if it == 0 {
+			first = diag.Residual
+		} else if first > 0 && diag.Residual > 1e8*first && diag.Residual > 1 {
+			return r, diag, fmt.Errorf("%w: walk from node %d: residual grew from %g to %g", fault.ErrDiverged, q, first, diag.Residual)
+		}
+		// Early stop only when the caller opted in via Tol; Tol = 0 keeps
+		// the paper's fixed-m semantics (all m sweeps run) and the default
+		// tolerance is used only for the Converged verdict.
+		if s.cfg.Tol > 0 && diag.Residual < s.cfg.Tol {
 			break
 		}
-		r, next = next, r
 	}
-	return r, iters, nil
+	diag.Converged = diag.Residual < tol
+	return r, diag, nil
 }
 
 // ScoresSet returns the matrix R of individual scores for a query set: one
 // row per query, R[i][j] = r(q_i, j).
 func (s *Solver) ScoresSet(queries []int) ([][]float64, error) {
+	R, _, err := s.ScoresSetCtx(context.Background(), queries)
+	return R, err
+}
+
+// ScoresSetCtx is ScoresSet with cancellation and per-query Diagnostics
+// (same order as queries).
+func (s *Solver) ScoresSetCtx(ctx context.Context, queries []int) ([][]float64, []Diagnostics, error) {
 	if len(queries) == 0 {
-		return nil, fmt.Errorf("rwr: empty query set")
+		return nil, nil, fmt.Errorf("%w: empty query set", fault.ErrBadQuery)
 	}
 	R := make([][]float64, len(queries))
+	diags := make([]Diagnostics, len(queries))
 	for i, q := range queries {
-		r, err := s.Scores(q)
+		r, d, err := s.ScoresCtx(ctx, q)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		R[i] = r
+		diags[i] = d
 	}
-	return R, nil
+	return R, diags, nil
 }
 
 // ExactScores solves Eq. 12 — r = (1−c)(I − c·W̃)⁻¹ e_q — with a dense LU

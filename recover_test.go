@@ -1,0 +1,46 @@
+package ceps
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The pipeline's inputs are all validated, so no public call sequence
+// reaches a panic today; recoverToError is the Engine boundary's net for
+// the bug we have not written yet. These white-box tests pin its contract.
+
+func TestRecoverToErrorConvertsPanic(t *testing.T) {
+	run := func() (err error) {
+		defer recoverToError(&err)
+		panic("solver exploded")
+	}
+	err := run()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	if !strings.Contains(err.Error(), "solver exploded") {
+		t.Errorf("panic value lost: %v", err)
+	}
+}
+
+func TestRecoverToErrorPassesThroughSuccess(t *testing.T) {
+	run := func() (err error) {
+		defer recoverToError(&err)
+		return nil
+	}
+	if err := run(); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}
+
+func TestRecoverToErrorKeepsExistingError(t *testing.T) {
+	sentinel := errors.New("real failure")
+	run := func() (err error) {
+		defer recoverToError(&err)
+		return sentinel
+	}
+	if err := run(); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the original error", err)
+	}
+}
