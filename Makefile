@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz-smoke bench clean
+.PHONY: check vet build test race fuzz-smoke bench bench-smoke clean
 
 check: vet build race fuzz-smoke
 
@@ -29,6 +29,11 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Serving-layer headline numbers (cache hit rate, cold vs warm ns/query)
+# written to BENCH_serving.json, which is checked in.
+bench-smoke:
+	BENCH_SERVING_OUT=$(CURDIR)/BENCH_serving.json $(GO) test -run '^TestServingSmoke$$' -count=1 .
 
 clean:
 	$(GO) clean ./...

@@ -495,7 +495,10 @@ func BenchmarkAblationPathSharing(b *testing.B) {
 // path a downstream user hits).
 func BenchmarkEngineQuery(b *testing.B) {
 	s := setup(b)
-	eng := ceps.NewEngine(s.Dataset.Graph, ceps.DefaultConfig())
+	eng, err := ceps.NewEngine(s.Dataset.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
 	q1, q2 := s.Dataset.Repository[0][0], s.Dataset.Repository[1][0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -503,4 +506,72 @@ func BenchmarkEngineQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// overlapQuerySets builds count query sets of 4 members each from a
+// sliding window over repository heads with stride 2, so consecutive sets
+// share 50% of their members — the serving workload the score cache is
+// designed for (recurring team members across requests).
+func overlapQuerySets(s *experiments.Setup, count int) [][]int {
+	var pool []int
+	for _, repo := range s.Dataset.Repository {
+		pool = append(pool, repo[0], repo[1])
+	}
+	sets := make([][]int, 0, count)
+	for i := 0; len(sets) < count; i += 2 {
+		set := make([]int, 4)
+		for j := range set {
+			set[j] = pool[(i+j)%len(pool)]
+		}
+		sets = append(sets, set)
+	}
+	return sets
+}
+
+// BenchmarkServingOverlap is the serving-layer headline: answering a
+// batch of 50%-overlapping query sets cold and sequentially (no cache)
+// vs through the batch API with a shared score cache. The warm sub-bench
+// reports the cache hit rate via b.ReportMetric.
+func BenchmarkServingOverlap(b *testing.B) {
+	s := setup(b)
+	sets := overlapQuerySets(s, 8)
+
+	b.Run("cold-sequential", func(b *testing.B) {
+		eng, err := ceps.NewEngine(s.Dataset.Graph)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, qs := range sets {
+				if _, err := eng.Query(qs...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("warm-batch", func(b *testing.B) {
+		eng, err := ceps.NewEngine(s.Dataset.Graph, ceps.WithCache(64<<20))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm pass outside the timer: fills the cache once.
+		for _, item := range eng.QueryBatch(sets) {
+			if item.Err != nil {
+				b.Fatal(item.Err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, item := range eng.QueryBatch(sets) {
+				if item.Err != nil {
+					b.Fatal(item.Err)
+				}
+			}
+		}
+		b.StopTimer()
+		if st, ok := eng.CacheStats(); ok {
+			b.ReportMetric(st.HitRate(), "hit-rate")
+		}
+	})
 }

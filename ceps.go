@@ -25,11 +25,18 @@
 // # Quick start
 //
 //	ds, _ := ceps.GenerateDBLP(ceps.DefaultDBLPConfig())
-//	eng := ceps.NewEngine(ds.Graph, ceps.DefaultConfig())
+//	eng, _ := ceps.NewEngine(ds.Graph)
 //	res, _ := eng.Query(ds.Repository[0][0], ds.Repository[1][0])
 //	for _, u := range res.Subgraph.Nodes {
 //	    fmt.Println(ds.Graph.Label(u))
 //	}
+//
+// For serving workloads — many concurrent, overlapping queries — construct
+// the Engine with a score cache and a bounded solve pool and use the batch
+// API (see engine.go and README.md "Serving"):
+//
+//	eng, _ := ceps.NewEngine(ds.Graph, ceps.WithCache(64<<20), ceps.WithWorkers(8))
+//	items := eng.QueryBatch(querySets)
 //
 // See the examples/ directory for runnable programs and DESIGN.md for the
 // full architecture.
@@ -38,7 +45,6 @@ package ceps
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"ceps/internal/core"
 	"ceps/internal/current"
@@ -95,6 +101,9 @@ type (
 	// Fallback records a graceful degradation (e.g. Fast CePS answering on
 	// the full graph because the partition union was degenerate).
 	Fallback = core.Fallback
+	// CacheStats is a snapshot of the Engine's score-cache counters
+	// (hits, misses, evictions, byte budget).
+	CacheStats = rwr.CacheStats
 )
 
 // Error taxonomy. Every failure on the query path wraps one of these
@@ -244,137 +253,10 @@ func ConnectionSubgraph(g *Graph, source, sink int, cfg CurrentConfig) (*Current
 	return current.ConnectionSubgraph(g, source, sink, cfg)
 }
 
-// Engine bundles a graph with a configuration for repeated querying. It
-// caches the normalized random-walk transition matrix across queries (the
-// dominant setup cost) and optionally holds Fast CePS pre-partition state.
-// An Engine is safe for concurrent Query calls as long as no goroutine is
-// concurrently reconfiguring it.
-type Engine struct {
-	g   *Graph
-	cfg Config
-	pt  *Partitioned
-
-	mu     sync.Mutex   // guards runner's lazy initialization
-	runner *core.Runner // lazily built, keyed to cfg.RWR
-}
-
-// NewEngine creates an engine over g with the given configuration.
-func NewEngine(g *Graph, cfg Config) *Engine {
-	return &Engine{g: g, cfg: cfg}
-}
-
-// Graph returns the engine's graph.
-func (e *Engine) Graph() *Graph { return e.g }
-
-// Config returns the engine's configuration.
-func (e *Engine) Config() Config { return e.cfg }
-
-// SetConfig replaces the engine's configuration for subsequent queries.
-// Changing the RWR parameters invalidates the cached transition matrix.
-func (e *Engine) SetConfig(cfg Config) {
-	if cfg.RWR != e.cfg.RWR {
-		e.mu.Lock()
-		e.runner = nil
-		e.mu.Unlock()
-	}
-	e.cfg = cfg
-}
-
-// EnableFastMode pre-partitions the graph into p parts (Table 5 Step 0);
-// subsequent Query calls use Fast CePS. It reports the one-time partition
-// cost through the returned Partitioned's PartitionTime.
-func (e *Engine) EnableFastMode(p int, opts PartitionOptions) (*Partitioned, error) {
-	pt, err := core.PrePartition(e.g, p, opts)
-	if err != nil {
-		return nil, err
-	}
-	e.pt = pt
-	return pt, nil
-}
-
-// Prepare eagerly builds the cached transition matrix the full-graph query
-// path uses, so the first QueryCtx call does not pay the O(M)
-// normalization inside its deadline. It is a no-op when the matrix is
-// already built. Services that hand out tight per-query deadlines should
-// call Prepare once at startup.
-func (e *Engine) Prepare() error {
-	_, err := e.cachedRunner()
-	return err
-}
-
-// SetPartitioned installs pre-built Fast CePS state (e.g. partitioned
-// under a caller-controlled context with PrePartitionCtx, or loaded from a
-// snapshot). A nil pt disables fast mode.
-func (e *Engine) SetPartitioned(pt *Partitioned) { e.pt = pt }
-
-// Partitioned returns the engine's Fast CePS state, nil when fast mode is
-// off.
-func (e *Engine) Partitioned() *Partitioned { return e.pt }
-
-// DisableFastMode reverts the engine to full-graph CePS.
-func (e *Engine) DisableFastMode() { e.pt = nil }
-
-// FastMode reports whether Fast CePS is active.
-func (e *Engine) FastMode() bool { return e.pt != nil }
-
-// Query answers a center-piece subgraph query for the given query nodes,
-// using Fast CePS when fast mode is enabled and the cached transition
-// matrix otherwise.
-func (e *Engine) Query(queries ...int) (*Result, error) {
-	return e.QueryCtx(context.Background(), queries...)
-}
-
-// QueryCtx is Query with cooperative cancellation and deadline support:
-// ctx is checked at every power-iteration sweep and EXTRACT step. The
-// Engine boundary additionally converts any panic escaping the pipeline
-// into an error wrapping ErrInternal, so one poisoned query cannot crash
-// a service that multiplexes many callers onto one Engine.
-func (e *Engine) QueryCtx(ctx context.Context, queries ...int) (res *Result, err error) {
-	defer recoverToError(&err)
-	return e.queryWith(ctx, e.cfg, queries)
-}
-
-// QueryKSoftAND is a convenience wrapper that answers a K_softAND query
-// without mutating the engine's stored configuration.
-func (e *Engine) QueryKSoftAND(k int, queries ...int) (res *Result, err error) {
-	defer recoverToError(&err)
-	cfg := e.cfg
-	cfg.K = k
-	return e.queryWith(context.Background(), cfg, queries)
-}
-
 // recoverToError converts a panic on the public Engine boundary into an
 // error wrapping ErrInternal, preserving the panic value in the message.
 func recoverToError(err *error) {
 	if r := recover(); r != nil {
 		*err = fmt.Errorf("%w: recovered panic: %v", ErrInternal, r)
 	}
-}
-
-func (e *Engine) queryWith(ctx context.Context, cfg Config, queries []int) (*Result, error) {
-	if len(queries) == 0 {
-		return nil, fmt.Errorf("%w: no query nodes given", ErrBadQuery)
-	}
-	if e.pt != nil {
-		return e.pt.CePSCtx(ctx, queries, cfg)
-	}
-	runner, err := e.cachedRunner()
-	if err != nil {
-		return nil, err
-	}
-	return runner.QueryCtx(ctx, queries, cfg)
-}
-
-// cachedRunner returns the engine's lazily built full-graph runner.
-func (e *Engine) cachedRunner() (*core.Runner, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.runner == nil {
-		r, err := core.NewRunner(e.g, e.cfg.RWR)
-		if err != nil {
-			return nil, err
-		}
-		e.runner = r
-	}
-	return e.runner, nil
 }

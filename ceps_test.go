@@ -26,9 +26,18 @@ func quickConfig() ceps.Config {
 	return cfg
 }
 
+func newEngine(t testing.TB, g *ceps.Graph, opts ...ceps.Option) *ceps.Engine {
+	t.Helper()
+	eng, err := ceps.NewEngine(g, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
 func TestPublicQuickstartFlow(t *testing.T) {
 	ds := smallDataset(t)
-	eng := ceps.NewEngine(ds.Graph, quickConfig())
+	eng := newEngine(t, ds.Graph, ceps.WithConfig(quickConfig()))
 	res, err := eng.Query(ds.Repository[0][0], ds.Repository[1][0])
 	if err != nil {
 		t.Fatal(err)
@@ -46,7 +55,7 @@ func TestPublicQuickstartFlow(t *testing.T) {
 
 func TestEngineFastMode(t *testing.T) {
 	ds := smallDataset(t)
-	eng := ceps.NewEngine(ds.Graph, quickConfig())
+	eng := newEngine(t, ds.Graph, ceps.WithConfig(quickConfig()))
 	queries := []int{ds.Repository[0][0], ds.Repository[0][1]}
 
 	full, err := eng.Query(queries...)
@@ -82,7 +91,7 @@ func TestEngineFastMode(t *testing.T) {
 
 func TestEngineKSoftAND(t *testing.T) {
 	ds := smallDataset(t)
-	eng := ceps.NewEngine(ds.Graph, quickConfig())
+	eng := newEngine(t, ds.Graph, ceps.WithConfig(quickConfig()))
 	queries := []int{
 		ds.Repository[0][0], ds.Repository[0][1],
 		ds.Repository[1][0], ds.Repository[1][1],
@@ -102,7 +111,7 @@ func TestEngineKSoftAND(t *testing.T) {
 
 func TestEngineEmptyQuery(t *testing.T) {
 	ds := smallDataset(t)
-	eng := ceps.NewEngine(ds.Graph, quickConfig())
+	eng := newEngine(t, ds.Graph, ceps.WithConfig(quickConfig()))
 	if _, err := eng.Query(); err == nil {
 		t.Fatal("empty query should fail")
 	}
@@ -156,7 +165,7 @@ func TestQueryFunctionMatchesEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ceps.NewEngine(ds.Graph, cfg).Query(queries...)
+	b, err := newEngine(t, ds.Graph, ceps.WithConfig(cfg)).Query(queries...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +220,7 @@ func TestPublicSteinerTree(t *testing.T) {
 
 func TestEngineConcurrentQueries(t *testing.T) {
 	ds := smallDataset(t)
-	eng := ceps.NewEngine(ds.Graph, quickConfig())
+	eng := newEngine(t, ds.Graph, ceps.WithConfig(quickConfig()))
 	queries := []int{ds.Repository[0][0], ds.Repository[1][0]}
 	var wg sync.WaitGroup
 	errs := make([]error, 8)

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ceps"
+)
+
+// batchOptions carries the batch-mode flags from run into runBatch.
+type batchOptions struct {
+	perQueryTimeout time.Duration
+	jsonOut         bool
+	explain         bool
+}
+
+// jsonBatchItem is one element of the JSON array batch mode emits: the
+// query set plus either its result or its error string.
+type jsonBatchItem struct {
+	Queries []int       `json:"queries"`
+	Error   string      `json:"error,omitempty"`
+	Result  *jsonResult `json:"result,omitempty"`
+}
+
+// readQuerySets parses a batch file: one comma-separated query set per
+// line (ids or labels, as with -q); blank lines and lines starting with
+// '#' are skipped. Trailing '#' comments on a query line are stripped.
+func readQuerySets(g *ceps.Graph, path string) ([][]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var sets [][]int
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		qs, err := parseQueries(g, line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		sets = append(sets, qs)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("%s: no query sets", path)
+	}
+	return sets, nil
+}
+
+// runBatch answers every query set in the file concurrently through the
+// engine's batch API and prints the answers in input order. Per-set
+// failures are reported inline and turn the exit code into exitError;
+// an expired outer deadline wins and maps to exitDeadline.
+func runBatch(ctx context.Context, eng *ceps.Engine, g *ceps.Graph, sets [][]int, cfg ceps.Config, opts batchOptions, stdout, stderr io.Writer) int {
+	items := eng.QueryBatchCtx(ctx, sets, ceps.BatchOptions{PerQueryTimeout: opts.perQueryTimeout})
+
+	if st, ok := eng.CacheStats(); ok {
+		fmt.Fprintf(stderr, "cache: %d hits, %d misses (%.0f%% hit rate), %d entries, %s/%s used\n",
+			st.Hits, st.Misses, 100*st.HitRate(), st.Entries,
+			formatBytes(st.BytesUsed), formatBytes(st.BytesBudget))
+	}
+
+	code := exitOK
+	var jsonItems []jsonBatchItem
+	for i, item := range items {
+		if opts.jsonOut {
+			ji := jsonBatchItem{Queries: item.Queries}
+			if item.Err != nil {
+				ji.Error = item.Err.Error()
+			} else {
+				jr := buildJSONResult(g, item.Result, item.Queries, cfg, opts.explain)
+				ji.Result = &jr
+			}
+			jsonItems = append(jsonItems, ji)
+		} else if item.Err != nil {
+			fmt.Fprintf(stdout, "--- set %d %v: error: %v\n", i+1, item.Queries, item.Err)
+		} else {
+			res := item.Result
+			fmt.Fprintf(stdout, "--- set %d %v: %d nodes, %d path edges, NRatio %.4f, %v\n",
+				i+1, item.Queries, res.Subgraph.Size(), len(res.Subgraph.PathEdges),
+				res.NRatio(), res.Elapsed)
+			for _, u := range res.Subgraph.Nodes {
+				fmt.Fprintf(stdout, "    %6d  %s\n", u, g.Label(u))
+			}
+		}
+		if item.Err != nil {
+			// The whole run hitting -timeout outranks per-set failures.
+			if errors.Is(item.Err, ceps.ErrDeadlineExceeded) && ctx.Err() != nil {
+				code = exitDeadline
+			} else if code == exitOK {
+				code = exitError
+			}
+		}
+	}
+	if opts.jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonItems); err != nil {
+			fmt.Fprintln(stderr, "ceps:", err)
+			return exitError
+		}
+	}
+	return code
+}
+
+// formatBytes renders a byte count with a binary unit suffix.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

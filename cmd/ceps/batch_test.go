@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBatchFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "queries.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadQuerySets(t *testing.T) {
+	g := testGraph(t)
+	path := writeBatchFile(t, `
+# comment line
+Alice,Carol
+0, 2   # trailing comment
+Bob,Alice
+`)
+	sets, err := readQuerySets(g, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 2}, {0, 2}, {1, 0}}
+	if len(sets) != len(want) {
+		t.Fatalf("got %d sets, want %d", len(sets), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if sets[i][j] != want[i][j] {
+				t.Fatalf("set %d = %v, want %v", i, sets[i], want[i])
+			}
+		}
+	}
+}
+
+func TestReadQuerySetsErrors(t *testing.T) {
+	g := testGraph(t)
+	if _, err := readQuerySets(g, writeBatchFile(t, "# only comments\n")); err == nil {
+		t.Error("empty batch should fail")
+	}
+	if _, err := readQuerySets(g, writeBatchFile(t, "NoSuchAuthor\n")); err == nil {
+		t.Error("unknown label should fail")
+	}
+	if _, err := readQuerySets(g, filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestRunBatchText(t *testing.T) {
+	var out, errb bytes.Buffer
+	batch := writeBatchFile(t, "Alice,Carol\nBob,Carol\n")
+	code := run([]string{"-graph", writeGraphFile(t), "-queries-file", batch, "-b", "2"}, &out, &errb)
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "--- set 1") || !strings.Contains(out.String(), "--- set 2") {
+		t.Errorf("missing per-set output: %s", out.String())
+	}
+	if !strings.Contains(errb.String(), "cache:") {
+		t.Errorf("cache stats should go to stderr: %s", errb.String())
+	}
+}
+
+func TestRunBatchJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	batch := writeBatchFile(t, "Alice,Carol\nAlice,Carol\n")
+	code := run([]string{"-graph", writeGraphFile(t), "-queries-file", batch, "-b", "2", "-json"}, &out, &errb)
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	var items []jsonBatchItem
+	if err := json.Unmarshal(out.Bytes(), &items); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(items) != 2 {
+		t.Fatalf("got %d items, want 2", len(items))
+	}
+	for i, item := range items {
+		if item.Error != "" || item.Result == nil {
+			t.Fatalf("item %d: error %q", i, item.Error)
+		}
+		if len(item.Result.Nodes) == 0 {
+			t.Fatalf("item %d: empty result", i)
+		}
+	}
+	// The repeat set must be served from cache.
+	if !strings.Contains(errb.String(), "hits") {
+		t.Errorf("expected cache stats on stderr: %s", errb.String())
+	}
+}
+
+// TestRunBatchNoCache: -cache-mb 0 turns caching off and the stats line
+// disappears.
+func TestRunBatchNoCache(t *testing.T) {
+	var out, errb bytes.Buffer
+	batch := writeBatchFile(t, "Alice,Carol\n")
+	code := run([]string{"-graph", writeGraphFile(t), "-queries-file", batch, "-cache-mb", "0"}, &out, &errb)
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	if strings.Contains(errb.String(), "cache:") {
+		t.Errorf("no cache stats expected with -cache-mb 0: %s", errb.String())
+	}
+}
+
+// TestRunBatchItemErrorExitCode: a failing set yields exitError but the
+// healthy sets still print.
+func TestRunBatchItemErrorExitCode(t *testing.T) {
+	var out, errb bytes.Buffer
+	// Per-set timeout impossible to meet with a huge iteration budget.
+	batch := writeBatchFile(t, "Alice,Carol\n")
+	code := run([]string{"-graph", writeGraphFile(t), "-queries-file", batch,
+		"-m", "1000000", "-query-timeout", "1ns"}, &out, &errb)
+	if code != exitError {
+		t.Fatalf("exit = %d, want %d; out: %s", code, exitError, out.String())
+	}
+	if !strings.Contains(out.String(), "error:") {
+		t.Errorf("per-set error should print inline: %s", out.String())
+	}
+}
+
+// TestRunBatchOuterDeadline: the whole run hitting -timeout maps to the
+// deadline exit code, as in single-query mode.
+func TestRunBatchOuterDeadline(t *testing.T) {
+	var out, errb bytes.Buffer
+	batch := writeBatchFile(t, "Alice,Carol\n")
+	code := run([]string{"-graph", writeGraphFile(t), "-queries-file", batch,
+		"-m", "1000000", "-timeout", "1ns"}, &out, &errb)
+	if code != exitDeadline {
+		t.Fatalf("exit = %d, want %d; stderr: %s", code, exitDeadline, errb.String())
+	}
+}
+
+// TestRunUsageBothQueryModes: -q and -queries-file are mutually exclusive.
+func TestRunUsageBothQueryModes(t *testing.T) {
+	var out, errb bytes.Buffer
+	batch := writeBatchFile(t, "Alice\n")
+	code := run([]string{"-graph", writeGraphFile(t), "-q", "Alice", "-queries-file", batch}, &out, &errb)
+	if code != exitUsage {
+		t.Fatalf("exit = %d, want %d", code, exitUsage)
+	}
+}

@@ -36,6 +36,14 @@ type jsonEdge struct {
 
 // writeJSON serializes a query result, sorted by descending combined score.
 func writeJSON(w io.Writer, g *ceps.Graph, res *ceps.Result, queries []int, cfg ceps.Config, explain bool) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(buildJSONResult(g, res, queries, cfg, explain))
+}
+
+// buildJSONResult assembles the machine-readable form of one answer; batch
+// mode emits an array of these.
+func buildJSONResult(g *ceps.Graph, res *ceps.Result, queries []int, cfg ceps.Config, explain bool) jsonResult {
 	isQuery := make(map[int]bool, len(queries))
 	for _, q := range queries {
 		isQuery[q] = true
@@ -68,7 +76,5 @@ func writeJSON(w io.Writer, g *ceps.Graph, res *ceps.Result, queries []int, cfg 
 	for _, e := range res.Subgraph.PathEdges {
 		out.PathEdges = append(out.PathEdges, jsonEdge{U: e.U, V: e.V, Weight: e.W})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return out
 }

@@ -12,6 +12,15 @@
 // -alpha and -norm for the normalization, and -partitions to enable Fast
 // CePS (pre-partition, then answer on the query partitions).
 //
+// Batch mode: -queries-file FILE answers many query sets concurrently —
+// one comma-separated set per line, '#' starts a comment. Sets share the
+// engine's score cache (-cache-mb, default 64 MiB) and solve pool
+// (-workers), so overlapping sets pay each member's random walk once;
+// cache statistics are printed to stderr. -query-timeout arms a deadline
+// on each set individually; a set that fails or times out is reported
+// inline without aborting the rest. With -json the batch is emitted as a
+// JSON array in input order.
+//
 // Execution is context-aware: -timeout bounds the whole run (graph load,
 // optional pre-partition, and the query), and SIGINT/SIGTERM cancel the
 // in-flight query at its next iteration boundary. Exit codes are distinct
@@ -75,12 +84,21 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		dot       = fs.Bool("dot", false, "emit Graphviz DOT instead of a listing")
 		jsonFmt   = fs.Bool("json", false, "emit the result as JSON instead of a listing")
 		explain   = fs.Bool("explain", false, "print the key path that justified each node")
+
+		queriesFile  = fs.String("queries-file", "", "answer a batch: one comma-separated query set per line (# starts a comment); mutually exclusive with -q")
+		queryTimeout = fs.Duration("query-timeout", 0, "per-query-set deadline in batch mode (0 = none)")
+		cacheMB      = fs.Int("cache-mb", 64, "score-cache budget in MiB, shared across the batch (0 = disable caching)")
+		workers      = fs.Int("workers", 0, "max concurrent random-walk solves (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return exitUsage
 	}
-	if *graphPath == "" || *queryList == "" {
+	if *graphPath == "" || (*queryList == "") == (*queriesFile == "") {
 		fs.Usage()
+		return exitUsage
+	}
+	if *cacheMB < 0 || *workers < 0 {
+		fmt.Fprintln(stderr, "ceps: -cache-mb and -workers must be non-negative")
 		return exitUsage
 	}
 	if *parts < 0 {
@@ -119,10 +137,6 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	queries, err := parseQueries(g, *queryList)
-	if err != nil {
-		return fail(err)
-	}
 
 	cfg := ceps.DefaultConfig()
 	cfg.K = *k
@@ -142,23 +156,55 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
+	opts := []ceps.Option{ceps.WithConfig(cfg)}
+	if *cacheMB > 0 {
+		opts = append(opts, ceps.WithCache(int64(*cacheMB)<<20))
+	}
+	if *workers > 0 {
+		opts = append(opts, ceps.WithWorkers(*workers))
+	}
+	eng, err := ceps.NewEngine(g, opts...)
+	if err != nil {
+		return fail(err)
+	}
+	if *parts > 0 {
+		pt, err := eng.EnableFastModeCtx(ctx, *parts, ceps.PartitionOptions{Seed: 1})
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "pre-partitioned into %d parts in %v\n", *parts, pt.PartitionTime)
+	}
+
+	if *queriesFile != "" {
+		if *autoK {
+			fmt.Fprintln(stderr, "ceps: -auto-k is not supported in batch mode")
+			return exitUsage
+		}
+		sets, err := readQuerySets(g, *queriesFile)
+		if err != nil {
+			return fail(err)
+		}
+		return runBatch(ctx, eng, g, sets, cfg, batchOptions{
+			perQueryTimeout: *queryTimeout,
+			jsonOut:         *jsonFmt,
+			explain:         *explain,
+		}, stdout, stderr)
+	}
+
+	queries, err := parseQueries(g, *queryList)
+	if err != nil {
+		return fail(err)
+	}
 	if *autoK {
-		inferred, supports, err := ceps.InferKCtx(ctx, g, queries, cfg, 0)
+		inferred, supports, err := eng.InferKCtx(ctx, queries, 0)
 		if err != nil {
 			return fail(err)
 		}
 		fmt.Fprintf(stderr, "inferred k = %d (query support counts %v)\n", inferred, supports)
 		cfg.K = inferred
-	}
-
-	eng := ceps.NewEngine(g, cfg)
-	if *parts > 0 {
-		pt, err := ceps.PrePartitionCtx(ctx, g, *parts, ceps.PartitionOptions{Seed: 1})
-		if err != nil {
+		if err := eng.Reconfigure(cfg); err != nil {
 			return fail(err)
 		}
-		eng.SetPartitioned(pt)
-		fmt.Fprintf(stderr, "pre-partitioned into %d parts in %v\n", *parts, pt.PartitionTime)
 	}
 	res, err := eng.QueryCtx(ctx, queries...)
 	if err != nil {

@@ -1,0 +1,493 @@
+package ceps
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ceps/internal/core"
+	"ceps/internal/rwr"
+)
+
+// Engine is the concurrency-safe front door for repeated querying over one
+// graph. It reuses the normalized random-walk transition matrix across
+// queries, optionally holds Fast CePS pre-partition state, and — when
+// constructed with WithCache — shares an LRU cache of per-source RWR score
+// vectors across every query path, so overlapping query sets pay each
+// member's solve once.
+//
+// All methods are safe for concurrent use: each query works against an
+// immutable snapshot of the configuration and partition state taken under
+// a read lock, so Reconfigure / EnableFastMode / DisableFastMode can run
+// concurrently with queries without tearing anything. The serving state
+// (cache and solve pool) is fixed at construction and internally
+// synchronized.
+type Engine struct {
+	g *Graph
+
+	mu     sync.RWMutex
+	cfg    Config
+	pt     *Partitioned
+	runner *core.Runner // lazily built for cfg.RWR, serving-attached
+
+	cache *rwr.ScoreCache // nil when caching is off
+	pool  *rwr.Pool       // never nil
+}
+
+// Option configures an Engine at construction. Options are applied in
+// order; the last write wins.
+type Option func(*engineConfig) error
+
+// engineConfig accumulates option state before the Engine is assembled.
+type engineConfig struct {
+	cfg        Config
+	cacheBytes int64
+	workers    int
+	fastMode   bool
+	fastParts  int
+	fastOpts   PartitionOptions
+}
+
+// WithConfig sets the pipeline configuration (default: DefaultConfig).
+// The config is validated by NewEngine.
+func WithConfig(cfg Config) Option {
+	return func(ec *engineConfig) error {
+		ec.cfg = cfg
+		return nil
+	}
+}
+
+// WithCache enables the shared score cache with the given byte budget:
+// per-source RWR score vectors (8·N bytes each, plus small overhead) are
+// kept under LRU eviction and reused by every query path, including Fast
+// CePS and batches. Size it as budgetBytes ≈ 8·N·(expected distinct
+// sources); see README.md "Serving" for guidance.
+func WithCache(budgetBytes int64) Option {
+	return func(ec *engineConfig) error {
+		if budgetBytes <= 0 {
+			return fmt.Errorf("%w: cache budget %d bytes must be positive", ErrBadConfig, budgetBytes)
+		}
+		ec.cacheBytes = budgetBytes
+		return nil
+	}
+}
+
+// WithWorkers bounds how many random-walk solves run concurrently across
+// all queries and batches on this Engine (default: GOMAXPROCS). The bound
+// is global: a batch of 100 query sets still runs at most n solves at
+// once.
+func WithWorkers(n int) Option {
+	return func(ec *engineConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("%w: worker count %d must be positive", ErrBadConfig, n)
+		}
+		ec.workers = n
+		return nil
+	}
+}
+
+// WithFastMode pre-partitions the graph into p parts at construction time
+// (Table 5 Step 0); queries then use Fast CePS. Equivalent to calling
+// EnableFastMode right after NewEngine.
+func WithFastMode(p int, opts PartitionOptions) Option {
+	return func(ec *engineConfig) error {
+		if p <= 0 {
+			return fmt.Errorf("%w: partition count %d must be positive", ErrBadConfig, p)
+		}
+		ec.fastMode = true
+		ec.fastParts = p
+		ec.fastOpts = opts
+		return nil
+	}
+}
+
+// NewEngine creates an engine over g. With no options it answers
+// full-graph queries under DefaultConfig with no score cache and a
+// GOMAXPROCS solve bound.
+//
+// Migrating from the v1 constructor: NewEngine(g, cfg) becomes
+// NewEngine(g, ceps.WithConfig(cfg)) — and now returns an error, because
+// options (config validation, pre-partitioning) can fail at construction.
+func NewEngine(g *Graph, opts ...Option) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("%w: nil graph", ErrBadQuery)
+	}
+	ec := engineConfig{cfg: DefaultConfig()}
+	for _, opt := range opts {
+		if err := opt(&ec); err != nil {
+			return nil, err
+		}
+	}
+	if err := ec.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ec.workers == 0 {
+		ec.workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		g:    g,
+		cfg:  ec.cfg,
+		pool: rwr.NewPool(ec.workers),
+	}
+	if ec.cacheBytes > 0 {
+		e.cache = rwr.NewScoreCache(ec.cacheBytes)
+	}
+	if ec.fastMode {
+		pt, err := core.PrePartition(g, ec.fastParts, ec.fastOpts)
+		if err != nil {
+			return nil, err
+		}
+		e.pt = pt
+	}
+	return e, nil
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// Config returns the engine's current configuration.
+func (e *Engine) Config() Config {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cfg
+}
+
+// serving bundles the engine's cache and pool for the core query paths.
+// Both are fixed at construction, so no lock is needed.
+func (e *Engine) serving() core.Serving {
+	return core.Serving{Cache: e.cache, Pool: e.pool}
+}
+
+// snapshot returns the configuration and partition state one query runs
+// against. Reconfiguration concurrent with the query affects only later
+// queries.
+func (e *Engine) snapshot() (Config, *Partitioned) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cfg, e.pt
+}
+
+// Reconfigure atomically replaces the engine's configuration for
+// subsequent queries. Changing the RWR parameters invalidates the cached
+// transition matrix and purges the score cache (stale vectors could never
+// be read — their key space dies with the old config — but the memory is
+// released eagerly). In-flight queries finish under the snapshot they
+// started with.
+func (e *Engine) Reconfigure(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	e.setConfig(cfg)
+	return nil
+}
+
+// SetConfig replaces the engine's configuration without validating it
+// (invalid configs surface on the next query, as in v1).
+//
+// Deprecated: use Reconfigure, which validates, or construct the Engine
+// with WithConfig.
+func (e *Engine) SetConfig(cfg Config) { e.setConfig(cfg) }
+
+func (e *Engine) setConfig(cfg Config) {
+	e.mu.Lock()
+	rwrChanged := cfg.RWR != e.cfg.RWR
+	e.cfg = cfg
+	if rwrChanged {
+		e.runner = nil
+	}
+	e.mu.Unlock()
+	if rwrChanged && e.cache != nil {
+		e.cache.Purge()
+	}
+}
+
+// CacheStats returns a snapshot of the score-cache counters. The second
+// return is false when the engine was built without WithCache.
+func (e *Engine) CacheStats() (CacheStats, bool) {
+	if e.cache == nil {
+		return CacheStats{}, false
+	}
+	return e.cache.Stats(), true
+}
+
+// EnableFastMode pre-partitions the graph into p parts (Table 5 Step 0);
+// subsequent Query calls use Fast CePS. It reports the one-time partition
+// cost through the returned Partitioned's PartitionTime.
+func (e *Engine) EnableFastMode(p int, opts PartitionOptions) (*Partitioned, error) {
+	return e.EnableFastModeCtx(context.Background(), p, opts)
+}
+
+// EnableFastModeCtx is EnableFastMode with cooperative cancellation of the
+// multilevel partitioner. Queries keep answering (on the previous state)
+// while the partitioner runs; the new state is swapped in atomically on
+// success.
+func (e *Engine) EnableFastModeCtx(ctx context.Context, p int, opts PartitionOptions) (*Partitioned, error) {
+	pt, err := core.PrePartitionCtx(ctx, e.g, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	e.installPartitioned(pt)
+	return pt, nil
+}
+
+// SetPartitioned installs pre-built Fast CePS state (e.g. partitioned
+// under a caller-controlled context with PrePartitionCtx, or loaded from a
+// snapshot). A nil pt disables fast mode.
+func (e *Engine) SetPartitioned(pt *Partitioned) { e.installPartitioned(pt) }
+
+func (e *Engine) installPartitioned(pt *Partitioned) {
+	e.mu.Lock()
+	changed := pt != e.pt
+	e.pt = pt
+	e.mu.Unlock()
+	// Hand-built Partitioned literals carry no unique identity, so two
+	// successive installs could otherwise collide in the cache's union key
+	// spaces; purging on swap closes that hole cheaply.
+	if changed && pt != nil && e.cache != nil {
+		e.cache.Purge()
+	}
+}
+
+// Partitioned returns the engine's Fast CePS state, nil when fast mode is
+// off.
+func (e *Engine) Partitioned() *Partitioned {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.pt
+}
+
+// DisableFastMode reverts the engine to full-graph CePS.
+func (e *Engine) DisableFastMode() {
+	e.mu.Lock()
+	e.pt = nil
+	e.mu.Unlock()
+}
+
+// FastMode reports whether Fast CePS is active.
+func (e *Engine) FastMode() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.pt != nil
+}
+
+// Prepare eagerly builds the cached transition matrix the full-graph query
+// path uses, so the first QueryCtx call does not pay the O(M)
+// normalization inside its deadline. It is a no-op when the matrix is
+// already built. Services that hand out tight per-query deadlines should
+// call Prepare once at startup.
+func (e *Engine) Prepare() error {
+	cfg, _ := e.snapshot()
+	_, err := e.runnerFor(cfg.RWR)
+	return err
+}
+
+// runnerFor returns a full-graph runner whose cached matrix matches rc,
+// building (and, when still current, publishing) one as needed. Queries
+// running under an older snapshot after a reconfigure get a private
+// runner rather than an error.
+func (e *Engine) runnerFor(rc RWRConfig) (*core.Runner, error) {
+	e.mu.RLock()
+	r := e.runner
+	e.mu.RUnlock()
+	if r != nil && r.RWRConfig() == rc {
+		return r, nil
+	}
+	nr, err := core.NewRunner(e.g, rc)
+	if err != nil {
+		return nil, err
+	}
+	nr.WithServing(e.serving())
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cfg.RWR == rc {
+		if e.runner != nil && e.runner.RWRConfig() == rc {
+			return e.runner, nil // another goroutine won the build race
+		}
+		e.runner = nr
+	}
+	return nr, nil
+}
+
+// Query answers a center-piece subgraph query for the given query nodes,
+// using Fast CePS when fast mode is enabled and the cached transition
+// matrix otherwise.
+func (e *Engine) Query(queries ...int) (*Result, error) {
+	return e.QueryCtx(context.Background(), queries...)
+}
+
+// QueryCtx is Query with cooperative cancellation and deadline support:
+// ctx is checked at every power-iteration sweep and EXTRACT step. The
+// Engine boundary additionally converts any panic escaping the pipeline
+// into an error wrapping ErrInternal, so one poisoned query cannot crash
+// a service that multiplexes many callers onto one Engine.
+func (e *Engine) QueryCtx(ctx context.Context, queries ...int) (res *Result, err error) {
+	defer recoverToError(&err)
+	cfg, pt := e.snapshot()
+	return e.queryWith(ctx, cfg, pt, queries)
+}
+
+// QueryKSoftAND answers a K_softAND query without mutating the engine's
+// stored configuration.
+func (e *Engine) QueryKSoftAND(k int, queries ...int) (*Result, error) {
+	return e.QueryKSoftANDCtx(context.Background(), k, queries...)
+}
+
+// QueryKSoftANDCtx is QueryKSoftAND with cooperative cancellation, routed
+// through the same config/partition snapshot as QueryCtx.
+func (e *Engine) QueryKSoftANDCtx(ctx context.Context, k int, queries ...int) (res *Result, err error) {
+	defer recoverToError(&err)
+	cfg, pt := e.snapshot()
+	cfg.K = k
+	return e.queryWith(ctx, cfg, pt, queries)
+}
+
+// queryWith answers one query under an already-taken snapshot.
+func (e *Engine) queryWith(ctx context.Context, cfg Config, pt *Partitioned, queries []int) (*Result, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("%w: no query nodes given", ErrBadQuery)
+	}
+	if pt != nil {
+		return pt.CePSServingCtx(ctx, queries, cfg, e.serving())
+	}
+	runner, err := e.runnerFor(cfg.RWR)
+	if err != nil {
+		return nil, err
+	}
+	return runner.QueryCtx(ctx, queries, cfg)
+}
+
+// TopCenterPieces ranks the strongest center-piece candidates — Steps 1–2
+// only — reusing the engine's cached matrix and score cache. Fast mode
+// does not apply (ranking is over the full graph).
+func (e *Engine) TopCenterPieces(queries []int, topN int) ([]RankedNode, error) {
+	return e.TopCenterPiecesCtx(context.Background(), queries, topN)
+}
+
+// TopCenterPiecesCtx is TopCenterPieces with cooperative cancellation.
+func (e *Engine) TopCenterPiecesCtx(ctx context.Context, queries []int, topN int) (ranked []RankedNode, err error) {
+	defer recoverToError(&err)
+	cfg, _ := e.snapshot()
+	runner, err := e.runnerFor(cfg.RWR)
+	if err != nil {
+		return nil, err
+	}
+	return runner.TopCenterPiecesCtx(ctx, queries, cfg, topN)
+}
+
+// InferK chooses a K_softAND coefficient from the mutual-support structure
+// of the query set, reusing the engine's cached matrix and score cache.
+// tau ≤ 0 uses the default support threshold.
+func (e *Engine) InferK(queries []int, tau float64) (int, []int, error) {
+	return e.InferKCtx(context.Background(), queries, tau)
+}
+
+// InferKCtx is InferK with cooperative cancellation.
+func (e *Engine) InferKCtx(ctx context.Context, queries []int, tau float64) (k int, supports []int, err error) {
+	defer recoverToError(&err)
+	cfg, _ := e.snapshot()
+	runner, err := e.runnerFor(cfg.RWR)
+	if err != nil {
+		return 0, nil, err
+	}
+	return runner.InferKCtx(ctx, queries, cfg, tau)
+}
+
+// QueryAutoK infers the K_softAND coefficient with InferK and answers the
+// query with it; the chosen k is recoverable from the result's Combiner.
+func (e *Engine) QueryAutoK(queries ...int) (*Result, error) {
+	return e.QueryAutoKCtx(context.Background(), queries...)
+}
+
+// QueryAutoKCtx is QueryAutoK with cooperative cancellation. The inference
+// pass and the query share the score cache, so the second step reuses the
+// first's solves.
+func (e *Engine) QueryAutoKCtx(ctx context.Context, queries ...int) (res *Result, err error) {
+	defer recoverToError(&err)
+	cfg, pt := e.snapshot()
+	runner, err := e.runnerFor(cfg.RWR)
+	if err != nil {
+		return nil, err
+	}
+	k, _, err := runner.InferKCtx(ctx, queries, cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.K = k
+	return e.queryWith(ctx, cfg, pt, queries)
+}
+
+// BatchOptions tunes QueryBatchCtx. The zero value is ready to use.
+type BatchOptions struct {
+	// PerQueryTimeout arms a deadline on each query set individually
+	// (0 = none beyond the batch context). A set that times out reports
+	// ErrDeadlineExceeded in its item without affecting the others.
+	PerQueryTimeout time.Duration
+	// Concurrency bounds how many query sets are in flight at once
+	// (0 = the engine's worker bound). Individual solves are always
+	// additionally bounded by the engine's worker pool.
+	Concurrency int
+}
+
+// BatchItem is the outcome of one query set of a batch: exactly one of
+// Result and Err is non-nil.
+type BatchItem struct {
+	// Queries is the query set this item answers (a private copy).
+	Queries []int
+	// Result is the successful answer.
+	Result *Result
+	// Err is the per-set failure; other sets are unaffected.
+	Err error
+}
+
+// QueryBatch answers many query sets concurrently; see QueryBatchCtx.
+func (e *Engine) QueryBatch(querySets [][]int) []BatchItem {
+	return e.QueryBatchCtx(context.Background(), querySets, BatchOptions{})
+}
+
+// QueryBatchCtx answers many query sets concurrently against one
+// config/partition snapshot, sharing the engine's score cache and solve
+// pool: a batch of overlapping team queries pays each member's solve once
+// (concurrent requests for the same cold source join a single in-flight
+// solve). Items are returned in input order; per-set failures — including
+// per-set deadlines and recovered panics — land in the item's Err without
+// aborting the batch. Canceling ctx aborts the in-flight sets at their
+// next iteration boundary.
+func (e *Engine) QueryBatchCtx(ctx context.Context, querySets [][]int, opts BatchOptions) []BatchItem {
+	cfg, pt := e.snapshot()
+	items := make([]BatchItem, len(querySets))
+	conc := opts.Concurrency
+	if conc <= 0 {
+		conc = e.pool.Size()
+	}
+	if conc > len(querySets) {
+		conc = len(querySets)
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for i := range querySets {
+		items[i].Queries = append([]int(nil), querySets[i]...)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ictx := ctx
+			if opts.PerQueryTimeout > 0 {
+				var cancel context.CancelFunc
+				ictx, cancel = context.WithTimeout(ctx, opts.PerQueryTimeout)
+				defer cancel()
+			}
+			items[i].Result, items[i].Err = func() (res *Result, err error) {
+				defer recoverToError(&err)
+				return e.queryWith(ictx, cfg, pt, items[i].Queries)
+			}()
+		}(i)
+	}
+	wg.Wait()
+	return items
+}

@@ -30,7 +30,10 @@ func buildAdvisorGraph() (*ceps.Graph, map[string]int) {
 // different groups?
 func Example() {
 	g, ids := buildAdvisorGraph()
-	eng := ceps.NewEngine(g, ceps.DefaultConfig())
+	eng, err := ceps.NewEngine(g)
+	if err != nil {
+		panic(err)
+	}
 	res, err := eng.Query(ids["Ann"], ids["Cleo"])
 	if err != nil {
 		panic(err)

@@ -43,7 +43,10 @@ func main() {
 
 	qcfg := ceps.DefaultConfig()
 	qcfg.Budget = 8
-	eng := ceps.NewEngine(g, qcfg)
+	eng, err := ceps.NewEngine(g, ceps.WithConfig(qcfg))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("\n--- AND query (nodes close to ALL four) ---")
 	and, err := eng.Query(queries...)

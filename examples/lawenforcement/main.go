@@ -40,7 +40,10 @@ func main() {
 
 	cfg := ceps.DefaultConfig()
 	cfg.Budget = 6
-	eng := ceps.NewEngine(g, cfg)
+	eng, err := ceps.NewEngine(g, ceps.WithConfig(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// --- Investigation 1: who connects suspects from three cells? ---
 	suspects := []int{cells[1][0], cells[4][1], cells[9][2]} // known lieutenants

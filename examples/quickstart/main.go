@@ -46,7 +46,10 @@ func main() {
 	// Ask: who is the center-piece between Alice (databases) and Dave (ML)?
 	cfg := ceps.DefaultConfig()
 	cfg.Budget = 3 // at most 3 nodes besides the queries
-	eng := ceps.NewEngine(g, cfg)
+	eng, err := ceps.NewEngine(g, ceps.WithConfig(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
 	res, err := eng.Query(alice, dave)
 	if err != nil {
 		log.Fatal(err)

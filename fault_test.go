@@ -21,7 +21,10 @@ func TestQueryDeadline50ms(t *testing.T) {
 	}
 	cfg := ceps.DefaultConfig()
 	cfg.RWR.Iterations = 1 << 30
-	eng := ceps.NewEngine(ds.Graph, cfg)
+	eng, err := ceps.NewEngine(ds.Graph, ceps.WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Pay the one-time O(M) matrix normalization outside the deadline, as a
 	// deadline-sensitive service would.
 	if err := eng.Prepare(); err != nil {
@@ -50,7 +53,7 @@ func TestQueryDeadline50ms(t *testing.T) {
 // the stdlib identity preserved.
 func TestQueryCancellation(t *testing.T) {
 	ds := smallDataset(t)
-	eng := ceps.NewEngine(ds.Graph, quickConfig())
+	eng := newEngine(t, ds.Graph, ceps.WithConfig(quickConfig()))
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err := eng.QueryCtx(ctx, ds.Repository[0][0], ds.Repository[1][0])
@@ -64,7 +67,7 @@ func TestQueryCancellation(t *testing.T) {
 // state is gone still answers on the full graph and says so.
 func TestEngineFallbackOnInjectedPartitionerFailure(t *testing.T) {
 	ds := smallDataset(t)
-	eng := ceps.NewEngine(ds.Graph, quickConfig())
+	eng := newEngine(t, ds.Graph, ceps.WithConfig(quickConfig()))
 	pt, err := ceps.PrePartition(ds.Graph, 4, ceps.PartitionOptions{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -91,7 +94,7 @@ func TestEngineFallbackOnInjectedPartitionerFailure(t *testing.T) {
 // exported sentinels.
 func TestQueryBadInputTypedErrors(t *testing.T) {
 	ds := smallDataset(t)
-	eng := ceps.NewEngine(ds.Graph, quickConfig())
+	eng := newEngine(t, ds.Graph, ceps.WithConfig(quickConfig()))
 	if _, err := eng.Query(); !errors.Is(err, ceps.ErrBadQuery) {
 		t.Errorf("empty query: err = %v, want ErrBadQuery", err)
 	}
@@ -109,7 +112,7 @@ func TestQueryBadInputTypedErrors(t *testing.T) {
 // result type.
 func TestResultDiagnosticsExposed(t *testing.T) {
 	ds := smallDataset(t)
-	eng := ceps.NewEngine(ds.Graph, quickConfig())
+	eng := newEngine(t, ds.Graph, ceps.WithConfig(quickConfig()))
 	res, err := eng.Query(ds.Repository[0][0], ds.Repository[1][0])
 	if err != nil {
 		t.Fatal(err)

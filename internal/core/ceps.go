@@ -151,6 +151,14 @@ func runPipelineWith(ctx context.Context, solver *rwr.Solver, g *graph.Graph, qu
 	if err != nil {
 		return nil, err
 	}
+	return assemblePipeline(ctx, solver, g, queries, cfg, R, diags)
+}
+
+// assemblePipeline executes steps 2–3 (combination + EXTRACT) over an
+// already-computed score matrix. It is the join point of the cached and
+// uncached score paths: everything downstream of Step 1 is shared, which
+// is what makes the two paths bit-identical by construction.
+func assemblePipeline(ctx context.Context, solver *rwr.Solver, g *graph.Graph, queries []int, cfg Config, R [][]float64, diags []rwr.Diagnostics) (*Result, error) {
 	comb := cfg.Combiner(len(queries))
 	combined, err := score.CombineNodes(R, comb)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"ceps/internal/fault"
 	"ceps/internal/graph"
 	"ceps/internal/partition"
+	"ceps/internal/rwr"
 )
 
 // Partitioned is the one-time pre-partitioning state of Fast CePS
@@ -28,6 +29,12 @@ type Partitioned struct {
 	// an error wrapping fault.ErrDegeneratePartition. Leave false in
 	// production; tests and strict benchmarks set it.
 	NoFallback bool
+
+	// id is a unique non-zero identity stamped by PrePartition, used to
+	// derive cache key spaces for solves on this state's induced unions.
+	// Zero (hand-built literals) is safe: engines purge their cache when
+	// partition state is swapped in.
+	id uint64
 }
 
 // PrePartition splits g into p parts (Table 5 Step 0). The partitioning is
@@ -47,7 +54,12 @@ func PrePartitionCtx(ctx context.Context, g *graph.Graph, p int, opts partition.
 	if err != nil {
 		return nil, err
 	}
-	return &Partitioned{G: g, Partition: part, PartitionTime: time.Since(start)}, nil
+	return &Partitioned{
+		G:             g,
+		Partition:     part,
+		PartitionTime: time.Since(start),
+		id:            partitionedID.Add(1),
+	}, nil
 }
 
 // CePS answers a query with the Fast CePS pipeline (Table 5 Steps 1–2):
@@ -69,6 +81,17 @@ func (pt *Partitioned) CePS(queries []int, cfg Config) (*Result, error) {
 // cancellation and numerical faults are never degraded: they propagate as
 // typed errors.
 func (pt *Partitioned) CePSCtx(ctx context.Context, queries []int, cfg Config) (*Result, error) {
+	return pt.CePSServingCtx(ctx, queries, cfg, Serving{})
+}
+
+// CePSServingCtx is CePSCtx with an attached serving layer: the induced
+// union's per-source score vectors are resolved through the shared cache
+// (keyed by the partition identity and part set, so repeat queries over
+// the same communities skip their solves) and fresh solves run under the
+// shared pool's concurrency bound. A zero Serving degenerates to plain
+// CePSCtx. The degenerate-union fallback path always re-solves on the full
+// graph uncached — it is the rare path, and its solver is query-local.
+func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Config, sv Serving) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -93,7 +116,25 @@ func (pt *Partitioned) CePSCtx(ctx context.Context, queries []int, cfg Config) (
 		return res, nil
 	}
 
-	res, err := runPipeline(ctx, work, workQueries, cfg)
+	var res *Result
+	var err error
+	if sv.enabled() {
+		var solver *rwr.Solver
+		solver, err = rwr.NewSolver(work, cfg.RWR)
+		if err != nil {
+			return nil, err
+		}
+		space := unionSpace(cfg.RWR, pt.id, pt.Partition.PartsContaining(queries))
+		var R [][]float64
+		var diags []rwr.Diagnostics
+		R, diags, err = solver.ScoresSetServingCtx(ctx, workQueries, sv.Cache, space, sv.Pool)
+		if err != nil {
+			return nil, err
+		}
+		res, err = assemblePipeline(ctx, solver, work, workQueries, cfg, R, diags)
+	} else {
+		res, err = runPipeline(ctx, work, workQueries, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}

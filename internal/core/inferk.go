@@ -49,14 +49,9 @@ func InferKCtx(ctx context.Context, g *graph.Graph, queries []int, cfg Config, t
 	if err := checkQueries(g, queries); err != nil {
 		return 0, nil, err
 	}
-	if tau <= 0 {
-		tau = DefaultSupportThreshold
+	if len(queries) < 2 {
+		return 0, nil, fmt.Errorf("%w: inferring k needs at least 2 queries, got %d", fault.ErrBadQuery, len(queries))
 	}
-	q := len(queries)
-	if q < 2 {
-		return 0, nil, fmt.Errorf("%w: inferring k needs at least 2 queries, got %d", fault.ErrBadQuery, q)
-	}
-
 	solver, err := rwr.NewSolver(g, cfg.RWR)
 	if err != nil {
 		return 0, nil, err
@@ -65,7 +60,37 @@ func InferKCtx(ctx context.Context, g *graph.Graph, queries []int, cfg Config, t
 	if err != nil {
 		return 0, nil, err
 	}
+	return inferKFromScores(R, queries, tau)
+}
 
+// InferK is the Runner variant of the package-level InferK, reusing the
+// cached transition matrix (and, with serving attached, cached vectors).
+func (r *Runner) InferK(queries []int, cfg Config, tau float64) (int, []int, error) {
+	return r.InferKCtx(context.Background(), queries, cfg, tau)
+}
+
+// InferKCtx is the context-aware Runner variant of InferK.
+func (r *Runner) InferKCtx(ctx context.Context, queries []int, cfg Config, tau float64) (int, []int, error) {
+	if err := r.check(queries, cfg); err != nil {
+		return 0, nil, err
+	}
+	if len(queries) < 2 {
+		return 0, nil, fmt.Errorf("%w: inferring k needs at least 2 queries, got %d", fault.ErrBadQuery, len(queries))
+	}
+	R, _, err := r.scoresSet(ctx, queries, cfg.Workers)
+	if err != nil {
+		return 0, nil, err
+	}
+	return inferKFromScores(R, queries, tau)
+}
+
+// inferKFromScores runs the mutual-support inference over an
+// already-computed score matrix.
+func inferKFromScores(R [][]float64, queries []int, tau float64) (bestK int, supports []int, err error) {
+	if tau <= 0 {
+		tau = DefaultSupportThreshold
+	}
+	q := len(queries)
 	supports = make([]int, q)
 	for i := 0; i < q; i++ {
 		self := R[i][queries[i]]

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"ceps/internal/rwr"
+)
+
+// Serving bundles the shared serving-layer state an Engine threads through
+// the query paths: the per-source score cache and the bounded solve pool.
+// The zero value disables both (plain solves, unbounded by a pool).
+type Serving struct {
+	// Cache holds per-source RWR score vectors keyed by source node and a
+	// space fingerprint covering the walk config and work-graph identity.
+	Cache *rwr.ScoreCache
+	// Pool bounds how many random-walk solves run concurrently across all
+	// queries and batches sharing it.
+	Pool *rwr.Pool
+}
+
+// enabled reports whether any serving state is attached.
+func (sv Serving) enabled() bool { return sv.Cache != nil || sv.Pool != nil }
+
+// partitionedID hands each PrePartition-built state a unique non-zero
+// identity, so cached vectors solved on one partition's induced unions can
+// never be confused with another's (even when the part-id sets coincide).
+var partitionedID atomic.Uint64
+
+// fullGraphSpace is the cache key space for full-graph solves under cfg.
+// Graph identity is implicit: a cache is owned by one Engine over one
+// graph, and unions (the only other solve target) always hash a non-zero
+// partition identity.
+func fullGraphSpace(cfg rwr.Config) uint64 {
+	return rwr.Space(cfg.Fingerprint(), 0, nil)
+}
+
+// unionSpace is the cache key space for solves on the induced union of the
+// given parts of a specific partitioned state. Node ids inside a union are
+// deterministic for a fixed partition and part set (Induced assigns them
+// in sorted original-id order), which is what makes per-source caching
+// across queries sound.
+func unionSpace(cfg rwr.Config, ptID uint64, parts []int) uint64 {
+	return rwr.Space(cfg.Fingerprint(), ptID, parts)
+}

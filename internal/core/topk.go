@@ -37,30 +37,36 @@ func TopCenterPiecesCtx(ctx context.Context, g *graph.Graph, queries []int, cfg 
 	if err != nil {
 		return nil, err
 	}
-	return topCenterPieces(ctx, solver, g, queries, cfg, topN)
+	R, _, err := solver.ScoresSetCtx(ctx, queries)
+	if err != nil {
+		return nil, err
+	}
+	return rankCenterPieces(R, queries, cfg, topN)
 }
 
 // TopCenterPieces is the Runner variant reusing the cached solver.
 func (r *Runner) TopCenterPieces(queries []int, cfg Config, topN int) ([]RankedNode, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.RWR != r.rwrCfg {
-		return nil, errMismatchedRWR(r.rwrCfg, cfg.RWR)
-	}
-	if err := checkQueries(r.g, queries); err != nil {
-		return nil, err
-	}
-	return topCenterPieces(context.Background(), r.solver, r.g, queries, cfg, topN)
+	return r.TopCenterPiecesCtx(context.Background(), queries, cfg, topN)
 }
 
-func topCenterPieces(ctx context.Context, solver *rwr.Solver, g *graph.Graph, queries []int, cfg Config, topN int) ([]RankedNode, error) {
-	if topN <= 0 {
-		topN = 10
+// TopCenterPiecesCtx is the context-aware Runner variant; with serving
+// state attached, the per-query vectors come from the shared cache.
+func (r *Runner) TopCenterPiecesCtx(ctx context.Context, queries []int, cfg Config, topN int) ([]RankedNode, error) {
+	if err := r.check(queries, cfg); err != nil {
+		return nil, err
 	}
-	R, _, err := solver.ScoresSetCtx(ctx, queries)
+	R, _, err := r.scoresSet(ctx, queries, cfg.Workers)
 	if err != nil {
 		return nil, err
+	}
+	return rankCenterPieces(R, queries, cfg, topN)
+}
+
+// rankCenterPieces is Step 2 plus ranking: combine the score matrix and
+// return the topN non-query nodes by combined score.
+func rankCenterPieces(R [][]float64, queries []int, cfg Config, topN int) ([]RankedNode, error) {
+	if topN <= 0 {
+		topN = 10
 	}
 	combined, err := score.CombineNodes(R, cfg.Combiner(len(queries)))
 	if err != nil {
@@ -70,7 +76,7 @@ func topCenterPieces(ctx context.Context, solver *rwr.Solver, g *graph.Graph, qu
 	for _, q := range queries {
 		isQuery[q] = true
 	}
-	ranked := make([]RankedNode, 0, g.N()-len(queries))
+	ranked := make([]RankedNode, 0, len(combined)-len(queries))
 	for j, s := range combined {
 		if !isQuery[j] && s > 0 {
 			ranked = append(ranked, RankedNode{Node: j, Score: s})
@@ -81,14 +87,4 @@ func topCenterPieces(ctx context.Context, solver *rwr.Solver, g *graph.Graph, qu
 		ranked = ranked[:topN]
 	}
 	return ranked, nil
-}
-
-func errMismatchedRWR(have, want rwr.Config) error {
-	return &rwrMismatchError{have: have, want: want}
-}
-
-type rwrMismatchError struct{ have, want rwr.Config }
-
-func (e *rwrMismatchError) Error() string {
-	return "core: runner RWR config does not match the query's (build a new Runner)"
 }

@@ -1,0 +1,400 @@
+package rwr
+
+import (
+	"container/list"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"ceps/internal/fault"
+)
+
+// This file is the serving layer of Step 1: a shared, byte-budgeted LRU
+// cache of per-source score vectors plus a bounded solve pool. The paper's
+// §6 pre-compute discussion trades memory for the repeated per-query solve
+// cost; the cache is the incremental version of that trade — only sources
+// that queries actually ask about are materialized, and a byte budget
+// bounds the "heavy burden when N is big" instead of an N×N inverse.
+//
+// Vectors are keyed by (space, source): the source node id plus a space
+// fingerprint that encodes everything else the vector depends on — the RWR
+// configuration and the identity of the (work) graph the solve ran on. A
+// configuration change therefore can never serve stale vectors (the space
+// changes), and Purge exists only to release the memory eagerly.
+
+// Fingerprint returns a stable 64-bit hash of the walk parameters. Two
+// configs with equal fingerprints produce identical score vectors on the
+// same graph, so the fingerprint is the config's contribution to a cache
+// key space.
+func (c Config) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(math.Float64bits(c.C))
+	put(uint64(c.Iterations))
+	put(uint64(c.Norm))
+	put(math.Float64bits(c.Alpha))
+	put(math.Float64bits(c.Tol))
+	return h.Sum64()
+}
+
+// Space derives a cache key space from a config fingerprint and the
+// identity of the graph the solves run on (callers hash whatever
+// establishes that identity — e.g. a partition-union signature; zero values
+// conventionally mean "the full graph").
+func Space(fingerprint uint64, graphID uint64, parts []int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(fingerprint)
+	put(graphID)
+	put(uint64(len(parts)))
+	for _, p := range parts {
+		put(uint64(p))
+	}
+	return h.Sum64()
+}
+
+// Pool bounds how many random-walk solves run concurrently across every
+// query and batch sharing it. Waiting for a slot honors the waiter's
+// context, and slots are held only while a solve is actually sweeping —
+// never while a goroutine waits on a cache flight — so the pool cannot
+// deadlock against the cache.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool admitting up to n concurrent solves; n ≤ 0 means
+// 1 (fully sequential).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = 1
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Size returns the pool's concurrency bound.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// acquire blocks until a slot is free or ctx fires.
+func (p *Pool) acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fault.FromContext(ctx)
+	}
+}
+
+func (p *Pool) release() { <-p.sem }
+
+// CacheStats is a point-in-time snapshot of a ScoreCache's counters.
+type CacheStats struct {
+	// Hits counts queries answered without a fresh solve — either from a
+	// stored vector or by joining a solve already in flight for the same
+	// (space, source).
+	Hits uint64
+	// Misses counts queries that had to run a fresh solve.
+	Misses uint64
+	// Evictions counts vectors dropped to fit the byte budget.
+	Evictions uint64
+	// Invalidations counts Purge calls (configuration changes).
+	Invalidations uint64
+	// Entries is the number of vectors currently stored.
+	Entries int
+	// BytesUsed and BytesBudget describe the current footprint.
+	BytesUsed, BytesBudget int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// cacheKey identifies one cached vector.
+type cacheKey struct {
+	space  uint64
+	source int
+}
+
+// entry is one resident vector. vec is immutable once stored; readers copy
+// it out, so eviction can drop the reference at any time.
+type entry struct {
+	key   cacheKey
+	vec   []float64
+	diag  Diagnostics
+	bytes int64
+}
+
+// flight coordinates concurrent requests for the same missing vector: the
+// first requester becomes the leader and solves; followers wait on done
+// and share the leader's result, so an overlapping batch pays each
+// source's solve exactly once even when its queries run concurrently.
+type flight struct {
+	done chan struct{}
+	vec  []float64
+	diag Diagnostics
+	err  error
+}
+
+// ScoreCache is a goroutine-safe LRU cache of RWR score vectors with a
+// byte budget. It is shared by the full-graph and Fast CePS query paths of
+// an Engine; see the package comment of this file for the keying scheme.
+type ScoreCache struct {
+	mu       sync.Mutex
+	budget   int64
+	used     int64
+	ll       *list.List // of *entry; front = most recently used
+	items    map[cacheKey]*list.Element
+	inflight map[cacheKey]*flight
+
+	hits, misses, evictions, invalidations uint64
+}
+
+// entryOverhead approximates the per-entry bookkeeping cost (key, list
+// element, entry header, map slot) added to the 8 bytes per score.
+const entryOverhead = 128
+
+// NewScoreCache returns a cache that keeps at most budgetBytes of score
+// vectors (approximately: each vector costs 8·len + a small overhead).
+// budgetBytes ≤ 0 disables storage entirely — lookups always miss — which
+// keeps the serving code path uniform for cache-off configurations.
+func NewScoreCache(budgetBytes int64) *ScoreCache {
+	return &ScoreCache{
+		budget:   budgetBytes,
+		ll:       list.New(),
+		items:    make(map[cacheKey]*list.Element),
+		inflight: make(map[cacheKey]*flight),
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *ScoreCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.ll.Len(),
+		BytesUsed:     c.used,
+		BytesBudget:   c.budget,
+	}
+}
+
+// Purge drops every stored vector and counts one invalidation. Engines
+// call it on reconfiguration: stale vectors can never be *read* (their key
+// space dies with the old config), so purging is about releasing memory
+// promptly rather than correctness.
+func (c *ScoreCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[cacheKey]*list.Element)
+	c.used = 0
+	c.invalidations++
+}
+
+// getOrJoin is the miss/hit/flight triage for one source. On a hit it
+// returns a private copy of the vector. On a miss it either registers the
+// caller as the leader of a new flight (leader == true; the caller must
+// finish the flight) or returns the existing flight to wait on.
+func (c *ScoreCache) getOrJoin(space uint64, source int) (vec []float64, diag Diagnostics, ok bool, fl *flight, leader bool) {
+	key := cacheKey{space: space, source: source}
+	c.mu.Lock()
+	if el, found := c.items[key]; found {
+		c.ll.MoveToFront(el)
+		ent := el.Value.(*entry)
+		c.hits++
+		c.mu.Unlock()
+		// Entries are immutable; copy outside the lock.
+		out := make([]float64, len(ent.vec))
+		copy(out, ent.vec)
+		return out, ent.diag, true, nil, false
+	}
+	if fl, found := c.inflight[key]; found {
+		c.hits++ // the caller will share the in-flight solve
+		c.mu.Unlock()
+		return nil, Diagnostics{}, false, fl, false
+	}
+	fl = &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.misses++
+	c.mu.Unlock()
+	return nil, Diagnostics{}, false, fl, true
+}
+
+// finish completes a flight: on success the vector is stored (subject to
+// the byte budget) and handed to any followers; on error followers are
+// woken to retry or propagate. The leader retains ownership of vec; the
+// cache and the followers each keep private copies.
+func (c *ScoreCache) finish(space uint64, source int, fl *flight, vec []float64, diag Diagnostics, err error) {
+	key := cacheKey{space: space, source: source}
+	if err == nil {
+		stored := make([]float64, len(vec))
+		copy(stored, vec)
+		fl.vec = stored
+		fl.diag = diag
+		c.store(key, stored, diag)
+	} else {
+		fl.err = err
+	}
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(fl.done)
+}
+
+// store inserts (or replaces) an entry and evicts from the LRU tail until
+// the budget holds. A vector larger than the whole budget is not stored.
+func (c *ScoreCache) store(key cacheKey, vec []float64, diag Diagnostics) {
+	ent := &entry{key: key, vec: vec, diag: diag, bytes: int64(len(vec))*8 + entryOverhead}
+	if ent.bytes > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, found := c.items[key]; found {
+		old := el.Value.(*entry)
+		c.used += ent.bytes - old.bytes
+		el.Value = ent
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(ent)
+		c.used += ent.bytes
+	}
+	for c.used > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.items, victim.key)
+		c.used -= victim.bytes
+		c.evictions++
+	}
+}
+
+// contextual reports whether err is a cancellation/deadline failure — the
+// one class of leader failure a follower with a live context should retry
+// rather than inherit.
+func contextual(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, fault.ErrCanceled) || errors.Is(err, fault.ErrDeadlineExceeded)
+}
+
+// serveOne resolves one source's score vector through the serving layer:
+// cache hit, join of an in-flight solve, or a fresh pool-bounded solve
+// (stored on success). cache may be nil (always solve) and pool may be nil
+// (unbounded).
+func (s *Solver) serveOne(ctx context.Context, cache *ScoreCache, space uint64, q int, pool *Pool) ([]float64, Diagnostics, error) {
+	if cache == nil {
+		return s.solvePooled(ctx, q, pool)
+	}
+	for {
+		vec, diag, ok, fl, leader := cache.getOrJoin(space, q)
+		if ok {
+			return vec, diag, nil
+		}
+		if leader {
+			vec, diag, err := s.solvePooled(ctx, q, pool)
+			cache.finish(space, q, fl, vec, diag, err)
+			return vec, diag, err
+		}
+		select {
+		case <-fl.done:
+			if fl.err == nil {
+				out := make([]float64, len(fl.vec))
+				copy(out, fl.vec)
+				return out, fl.diag, nil
+			}
+			if !contextual(fl.err) {
+				return nil, Diagnostics{}, fl.err
+			}
+			if err := fault.FromContext(ctx); err != nil {
+				return nil, Diagnostics{}, err
+			}
+			// The leader's context died but ours is alive: retry (and
+			// likely become the new leader).
+		case <-ctx.Done():
+			return nil, Diagnostics{}, fault.FromContext(ctx)
+		}
+	}
+}
+
+// solvePooled runs one solve under the pool's concurrency bound. The slot
+// is held only for the duration of the sweeps.
+func (s *Solver) solvePooled(ctx context.Context, q int, pool *Pool) ([]float64, Diagnostics, error) {
+	if pool != nil {
+		if err := pool.acquire(ctx); err != nil {
+			return nil, Diagnostics{}, err
+		}
+		defer pool.release()
+	}
+	return s.ScoresCtx(ctx, q)
+}
+
+// ScoresSetServingCtx computes the score matrix for a query set through
+// the serving layer: sources already cached under space are returned
+// without solving, concurrent requests for the same missing source share
+// one solve, and fresh solves for distinct sources run concurrently under
+// the pool's bound. The result is bit-identical to ScoresSetCtx — power
+// iteration is deterministic, and cached vectors are exact copies of what
+// a fresh solve returns.
+func (s *Solver) ScoresSetServingCtx(ctx context.Context, queries []int, cache *ScoreCache, space uint64, pool *Pool) ([][]float64, []Diagnostics, error) {
+	if len(queries) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty query set", fault.ErrBadQuery)
+	}
+	for _, q := range queries {
+		if q < 0 || q >= s.n {
+			return nil, nil, fmt.Errorf("%w: query node %d out of range [0,%d)", fault.ErrBadQuery, q, s.n)
+		}
+	}
+	R := make([][]float64, len(queries))
+	diags := make([]Diagnostics, len(queries))
+	if len(queries) == 1 || pool == nil || pool.Size() == 1 {
+		for i, q := range queries {
+			r, d, err := s.serveOne(ctx, cache, space, q, pool)
+			if err != nil {
+				return nil, nil, err
+			}
+			R[i], diags[i] = r, d
+		}
+		return R, diags, nil
+	}
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i, q int) {
+			defer wg.Done()
+			R[i], diags[i], errs[i] = s.serveOne(ctx, cache, space, q, pool)
+		}(i, q)
+	}
+	wg.Wait()
+	if err := fault.FromContext(ctx); err != nil {
+		return nil, nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return R, diags, nil
+}
