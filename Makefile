@@ -1,13 +1,14 @@
 # Tier-1 gate: `make check` is what CI and pre-merge runs. It must stay
-# green — vet, build, the full test suite under the race detector, and a
-# short fuzz smoke over the text parsers.
+# green — vet, build, the full test suite under the race detector
+# (including the cache-purge race hammer), and a short fuzz smoke over the
+# text parsers.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz-smoke bench bench-smoke clean
+.PHONY: check vet build test race race-hammer obs-smoke fuzz-smoke bench bench-smoke clean
 
-check: vet build race fuzz-smoke
+check: vet build race race-hammer fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +21,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Repeated runs of the purge-vs-in-flight-solve regression tests and the
+# engine-level Reconfigure hammer under the race detector. These are the
+# tests that caught (and now pin) the stale-store cache bug.
+race-hammer:
+	$(GO) test -race -count=4 ./internal/rwr -run 'TestFinishAfterPurgeDropsStore|TestPurgeBetweenFlightsNoDeadSpace'
+	$(GO) test -race -count=4 . -run 'TestReconfigurePurgeRace|TestEngineConcurrentReconfigure'
+
+# Scrape /metrics through the real admin mux and fail on malformed
+# Prometheus exposition (plus the engine-level metric assertions).
+obs-smoke:
+	$(GO) test -count=1 ./internal/obs -run 'TestAdminEndpointSmoke'
+	$(GO) test -count=1 . -run 'TestEngineStageTimingsAndMetrics|TestEngineSlowQueryLog'
+	$(GO) test -count=1 ./cmd/ceps -run 'TestServeListeners|TestQueryMux'
 
 # Short fuzz passes over the graph parsers; crashers land in
 # internal/graph/testdata/fuzz and fail `make test` from then on.

@@ -45,12 +45,14 @@ package ceps
 import (
 	"context"
 	"fmt"
+	"net/http"
 
 	"ceps/internal/core"
 	"ceps/internal/current"
 	"ceps/internal/dblp"
 	"ceps/internal/fault"
 	"ceps/internal/graph"
+	"ceps/internal/obs"
 	"ceps/internal/partition"
 	"ceps/internal/rwr"
 	"ceps/internal/steiner"
@@ -104,6 +106,14 @@ type (
 	// CacheStats is a snapshot of the Engine's score-cache counters
 	// (hits, misses, evictions, byte budget).
 	CacheStats = rwr.CacheStats
+	// StageTimings is the per-stage breakdown (partition, solve, combine,
+	// extract) and cache accounting carried on every Result.
+	StageTimings = core.StageTimings
+	// MetricsRegistry is an Engine's live metrics registry; serve it with
+	// obs.Handler/obs.AdminMux or encode it with WriteText.
+	MetricsRegistry = obs.Registry
+	// SlowQueryEntry is one JSON line of the slow-query log.
+	SlowQueryEntry = obs.SlowQueryEntry
 )
 
 // Error taxonomy. Every failure on the query path wraps one of these
@@ -192,6 +202,17 @@ func FastQueryCtx(ctx context.Context, pt *Partitioned, queries []int, cfg Confi
 	return pt.CePSCtx(ctx, queries, cfg)
 }
 
+// MetricsHandler serves a metrics registry in Prometheus text exposition
+// format (version 0.0.4). Mount it wherever your service's HTTP surface
+// lives: mux.Handle("/metrics", ceps.MetricsHandler(eng.Metrics())).
+func MetricsHandler(r *MetricsRegistry) http.Handler { return obs.Handler(r) }
+
+// AdminMux builds the full operational surface for a registry on a fresh
+// mux: /metrics, /healthz, /debug/vars (expvar), and net/http/pprof.
+// Serve it on its own address — the profiler does not belong on a public
+// query port. The ceps CLI's -admin flag does exactly this.
+func AdminMux(r *MetricsRegistry) *http.ServeMux { return obs.AdminMux(r) }
+
 // RelRatio compares a Fast CePS result against a full-graph run (Eq. 19).
 func RelRatio(full, fast *Result) (float64, error) { return core.RelRatio(full, fast) }
 
@@ -251,12 +272,4 @@ func SteinerTree(g *Graph, terminals []int, lengthFn func(float64) float64) (*St
 // fig2 experiment here) demonstrates.
 func ConnectionSubgraph(g *Graph, source, sink int, cfg CurrentConfig) (*CurrentResult, error) {
 	return current.ConnectionSubgraph(g, source, sink, cfg)
-}
-
-// recoverToError converts a panic on the public Engine boundary into an
-// error wrapping ErrInternal, preserving the panic value in the message.
-func recoverToError(err *error) {
-	if r := recover(); r != nil {
-		*err = fmt.Errorf("%w: recovered panic: %v", ErrInternal, r)
-	}
 }

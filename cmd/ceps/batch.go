@@ -14,6 +14,10 @@ import (
 	"ceps"
 )
 
+// maxQueryLine bounds one line of a batch file (8 MiB — far beyond any
+// real query set, but finite so a malformed file cannot balloon memory).
+const maxQueryLine = 8 << 20
+
 // batchOptions carries the batch-mode flags from run into runBatch.
 type batchOptions struct {
 	perQueryTimeout time.Duration
@@ -41,6 +45,10 @@ func readQuerySets(g *ceps.Graph, path string) ([][]int, error) {
 
 	var sets [][]int
 	sc := bufio.NewScanner(f)
+	// A query line enumerates a node set and can exceed bufio's 64 KiB
+	// default token limit (a few thousand labeled members already do),
+	// which would fail the whole batch with ErrTooLong.
+	sc.Buffer(make([]byte, 64<<10), maxQueryLine)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++

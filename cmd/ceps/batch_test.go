@@ -150,3 +150,25 @@ func TestRunUsageBothQueryModes(t *testing.T) {
 		t.Fatalf("exit = %d, want %d", code, exitUsage)
 	}
 }
+
+// TestReadQuerySetsLongLine pins the scanner buffer fix: a query line
+// longer than bufio.Scanner's 64 KiB default token limit must parse, not
+// fail the whole batch with ErrTooLong.
+func TestReadQuerySetsLongLine(t *testing.T) {
+	g := testGraph(t)
+	var sb strings.Builder
+	for sb.Len() < 100<<10 {
+		sb.WriteString("Alice,Bob,Carol,")
+	}
+	sb.WriteString("Alice\n")
+	sets, err := readQuerySets(g, writeBatchFile(t, sb.String()))
+	if err != nil {
+		t.Fatalf("long line should parse, got: %v", err)
+	}
+	if len(sets) != 1 {
+		t.Fatalf("got %d sets, want 1", len(sets))
+	}
+	if want := 3*(sb.Len()/16) + 1; len(sets[0]) < 64<<10/16 {
+		t.Fatalf("set has %d members, want about %d", len(sets[0]), want)
+	}
+}

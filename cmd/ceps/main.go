@@ -21,6 +21,14 @@
 // inline without aborting the rest. With -json the batch is emitted as a
 // JSON array in input order.
 //
+// Serve mode: -serve ADDR runs a long-lived HTTP query service
+// (GET /query?q=Alice,Bob&k=N) instead of answering one query or batch.
+// -admin ADDR additionally exposes the operational surface — Prometheus
+// /metrics, /healthz, /debug/vars, and net/http/pprof — on its own
+// address in every mode, so a long batch can be profiled while it runs.
+// -slow-log D writes a JSON line to stderr for every query at least D
+// slow; see README.md "Observability".
+//
 // Execution is context-aware: -timeout bounds the whole run (graph load,
 // optional pre-partition, and the query), and SIGINT/SIGTERM cancel the
 // in-flight query at its next iteration boundary. Exit codes are distinct
@@ -39,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"sort"
@@ -86,15 +95,27 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		explain   = fs.Bool("explain", false, "print the key path that justified each node")
 
 		queriesFile  = fs.String("queries-file", "", "answer a batch: one comma-separated query set per line (# starts a comment); mutually exclusive with -q")
-		queryTimeout = fs.Duration("query-timeout", 0, "per-query-set deadline in batch mode (0 = none)")
+		queryTimeout = fs.Duration("query-timeout", 0, "per-query-set deadline in batch mode, per-request deadline in serve mode (0 = none)")
 		cacheMB      = fs.Int("cache-mb", 64, "score-cache budget in MiB, shared across the batch (0 = disable caching)")
 		workers      = fs.Int("workers", 0, "max concurrent random-walk solves (0 = GOMAXPROCS)")
+
+		serveAddr = fs.String("serve", "", "run as a long-lived query service on this address (e.g. :8080) instead of answering -q/-queries-file")
+		adminAddr = fs.String("admin", "", "serve /metrics, /healthz, /debug/vars and pprof on this address (e.g. :6060)")
+		slowLog   = fs.Duration("slow-log", 0, "log queries at least this slow to stderr as JSON lines (0 = off)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return exitUsage
 	}
-	if *graphPath == "" || (*queryList == "") == (*queriesFile == "") {
+	if *graphPath == "" {
 		fs.Usage()
+		return exitUsage
+	}
+	if *serveAddr == "" && (*queryList == "") == (*queriesFile == "") {
+		fs.Usage()
+		return exitUsage
+	}
+	if *serveAddr != "" && (*queryList != "" || *queriesFile != "" || *autoK) {
+		fmt.Fprintln(stderr, "ceps: -serve answers queries over HTTP; it is exclusive with -q, -queries-file and -auto-k")
 		return exitUsage
 	}
 	if *cacheMB < 0 || *workers < 0 {
@@ -103,6 +124,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *parts < 0 {
 		fmt.Fprintf(stderr, "ceps: -partitions %d must be non-negative\n", *parts)
+		return exitUsage
+	}
+	if *slowLog < 0 {
+		fmt.Fprintf(stderr, "ceps: -slow-log %v must be non-negative\n", *slowLog)
 		return exitUsage
 	}
 
@@ -163,6 +188,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *workers > 0 {
 		opts = append(opts, ceps.WithWorkers(*workers))
 	}
+	if *slowLog > 0 {
+		opts = append(opts, ceps.WithSlowQueryLog(stderr, *slowLog))
+	}
 	eng, err := ceps.NewEngine(g, opts...)
 	if err != nil {
 		return fail(err)
@@ -173,6 +201,29 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		fmt.Fprintf(stderr, "pre-partitioned into %d parts in %v\n", *parts, pt.PartitionTime)
+	}
+
+	if *serveAddr != "" {
+		queryLn, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			return fail(err)
+		}
+		var adminLn net.Listener
+		if *adminAddr != "" {
+			adminLn, err = net.Listen("tcp", *adminAddr)
+			if err != nil {
+				queryLn.Close()
+				return fail(err)
+			}
+		}
+		return serveListeners(ctx, eng, g, cfg, *queryTimeout, queryLn, adminLn, stderr)
+	}
+	if *adminAddr != "" {
+		stopAdmin, err := startAdmin(*adminAddr, eng, stderr)
+		if err != nil {
+			return fail(err)
+		}
+		defer stopAdmin()
 	}
 
 	if *queriesFile != "" {

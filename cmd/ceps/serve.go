@@ -1,0 +1,172 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ceps"
+	"ceps/internal/obs"
+)
+
+// serveShutdownGrace bounds how long in-flight HTTP requests may run after
+// a shutdown signal before the listeners are torn down hard.
+const serveShutdownGrace = 5 * time.Second
+
+// queryError is the JSON error body of the query endpoint.
+type queryError struct {
+	Error string `json:"error"`
+}
+
+// newQueryMux builds the public query API:
+//
+//	GET /query?q=Alice,Bob[&k=N][&budget=N][&explain=1]   JSON result
+//	GET /healthz                                          liveness
+//
+// Query nodes are ids or labels, as with -q. Per-request k and budget
+// override the engine's configuration without mutating it. The admin
+// surface (metrics, pprof) deliberately lives on its own mux/port so the
+// profiler is never exposed on the public address.
+func newQueryMux(eng *ceps.Engine, g *ceps.Graph, cfg ceps.Config, queryTimeout time.Duration) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		queries, err := parseQueries(g, q.Get("q"))
+		if err != nil {
+			writeQueryError(w, http.StatusBadRequest, err)
+			return
+		}
+		reqCfg := cfg
+		if v := q.Get("k"); v != "" {
+			k, err := strconv.Atoi(v)
+			if err != nil {
+				writeQueryError(w, http.StatusBadRequest, fmt.Errorf("bad k %q: %w", v, err))
+				return
+			}
+			reqCfg.K = k
+		}
+		if v := q.Get("budget"); v != "" {
+			b, err := strconv.Atoi(v)
+			if err != nil {
+				writeQueryError(w, http.StatusBadRequest, fmt.Errorf("bad budget %q: %w", v, err))
+				return
+			}
+			reqCfg.Budget = b
+		}
+		ctx := r.Context()
+		if queryTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, queryTimeout)
+			defer cancel()
+		}
+		res, err := eng.QueryKSoftANDCtx(ctx, reqCfg.K, queries...)
+		if err != nil {
+			writeQueryError(w, queryStatus(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		jr := buildJSONResult(g, res, queries, reqCfg, q.Get("explain") != "")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(jr)
+	})
+	return mux
+}
+
+// queryStatus maps the library's error taxonomy onto HTTP statuses.
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, ceps.ErrBadQuery) || errors.Is(err, ceps.ErrBadConfig):
+		return http.StatusBadRequest
+	case errors.Is(err, ceps.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ceps.ErrCanceled) || errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeQueryError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(queryError{Error: err.Error()})
+}
+
+// serveListeners runs the query API on queryLn and, when adminLn is
+// non-nil, the admin surface (metrics, health, pprof) on adminLn, until
+// ctx is canceled; then both servers drain gracefully. It owns and closes
+// the listeners.
+func serveListeners(ctx context.Context, eng *ceps.Engine, g *ceps.Graph, cfg ceps.Config, queryTimeout time.Duration, queryLn, adminLn net.Listener, stderr io.Writer) int {
+	servers := []*http.Server{{
+		Handler:           newQueryMux(eng, g, cfg, queryTimeout),
+		ReadHeaderTimeout: 10 * time.Second,
+	}}
+	listeners := []net.Listener{queryLn}
+	fmt.Fprintf(stderr, "serving queries on http://%s/query\n", queryLn.Addr())
+	if adminLn != nil {
+		servers = append(servers, &http.Server{
+			Handler:           obs.AdminMux(eng.Metrics()),
+			ReadHeaderTimeout: 10 * time.Second,
+		})
+		listeners = append(listeners, adminLn)
+		fmt.Fprintf(stderr, "admin endpoint on http://%s/metrics\n", adminLn.Addr())
+	}
+
+	errc := make(chan error, len(servers))
+	for i, srv := range servers {
+		go func(srv *http.Server, ln net.Listener) {
+			errc <- srv.Serve(ln)
+		}(srv, listeners[i])
+	}
+
+	code := exitOK
+	select {
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			code = exitDeadline
+		} else {
+			code = exitSignal
+		}
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "ceps:", err)
+			code = exitError
+		}
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), serveShutdownGrace)
+	defer cancel()
+	for _, srv := range servers {
+		srv.Shutdown(shCtx)
+	}
+	return code
+}
+
+// startAdmin starts the admin endpoint for a one-shot or batch run and
+// returns its shutdown function. The endpoint exists so profiles and
+// metrics can be pulled from a long single run (a big pre-partition, a
+// wide batch) while it executes.
+func startAdmin(addr string, eng *ceps.Engine, stderr io.Writer) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin endpoint: %w", err)
+	}
+	srv := &http.Server{Handler: obs.AdminMux(eng.Metrics()), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	fmt.Fprintf(stderr, "admin endpoint on http://%s/metrics\n", ln.Addr())
+	return func() {
+		shCtx, cancel := context.WithTimeout(context.Background(), serveShutdownGrace)
+		defer cancel()
+		srv.Shutdown(shCtx)
+	}, nil
+}

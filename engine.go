@@ -2,12 +2,15 @@ package ceps
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
 
 	"ceps/internal/core"
+	"ceps/internal/obs"
 	"ceps/internal/rwr"
 )
 
@@ -34,6 +37,9 @@ type Engine struct {
 
 	cache *rwr.ScoreCache // nil when caching is off
 	pool  *rwr.Pool       // never nil
+
+	metrics *engineMetrics // never nil
+	slow    *obs.SlowLog   // nil when no slow-query log is attached
 }
 
 // Option configures an Engine at construction. Options are applied in
@@ -48,6 +54,8 @@ type engineConfig struct {
 	fastMode   bool
 	fastParts  int
 	fastOpts   PartitionOptions
+	slowW      io.Writer
+	slowThresh time.Duration
 }
 
 // WithConfig sets the pipeline configuration (default: DefaultConfig).
@@ -103,6 +111,26 @@ func WithFastMode(p int, opts PartitionOptions) Option {
 	}
 }
 
+// WithSlowQueryLog attaches a slow-query log: every query (including
+// failed ones) whose wall time meets or exceeds threshold is written to w
+// as one JSON line with the per-stage breakdown and cache counters — see
+// README.md "Observability" for the field reference. Writes are
+// serialized; w need not be safe for concurrent use. A threshold of 0
+// logs every query.
+func WithSlowQueryLog(w io.Writer, threshold time.Duration) Option {
+	return func(ec *engineConfig) error {
+		if w == nil {
+			return fmt.Errorf("%w: nil slow-query log writer", ErrBadConfig)
+		}
+		if threshold < 0 {
+			return fmt.Errorf("%w: negative slow-query threshold %v", ErrBadConfig, threshold)
+		}
+		ec.slowW = w
+		ec.slowThresh = threshold
+		return nil
+	}
+}
+
 // NewEngine creates an engine over g. With no options it answers
 // full-graph queries under DefaultConfig with no score cache and a
 // GOMAXPROCS solve bound.
@@ -133,6 +161,10 @@ func NewEngine(g *Graph, opts ...Option) (*Engine, error) {
 	}
 	if ec.cacheBytes > 0 {
 		e.cache = rwr.NewScoreCache(ec.cacheBytes)
+	}
+	e.metrics = newEngineMetrics(e.CacheStats, ec.workers)
+	if ec.slowW != nil {
+		e.slow = obs.NewSlowLog(ec.slowW, ec.slowThresh)
 	}
 	if ec.fastMode {
 		pt, err := core.PrePartition(g, ec.fastParts, ec.fastOpts)
@@ -202,6 +234,12 @@ func (e *Engine) setConfig(cfg Config) {
 		e.cache.Purge()
 	}
 }
+
+// Metrics returns the engine's metrics registry. Serve it over HTTP with
+// obs.Handler / obs.AdminMux (the ceps CLI's -admin flag does exactly
+// that), or scrape it in-process with WriteText. The registry is live:
+// every scrape reads the current counters.
+func (e *Engine) Metrics() *MetricsRegistry { return e.metrics.reg }
 
 // CacheStats returns a snapshot of the score-cache counters. The second
 // return is false when the engine was built without WithCache.
@@ -323,7 +361,7 @@ func (e *Engine) Query(queries ...int) (*Result, error) {
 // into an error wrapping ErrInternal, so one poisoned query cannot crash
 // a service that multiplexes many callers onto one Engine.
 func (e *Engine) QueryCtx(ctx context.Context, queries ...int) (res *Result, err error) {
-	defer recoverToError(&err)
+	defer e.recoverToError(&err)
 	cfg, pt := e.snapshot()
 	return e.queryWith(ctx, cfg, pt, queries)
 }
@@ -337,25 +375,39 @@ func (e *Engine) QueryKSoftAND(k int, queries ...int) (*Result, error) {
 // QueryKSoftANDCtx is QueryKSoftAND with cooperative cancellation, routed
 // through the same config/partition snapshot as QueryCtx.
 func (e *Engine) QueryKSoftANDCtx(ctx context.Context, k int, queries ...int) (res *Result, err error) {
-	defer recoverToError(&err)
+	defer e.recoverToError(&err)
 	cfg, pt := e.snapshot()
 	cfg.K = k
 	return e.queryWith(ctx, cfg, pt, queries)
 }
 
-// queryWith answers one query under an already-taken snapshot.
+// queryWith answers one query under an already-taken snapshot, and is the
+// single funnel every query path drains through — which makes it the one
+// place to meter: it feeds the engine-wide aggregates (path, error kind,
+// total and per-stage latency) and the slow-query log. Instrumentation
+// only reads the finished Result; answers stay bit-identical to an
+// unmetered run.
 func (e *Engine) queryWith(ctx context.Context, cfg Config, pt *Partitioned, queries []int) (*Result, error) {
-	if len(queries) == 0 {
-		return nil, fmt.Errorf("%w: no query nodes given", ErrBadQuery)
-	}
-	if pt != nil {
-		return pt.CePSServingCtx(ctx, queries, cfg, e.serving())
-	}
-	runner, err := e.runnerFor(cfg.RWR)
-	if err != nil {
-		return nil, err
-	}
-	return runner.QueryCtx(ctx, queries, cfg)
+	start := time.Now()
+	e.metrics.inflight.Add(1)
+	res, err := func() (*Result, error) {
+		defer e.metrics.inflight.Add(-1) // runs even when the pipeline panics
+		if len(queries) == 0 {
+			return nil, fmt.Errorf("%w: no query nodes given", ErrBadQuery)
+		}
+		if pt != nil {
+			return pt.CePSServingCtx(ctx, queries, cfg, e.serving())
+		}
+		runner, err := e.runnerFor(cfg.RWR)
+		if err != nil {
+			return nil, err
+		}
+		return runner.QueryCtx(ctx, queries, cfg)
+	}()
+	elapsed := time.Since(start)
+	e.metrics.observeQuery(res, err, elapsed, pt != nil)
+	e.recordSlow(queries, res, err, elapsed, pt != nil)
+	return res, err
 }
 
 // TopCenterPieces ranks the strongest center-piece candidates — Steps 1–2
@@ -367,7 +419,7 @@ func (e *Engine) TopCenterPieces(queries []int, topN int) ([]RankedNode, error) 
 
 // TopCenterPiecesCtx is TopCenterPieces with cooperative cancellation.
 func (e *Engine) TopCenterPiecesCtx(ctx context.Context, queries []int, topN int) (ranked []RankedNode, err error) {
-	defer recoverToError(&err)
+	defer e.recoverToError(&err)
 	cfg, _ := e.snapshot()
 	runner, err := e.runnerFor(cfg.RWR)
 	if err != nil {
@@ -385,7 +437,7 @@ func (e *Engine) InferK(queries []int, tau float64) (int, []int, error) {
 
 // InferKCtx is InferK with cooperative cancellation.
 func (e *Engine) InferKCtx(ctx context.Context, queries []int, tau float64) (k int, supports []int, err error) {
-	defer recoverToError(&err)
+	defer e.recoverToError(&err)
 	cfg, _ := e.snapshot()
 	runner, err := e.runnerFor(cfg.RWR)
 	if err != nil {
@@ -404,7 +456,7 @@ func (e *Engine) QueryAutoK(queries ...int) (*Result, error) {
 // pass and the query share the score cache, so the second step reuses the
 // first's solves.
 func (e *Engine) QueryAutoKCtx(ctx context.Context, queries ...int) (res *Result, err error) {
-	defer recoverToError(&err)
+	defer e.recoverToError(&err)
 	cfg, pt := e.snapshot()
 	runner, err := e.runnerFor(cfg.RWR)
 	if err != nil {
@@ -483,11 +535,31 @@ func (e *Engine) QueryBatchCtx(ctx context.Context, querySets [][]int, opts Batc
 				defer cancel()
 			}
 			items[i].Result, items[i].Err = func() (res *Result, err error) {
-				defer recoverToError(&err)
+				defer e.recoverToError(&err)
 				return e.queryWith(ictx, cfg, pt, items[i].Queries)
 			}()
 		}(i)
 	}
 	wg.Wait()
+	for i := range items {
+		switch {
+		case items[i].Err == nil:
+			e.metrics.batchOK.Inc()
+		case errors.Is(items[i].Err, ErrDeadlineExceeded) || errors.Is(items[i].Err, context.DeadlineExceeded):
+			e.metrics.batchDeadline.Inc()
+		default:
+			e.metrics.batchErr.Inc()
+		}
+	}
 	return items
+}
+
+// recoverToError converts a panic on the public Engine boundary into an
+// error wrapping ErrInternal, preserving the panic value in the message
+// and counting the recovery in ceps_panics_recovered_total.
+func (e *Engine) recoverToError(err *error) {
+	if r := recover(); r != nil {
+		e.metrics.panics.Inc()
+		*err = fmt.Errorf("%w: recovered panic: %v", ErrInternal, r)
+	}
 }

@@ -48,11 +48,41 @@ type Result struct {
 	// records why. Plain CePS results always have a nil Fallback.
 	Fallback *Fallback
 
+	// Stages attributes Elapsed to the pipeline stages of the paper's cost
+	// model (Step 1 solve, Step 2 combine, Step 3 EXTRACT, plus the Fast
+	// CePS union preparation). Engines aggregate these into per-stage
+	// latency histograms; the slow-query log reports them per query.
+	Stages StageTimings
+
 	// Elapsed is the wall-clock response time of the query phase
 	// (scores + combination + extraction); for Fast CePS it includes the
 	// partition-picking and induction steps but not the one-time
 	// pre-partitioning.
 	Elapsed time.Duration
+}
+
+// StageTimings breaks one query's response time into pipeline stages.
+// The stages map onto the paper's cost model: Partition is Fast CePS
+// Step 1 preparation (picking the query partitions and inducing their
+// union), Solve is Step 1 (the per-query random walks, including building
+// the normalized transition matrix when it is not cached), Combine is
+// Step 2 (folding the Q score vectors), and Extract is Step 3 (the
+// EXTRACT dynamic program). The sum can be slightly below Elapsed —
+// validation, result assembly, and id remapping are not attributed.
+type StageTimings struct {
+	// Partition is the Fast CePS union-preparation time (zero for
+	// full-graph runs).
+	Partition time.Duration
+	// Solve is the Step 1 random-walk time.
+	Solve time.Duration
+	// Combine is the Step 2 score-combination time.
+	Combine time.Duration
+	// Extract is the Step 3 EXTRACT time.
+	Extract time.Duration
+	// CacheHits and CacheMisses count this query's sources served from the
+	// shared score cache (or a joined in-flight solve) versus solved
+	// fresh. Both are zero when the query ran without a serving layer.
+	CacheHits, CacheMisses int
 }
 
 // Fallback records one step down the graceful-degradation ladder: the
@@ -123,12 +153,21 @@ func CePSCtx(ctx context.Context, g *graph.Graph, queries []int, cfg Config) (*R
 }
 
 // runPipeline executes steps 1–3 on the given (work) graph, honoring ctx.
+// Solver construction (the O(M) matrix normalization) counts toward the
+// Solve stage — it is Step 1 work the paper's response time includes.
 func runPipeline(ctx context.Context, g *graph.Graph, queries []int, cfg Config) (*Result, error) {
+	buildStart := time.Now()
 	solver, err := rwr.NewSolver(g, cfg.RWR)
 	if err != nil {
 		return nil, err
 	}
-	return runPipelineWith(ctx, solver, g, queries, cfg)
+	buildDur := time.Since(buildStart)
+	res, err := runPipelineWith(ctx, solver, g, queries, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Stages.Solve += buildDur
+	return res, nil
 }
 
 // runPipelineWith executes steps 1–3 with an already-built solver (the
@@ -140,6 +179,7 @@ func runPipelineWith(ctx context.Context, solver *rwr.Solver, g *graph.Graph, qu
 		diags []rwr.Diagnostics
 		err   error
 	)
+	solveStart := time.Now()
 	switch {
 	case cfg.Workers == 0 || cfg.Workers == 1:
 		R, diags, err = solver.ScoresSetCtx(ctx, queries)
@@ -148,10 +188,16 @@ func runPipelineWith(ctx context.Context, solver *rwr.Solver, g *graph.Graph, qu
 	default:
 		R, diags, err = solver.ScoresSetParallelCtx(ctx, queries, cfg.Workers)
 	}
+	solveDur := time.Since(solveStart)
 	if err != nil {
 		return nil, err
 	}
-	return assemblePipeline(ctx, solver, g, queries, cfg, R, diags)
+	res, err := assemblePipeline(ctx, solver, g, queries, cfg, R, diags)
+	if err != nil {
+		return nil, err
+	}
+	res.Stages.Solve = solveDur
+	return res, nil
 }
 
 // assemblePipeline executes steps 2–3 (combination + EXTRACT) over an
@@ -159,11 +205,14 @@ func runPipelineWith(ctx context.Context, solver *rwr.Solver, g *graph.Graph, qu
 // uncached score paths: everything downstream of Step 1 is shared, which
 // is what makes the two paths bit-identical by construction.
 func assemblePipeline(ctx context.Context, solver *rwr.Solver, g *graph.Graph, queries []int, cfg Config, R [][]float64, diags []rwr.Diagnostics) (*Result, error) {
+	combineStart := time.Now()
 	comb := cfg.Combiner(len(queries))
 	combined, err := score.CombineNodes(R, comb)
 	if err != nil {
 		return nil, err
 	}
+	combineDur := time.Since(combineStart)
+	extractStart := time.Now()
 	ext, err := extract.ExtractCtx(ctx, extract.Input{
 		G:          g,
 		Queries:    queries,
@@ -185,6 +234,7 @@ func assemblePipeline(ctx context.Context, solver *rwr.Solver, g *graph.Graph, q
 		Combiner:       comb,
 		Extraction:     ext,
 		RWRDiagnostics: diags,
+		Stages:         StageTimings{Combine: combineDur, Extract: time.Since(extractStart)},
 	}, nil
 }
 

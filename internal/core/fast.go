@@ -100,7 +100,8 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 	}
 	start := time.Now()
 
-	work, toOrig, workQueries, why := pt.queryUnion(queries)
+	work, toOrig, workQueries, parts, why := pt.queryUnion(queries)
+	unionDur := time.Since(start)
 	if why != "" {
 		if pt.NoFallback {
 			return nil, fmt.Errorf("%w: %s", fault.ErrDegeneratePartition, why)
@@ -112,6 +113,7 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 		res.Queries = append([]int(nil), queries...)
 		res.WorkQueries = append([]int(nil), queries...)
 		res.Fallback = &Fallback{From: "fast-ceps", To: "full-ceps", Reason: why}
+		res.Stages.Partition = unionDur
 		res.Elapsed = time.Since(start)
 		return res, nil
 	}
@@ -119,19 +121,28 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 	var res *Result
 	var err error
 	if sv.enabled() {
+		solveStart := time.Now()
 		var solver *rwr.Solver
 		solver, err = rwr.NewSolver(work, cfg.RWR)
 		if err != nil {
 			return nil, err
 		}
-		space := unionSpace(cfg.RWR, pt.id, pt.Partition.PartsContaining(queries))
+		// parts comes from queryUnion — the same set that induced work — so
+		// the cache key space can never drift from the union it describes.
+		space := unionSpace(cfg.RWR, pt.id, parts)
 		var R [][]float64
 		var diags []rwr.Diagnostics
-		R, diags, err = solver.ScoresSetServingCtx(ctx, workQueries, sv.Cache, space, sv.Pool)
+		var stats rwr.ServeStats
+		R, diags, stats, err = solver.ScoresSetServingCtx(ctx, workQueries, sv.Cache, space, sv.Pool)
+		solveDur := time.Since(solveStart)
 		if err != nil {
 			return nil, err
 		}
 		res, err = assemblePipeline(ctx, solver, work, workQueries, cfg, R, diags)
+		if err == nil {
+			res.Stages.Solve = solveDur
+			res.Stages.CacheHits, res.Stages.CacheMisses = stats.Hits, stats.Misses
+		}
 	} else {
 		res, err = runPipeline(ctx, work, workQueries, cfg)
 	}
@@ -141,6 +152,7 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 	res.Queries = append([]int(nil), queries...)
 	res.WorkQueries = workQueries
 	res.ToOrig = toOrig
+	res.Stages.Partition = unionDur
 	remapSubgraph(res.Subgraph, toOrig)
 	res.Subgraph.FillInduced(pt.G)
 	res.Elapsed = time.Since(start)
@@ -148,31 +160,34 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 }
 
 // queryUnion materializes the partition union for a query set (Table 5
-// Step 1) and vets it. A non-empty reason means the union cannot answer
-// the query and the caller should fall back to the full graph.
-func (pt *Partitioned) queryUnion(queries []int) (work *graph.Graph, toOrig []int, workQueries []int, reason string) {
+// Step 1) and vets it. It returns the part set that induced the union —
+// callers deriving a cache key space must use exactly this set, never a
+// recomputation that could drift from the induced graph. A non-empty
+// reason means the union cannot answer the query and the caller should
+// fall back to the full graph.
+func (pt *Partitioned) queryUnion(queries []int) (work *graph.Graph, toOrig []int, workQueries []int, parts []int, reason string) {
 	if pt.Partition == nil {
-		return nil, nil, nil, "no partition state (partitioner failed or was never run)"
+		return nil, nil, nil, nil, "no partition state (partitioner failed or was never run)"
 	}
 	if len(pt.Partition.Assign) != pt.G.N() {
-		return nil, nil, nil, fmt.Sprintf("partition assigns %d nodes but the graph has %d", len(pt.Partition.Assign), pt.G.N())
+		return nil, nil, nil, nil, fmt.Sprintf("partition assigns %d nodes but the graph has %d", len(pt.Partition.Assign), pt.G.N())
 	}
-	parts := pt.Partition.PartsContaining(queries)
+	parts = pt.Partition.PartsContaining(queries)
 	nodes := pt.Partition.NodesInParts(parts)
 	if len(nodes) == 0 {
-		return nil, nil, nil, "empty partition union"
+		return nil, nil, nil, nil, "empty partition union"
 	}
 	var toWork map[int]int
 	var err error
 	work, toOrig, toWork, err = pt.G.Induced(nodes)
 	if err != nil {
-		return nil, nil, nil, fmt.Sprintf("inducing the partition union failed: %v", err)
+		return nil, nil, nil, nil, fmt.Sprintf("inducing the partition union failed: %v", err)
 	}
 	workQueries = make([]int, len(queries))
 	for i, q := range queries {
 		wq, ok := toWork[q]
 		if !ok {
-			return nil, nil, nil, fmt.Sprintf("query node %d missing from its own partition", q)
+			return nil, nil, nil, nil, fmt.Sprintf("query node %d missing from its own partition", q)
 		}
 		workQueries[i] = wq
 	}
@@ -181,12 +196,12 @@ func (pt *Partitioned) queryUnion(queries []int) (work *graph.Graph, toOrig []in
 	// a near-zero combined score even though the full graph connects them.
 	if len(workQueries) > 1 {
 		if !work.SameComponent(workQueries) {
-			return nil, nil, nil, "query nodes disconnected inside the partition union"
+			return nil, nil, nil, nil, "query nodes disconnected inside the partition union"
 		}
 	} else if work.Degree(workQueries[0]) == 0 && pt.G.Degree(queries[0]) > 0 {
-		return nil, nil, nil, fmt.Sprintf("query node %d isolated inside the partition union", queries[0])
+		return nil, nil, nil, nil, fmt.Sprintf("query node %d isolated inside the partition union", queries[0])
 	}
-	return work, toOrig, workQueries, ""
+	return work, toOrig, workQueries, parts, ""
 }
 
 // remapSubgraph rewrites a subgraph from working ids to original ids.

@@ -54,19 +54,26 @@ func (r *Runner) RWRConfig() rwr.Config { return r.rwrCfg }
 
 // scoresSet resolves Step 1 for a query set: through the serving layer
 // when one is attached, otherwise with the cfg.Workers strategy of the
-// plain pipeline. Both paths return bit-identical matrices.
-func (r *Runner) scoresSet(ctx context.Context, queries []int, workers int) ([][]float64, []rwr.Diagnostics, error) {
+// plain pipeline. Both paths return bit-identical matrices; the stats are
+// zero on the plain path (no cache to hit).
+func (r *Runner) scoresSet(ctx context.Context, queries []int, workers int) ([][]float64, []rwr.Diagnostics, rwr.ServeStats, error) {
 	if r.sv.enabled() {
 		return r.solver.ScoresSetServingCtx(ctx, queries, r.sv.Cache, r.space, r.sv.Pool)
 	}
+	var (
+		R     [][]float64
+		diags []rwr.Diagnostics
+		err   error
+	)
 	switch {
 	case workers == 0 || workers == 1:
-		return r.solver.ScoresSetCtx(ctx, queries)
+		R, diags, err = r.solver.ScoresSetCtx(ctx, queries)
 	case workers < 0:
-		return r.solver.ScoresSetParallelCtx(ctx, queries, 0)
+		R, diags, err = r.solver.ScoresSetParallelCtx(ctx, queries, 0)
 	default:
-		return r.solver.ScoresSetParallelCtx(ctx, queries, workers)
+		R, diags, err = r.solver.ScoresSetParallelCtx(ctx, queries, workers)
 	}
+	return R, diags, rwr.ServeStats{}, err
 }
 
 // Query answers a CePS query with the cached solver. cfg.RWR must equal
@@ -84,7 +91,8 @@ func (r *Runner) QueryCtx(ctx context.Context, queries []int, cfg Config) (*Resu
 		return nil, err
 	}
 	start := time.Now()
-	R, diags, err := r.scoresSet(ctx, queries, cfg.Workers)
+	R, diags, stats, err := r.scoresSet(ctx, queries, cfg.Workers)
+	solveDur := time.Since(start)
 	if err != nil {
 		return nil, err
 	}
@@ -94,6 +102,8 @@ func (r *Runner) QueryCtx(ctx context.Context, queries []int, cfg Config) (*Resu
 	}
 	res.Queries = append([]int(nil), queries...)
 	res.WorkQueries = append([]int(nil), queries...)
+	res.Stages.Solve = solveDur
+	res.Stages.CacheHits, res.Stages.CacheMisses = stats.Hits, stats.Misses
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in Prometheus text exposition format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// AdminMux builds the operator-facing endpoint an engine process exposes
+// on its admin address (conventionally a loopback or cluster-internal
+// port, never the public query port — pprof can dump heap contents):
+//
+//	/metrics      Prometheus text exposition of reg
+//	/healthz      200 "ok" liveness probe
+//	/debug/vars   expvar JSON (includes Go memstats)
+//	/debug/pprof  net/http/pprof profiles (heap, goroutine, CPU, trace)
+func AdminMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestAdminEndpointSmoke is the `make obs-smoke` gate: it starts the admin
+// endpoint, scrapes /metrics, and fails on malformed exposition output. It
+// also probes the liveness and pprof routes.
+func TestAdminEndpointSmoke(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ceps_queries_total", "Total queries.", Label{"path", "full"}).Add(3)
+	reg.Histogram("ceps_query_duration_seconds", "Latency.", DurationBuckets()).Observe(0.02)
+
+	srv := httptest.NewServer(AdminMux(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// /metrics parses as well-formed Prometheus exposition.
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	fams, samples, err := ValidateExposition(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics is malformed: %v\n%s", err, body)
+	}
+	if fams < 2 || samples < 3 {
+		t.Fatalf("/metrics too sparse: %d families, %d samples\n%s", fams, samples, body)
+	}
+
+	// /healthz returns 200.
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	// expvar serves JSON with memstats.
+	if code, body := get("/debug/vars"); code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars = %d (memstats present: %v)", code, strings.Contains(body, "memstats"))
+	}
+
+	// pprof index serves, and a concrete profile endpoint works.
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	if code, _ := get("/debug/pprof/goroutine?debug=1"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/goroutine = %d", code)
+	}
+}

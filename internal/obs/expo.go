@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file encodes a Registry in the Prometheus text exposition format
+// (version 0.0.4) and provides a strict-enough validator that smoke tests
+// and `make obs-smoke` use to fail on malformed output.
+
+// WriteText encodes every registered family:
+//
+//	# HELP name help
+//	# TYPE name counter|gauge|histogram
+//	name{label="v"} 42
+//
+// Histograms expand into cumulative name_bucket{le="..."} series plus
+// name_sum and name_count. Families appear in registration order, samples
+// in metric registration order, so scrapes are diffable.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		// Copy the header and the metric slice; the metrics themselves are
+		// read atomically outside the lock.
+		fams = append(fams, &family{name: f.name, help: f.help, kind: f.kind, metrics: append([]sampler(nil), f.metrics...)})
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, m := range f.metrics {
+			writeSamples(bw, f.name, m)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSamples(w io.Writer, name string, m sampler) {
+	switch v := m.(type) {
+	case *Counter:
+		fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(v.labels, "", 0), formatFloat(float64(v.Value())))
+	case *counterFunc:
+		fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(v.labels, "", 0), formatFloat(v.fn()))
+	case *Gauge:
+		fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(v.labels, "", 0), formatFloat(v.Value()))
+	case *gaugeFunc:
+		fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(v.labels, "", 0), formatFloat(v.fn()))
+	case *Histogram:
+		cum, count, sum := v.snapshot()
+		for i, ub := range v.upper {
+			fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(v.labels, "le", ub), cum[i])
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(v.labels, "le", math.Inf(+1)), cum[len(cum)-1])
+		fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(v.labels, "", 0), formatFloat(sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(v.labels, "", 0), count)
+	}
+}
+
+// renderLabels renders {a="b",...}, optionally appending an le bound, or
+// "" when there is nothing to render.
+func renderLabels(labels []Label, leName string, le float64) string {
+	if len(labels) == 0 && leName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, escapeLabel(l.Value))
+	}
+	if leName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", leName, formatFloat(le))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+	// The %q in renderLabels already escapes double quotes.
+}
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// ValidateExposition parses Prometheus text exposition from r and returns
+// the number of families and samples seen. It fails on: sample lines that
+// do not parse (name, optional {labels}, float value), samples whose
+// family has no preceding TYPE header, histogram families missing _sum or
+// _count, and non-monotone cumulative bucket series. It is the gate behind
+// `make obs-smoke`.
+func ValidateExposition(r io.Reader) (families, samples int, err error) {
+	types := make(map[string]string)
+	bucketPrev := make(map[string]uint64) // per series: last cumulative bucket count
+	sums := make(map[string]bool)
+	counts := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return 0, 0, fmt.Errorf("line %d: malformed TYPE header %q", lineNo, line)
+			}
+			name, kind := fields[2], fields[3]
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return 0, 0, fmt.Errorf("line %d: unknown metric type %q", lineNo, kind)
+			}
+			if _, dup := types[name]; dup {
+				return 0, 0, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			types[name] = kind
+			families++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or comment
+		}
+		name, labels, value, perr := parseSample(line)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		samples++
+		base := name
+		switch {
+		case strings.HasSuffix(name, "_bucket") && types[strings.TrimSuffix(name, "_bucket")] == "histogram":
+			base = strings.TrimSuffix(name, "_bucket")
+			series := base + "{" + withoutLE(labels) + "}"
+			cum := uint64(value)
+			if prev, ok := bucketPrev[series]; ok && cum < prev {
+				return 0, 0, fmt.Errorf("line %d: histogram %s bucket series not monotone (%d after %d)", lineNo, base, cum, prev)
+			}
+			bucketPrev[series] = cum
+		case strings.HasSuffix(name, "_sum") && types[strings.TrimSuffix(name, "_sum")] == "histogram":
+			base = strings.TrimSuffix(name, "_sum")
+			sums[base] = true
+		case strings.HasSuffix(name, "_count") && types[strings.TrimSuffix(name, "_count")] == "histogram":
+			base = strings.TrimSuffix(name, "_count")
+			counts[base] = true
+		}
+		if _, ok := types[base]; !ok {
+			return 0, 0, fmt.Errorf("line %d: sample %q has no TYPE header", lineNo, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	for name, kind := range types {
+		if kind != "histogram" {
+			continue
+		}
+		if !sums[name] || !counts[name] {
+			return 0, 0, fmt.Errorf("histogram %q missing _sum or _count", name)
+		}
+	}
+	return families, samples, nil
+}
+
+// withoutLE strips the le pair from a rendered label body so all buckets
+// of one series share a key.
+func withoutLE(labels string) string {
+	parts := strings.Split(labels, ",")
+	kept := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(strings.TrimSpace(p), "le=") {
+			kept = append(kept, p)
+		}
+	}
+	return strings.Join(kept, ",")
+}
+
+// parseSample splits `name{labels} value` (labels optional). It returns
+// the label body without braces.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	if name == "" || !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name in %q", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	v, perr := strconv.ParseFloat(strings.TrimPrefix(fields[0], "+"), 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("bad sample value in %q: %v", line, perr)
+	}
+	return name, labels, v, nil
+}
+
+func validMetricName(s string) bool {
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("q_total", "queries", Label{"path", "full"})
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name+labels returns the same handle.
+	if again := r.Counter("q_total", "queries", Label{"path", "full"}); again != c {
+		t.Fatalf("re-registration returned a new counter")
+	}
+	// Same name, new labels: new series in the same family.
+	c2 := r.Counter("q_total", "queries", Label{"path", "fast"})
+	if c2 == c {
+		t.Fatalf("distinct label set returned the same counter")
+	}
+
+	g := r.Gauge("inflight", "in-flight queries")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	cum, count, sum := h.snapshot()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if math.Abs(sum-2.565) > 1e-12 {
+		t.Fatalf("sum = %v, want 2.565", sum)
+	}
+	// le semantics: 0.01 lands in the first bucket (v <= bound).
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative bucket %d = %d, want %d (all %v)", i, cum[i], w, cum)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", DurationBuckets())
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%7) / 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestWriteTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ceps_queries_total", "Total queries answered.", Label{"path", "full"}).Add(7)
+	r.Counter("ceps_queries_total", "Total queries answered.", Label{"path", "fast"}).Add(2)
+	r.Gauge("ceps_cache_bytes_used", "Bytes of cached vectors.").Set(1024)
+	r.GaugeFunc("ceps_cache_entries", "Cached vectors.", func() float64 { return 3 })
+	h := r.Histogram("ceps_query_duration_seconds", "Query latency.", []float64{0.01, 0.1})
+	h.Observe(0.004)
+	h.Observe(0.05)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE ceps_queries_total counter",
+		`ceps_queries_total{path="full"} 7`,
+		`ceps_queries_total{path="fast"} 2`,
+		"# TYPE ceps_cache_bytes_used gauge",
+		"ceps_cache_bytes_used 1024",
+		"ceps_cache_entries 3",
+		"# TYPE ceps_query_duration_seconds histogram",
+		`ceps_query_duration_seconds_bucket{le="0.01"} 1`,
+		`ceps_query_duration_seconds_bucket{le="0.1"} 2`,
+		`ceps_query_duration_seconds_bucket{le="+Inf"} 2`,
+		"ceps_query_duration_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	fams, samples, err := ValidateExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("ValidateExposition: %v\n%s", err, out)
+	}
+	if fams != 4 {
+		t.Fatalf("families = %d, want 4", fams)
+	}
+	if samples < 9 {
+		t.Fatalf("samples = %d, want >= 9", samples)
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE header":     "loose_metric 1\n",
+		"bad value":          "# TYPE m counter\nm notafloat\n",
+		"bad name":           "# TYPE m counter\n9m 1\n",
+		"missing hist count": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n",
+		"non-monotone buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 5\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validator accepted malformed input:\n%s", name, in)
+		}
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, 100*time.Millisecond)
+	if l.Record(SlowQueryEntry{ElapsedMS: 5, Queries: []int{1}}) {
+		t.Fatalf("entry under threshold was logged")
+	}
+	if !l.Record(SlowQueryEntry{ElapsedMS: 250, Queries: []int{1, 2}, Path: "full", SolveMS: 200}) {
+		t.Fatalf("entry over threshold was not logged")
+	}
+	if got := l.Logged(); got != 1 {
+		t.Fatalf("Logged = %d, want 1", got)
+	}
+	line := strings.TrimSpace(buf.String())
+	for _, want := range []string{`"queries":[1,2]`, `"path":"full"`, `"elapsed_ms":250`, `"solve_ms":200`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("slow log line missing %q: %s", want, line)
+		}
+	}
+	if strings.Count(buf.String(), "\n") != 1 {
+		t.Fatalf("expected exactly one line, got %q", buf.String())
+	}
+
+	// A nil log is a valid no-op.
+	var nilLog *SlowLog
+	if nilLog.Record(SlowQueryEntry{ElapsedMS: 1e9}) || nilLog.Logged() != 0 || nilLog.Threshold() != 0 {
+		t.Fatalf("nil SlowLog is not a no-op")
+	}
+}

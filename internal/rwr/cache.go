@@ -110,6 +110,10 @@ type CacheStats struct {
 	Evictions uint64
 	// Invalidations counts Purge calls (configuration changes).
 	Invalidations uint64
+	// StaleDrops counts solved vectors discarded instead of stored because
+	// a Purge happened after their flight started: storing them would have
+	// filled the byte budget with dead space no future query can read.
+	StaleDrops uint64
 	// Entries is the number of vectors currently stored.
 	Entries int
 	// BytesUsed and BytesBudget describe the current footprint.
@@ -149,6 +153,13 @@ type flight struct {
 	vec  []float64
 	diag Diagnostics
 	err  error
+	// gen is the cache generation the flight started under; finish refuses
+	// to store the result if a Purge has bumped the generation since, so a
+	// reconfiguration racing an in-flight leader cannot leave dead-space
+	// vectors occupying the byte budget. Followers still receive the
+	// leader's result either way — it is correct for *them*, they asked
+	// under the old space.
+	gen uint64
 }
 
 // ScoreCache is a goroutine-safe LRU cache of RWR score vectors with a
@@ -158,11 +169,12 @@ type ScoreCache struct {
 	mu       sync.Mutex
 	budget   int64
 	used     int64
+	gen      uint64     // bumped by Purge; guards finish against stale stores
 	ll       *list.List // of *entry; front = most recently used
 	items    map[cacheKey]*list.Element
 	inflight map[cacheKey]*flight
 
-	hits, misses, evictions, invalidations uint64
+	hits, misses, evictions, invalidations, staleDrops uint64
 }
 
 // entryOverhead approximates the per-entry bookkeeping cost (key, list
@@ -191,22 +203,28 @@ func (c *ScoreCache) Stats() CacheStats {
 		Misses:        c.misses,
 		Evictions:     c.evictions,
 		Invalidations: c.invalidations,
+		StaleDrops:    c.staleDrops,
 		Entries:       c.ll.Len(),
 		BytesUsed:     c.used,
 		BytesBudget:   c.budget,
 	}
 }
 
-// Purge drops every stored vector and counts one invalidation. Engines
-// call it on reconfiguration: stale vectors can never be *read* (their key
-// space dies with the old config), so purging is about releasing memory
-// promptly rather than correctness.
+// Purge drops every stored vector, bumps the cache generation, and counts
+// one invalidation. Engines call it on reconfiguration: stale vectors can
+// never be *read* (their key space dies with the old config), so purging
+// is about releasing memory promptly rather than correctness. The
+// generation bump extends that guarantee to in-flight leaders: a solve
+// that started before the purge completes normally for its waiters but is
+// not stored, so it cannot re-occupy the byte budget as unreadable dead
+// space (see finish).
 func (c *ScoreCache) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ll.Init()
 	c.items = make(map[cacheKey]*list.Element)
 	c.used = 0
+	c.gen++
 	c.invalidations++
 }
 
@@ -232,7 +250,7 @@ func (c *ScoreCache) getOrJoin(space uint64, source int) (vec []float64, diag Di
 		c.mu.Unlock()
 		return nil, Diagnostics{}, false, fl, false
 	}
-	fl = &flight{done: make(chan struct{})}
+	fl = &flight{done: make(chan struct{}), gen: c.gen}
 	c.inflight[key] = fl
 	c.misses++
 	c.mu.Unlock()
@@ -242,7 +260,11 @@ func (c *ScoreCache) getOrJoin(space uint64, source int) (vec []float64, diag Di
 // finish completes a flight: on success the vector is stored (subject to
 // the byte budget) and handed to any followers; on error followers are
 // woken to retry or propagate. The leader retains ownership of vec; the
-// cache and the followers each keep private copies.
+// cache and the followers each keep private copies. A store is skipped —
+// and counted as a stale drop — when a Purge bumped the generation after
+// the flight started: the purge's caller (Reconfigure, SetPartitioned)
+// has already retired this flight's key space, so storing would only park
+// unreadable vectors against the byte budget until LRU eviction.
 func (c *ScoreCache) finish(space uint64, source int, fl *flight, vec []float64, diag Diagnostics, err error) {
 	key := cacheKey{space: space, source: source}
 	if err == nil {
@@ -250,25 +272,30 @@ func (c *ScoreCache) finish(space uint64, source int, fl *flight, vec []float64,
 		copy(stored, vec)
 		fl.vec = stored
 		fl.diag = diag
-		c.store(key, stored, diag)
 	} else {
 		fl.err = err
 	}
 	c.mu.Lock()
+	if err == nil {
+		if fl.gen == c.gen {
+			c.storeLocked(key, fl.vec, diag)
+		} else {
+			c.staleDrops++
+		}
+	}
 	delete(c.inflight, key)
 	c.mu.Unlock()
 	close(fl.done)
 }
 
-// store inserts (or replaces) an entry and evicts from the LRU tail until
-// the budget holds. A vector larger than the whole budget is not stored.
-func (c *ScoreCache) store(key cacheKey, vec []float64, diag Diagnostics) {
+// storeLocked inserts (or replaces) an entry and evicts from the LRU tail
+// until the budget holds. A vector larger than the whole budget is not
+// stored. Callers hold c.mu.
+func (c *ScoreCache) storeLocked(key cacheKey, vec []float64, diag Diagnostics) {
 	ent := &entry{key: key, vec: vec, diag: diag, bytes: int64(len(vec))*8 + entryOverhead}
 	if ent.bytes > c.budget {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, found := c.items[key]; found {
 		old := el.Value.(*entry)
 		c.used += ent.bytes - old.bytes
@@ -302,38 +329,40 @@ func contextual(err error) bool {
 // serveOne resolves one source's score vector through the serving layer:
 // cache hit, join of an in-flight solve, or a fresh pool-bounded solve
 // (stored on success). cache may be nil (always solve) and pool may be nil
-// (unbounded).
-func (s *Solver) serveOne(ctx context.Context, cache *ScoreCache, space uint64, q int, pool *Pool) ([]float64, Diagnostics, error) {
+// (unbounded). hit reports whether the vector was served without a fresh
+// solve by this caller (stored vector or joined flight).
+func (s *Solver) serveOne(ctx context.Context, cache *ScoreCache, space uint64, q int, pool *Pool) (vec []float64, diag Diagnostics, hit bool, err error) {
 	if cache == nil {
-		return s.solvePooled(ctx, q, pool)
+		vec, diag, err = s.solvePooled(ctx, q, pool)
+		return vec, diag, false, err
 	}
 	for {
 		vec, diag, ok, fl, leader := cache.getOrJoin(space, q)
 		if ok {
-			return vec, diag, nil
+			return vec, diag, true, nil
 		}
 		if leader {
 			vec, diag, err := s.solvePooled(ctx, q, pool)
 			cache.finish(space, q, fl, vec, diag, err)
-			return vec, diag, err
+			return vec, diag, false, err
 		}
 		select {
 		case <-fl.done:
 			if fl.err == nil {
 				out := make([]float64, len(fl.vec))
 				copy(out, fl.vec)
-				return out, fl.diag, nil
+				return out, fl.diag, true, nil
 			}
 			if !contextual(fl.err) {
-				return nil, Diagnostics{}, fl.err
+				return nil, Diagnostics{}, false, fl.err
 			}
 			if err := fault.FromContext(ctx); err != nil {
-				return nil, Diagnostics{}, err
+				return nil, Diagnostics{}, false, err
 			}
 			// The leader's context died but ours is alive: retry (and
 			// likely become the new leader).
 		case <-ctx.Done():
-			return nil, Diagnostics{}, fault.FromContext(ctx)
+			return nil, Diagnostics{}, false, fault.FromContext(ctx)
 		}
 	}
 }
@@ -350,6 +379,15 @@ func (s *Solver) solvePooled(ctx context.Context, q int, pool *Pool) ([]float64,
 	return s.ScoresCtx(ctx, q)
 }
 
+// ServeStats reports how one serving-layer call resolved its sources:
+// Hits were served from a stored vector or a joined in-flight solve,
+// Misses required a fresh solve by this caller. Hits+Misses equals the
+// query-set size on success. Unlike CacheStats these are per-call, which
+// is what per-query stage accounting (Result.Stages) reports.
+type ServeStats struct {
+	Hits, Misses int
+}
+
 // ScoresSetServingCtx computes the score matrix for a query set through
 // the serving layer: sources already cached under space are returned
 // without solving, concurrent requests for the same missing source share
@@ -357,44 +395,58 @@ func (s *Solver) solvePooled(ctx context.Context, q int, pool *Pool) ([]float64,
 // the pool's bound. The result is bit-identical to ScoresSetCtx — power
 // iteration is deterministic, and cached vectors are exact copies of what
 // a fresh solve returns.
-func (s *Solver) ScoresSetServingCtx(ctx context.Context, queries []int, cache *ScoreCache, space uint64, pool *Pool) ([][]float64, []Diagnostics, error) {
+func (s *Solver) ScoresSetServingCtx(ctx context.Context, queries []int, cache *ScoreCache, space uint64, pool *Pool) ([][]float64, []Diagnostics, ServeStats, error) {
+	var stats ServeStats
 	if len(queries) == 0 {
-		return nil, nil, fmt.Errorf("%w: empty query set", fault.ErrBadQuery)
+		return nil, nil, stats, fmt.Errorf("%w: empty query set", fault.ErrBadQuery)
 	}
 	for _, q := range queries {
 		if q < 0 || q >= s.n {
-			return nil, nil, fmt.Errorf("%w: query node %d out of range [0,%d)", fault.ErrBadQuery, q, s.n)
+			return nil, nil, stats, fmt.Errorf("%w: query node %d out of range [0,%d)", fault.ErrBadQuery, q, s.n)
 		}
 	}
 	R := make([][]float64, len(queries))
 	diags := make([]Diagnostics, len(queries))
 	if len(queries) == 1 || pool == nil || pool.Size() == 1 {
 		for i, q := range queries {
-			r, d, err := s.serveOne(ctx, cache, space, q, pool)
+			r, d, hit, err := s.serveOne(ctx, cache, space, q, pool)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, stats, err
 			}
 			R[i], diags[i] = r, d
+			if hit {
+				stats.Hits++
+			} else {
+				stats.Misses++
+			}
 		}
-		return R, diags, nil
+		return R, diags, stats, nil
 	}
 	errs := make([]error, len(queries))
+	hits := make([]bool, len(queries))
 	var wg sync.WaitGroup
 	for i, q := range queries {
 		wg.Add(1)
 		go func(i, q int) {
 			defer wg.Done()
-			R[i], diags[i], errs[i] = s.serveOne(ctx, cache, space, q, pool)
+			R[i], diags[i], hits[i], errs[i] = s.serveOne(ctx, cache, space, q, pool)
 		}(i, q)
 	}
 	wg.Wait()
 	if err := fault.FromContext(ctx); err != nil {
-		return nil, nil, err
+		return nil, nil, stats, err
 	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, stats, err
 		}
 	}
-	return R, diags, nil
+	for _, hit := range hits {
+		if hit {
+			stats.Hits++
+		} else {
+			stats.Misses++
+		}
+	}
+	return R, diags, stats, nil
 }

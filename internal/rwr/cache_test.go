@@ -70,7 +70,7 @@ func TestServingBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	for round := 0; round < 2; round++ {
-		got, diags, err := s.ScoresSetServingCtx(context.Background(), queries, cache, space, NewPool(4))
+		got, diags, _, err := s.ScoresSetServingCtx(context.Background(), queries, cache, space, NewPool(4))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,13 +100,13 @@ func TestServingReturnsPrivateCopies(t *testing.T) {
 		t.Fatal(err)
 	}
 	cache := NewScoreCache(1 << 20)
-	first, _, err := s.ScoresSetServingCtx(context.Background(), []int{5}, cache, 1, nil)
+	first, _, _, err := s.ScoresSetServingCtx(context.Background(), []int{5}, cache, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := first[0][5]
 	first[0][5] = math.Inf(1) // caller scribbles on its result
-	second, _, err := s.ScoresSetServingCtx(context.Background(), []int{5}, cache, 1, nil)
+	second, _, _, err := s.ScoresSetServingCtx(context.Background(), []int{5}, cache, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,11 +129,11 @@ func TestCacheEvictionUnderTinyBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, q := range []int{2, 9, 30, 2} {
-		if _, _, err := s.ScoresSetServingCtx(context.Background(), []int{q}, cache, 1, nil); err != nil {
+		if _, _, _, err := s.ScoresSetServingCtx(context.Background(), []int{q}, cache, 1, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
-	got, _, err := s.ScoresSetServingCtx(context.Background(), []int{2}, cache, 1, nil)
+	got, _, _, err := s.ScoresSetServingCtx(context.Background(), []int{2}, cache, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestCacheZeroBudgetAlwaysMisses(t *testing.T) {
 	}
 	cache := NewScoreCache(0)
 	for i := 0; i < 2; i++ {
-		if _, _, err := s.ScoresSetServingCtx(context.Background(), []int{4}, cache, 1, nil); err != nil {
+		if _, _, _, err := s.ScoresSetServingCtx(context.Background(), []int{4}, cache, 1, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -173,7 +173,9 @@ func TestCacheZeroBudgetAlwaysMisses(t *testing.T) {
 
 func TestPurgeDropsEntriesAndCounts(t *testing.T) {
 	cache := NewScoreCache(1 << 20)
-	cache.store(cacheKey{space: 1, source: 2}, []float64{1, 2, 3}, Diagnostics{})
+	cache.mu.Lock()
+	cache.storeLocked(cacheKey{space: 1, source: 2}, []float64{1, 2, 3}, Diagnostics{})
+	cache.mu.Unlock()
 	if cache.Stats().Entries != 1 {
 		t.Fatal("entry not stored")
 	}
@@ -204,7 +206,7 @@ func TestSingleflightSharesOneSolve(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			R, _, err := s.ScoresSetServingCtx(context.Background(), []int{7}, cache, 9, pool)
+			R, _, _, err := s.ScoresSetServingCtx(context.Background(), []int{7}, cache, 9, pool)
 			if err != nil {
 				errs[i] = err
 				return
@@ -255,7 +257,7 @@ func TestServingFollowerSurvivesLeaderCancel(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		close(started)
-		_, _, leaderErr = s.ScoresSetServingCtx(leaderCtx, []int{3}, cache, 1, nil)
+		_, _, _, leaderErr = s.ScoresSetServingCtx(leaderCtx, []int{3}, cache, 1, nil)
 	}()
 	<-started
 	cancelLeader()
@@ -265,7 +267,7 @@ func TestServingFollowerSurvivesLeaderCancel(t *testing.T) {
 		// follower below must succeed.
 		t.Log("leader finished before cancel")
 	}
-	R, _, err := s.ScoresSetServingCtx(context.Background(), []int{3}, cache, 1, nil)
+	R, _, _, err := s.ScoresSetServingCtx(context.Background(), []int{3}, cache, 1, nil)
 	if err != nil {
 		t.Fatalf("follower failed after leader cancel: %v", err)
 	}
@@ -319,4 +321,83 @@ func TestPoolAcquireHonorsContext(t *testing.T) {
 		t.Fatal("acquire on a canceled context should fail")
 	}
 	pool.release()
+}
+
+// TestFinishAfterPurgeDropsStore is the purge/in-flight-race regression
+// test: a leader whose flight started before a Purge must not store its
+// vector afterwards. Under the old ScoreCache the store landed anyway,
+// leaving a dead-space vector (its key space was retired by the purge's
+// caller) consuming the byte budget until LRU eviction; this test fails
+// on that behavior and passes on the generation-guarded one.
+func TestFinishAfterPurgeDropsStore(t *testing.T) {
+	cache := NewScoreCache(1 << 20)
+	_, _, ok, fl, leader := cache.getOrJoin(42, 7)
+	if ok || !leader {
+		t.Fatalf("expected to lead a cold flight, ok=%v leader=%v", ok, leader)
+	}
+	cache.Purge() // Reconfigure/SetPartitioned racing the in-flight solve
+	cache.finish(42, 7, fl, make([]float64, 128), Diagnostics{}, nil)
+
+	st := cache.Stats()
+	if st.Entries != 0 || st.BytesUsed != 0 {
+		t.Fatalf("stale flight stored dead space: %d entries, %d bytes used", st.Entries, st.BytesUsed)
+	}
+	if st.StaleDrops != 1 {
+		t.Errorf("StaleDrops = %d, want 1", st.StaleDrops)
+	}
+	// The waiters still got the leader's vector.
+	select {
+	case <-fl.done:
+	default:
+		t.Fatal("flight not completed")
+	}
+	if fl.err != nil || len(fl.vec) != 128 {
+		t.Fatalf("flight result lost: err=%v len=%d", fl.err, len(fl.vec))
+	}
+}
+
+// TestPurgeBetweenFlightsNoDeadSpace drives many concurrent flights whose
+// finishes are all gated until after a Purge, then checks that none of
+// them re-occupied the byte budget. Run under -race by the tier-1 gate.
+func TestPurgeBetweenFlightsNoDeadSpace(t *testing.T) {
+	cache := NewScoreCache(1 << 20)
+	const flights = 64
+	var registered, finished sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < flights; i++ {
+		registered.Add(1)
+		finished.Add(1)
+		go func(i int) {
+			defer finished.Done()
+			_, _, ok, fl, leader := cache.getOrJoin(9, i)
+			registered.Done()
+			if ok || !leader {
+				t.Errorf("flight %d: ok=%v leader=%v", i, ok, leader)
+				return
+			}
+			<-gate
+			cache.finish(9, i, fl, make([]float64, 64), Diagnostics{}, nil)
+		}(i)
+	}
+	registered.Wait()
+	cache.Purge() // every flight is now stale
+	close(gate)
+	finished.Wait()
+
+	st := cache.Stats()
+	if st.BytesUsed != 0 || st.Entries != 0 {
+		t.Fatalf("dead space after purge: %d entries, %d bytes (stats %+v)", st.Entries, st.BytesUsed, st)
+	}
+	if st.StaleDrops != flights {
+		t.Errorf("StaleDrops = %d, want %d", st.StaleDrops, flights)
+	}
+	// Post-purge flights store normally again.
+	_, _, _, fl, leader := cache.getOrJoin(9, 0)
+	if !leader {
+		t.Fatal("expected a fresh leader after purge")
+	}
+	cache.finish(9, 0, fl, make([]float64, 64), Diagnostics{}, nil)
+	if st := cache.Stats(); st.Entries != 1 || st.BytesUsed == 0 {
+		t.Fatalf("fresh store after purge failed: %+v", st)
+	}
 }

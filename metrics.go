@@ -1,0 +1,211 @@
+package ceps
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"ceps/internal/obs"
+)
+
+// This file aggregates per-query stage accounting (Result.Stages) into the
+// engine-wide metrics registry served at /metrics, and feeds the
+// slow-query log. The metric names are part of the operational contract —
+// dashboards and the README "Observability" section reference them — so
+// rename with care:
+//
+//	ceps_queries_total{path="full"|"fast"|"fast_fallback"}
+//	ceps_query_errors_total{kind="canceled"|"deadline"|"diverged"|...}
+//	ceps_query_duration_seconds                      (histogram)
+//	ceps_stage_duration_seconds{stage="partition"|"solve"|"combine"|"extract"}
+//	ceps_inflight_queries                            (gauge)
+//	ceps_batch_sets_total{outcome="ok"|"error"|"deadline"}
+//	ceps_cache_{hits,misses,evictions,invalidations,stale_drops}_total
+//	ceps_cache_{entries,bytes_used,bytes_budget}     (gauges)
+//	ceps_slow_queries_total
+//	ceps_panics_recovered_total
+//	ceps_workers                                     (gauge)
+
+// engineMetrics holds the typed handles the hot path updates. Every
+// update is an atomic op; none of this perturbs query answers.
+type engineMetrics struct {
+	reg *obs.Registry
+
+	queriesFull, queriesFast, queriesFallback *obs.Counter
+
+	errCanceled, errDeadline, errDiverged, errBadQuery,
+	errBadConfig, errDegenerate, errInternal, errOther *obs.Counter
+
+	durTotal, durPartition, durSolve, durCombine, durExtract *obs.Histogram
+
+	batchOK, batchErr, batchDeadline *obs.Counter
+
+	inflight *obs.Gauge
+	panics   *obs.Counter
+	slow     *obs.Counter
+}
+
+// newEngineMetrics builds the registry for one engine. cacheStats reads
+// the live score-cache counters (zero-valued when caching is off), so
+// scrapes always see the full metric set regardless of configuration.
+func newEngineMetrics(cacheStats func() (CacheStats, bool), workers int) *engineMetrics {
+	reg := obs.NewRegistry()
+	buckets := obs.DurationBuckets()
+	qt := "ceps_queries_total"
+	qtHelp := "Queries answered, by execution path."
+	et := "ceps_query_errors_total"
+	etHelp := "Query failures, by error kind."
+	st := "ceps_stage_duration_seconds"
+	stHelp := "Per-stage query latency: partition=Fast CePS union prep, solve=Step 1 random walks, combine=Step 2, extract=Step 3 EXTRACT."
+	m := &engineMetrics{
+		reg:             reg,
+		queriesFull:     reg.Counter(qt, qtHelp, obs.Label{Name: "path", Value: "full"}),
+		queriesFast:     reg.Counter(qt, qtHelp, obs.Label{Name: "path", Value: "fast"}),
+		queriesFallback: reg.Counter(qt, qtHelp, obs.Label{Name: "path", Value: "fast_fallback"}),
+		errCanceled:     reg.Counter(et, etHelp, obs.Label{Name: "kind", Value: "canceled"}),
+		errDeadline:     reg.Counter(et, etHelp, obs.Label{Name: "kind", Value: "deadline"}),
+		errDiverged:     reg.Counter(et, etHelp, obs.Label{Name: "kind", Value: "diverged"}),
+		errBadQuery:     reg.Counter(et, etHelp, obs.Label{Name: "kind", Value: "bad_query"}),
+		errBadConfig:    reg.Counter(et, etHelp, obs.Label{Name: "kind", Value: "bad_config"}),
+		errDegenerate:   reg.Counter(et, etHelp, obs.Label{Name: "kind", Value: "degenerate_partition"}),
+		errInternal:     reg.Counter(et, etHelp, obs.Label{Name: "kind", Value: "internal"}),
+		errOther:        reg.Counter(et, etHelp, obs.Label{Name: "kind", Value: "other"}),
+		durTotal:        reg.Histogram("ceps_query_duration_seconds", "End-to-end query response time.", buckets),
+		durPartition:    reg.Histogram(st, stHelp, buckets, obs.Label{Name: "stage", Value: "partition"}),
+		durSolve:        reg.Histogram(st, stHelp, buckets, obs.Label{Name: "stage", Value: "solve"}),
+		durCombine:      reg.Histogram(st, stHelp, buckets, obs.Label{Name: "stage", Value: "combine"}),
+		durExtract:      reg.Histogram(st, stHelp, buckets, obs.Label{Name: "stage", Value: "extract"}),
+		batchOK:         reg.Counter("ceps_batch_sets_total", "Batch query sets, by outcome.", obs.Label{Name: "outcome", Value: "ok"}),
+		batchErr:        reg.Counter("ceps_batch_sets_total", "Batch query sets, by outcome.", obs.Label{Name: "outcome", Value: "error"}),
+		batchDeadline:   reg.Counter("ceps_batch_sets_total", "Batch query sets, by outcome.", obs.Label{Name: "outcome", Value: "deadline"}),
+		inflight:        reg.Gauge("ceps_inflight_queries", "Queries currently executing."),
+		panics:          reg.Counter("ceps_panics_recovered_total", "Panics converted to ErrInternal at the Engine boundary."),
+		slow:            reg.Counter("ceps_slow_queries_total", "Queries logged by the slow-query log."),
+	}
+	cacheCounter := func(read func(CacheStats) uint64) func() float64 {
+		return func() float64 {
+			st, _ := cacheStats()
+			return float64(read(st))
+		}
+	}
+	reg.CounterFunc("ceps_cache_hits_total", "Score-cache hits (stored vector or joined in-flight solve).",
+		cacheCounter(func(s CacheStats) uint64 { return s.Hits }))
+	reg.CounterFunc("ceps_cache_misses_total", "Score-cache misses (fresh solves).",
+		cacheCounter(func(s CacheStats) uint64 { return s.Misses }))
+	reg.CounterFunc("ceps_cache_evictions_total", "Vectors evicted to fit the byte budget.",
+		cacheCounter(func(s CacheStats) uint64 { return s.Evictions }))
+	reg.CounterFunc("ceps_cache_invalidations_total", "Cache purges (reconfiguration / partition swaps).",
+		cacheCounter(func(s CacheStats) uint64 { return s.Invalidations }))
+	reg.CounterFunc("ceps_cache_stale_drops_total", "Solved vectors dropped because a purge raced their flight.",
+		cacheCounter(func(s CacheStats) uint64 { return s.StaleDrops }))
+	reg.GaugeFunc("ceps_cache_entries", "Vectors currently cached.", func() float64 {
+		st, _ := cacheStats()
+		return float64(st.Entries)
+	})
+	reg.GaugeFunc("ceps_cache_bytes_used", "Bytes of cached vectors.", func() float64 {
+		st, _ := cacheStats()
+		return float64(st.BytesUsed)
+	})
+	reg.GaugeFunc("ceps_cache_bytes_budget", "Score-cache byte budget.", func() float64 {
+		st, _ := cacheStats()
+		return float64(st.BytesBudget)
+	})
+	reg.GaugeFunc("ceps_workers", "Solve-pool concurrency bound.", func() float64 { return float64(workers) })
+	return m
+}
+
+// queryPath names the execution path for metrics and the slow-query log.
+func queryPath(res *Result, fast bool) string {
+	switch {
+	case res != nil && res.Fallback != nil:
+		return "fast_fallback"
+	case fast:
+		return "fast"
+	default:
+		return "full"
+	}
+}
+
+// observeQuery folds one finished query into the engine-wide aggregates.
+func (m *engineMetrics) observeQuery(res *Result, err error, elapsed time.Duration, fast bool) {
+	switch queryPath(res, fast) {
+	case "fast_fallback":
+		m.queriesFallback.Inc()
+	case "fast":
+		m.queriesFast.Inc()
+	default:
+		m.queriesFull.Inc()
+	}
+	m.durTotal.Observe(elapsed.Seconds())
+	if res != nil {
+		st := res.Stages
+		if st.Partition > 0 {
+			m.durPartition.Observe(st.Partition.Seconds())
+		}
+		m.durSolve.Observe(st.Solve.Seconds())
+		m.durCombine.Observe(st.Combine.Seconds())
+		m.durExtract.Observe(st.Extract.Seconds())
+	}
+	if err != nil {
+		m.errCounter(err).Inc()
+	}
+}
+
+// errCounter classifies err into the labeled error-kind series. The order
+// matters: context kinds first, since a deadline can wrap other faults.
+func (m *engineMetrics) errCounter(err error) *obs.Counter {
+	switch {
+	case errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
+		return m.errDeadline
+	case errors.Is(err, ErrCanceled) || errors.Is(err, context.Canceled):
+		return m.errCanceled
+	case errors.Is(err, ErrDiverged):
+		return m.errDiverged
+	case errors.Is(err, ErrBadQuery):
+		return m.errBadQuery
+	case errors.Is(err, ErrBadConfig):
+		return m.errBadConfig
+	case errors.Is(err, ErrDegeneratePartition):
+		return m.errDegenerate
+	case errors.Is(err, ErrInternal):
+		return m.errInternal
+	default:
+		return m.errOther
+	}
+}
+
+// ms renders a duration in float milliseconds for the slow-query log.
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// recordSlow writes a slow-query log line when a log is attached and the
+// query crossed its threshold. Failures are logged too — a timed-out
+// query is the slowest query there is.
+func (e *Engine) recordSlow(queries []int, res *Result, err error, elapsed time.Duration, fast bool) {
+	if e.slow == nil {
+		return
+	}
+	entry := obs.SlowQueryEntry{
+		Time:      time.Now(),
+		Queries:   append([]int(nil), queries...),
+		Path:      queryPath(res, fast),
+		ElapsedMS: ms(elapsed),
+	}
+	if res != nil {
+		st := res.Stages
+		entry.PartitionMS = ms(st.Partition)
+		entry.SolveMS = ms(st.Solve)
+		entry.CombineMS = ms(st.Combine)
+		entry.ExtractMS = ms(st.Extract)
+		entry.CacheHits = st.CacheHits
+		entry.CacheMisses = st.CacheMisses
+		if res.Fallback != nil {
+			entry.Fallback = res.Fallback.Reason
+		}
+	}
+	if err != nil {
+		entry.Error = err.Error()
+	}
+	if e.slow.Record(entry) {
+		e.metrics.slow.Inc()
+	}
+}

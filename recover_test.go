@@ -7,12 +7,18 @@ import (
 )
 
 // The pipeline's inputs are all validated, so no public call sequence
-// reaches a panic today; recoverToError is the Engine boundary's net for
+// reaches a panic today; Engine.recoverToError is the boundary's net for
 // the bug we have not written yet. These white-box tests pin its contract.
 
+// recoverEngine builds the minimal Engine state recoverToError touches.
+func recoverEngine() *Engine {
+	return &Engine{metrics: newEngineMetrics(func() (CacheStats, bool) { return CacheStats{}, false }, 1)}
+}
+
 func TestRecoverToErrorConvertsPanic(t *testing.T) {
+	e := recoverEngine()
 	run := func() (err error) {
-		defer recoverToError(&err)
+		defer e.recoverToError(&err)
 		panic("solver exploded")
 	}
 	err := run()
@@ -22,22 +28,30 @@ func TestRecoverToErrorConvertsPanic(t *testing.T) {
 	if !strings.Contains(err.Error(), "solver exploded") {
 		t.Errorf("panic value lost: %v", err)
 	}
+	if got := e.metrics.panics.Value(); got != 1 {
+		t.Errorf("ceps_panics_recovered_total = %d, want 1", got)
+	}
 }
 
 func TestRecoverToErrorPassesThroughSuccess(t *testing.T) {
+	e := recoverEngine()
 	run := func() (err error) {
-		defer recoverToError(&err)
+		defer e.recoverToError(&err)
 		return nil
 	}
 	if err := run(); err != nil {
 		t.Fatalf("err = %v, want nil", err)
 	}
+	if got := e.metrics.panics.Value(); got != 0 {
+		t.Errorf("ceps_panics_recovered_total = %d, want 0", got)
+	}
 }
 
 func TestRecoverToErrorKeepsExistingError(t *testing.T) {
+	e := recoverEngine()
 	sentinel := errors.New("real failure")
 	run := func() (err error) {
-		defer recoverToError(&err)
+		defer e.recoverToError(&err)
 		return sentinel
 	}
 	if err := run(); !errors.Is(err, sentinel) {
