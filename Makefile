@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race race-hammer obs-smoke fuzz-smoke bench bench-smoke clean
+.PHONY: check vet build test race race-hammer obs-smoke fuzz-smoke kernel-smoke bench bench-smoke bench-rwr clean
 
-check: vet build race race-hammer fuzz-smoke
+check: vet build race race-hammer fuzz-smoke kernel-smoke
 
 vet:
 	$(GO) vet ./...
@@ -42,8 +42,18 @@ fuzz-smoke:
 	$(GO) test ./internal/graph -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/graph -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME)
 
+# Quick pass over the Step-1 kernel grid (2 reps per cell, no JSON): fails
+# if one blocked Q=8 solve is not faster than 8 sequential scalar solves.
+kernel-smoke:
+	RWR_KERNEL_REPS=2 $(GO) test -run '^TestRWRKernelSmoke$$' -count=1 .
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Step-1 kernel headline numbers (blocked vs scalar ns/query across the
+# Q x workers grid) written to BENCH_rwr.json, which is checked in.
+bench-rwr:
+	BENCH_RWR_OUT=$(CURDIR)/BENCH_rwr.json $(GO) test -run '^TestRWRKernelSmoke$$' -count=1 .
 
 # Serving-layer headline numbers (cache hit rate, cold vs warm ns/query)
 # written to BENCH_serving.json, which is checked in.

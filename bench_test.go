@@ -8,6 +8,8 @@
 package ceps_test
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -319,6 +321,47 @@ func BenchmarkComponentRWR(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := solver.Scores(q); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRWRKernel measures Step 1's two execution strategies across the
+// kernel grid: Q sequential per-query power iterations (scalar) vs one
+// fused blocked solve advancing all Q walks per sweep (blocked), at each
+// intra-sweep worker count. The blocked kernel is bit-identical to the
+// scalar one (see internal/rwr blocked tests), so the grid is a pure
+// throughput comparison.
+func BenchmarkRWRKernel(b *testing.B) {
+	s := setup(b)
+	solver, err := rwr.NewSolver(s.Dataset.Graph, s.Base.RWR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 16 distinct, evenly spread query nodes: the kernel measures Step 1
+	// alone, so any node is a valid source.
+	n := s.Dataset.Graph.N()
+	nodes := make([]int, 16)
+	for i := range nodes {
+		nodes[i] = i * (n / len(nodes))
+	}
+	ctx := context.Background()
+	for _, q := range []int{1, 4, 8, 16} {
+		queries := nodes[:q]
+		b.Run(fmt.Sprintf("scalar/q=%d", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := solver.ScoresSetCtx(ctx, queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, w := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("blocked/q=%d/w=%d", q, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := solver.ScoresSetBlockedCtx(ctx, queries, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -96,6 +96,19 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithBlockedSolves selects the Step 1 execution strategy for multi-query
+// sets: BlockAuto (the default) fuses the Q random walks into one blocked
+// SpMM sweep whenever Q ≥ 2, BlockNever forces per-query scalar solves,
+// BlockAlways routes even single queries through the panel kernel. Blocked
+// and scalar execution are bit-identical per score vector, so the knob is
+// purely a performance choice; equivalent to setting Config.Blocked.
+func WithBlockedSolves(m BlockMode) Option {
+	return func(ec *engineConfig) error {
+		ec.cfg.Blocked = m
+		return nil
+	}
+}
+
 // WithFastMode pre-partitions the graph into p parts at construction time
 // (Table 5 Step 0); queries then use Fast CePS. Equivalent to calling
 // EnableFastMode right after NewEngine.

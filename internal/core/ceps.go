@@ -83,6 +83,15 @@ type StageTimings struct {
 	// shared score cache (or a joined in-flight solve) versus solved
 	// fresh. Both are zero when the query ran without a serving layer.
 	CacheHits, CacheMisses int
+	// SolveKernel names the Step 1 execution strategy: "blocked" (one
+	// fused SpMM sweep advancing all Q walks) or "scalar" (per-query
+	// power iterations). Empty when Step 1 was skipped entirely.
+	SolveKernel string
+	// SolveSweeps is the total number of power-iteration sweeps across
+	// the query set (the Q·m of the paper's Step 1 cost model, or less
+	// under early stopping) — with the work-graph size, the basis of the
+	// engine's rows/s kernel throughput metric.
+	SolveSweeps int
 }
 
 // Fallback records one step down the graceful-degradation ladder: the
@@ -181,6 +190,8 @@ func runPipelineWith(ctx context.Context, solver *rwr.Solver, g *graph.Graph, qu
 	)
 	solveStart := time.Now()
 	switch {
+	case cfg.Blocked.Use(len(queries)):
+		R, diags, err = solver.ScoresSetBlockedCtx(ctx, queries, blockedWorkers(cfg.Workers))
 	case cfg.Workers == 0 || cfg.Workers == 1:
 		R, diags, err = solver.ScoresSetCtx(ctx, queries)
 	case cfg.Workers < 0:
@@ -197,6 +208,7 @@ func runPipelineWith(ctx context.Context, solver *rwr.Solver, g *graph.Graph, qu
 		return nil, err
 	}
 	res.Stages.Solve = solveDur
+	res.Stages.SolveKernel = cfg.solveKernel(len(queries))
 	return res, nil
 }
 
@@ -225,6 +237,10 @@ func assemblePipeline(ctx context.Context, solver *rwr.Solver, g *graph.Graph, q
 	if err != nil {
 		return nil, err
 	}
+	sweeps := 0
+	for _, d := range diags {
+		sweeps += d.Sweeps
+	}
 	return &Result{
 		Subgraph:       ext.Subgraph,
 		WorkGraph:      g,
@@ -234,7 +250,7 @@ func assemblePipeline(ctx context.Context, solver *rwr.Solver, g *graph.Graph, q
 		Combiner:       comb,
 		Extraction:     ext,
 		RWRDiagnostics: diags,
-		Stages:         StageTimings{Combine: combineDur, Extract: time.Since(extractStart)},
+		Stages:         StageTimings{Combine: combineDur, Extract: time.Since(extractStart), SolveSweeps: sweeps},
 	}, nil
 }
 

@@ -42,8 +42,18 @@ type Config struct {
 
 	// Workers sets how many goroutines compute the Q individual score
 	// vectors of Step 1 (they are independent random walks): 0 or 1 is
-	// sequential, > 1 parallel, negative uses GOMAXPROCS.
+	// sequential, > 1 parallel, negative uses GOMAXPROCS. When the blocked
+	// kernel is in use (see Blocked), Workers instead bounds the
+	// *intra-sweep* row-parallelism of the fused multiply — same knob, same
+	// meaning ("how many goroutines may Step 1 use"), different axis.
 	Workers int
+
+	// Blocked selects blocked vs per-query execution of Step 1 for
+	// multi-query sets (rwr.BlockAuto / BlockNever / BlockAlways). The two
+	// strategies are bit-identical per score vector; the knob only changes
+	// how the sweeps are scheduled, so flipping it never invalidates
+	// caches. The default (BlockAuto) fuses whenever Q ≥ 2.
+	Blocked rwr.BlockMode
 }
 
 // DefaultConfig returns the paper's operating point: c = 0.5, m = 50,
@@ -66,7 +76,40 @@ func (c Config) Validate() error {
 	if c.MaxPathLen < 0 {
 		return fmt.Errorf("%w: max path length %d must be non-negative", fault.ErrBadConfig, c.MaxPathLen)
 	}
+	if !c.Blocked.Valid() {
+		return fmt.Errorf("%w: unknown blocked-solve mode %v", fault.ErrBadConfig, c.Blocked)
+	}
 	return nil
+}
+
+// blockedWorkers maps cfg.Workers onto the blocked kernel's intra-sweep
+// worker count: sequential settings (0 or 1) stay serial, negative means
+// GOMAXPROCS (the kernel's 0), and positive counts carry over.
+func blockedWorkers(w int) int {
+	switch {
+	case w < 0:
+		return 0
+	case w == 0:
+		return 1
+	default:
+		return w
+	}
+}
+
+// serveOptions derives the serving-layer execution options from the
+// pipeline configuration.
+func (c Config) serveOptions() rwr.ServeOptions {
+	return rwr.ServeOptions{Blocked: c.Blocked, Workers: blockedWorkers(c.Workers)}
+}
+
+// solveKernel names the Step 1 kernel the configuration selects for a
+// query set of size q — the value reported in StageTimings.SolveKernel and
+// counted by the engine's kernel metrics.
+func (c Config) solveKernel(q int) string {
+	if c.Blocked.Use(q) {
+		return "blocked"
+	}
+	return "scalar"
 }
 
 // EffectiveK resolves the K_softAND coefficient for a query set of size q:

@@ -133,7 +133,7 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 		var R [][]float64
 		var diags []rwr.Diagnostics
 		var stats rwr.ServeStats
-		R, diags, stats, err = solver.ScoresSetServingCtx(ctx, workQueries, sv.Cache, space, sv.Pool)
+		R, diags, stats, err = solver.ScoresSetServingOptCtx(ctx, workQueries, sv.Cache, space, sv.Pool, cfg.serveOptions())
 		solveDur := time.Since(solveStart)
 		if err != nil {
 			return nil, err
@@ -141,6 +141,7 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 		res, err = assemblePipeline(ctx, solver, work, workQueries, cfg, R, diags)
 		if err == nil {
 			res.Stages.Solve = solveDur
+			res.Stages.SolveKernel = cfg.solveKernel(len(workQueries))
 			res.Stages.CacheHits, res.Stages.CacheMisses = stats.Hits, stats.Misses
 		}
 	} else {

@@ -77,7 +77,7 @@ func (r *Runner) InferKCtx(ctx context.Context, queries []int, cfg Config, tau f
 	if len(queries) < 2 {
 		return 0, nil, fmt.Errorf("%w: inferring k needs at least 2 queries, got %d", fault.ErrBadQuery, len(queries))
 	}
-	R, _, _, err := r.scoresSet(ctx, queries, cfg.Workers)
+	R, _, _, err := r.scoresSet(ctx, queries, cfg)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -53,12 +53,12 @@ func (r *Runner) Graph() *graph.Graph { return r.g }
 func (r *Runner) RWRConfig() rwr.Config { return r.rwrCfg }
 
 // scoresSet resolves Step 1 for a query set: through the serving layer
-// when one is attached, otherwise with the cfg.Workers strategy of the
-// plain pipeline. Both paths return bit-identical matrices; the stats are
-// zero on the plain path (no cache to hit).
-func (r *Runner) scoresSet(ctx context.Context, queries []int, workers int) ([][]float64, []rwr.Diagnostics, rwr.ServeStats, error) {
+// when one is attached, otherwise with the cfg.Workers/cfg.Blocked
+// strategy of the plain pipeline. All paths return bit-identical matrices;
+// the stats are zero on the plain path (no cache to hit).
+func (r *Runner) scoresSet(ctx context.Context, queries []int, cfg Config) ([][]float64, []rwr.Diagnostics, rwr.ServeStats, error) {
 	if r.sv.enabled() {
-		return r.solver.ScoresSetServingCtx(ctx, queries, r.sv.Cache, r.space, r.sv.Pool)
+		return r.solver.ScoresSetServingOptCtx(ctx, queries, r.sv.Cache, r.space, r.sv.Pool, cfg.serveOptions())
 	}
 	var (
 		R     [][]float64
@@ -66,12 +66,14 @@ func (r *Runner) scoresSet(ctx context.Context, queries []int, workers int) ([][
 		err   error
 	)
 	switch {
-	case workers == 0 || workers == 1:
+	case cfg.Blocked.Use(len(queries)):
+		R, diags, err = r.solver.ScoresSetBlockedCtx(ctx, queries, blockedWorkers(cfg.Workers))
+	case cfg.Workers == 0 || cfg.Workers == 1:
 		R, diags, err = r.solver.ScoresSetCtx(ctx, queries)
-	case workers < 0:
+	case cfg.Workers < 0:
 		R, diags, err = r.solver.ScoresSetParallelCtx(ctx, queries, 0)
 	default:
-		R, diags, err = r.solver.ScoresSetParallelCtx(ctx, queries, workers)
+		R, diags, err = r.solver.ScoresSetParallelCtx(ctx, queries, cfg.Workers)
 	}
 	return R, diags, rwr.ServeStats{}, err
 }
@@ -91,7 +93,7 @@ func (r *Runner) QueryCtx(ctx context.Context, queries []int, cfg Config) (*Resu
 		return nil, err
 	}
 	start := time.Now()
-	R, diags, stats, err := r.scoresSet(ctx, queries, cfg.Workers)
+	R, diags, stats, err := r.scoresSet(ctx, queries, cfg)
 	solveDur := time.Since(start)
 	if err != nil {
 		return nil, err
@@ -103,6 +105,7 @@ func (r *Runner) QueryCtx(ctx context.Context, queries []int, cfg Config) (*Resu
 	res.Queries = append([]int(nil), queries...)
 	res.WorkQueries = append([]int(nil), queries...)
 	res.Stages.Solve = solveDur
+	res.Stages.SolveKernel = cfg.solveKernel(len(queries))
 	res.Stages.CacheHits, res.Stages.CacheMisses = stats.Hits, stats.Misses
 	res.Elapsed = time.Since(start)
 	return res, nil

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"ceps/internal/rwr"
+)
+
+// KernelPoint is one cell of the Step-1 kernel sweep: Q random-walk solves
+// executed as Q independent scalar power iterations versus one fused
+// blocked solve advancing all Q walks per sweep, at a given intra-sweep
+// worker count.
+type KernelPoint struct {
+	Q       int `json:"q"`
+	Workers int `json:"workers"`
+	// ScalarNsPerQuery is the cold per-query cost of Q sequential
+	// ScoresSetCtx power iterations. The scalar reference is serial, so it
+	// does not vary with Workers; the same measurement is repeated on every
+	// row of a Q group to keep rows self-contained.
+	ScalarNsPerQuery int64 `json:"scalarNsPerQuery"`
+	// BlockedNsPerQuery is the cold per-query cost of one
+	// ScoresSetBlockedCtx call (fused SpMM sweeps, nnz-balanced row
+	// parallelism across Workers).
+	BlockedNsPerQuery int64 `json:"blockedNsPerQuery"`
+	// Speedup = scalar / blocked per-query time.
+	Speedup float64 `json:"speedup"`
+}
+
+// Kernel sweeps the Step-1 kernel grid: for each query count Q it times the
+// scalar per-query solve path and the blocked multi-source solve at each
+// worker count, keeping the best of reps cold runs (min-of-reps is robust
+// against CPU-frequency and scheduling outliers where a mean is not).
+// Before timing, it asserts the two kernels produce bit-identical score
+// vectors on the largest query set — the speedup is only meaningful because
+// the answers are exactly equal.
+func Kernel(s *Setup, queryCounts, workerCounts []int, reps int) ([]KernelPoint, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("experiments: kernel reps must be positive")
+	}
+	if len(queryCounts) == 0 || len(workerCounts) == 0 {
+		return nil, fmt.Errorf("experiments: kernel sweep needs query and worker counts")
+	}
+	solver, err := rwr.NewSolver(s.Dataset.Graph, s.Base.RWR)
+	if err != nil {
+		return nil, err
+	}
+
+	maxQ, maxW := queryCounts[0], workerCounts[0]
+	for _, q := range queryCounts {
+		if q > maxQ {
+			maxQ = q
+		}
+		if q <= 0 {
+			return nil, fmt.Errorf("experiments: kernel query count %d must be positive", q)
+		}
+	}
+	for _, w := range workerCounts {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	n := s.Dataset.Graph.N()
+	if maxQ > n {
+		return nil, fmt.Errorf("experiments: %d queries exceed the %d-node graph", maxQ, n)
+	}
+	// Distinct query nodes drawn from the whole graph: the kernel measures
+	// Step 1 alone, so any node is a valid source.
+	rng := s.rng(9)
+	seen := make(map[int]bool, maxQ)
+	nodes := make([]int, 0, maxQ)
+	for len(nodes) < maxQ {
+		v := rng.Intn(n)
+		if !seen[v] {
+			seen[v] = true
+			nodes = append(nodes, v)
+		}
+	}
+
+	ctx := context.Background()
+	wantR, wantDiags, err := solver.ScoresSetCtx(ctx, nodes)
+	if err != nil {
+		return nil, err
+	}
+	gotR, gotDiags, err := solver.ScoresSetBlockedCtx(ctx, nodes, maxW)
+	if err != nil {
+		return nil, err
+	}
+	for i := range wantR {
+		if gotDiags[i] != wantDiags[i] {
+			return nil, fmt.Errorf("experiments: blocked kernel diagnostics differ for query %d: %+v vs %+v",
+				nodes[i], gotDiags[i], wantDiags[i])
+		}
+		for j := range wantR[i] {
+			if math.Float64bits(gotR[i][j]) != math.Float64bits(wantR[i][j]) {
+				return nil, fmt.Errorf("experiments: blocked kernel not bit-identical at query %d node %d: %v vs %v",
+					nodes[i], j, gotR[i][j], wantR[i][j])
+			}
+		}
+	}
+
+	best := func(run func() error) (int64, error) {
+		var min time.Duration
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if err := run(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); r == 0 || d < min {
+				min = d
+			}
+		}
+		return min.Nanoseconds(), nil
+	}
+
+	var out []KernelPoint
+	for _, q := range queryCounts {
+		queries := nodes[:q]
+		scalarTotal, err := best(func() error {
+			_, _, err := solver.ScoresSetCtx(ctx, queries)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		scalarNs := scalarTotal / int64(q)
+		for _, w := range workerCounts {
+			w := w
+			blockedTotal, err := best(func() error {
+				_, _, err := solver.ScoresSetBlockedCtx(ctx, queries, w)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			blockedNs := blockedTotal / int64(q)
+			p := KernelPoint{Q: q, Workers: w, ScalarNsPerQuery: scalarNs, BlockedNsPerQuery: blockedNs}
+			if blockedNs > 0 {
+				p.Speedup = float64(scalarNs) / float64(blockedNs)
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// RenderKernel prints the kernel sweep table.
+func RenderKernel(w io.Writer, pts []KernelPoint) {
+	fmt.Fprintln(w, "Step-1 kernel: blocked multi-source RWR vs per-query scalar solves")
+	fmt.Fprintf(w, "%4s %8s %14s %14s %9s\n", "Q", "workers", "scalar(µs/q)", "blocked(µs/q)", "speedup")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%4d %8d %14.1f %14.1f %8.1fx\n",
+			p.Q, p.Workers,
+			float64(p.ScalarNsPerQuery)/1000, float64(p.BlockedNsPerQuery)/1000,
+			p.Speedup)
+	}
+	fmt.Fprintln(w)
+}

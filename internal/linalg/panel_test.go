@@ -1,0 +1,265 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPanelBasicOps(t *testing.T) {
+	p := NewPanel(3, 2)
+	if p.Rows() != 3 || p.Cols() != 2 {
+		t.Fatalf("shape = %dx%d, want 3x2", p.Rows(), p.Cols())
+	}
+	p.Set(1, 0, 2.5)
+	p.Add(1, 0, 0.5)
+	p.Set(2, 1, -1)
+	if p.At(1, 0) != 3 || p.At(2, 1) != -1 || p.At(0, 0) != 0 {
+		t.Fatalf("At values wrong: %v %v %v", p.At(1, 0), p.At(2, 1), p.At(0, 0))
+	}
+	p.Scale(2)
+	if p.At(1, 0) != 6 || p.At(2, 1) != -2 {
+		t.Fatalf("Scale wrong: %v %v", p.At(1, 0), p.At(2, 1))
+	}
+	col := p.Col(0)
+	if len(col) != 3 || col[1] != 6 {
+		t.Fatalf("Col(0) = %v", col)
+	}
+	col[1] = 99 // Col must be a copy
+	if p.At(1, 0) != 6 {
+		t.Fatal("Col returned a view, want a copy")
+	}
+	p.SetCol(1, []float64{1, 2, 3})
+	if p.At(0, 1) != 1 || p.At(2, 1) != 3 {
+		t.Fatalf("SetCol wrong: %v %v", p.At(0, 1), p.At(2, 1))
+	}
+	p.Zero()
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 2; c++ {
+			if p.At(r, c) != 0 {
+				t.Fatalf("Zero left (%d,%d) = %v", r, c, p.At(r, c))
+			}
+		}
+	}
+}
+
+func TestPanelReset(t *testing.T) {
+	p := NewPanel(4, 3) // capacity 12
+	if !p.Reset(6, 2) {
+		t.Fatal("Reset(6,2) should fit in capacity 12")
+	}
+	if p.Rows() != 6 || p.Cols() != 2 {
+		t.Fatalf("shape after Reset = %dx%d, want 6x2", p.Rows(), p.Cols())
+	}
+	if p.Reset(5, 3) {
+		t.Fatal("Reset(5,3) = 15 should exceed capacity 12")
+	}
+	if p.Rows() != 6 || p.Cols() != 2 {
+		t.Fatal("failed Reset must leave the panel unchanged")
+	}
+	if p.Reset(0, 2) || p.Reset(2, -1) {
+		t.Fatal("degenerate shapes must be rejected")
+	}
+}
+
+func TestPanelColMaxDiffNaN(t *testing.T) {
+	a, b := NewPanel(3, 1), NewPanel(3, 1)
+	a.Set(0, 0, 1)
+	b.Set(0, 0, 3)
+	if got := a.ColMaxDiff(b, 0); got != 2 {
+		t.Fatalf("ColMaxDiff = %v, want 2", got)
+	}
+	a.Set(1, 0, math.NaN())
+	if got := a.ColMaxDiff(b, 0); !math.IsNaN(got) {
+		t.Fatalf("ColMaxDiff with NaN entry = %v, want NaN", got)
+	}
+	if !a.ColHasNonFinite(0) {
+		t.Fatal("ColHasNonFinite missed NaN")
+	}
+	if b.ColHasNonFinite(0) {
+		t.Fatal("ColHasNonFinite false positive")
+	}
+	b.Set(2, 0, math.Inf(1))
+	if !b.ColHasNonFinite(0) {
+		t.Fatal("ColHasNonFinite missed +Inf")
+	}
+}
+
+// TestColResidualsMatchesPerColumnScans pins the fused residual pass to
+// the per-column reference: same residual bits as ColMaxDiff and the same
+// non-finite flag as ColHasNonFinite for every column, including columns
+// poisoned by NaN and Inf.
+func TestColResidualsMatchesPerColumnScans(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const rows, cols = 37, 7
+	a, b := NewPanel(rows, cols), NewPanel(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			a.Set(r, c, rng.NormFloat64())
+			b.Set(r, c, rng.NormFloat64())
+		}
+	}
+	a.Set(3, 1, math.NaN())  // NaN difference and non-finite entry
+	a.Set(5, 2, math.Inf(1)) // Inf difference and entry
+	b.Set(9, 4, math.NaN())  // NaN difference with finite a-entry
+
+	res := make([]float64, cols)
+	nonFinite := make([]bool, cols)
+	a.ColResiduals(b, res, nonFinite)
+	for c := 0; c < cols; c++ {
+		want := a.ColMaxDiff(b, c)
+		if math.Float64bits(res[c]) != math.Float64bits(want) {
+			t.Errorf("col %d: fused residual %v, ColMaxDiff %v", c, res[c], want)
+		}
+		if nonFinite[c] != a.ColHasNonFinite(c) {
+			t.Errorf("col %d: fused nonFinite %v, ColHasNonFinite %v", c, nonFinite[c], a.ColHasNonFinite(c))
+		}
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("short output slices should panic")
+			}
+		}()
+		a.ColResiduals(b, res[:1], nonFinite)
+	}()
+}
+
+// TestMulMatToBitIdenticalPerColumn is the kernel contract: column j of
+// M·X equals MulVecTo over column j bit for bit, because the per-column
+// operation sequence is identical.
+func TestMulMatToBitIdenticalPerColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range []struct{ rows, cols, nnz, q int }{
+		{1, 1, 1, 1},
+		{40, 40, 200, 1},
+		{60, 40, 300, 4},
+		{37, 53, 401, 8},
+	} {
+		m := randCSR(t, rng, shape.rows, shape.cols, shape.nnz)
+		src := NewPanel(shape.cols, shape.q)
+		for r := 0; r < shape.cols; r++ {
+			for c := 0; c < shape.q; c++ {
+				src.Set(r, c, rng.NormFloat64())
+			}
+		}
+		dst := NewPanel(shape.rows, shape.q)
+		m.MulMatTo(dst, src)
+		y := make([]float64, shape.rows)
+		for c := 0; c < shape.q; c++ {
+			m.MulVecTo(y, src.Col(c))
+			got := dst.Col(c)
+			for r := range y {
+				if math.Float64bits(got[r]) != math.Float64bits(y[r]) {
+					t.Fatalf("%dx%d q=%d: column %d row %d: SpMM %v != SpMV %v",
+						shape.rows, shape.cols, shape.q, c, r, got[r], y[r])
+				}
+			}
+		}
+	}
+}
+
+func TestNNZSplitsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randCSR(t, rng, 100, 100, 1200)
+	for _, w := range []int{1, 2, 3, 7, 8, 64, 200} {
+		sp := m.NNZSplits(w)
+		if sp[0] != 0 || sp[len(sp)-1] != m.Rows() {
+			t.Fatalf("workers=%d: bounds %v must start at 0 and end at rows", w, sp)
+		}
+		for k := 1; k < len(sp); k++ {
+			if sp[k] < sp[k-1] {
+				t.Fatalf("workers=%d: bounds %v not monotone", w, sp)
+			}
+		}
+		want := w
+		if want > m.Rows() {
+			want = m.Rows()
+		}
+		if len(sp) != want+1 {
+			t.Fatalf("workers=%d: got %d bounds, want %d", w, len(sp), want+1)
+		}
+	}
+	if sp := m.NNZSplits(0); len(sp) != 2 {
+		t.Fatalf("workers=0 should clamp to 1 range, got %v", sp)
+	}
+	// Balance: on this substrate no range should hold more than ~3x its
+	// fair share of nonzeros (loose: split points land on row boundaries).
+	sp := m.NNZSplits(4)
+	fair := m.NNZ() / 4
+	for k := 0; k+1 < len(sp); k++ {
+		nnz := m.rowPtr[sp[k+1]] - m.rowPtr[sp[k]]
+		if nnz > 3*fair {
+			t.Errorf("range %d holds %d nnz, fair share %d", k, nnz, fair)
+		}
+	}
+}
+
+// TestParMulBitIdenticalAcrossWorkers pins the parallel kernels to the
+// serial ones for every worker count: row ranges are disjoint and each row
+// is computed identically, so the results must match bit for bit.
+func TestParMulBitIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randCSR(t, rng, 80, 80, 700)
+	x := make([]float64, 80)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	const q = 5
+	src := NewPanel(80, q)
+	for r := 0; r < 80; r++ {
+		for c := 0; c < q; c++ {
+			src.Set(r, c, rng.NormFloat64())
+		}
+	}
+	wantVec := make([]float64, 80)
+	m.MulVecTo(wantVec, x)
+	wantMat := NewPanel(80, q)
+	m.MulMatTo(wantMat, src)
+
+	for _, w := range []int{1, 2, 3, 8, 80} {
+		splits := m.NNZSplits(w)
+		gotVec := make([]float64, 80)
+		m.ParMulVecTo(gotVec, x, splits)
+		for r := range wantVec {
+			if math.Float64bits(gotVec[r]) != math.Float64bits(wantVec[r]) {
+				t.Fatalf("workers=%d: ParMulVecTo row %d: %v != %v", w, r, gotVec[r], wantVec[r])
+			}
+		}
+		gotMat := NewPanel(80, q)
+		m.ParMulMatTo(gotMat, src, splits)
+		for c := 0; c < q; c++ {
+			a, b := gotMat.Col(c), wantMat.Col(c)
+			for r := range a {
+				if math.Float64bits(a[r]) != math.Float64bits(b[r]) {
+					t.Fatalf("workers=%d: ParMulMatTo col %d row %d: %v != %v", w, c, r, a[r], b[r])
+				}
+			}
+		}
+	}
+	// nil splits = serial path.
+	gotVec := make([]float64, 80)
+	m.ParMulVecTo(gotVec, x, nil)
+	for r := range wantVec {
+		if math.Float64bits(gotVec[r]) != math.Float64bits(wantVec[r]) {
+			t.Fatalf("nil splits: row %d differs", r)
+		}
+	}
+}
+
+func TestMulMatToShapePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := randCSR(t, rng, 10, 12, 40)
+	check := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected shape panic", name)
+			}
+		}()
+		f()
+	}
+	check("src rows", func() { m.MulMatTo(NewPanel(10, 2), NewPanel(11, 2)) })
+	check("dst rows", func() { m.MulMatTo(NewPanel(9, 2), NewPanel(12, 2)) })
+	check("col mismatch", func() { m.MulMatTo(NewPanel(10, 3), NewPanel(12, 2)) })
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"ceps/internal/fault"
 )
@@ -52,13 +53,20 @@ func JacobiCtx(ctx context.Context, a *CSR, b, x0 []float64, tol float64, maxIte
 		return nil, SolveResult{}, fmt.Errorf("linalg: Jacobi shape mismatch")
 	}
 	n := a.Rows()
+	// One pass locates each row's diagonal (columns are sorted, so a binary
+	// search per row) and records both its value and its position; the sweep
+	// loop below then splits each row at the diagonal instead of branching
+	// `c != r` on every nonzero of every sweep.
 	diag := make([]float64, n)
+	dpos := make([]int, n)
 	for r := 0; r < n; r++ {
-		d := a.At(r, r)
-		if d == 0 {
+		cols, vals := a.Row(r)
+		k := sort.SearchInts(cols, r)
+		if k == len(cols) || cols[k] != r || vals[k] == 0 {
 			return nil, SolveResult{}, fmt.Errorf("linalg: Jacobi zero diagonal at row %d", r)
 		}
-		diag[r] = d
+		diag[r] = vals[k]
+		dpos[r] = k
 	}
 	x := make([]float64, n)
 	if x0 != nil {
@@ -73,11 +81,13 @@ func JacobiCtx(ctx context.Context, a *CSR, b, x0 []float64, tol float64, maxIte
 		}
 		for r := 0; r < n; r++ {
 			cols, vals := a.Row(r)
+			k := dpos[r]
 			s := b[r]
-			for i, c := range cols {
-				if c != r {
-					s -= vals[i] * x[c]
-				}
+			for i := 0; i < k; i++ {
+				s -= vals[i] * x[cols[i]]
+			}
+			for i := k + 1; i < len(cols); i++ {
+				s -= vals[i] * x[cols[i]]
 			}
 			next[r] = s / diag[r]
 		}

@@ -1,0 +1,234 @@
+package rwr
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+
+	"ceps/internal/fault"
+	"ceps/internal/linalg"
+)
+
+// BlockMode selects whether a multi-query solve runs the blocked
+// multi-source kernel (one fused SpMM sweep advancing all Q walks) or Q
+// independent per-query power iterations. The two produce bit-identical
+// score vectors; the knob only trades kernel shape, so it is safe to flip
+// on a live engine and never affects cache keys.
+type BlockMode int
+
+const (
+	// BlockAuto (the zero value) uses the blocked kernel whenever the
+	// query set has at least two members — the fused sweep streams the
+	// transition matrix once instead of Q times, which is a pure win as
+	// soon as there is more than one right-hand side.
+	BlockAuto BlockMode = iota
+	// BlockNever forces per-query scalar solves (the pre-blocking
+	// behavior; useful for A/B measurement and as an escape hatch).
+	BlockNever
+	// BlockAlways routes even single-query sets through the panel kernel
+	// (mainly for testing the blocked path at Q = 1).
+	BlockAlways
+)
+
+// Use reports whether a query set of size q should run blocked under m.
+func (m BlockMode) Use(q int) bool {
+	switch m {
+	case BlockNever:
+		return false
+	case BlockAlways:
+		return q >= 1
+	default:
+		return q >= 2
+	}
+}
+
+// Valid reports whether m is a known mode.
+func (m BlockMode) Valid() bool {
+	return m == BlockAuto || m == BlockNever || m == BlockAlways
+}
+
+// String returns a human-readable mode name.
+func (m BlockMode) String() string {
+	switch m {
+	case BlockAuto:
+		return "auto"
+	case BlockNever:
+		return "never"
+	case BlockAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("BlockMode(%d)", int(m))
+	}
+}
+
+// getVec checks an n-vector out of the solve-buffer pool, allocating when
+// the pool is empty (works for zero-value Solvers built in tests, too).
+func (s *Solver) getVec() *[]float64 {
+	if v := s.vecs.Get(); v != nil {
+		return v.(*[]float64)
+	}
+	b := make([]float64, s.n)
+	return &b
+}
+
+// putVec returns a vector to the pool.
+func (s *Solver) putVec(v *[]float64) {
+	s.vecs.Put(v)
+}
+
+// getPanel checks an n×q panel out of the pool, reusing a pooled panel's
+// backing array when its capacity fits (Reset) and allocating otherwise.
+// The panel's contents are unspecified; callers zero or overwrite it.
+func (s *Solver) getPanel(q int) *linalg.Panel {
+	if v := s.panels.Get(); v != nil {
+		p := v.(*linalg.Panel)
+		if p.Reset(s.n, q) {
+			return p
+		}
+		// Too small for this query set: drop it and allocate fresh (the
+		// larger panel then re-enters the pool and serves future sets).
+	}
+	return linalg.NewPanel(s.n, q)
+}
+
+// putPanel returns a panel to the pool.
+func (s *Solver) putPanel(p *linalg.Panel) {
+	s.panels.Put(p)
+}
+
+// splitsFor returns the cached nnz-balanced row partition of the transition
+// matrix for the given intra-sweep worker count, computing it on first use.
+// workers ≤ 1 returns nil (serial multiply).
+func (s *Solver) splitsFor(workers int) []int {
+	if workers <= 1 {
+		return nil
+	}
+	s.splitsMu.Lock()
+	defer s.splitsMu.Unlock()
+	if sp, ok := s.splits[workers]; ok {
+		return sp
+	}
+	if s.splits == nil {
+		s.splits = make(map[int][]int)
+	}
+	sp := s.trans.NNZSplits(workers)
+	s.splits[workers] = sp
+	return sp
+}
+
+// ScoresSetBlockedCtx computes the score matrix R (one row per query,
+// R[i][j] = r(q_i, j)) by running all Q power iterations in lockstep on an
+// n×Q panel: each sweep is one fused SpMM that streams the transition
+// matrix once for every query instead of once per query. workers sets the
+// intra-sweep parallelism — the sweep's rows are partitioned by cumulative
+// nonzero count and multiplied on that many goroutines (≤ 0 means
+// GOMAXPROCS, 1 is serial).
+//
+// Per column the sweep performs the exact operation sequence of ScoresCtx —
+// multiply in nonzero order, scale by c, add the restart mass, max-norm
+// residual with NaN-propagating comparison — so every score vector is
+// bit-identical to the corresponding single-query solve, for every worker
+// count (row ranges write disjoint rows). Diagnostics are per query; the
+// NaN/Inf and divergence guards abort with the same errors as ScoresCtx;
+// when Tol is set, converged columns are frozen (masked out of the residual
+// bookkeeping and copied forward unchanged) while the rest keep sweeping,
+// matching the scalar early stop exactly.
+func (s *Solver) ScoresSetBlockedCtx(ctx context.Context, queries []int, workers int) ([][]float64, []Diagnostics, error) {
+	if len(queries) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty query set", fault.ErrBadQuery)
+	}
+	for _, q := range queries {
+		if q < 0 || q >= s.n {
+			return nil, nil, fmt.Errorf("%w: query node %d out of range [0,%d)", fault.ErrBadQuery, q, s.n)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	splits := s.splitsFor(workers)
+	nq := len(queries)
+
+	cur := s.getPanel(nq)
+	next := s.getPanel(nq)
+	defer s.putPanel(cur)
+	defer s.putPanel(next)
+	cur.Zero()
+	for j, q := range queries {
+		cur.Set(q, j, 1) // column j starts at the unit vector e_{q_j}
+	}
+
+	restart := 1 - s.cfg.C
+	tol := s.cfg.Tol
+	if tol <= 0 {
+		tol = defaultConvergedTol
+	}
+	diags := make([]Diagnostics, nq)
+	firsts := make([]float64, nq)
+	frozen := make([]bool, nq)
+	residuals := make([]float64, nq)
+	nonFinite := make([]bool, nq)
+	active := nq
+
+	for it := 0; it < s.cfg.Iterations && active > 0; it++ {
+		if err := fault.FromContext(ctx); err != nil {
+			return nil, nil, err
+		}
+		// One fused sweep: next = c·W̃·cur + (1−c)·E over all live columns
+		// at once (frozen columns are recomputed too — cheaper than masking
+		// inside the SpMM — then overwritten with their converged values).
+		s.trans.ParMulMatTo(next, cur, splits)
+		next.Scale(s.cfg.C)
+		for j, q := range queries {
+			if !frozen[j] {
+				next.Add(q, j, restart)
+			}
+		}
+		for j := range queries {
+			if frozen[j] {
+				next.CopyColFrom(cur, j)
+			}
+		}
+		// One fused row-major pass computes every column's residual and
+		// non-finite flag (bit-identical to per-column ColMaxDiff /
+		// ColHasNonFinite, but it streams the two panels once instead of
+		// once per column).
+		next.ColResiduals(cur, residuals, nonFinite)
+		for j := range queries {
+			if frozen[j] {
+				continue
+			}
+			diags[j].Sweeps = it + 1
+			diags[j].Residual = residuals[j]
+		}
+		cur, next = next, cur
+		for j, q := range queries {
+			if frozen[j] {
+				continue
+			}
+			res := diags[j].Residual
+			if math.IsNaN(res) || math.IsInf(res, 0) || nonFinite[j] {
+				return nil, nil, fmt.Errorf("%w: non-finite scores after sweep %d of walk from node %d", fault.ErrDiverged, diags[j].Sweeps, q)
+			}
+			if it == 0 {
+				firsts[j] = res
+			} else if firsts[j] > 0 && res > 1e8*firsts[j] && res > 1 {
+				return nil, nil, fmt.Errorf("%w: walk from node %d: residual grew from %g to %g", fault.ErrDiverged, q, firsts[j], res)
+			}
+			// Same opt-in early stop as ScoresCtx: the column that just
+			// converged holds its post-sweep value from here on while the
+			// remaining columns keep iterating.
+			if s.cfg.Tol > 0 && res < s.cfg.Tol {
+				frozen[j] = true
+				active--
+			}
+		}
+	}
+
+	R := make([][]float64, nq)
+	for j := range queries {
+		diags[j].Converged = diags[j].Residual < tol
+		R[j] = cur.Col(j)
+	}
+	return R, diags, nil
+}

@@ -388,6 +388,21 @@ type ServeStats struct {
 	Hits, Misses int
 }
 
+// ServeOptions selects the execution strategy of a serving-layer solve.
+// The zero value reproduces the historical behavior (per-query scalar
+// solves). Because blocked and scalar execution are bit-identical, the
+// options never influence cache keys — a vector solved blocked serves a
+// scalar request and vice versa.
+type ServeOptions struct {
+	// Blocked selects blocked vs per-query execution (see BlockMode),
+	// tested against the query-set size; the resulting miss set — however
+	// small — is then solved with one blocked kernel call.
+	Blocked BlockMode
+	// Workers bounds the intra-sweep row-parallelism of a blocked solve
+	// (≤ 0 means GOMAXPROCS). Scalar execution ignores it.
+	Workers int
+}
+
 // ScoresSetServingCtx computes the score matrix for a query set through
 // the serving layer: sources already cached under space are returned
 // without solving, concurrent requests for the same missing source share
@@ -396,6 +411,18 @@ type ServeStats struct {
 // iteration is deterministic, and cached vectors are exact copies of what
 // a fresh solve returns.
 func (s *Solver) ScoresSetServingCtx(ctx context.Context, queries []int, cache *ScoreCache, space uint64, pool *Pool) ([][]float64, []Diagnostics, ServeStats, error) {
+	return s.ScoresSetServingOptCtx(ctx, queries, cache, space, pool, ServeOptions{Blocked: BlockNever})
+}
+
+// ScoresSetServingOptCtx is ScoresSetServingCtx with an execution-strategy
+// choice. When opt selects blocked execution, the call first triages every
+// source against the cache, then solves the whole miss set with one
+// ScoresSetBlockedCtx call under a single pool slot — the fused sweep
+// streams the transition matrix once for all cold sources instead of once
+// per source — registering each miss as a flight leader so concurrent
+// requests for the same sources still share the work. Followers and hits
+// behave exactly as in the scalar path.
+func (s *Solver) ScoresSetServingOptCtx(ctx context.Context, queries []int, cache *ScoreCache, space uint64, pool *Pool, opt ServeOptions) ([][]float64, []Diagnostics, ServeStats, error) {
 	var stats ServeStats
 	if len(queries) == 0 {
 		return nil, nil, stats, fmt.Errorf("%w: empty query set", fault.ErrBadQuery)
@@ -405,6 +432,125 @@ func (s *Solver) ScoresSetServingCtx(ctx context.Context, queries []int, cache *
 			return nil, nil, stats, fmt.Errorf("%w: query node %d out of range [0,%d)", fault.ErrBadQuery, q, s.n)
 		}
 	}
+	if opt.Blocked.Use(len(queries)) {
+		return s.scoresSetServingBlocked(ctx, queries, cache, space, pool, opt)
+	}
+	return s.scoresSetServingScalar(ctx, queries, cache, space, pool)
+}
+
+// scoresSetServingBlocked is the blocked miss path of the serving layer.
+// Queries are pre-validated by the caller.
+func (s *Solver) scoresSetServingBlocked(ctx context.Context, queries []int, cache *ScoreCache, space uint64, pool *Pool, opt ServeOptions) ([][]float64, []Diagnostics, ServeStats, error) {
+	var stats ServeStats
+	if cache == nil {
+		R, diags, err := s.blockedPooled(ctx, queries, opt.Workers, pool)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		stats.Misses = len(queries)
+		return R, diags, stats, nil
+	}
+	R := make([][]float64, len(queries))
+	diags := make([]Diagnostics, len(queries))
+	type pending struct {
+		idx int
+		q   int
+		fl  *flight
+	}
+	var leaders, followers []pending
+	for i, q := range queries {
+		vec, d, ok, fl, leader := cache.getOrJoin(space, q)
+		if ok {
+			R[i], diags[i] = vec, d
+			stats.Hits++
+			continue
+		}
+		if leader {
+			leaders = append(leaders, pending{i, q, fl})
+		} else {
+			followers = append(followers, pending{i, q, fl})
+		}
+	}
+	if len(leaders) > 0 {
+		missQ := make([]int, len(leaders))
+		for k, p := range leaders {
+			missQ[k] = p.q
+		}
+		mR, mD, err := s.blockedPooled(ctx, missQ, opt.Workers, pool)
+		if err != nil {
+			// Every registered flight must be finished, or concurrent
+			// followers of these sources would wait forever.
+			for _, p := range leaders {
+				cache.finish(space, p.q, p.fl, nil, Diagnostics{}, err)
+			}
+			return nil, nil, stats, err
+		}
+		for k, p := range leaders {
+			cache.finish(space, p.q, p.fl, mR[k], mD[k], nil)
+			R[p.idx], diags[p.idx] = mR[k], mD[k]
+			stats.Misses++
+		}
+	}
+	// Our own leaders' flights are finished above, so followers of flights
+	// from this very call never deadlock; followers of external leaders
+	// inherit serveOne's wait-and-retry semantics.
+	for _, p := range followers {
+		vec, d, hit, err := s.awaitFlight(ctx, cache, space, p.q, p.fl, pool)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		R[p.idx], diags[p.idx] = vec, d
+		if hit {
+			stats.Hits++
+		} else {
+			stats.Misses++
+		}
+	}
+	return R, diags, stats, nil
+}
+
+// blockedPooled runs one blocked multi-source solve under a single pool
+// slot: the whole miss set is one kernel invocation whose intra-sweep
+// parallelism is bounded by workers, so it occupies one slot the way one
+// scalar solve does.
+func (s *Solver) blockedPooled(ctx context.Context, queries []int, workers int, pool *Pool) ([][]float64, []Diagnostics, error) {
+	if pool != nil {
+		if err := pool.acquire(ctx); err != nil {
+			return nil, nil, err
+		}
+		defer pool.release()
+	}
+	return s.ScoresSetBlockedCtx(ctx, queries, workers)
+}
+
+// awaitFlight waits out another caller's flight for (space, q), with the
+// same semantics as serveOne's follower branch: inherit the result, or on
+// a contextual leader failure with a live context, re-enter the serving
+// path (and possibly become the new leader).
+func (s *Solver) awaitFlight(ctx context.Context, cache *ScoreCache, space uint64, q int, fl *flight, pool *Pool) (vec []float64, diag Diagnostics, hit bool, err error) {
+	select {
+	case <-fl.done:
+		if fl.err == nil {
+			out := make([]float64, len(fl.vec))
+			copy(out, fl.vec)
+			return out, fl.diag, true, nil
+		}
+		if !contextual(fl.err) {
+			return nil, Diagnostics{}, false, fl.err
+		}
+		if err := fault.FromContext(ctx); err != nil {
+			return nil, Diagnostics{}, false, err
+		}
+		return s.serveOne(ctx, cache, space, q, pool)
+	case <-ctx.Done():
+		return nil, Diagnostics{}, false, fault.FromContext(ctx)
+	}
+}
+
+// scoresSetServingScalar is the historical per-query serving path. Queries
+// are pre-validated by the caller.
+func (s *Solver) scoresSetServingScalar(ctx context.Context, queries []int, cache *ScoreCache, space uint64, pool *Pool) ([][]float64, []Diagnostics, ServeStats, error) {
+	var stats ServeStats
 	R := make([][]float64, len(queries))
 	diags := make([]Diagnostics, len(queries))
 	if len(queries) == 1 || pool == nil || pool.Size() == 1 {

@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"ceps/internal/fault"
 	"ceps/internal/graph"
@@ -113,6 +114,20 @@ type Solver struct {
 	// NormDegreePenalized every column sums to 1 (or 0 for isolated
 	// nodes); for NormSymmetric the matrix is the symmetric S of Eq. 20.
 	trans *linalg.CSR
+
+	// Solve-buffer pools: every power iteration needs two n-vector (or
+	// n×q panel) iterates, and on a serving engine the same solver answers
+	// thousands of queries — pooling the scratch keeps steady-state solves
+	// allocation-free. Result vectors handed to callers are always fresh
+	// clones, never pooled storage.
+	vecs   sync.Pool
+	panels sync.Pool
+
+	// splits caches the nnz-balanced row partition of trans per worker
+	// count (the partition depends only on the matrix, so it is computed
+	// once and reused by every intra-sweep parallel multiply).
+	splitsMu sync.Mutex
+	splits   map[int][]int
 }
 
 // NewSolver builds the normalized transition matrix for g under cfg.
@@ -164,7 +179,7 @@ func NewSolver(g *graph.Graph, cfg Config) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Solver{cfg: cfg, n: n, trans: trans}, nil
+	return &Solver{cfg: cfg, n: n, trans: trans, splits: make(map[int][]int)}, nil
 }
 
 func penalize(w, deg, alpha float64) float64 {
@@ -230,8 +245,14 @@ func (s *Solver) ScoresCtx(ctx context.Context, q int) ([]float64, Diagnostics, 
 	if q < 0 || q >= s.n {
 		return nil, diag, fmt.Errorf("%w: query node %d out of range [0,%d)", fault.ErrBadQuery, q, s.n)
 	}
-	r := linalg.Unit(s.n, q)
-	next := make([]float64, s.n)
+	// Both iterates come from the solve-buffer pool; every exit path hands
+	// the caller a clone so pooled storage never escapes.
+	rbuf, nbuf := s.getVec(), s.getVec()
+	defer s.putVec(rbuf)
+	defer s.putVec(nbuf)
+	r, next := *rbuf, *nbuf
+	linalg.Fill(r, 0)
+	r[q] = 1
 	restart := 1 - s.cfg.C
 	tol := s.cfg.Tol
 	if tol <= 0 {
@@ -240,7 +261,7 @@ func (s *Solver) ScoresCtx(ctx context.Context, q int) ([]float64, Diagnostics, 
 	var first float64
 	for it := 0; it < s.cfg.Iterations; it++ {
 		if err := fault.FromContext(ctx); err != nil {
-			return r, diag, err
+			return linalg.Clone(r), diag, err
 		}
 		s.trans.MulVecTo(next, r)
 		linalg.Scale(s.cfg.C, next)
@@ -249,12 +270,12 @@ func (s *Solver) ScoresCtx(ctx context.Context, q int) ([]float64, Diagnostics, 
 		diag.Residual = linalg.MaxDiff(next, r)
 		r, next = next, r
 		if math.IsNaN(diag.Residual) || math.IsInf(diag.Residual, 0) || linalg.HasNonFinite(r) {
-			return r, diag, fmt.Errorf("%w: non-finite scores after sweep %d of walk from node %d", fault.ErrDiverged, diag.Sweeps, q)
+			return linalg.Clone(r), diag, fmt.Errorf("%w: non-finite scores after sweep %d of walk from node %d", fault.ErrDiverged, diag.Sweeps, q)
 		}
 		if it == 0 {
 			first = diag.Residual
 		} else if first > 0 && diag.Residual > 1e8*first && diag.Residual > 1 {
-			return r, diag, fmt.Errorf("%w: walk from node %d: residual grew from %g to %g", fault.ErrDiverged, q, first, diag.Residual)
+			return linalg.Clone(r), diag, fmt.Errorf("%w: walk from node %d: residual grew from %g to %g", fault.ErrDiverged, q, first, diag.Residual)
 		}
 		// Early stop only when the caller opted in via Tol; Tol = 0 keeps
 		// the paper's fixed-m semantics (all m sweeps run) and the default
@@ -264,7 +285,7 @@ func (s *Solver) ScoresCtx(ctx context.Context, q int) ([]float64, Diagnostics, 
 		}
 	}
 	diag.Converged = diag.Residual < tol
-	return r, diag, nil
+	return linalg.Clone(r), diag, nil
 }
 
 // ScoresSet returns the matrix R of individual scores for a query set: one
@@ -275,10 +296,17 @@ func (s *Solver) ScoresSet(queries []int) ([][]float64, error) {
 }
 
 // ScoresSetCtx is ScoresSet with cancellation and per-query Diagnostics
-// (same order as queries).
+// (same order as queries). All query indices are validated up front, so a
+// bad ID anywhere in the set fails fast with fault.ErrBadQuery instead of
+// discarding the solves that preceded it.
 func (s *Solver) ScoresSetCtx(ctx context.Context, queries []int) ([][]float64, []Diagnostics, error) {
 	if len(queries) == 0 {
 		return nil, nil, fmt.Errorf("%w: empty query set", fault.ErrBadQuery)
+	}
+	for _, q := range queries {
+		if q < 0 || q >= s.n {
+			return nil, nil, fmt.Errorf("%w: query node %d out of range [0,%d)", fault.ErrBadQuery, q, s.n)
+		}
 	}
 	R := make([][]float64, len(queries))
 	diags := make([]Diagnostics, len(queries))

@@ -41,8 +41,15 @@ func CombineEdges(g *graph.Graph, R [][]float64, tp TransitionProber, c Combiner
 	out := make([]float64, 0, g.M())
 	p := make([]float64, len(R))
 	g.ForEachEdge(func(u, v int, w float64) {
+		// The transition probabilities depend only on the edge, not the
+		// query, so look them up once per edge instead of once per query —
+		// each lookup is a binary search into the CSR row. The per-query
+		// expression matches EdgeIndividual exactly, so scores are
+		// bit-identical to the unhoisted form.
+		puv := tp.TransitionProb(u, v)
+		pvu := tp.TransitionProb(v, u)
 		for i := range R {
-			p[i] = EdgeIndividual(R[i], tp, u, v)
+			p[i] = 0.5 * (R[i][u]*puv + R[i][v]*pvu)
 		}
 		out = append(out, c.Combine(p))
 	})
@@ -51,9 +58,11 @@ func CombineEdges(g *graph.Graph, R [][]float64, tp TransitionProber, c Combiner
 
 // EdgeScoreOf computes the combined score of a single edge.
 func EdgeScoreOf(R [][]float64, tp TransitionProber, c Combiner, u, v int) float64 {
+	puv := tp.TransitionProb(u, v)
+	pvu := tp.TransitionProb(v, u)
 	p := make([]float64, len(R))
 	for i := range R {
-		p[i] = EdgeIndividual(R[i], tp, u, v)
+		p[i] = 0.5 * (R[i][u]*puv + R[i][v]*pvu)
 	}
 	return c.Combine(p)
 }

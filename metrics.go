@@ -25,6 +25,9 @@ import (
 //	ceps_slow_queries_total
 //	ceps_panics_recovered_total
 //	ceps_workers                                     (gauge)
+//	ceps_solves_total{kernel="blocked"|"scalar"}
+//	ceps_solve_rows_total
+//	ceps_solve_rows_per_second                       (gauge)
 
 // engineMetrics holds the typed handles the hot path updates. Every
 // update is an atomic op; none of this perturbs query answers.
@@ -43,6 +46,12 @@ type engineMetrics struct {
 	inflight *obs.Gauge
 	panics   *obs.Counter
 	slow     *obs.Counter
+
+	// Step 1 kernel accounting: solves by execution strategy, plus the
+	// total matrix rows swept (sweeps × work-graph nodes), whose ratio to
+	// the solve-stage seconds is the rows/s throughput gauge.
+	solvesBlocked, solvesScalar *obs.Counter
+	solveRows                   *obs.Counter
 }
 
 // newEngineMetrics builds the registry for one engine. cacheStats reads
@@ -81,6 +90,9 @@ func newEngineMetrics(cacheStats func() (CacheStats, bool), workers int) *engine
 		inflight:        reg.Gauge("ceps_inflight_queries", "Queries currently executing."),
 		panics:          reg.Counter("ceps_panics_recovered_total", "Panics converted to ErrInternal at the Engine boundary."),
 		slow:            reg.Counter("ceps_slow_queries_total", "Queries logged by the slow-query log."),
+		solvesBlocked:   reg.Counter("ceps_solves_total", "Step 1 solves, by kernel.", obs.Label{Name: "kernel", Value: "blocked"}),
+		solvesScalar:    reg.Counter("ceps_solves_total", "Step 1 solves, by kernel.", obs.Label{Name: "kernel", Value: "scalar"}),
+		solveRows:       reg.Counter("ceps_solve_rows_total", "Matrix rows swept by Step 1 power iterations (sweeps × work-graph nodes)."),
 	}
 	cacheCounter := func(read func(CacheStats) uint64) func() float64 {
 		return func() float64 {
@@ -111,6 +123,13 @@ func newEngineMetrics(cacheStats func() (CacheStats, bool), workers int) *engine
 		return float64(st.BytesBudget)
 	})
 	reg.GaugeFunc("ceps_workers", "Solve-pool concurrency bound.", func() float64 { return float64(workers) })
+	reg.GaugeFunc("ceps_solve_rows_per_second", "Step 1 kernel throughput: rows swept per second of solve-stage time.", func() float64 {
+		secs := m.durSolve.Sum()
+		if secs <= 0 {
+			return 0
+		}
+		return float64(m.solveRows.Value()) / secs
+	})
 	return m
 }
 
@@ -145,6 +164,15 @@ func (m *engineMetrics) observeQuery(res *Result, err error, elapsed time.Durati
 		m.durSolve.Observe(st.Solve.Seconds())
 		m.durCombine.Observe(st.Combine.Seconds())
 		m.durExtract.Observe(st.Extract.Seconds())
+		switch st.SolveKernel {
+		case "blocked":
+			m.solvesBlocked.Inc()
+		case "scalar":
+			m.solvesScalar.Inc()
+		}
+		if st.SolveSweeps > 0 && res.WorkGraph != nil {
+			m.solveRows.Add(uint64(st.SolveSweeps) * uint64(res.WorkGraph.N()))
+		}
 	}
 	if err != nil {
 		m.errCounter(err).Inc()

@@ -1,0 +1,147 @@
+package ceps_test
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ceps"
+	"ceps/internal/experiments"
+)
+
+// rwrKernelReport is the JSON shape `make bench-rwr` writes to
+// BENCH_rwr.json: the Step-1 kernel grid (blocked multi-source RWR vs
+// per-query scalar solves) plus the Q=8 acceptance headline.
+type rwrKernelReport struct {
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// Iterations is the power-iteration count m every solve runs.
+	Iterations int `json:"rwrIterations"`
+	// Reps is how many cold runs each cell takes the best of.
+	Reps   int                       `json:"reps"`
+	Points []experiments.KernelPoint `json:"points"`
+	// Q8Speedup is the best blocked-vs-scalar speedup at Q = 8 across
+	// worker counts — the acceptance headline (floor: 2x).
+	Q8Speedup float64 `json:"q8Speedup"`
+}
+
+// TestRWRKernelSmoke sweeps the Step-1 kernel grid (Q x workers, blocked vs
+// scalar) and, when BENCH_RWR_OUT names a file, writes the grid there as
+// JSON (this is what `make bench-rwr` runs; `make check` runs it with
+// RWR_KERNEL_REPS=2 as a quick smoke). It always enforces the acceptance
+// floor: one blocked Q=8 solve must beat 8 sequential scalar solves, with a
+// 2x target at the best worker count. Bit-identity of the two kernels is
+// asserted inside experiments.Kernel before anything is timed.
+func TestRWRKernelSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped with -short")
+	}
+	s, err := experiments.NewSetup(0.2, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := 4
+	if env := os.Getenv("RWR_KERNEL_REPS"); env != "" {
+		reps, err = strconv.Atoi(env)
+		if err != nil {
+			t.Fatalf("RWR_KERNEL_REPS=%q: %v", env, err)
+		}
+	}
+
+	pts, err := experiments.Kernel(s, []int{1, 4, 8, 16}, []int{1, 4, 8}, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := rwrKernelReport{
+		Nodes:      s.Dataset.Graph.N(),
+		Edges:      s.Dataset.Graph.M(),
+		Iterations: s.Base.RWR.Iterations,
+		Reps:       reps,
+		Points:     pts,
+	}
+	for _, p := range pts {
+		if p.Q == 8 && p.Speedup > rep.Q8Speedup {
+			rep.Q8Speedup = p.Speedup
+		}
+	}
+	var sb strings.Builder
+	experiments.RenderKernel(&sb, pts)
+	t.Logf("kernel sweep (reps=%d):\n%s", reps, sb.String())
+
+	if rep.Q8Speedup <= 1 {
+		t.Errorf("blocked Q=8 solve is not faster than 8 scalar solves (best speedup %.2fx)", rep.Q8Speedup)
+	} else if rep.Q8Speedup < 2 {
+		t.Errorf("blocked Q=8 best speedup %.2fx, want >= 2x", rep.Q8Speedup)
+	}
+
+	if out := os.Getenv("BENCH_RWR_OUT"); out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEngineBlockedSolvesBitIdenticalAndMetered pins the engine-level
+// contract of WithBlockedSolves: a BlockAlways engine returns bit-identical
+// score vectors and the same subgraph as a BlockNever engine, reports the
+// kernel it used in Stages.SolveKernel, and meters its solves into the
+// ceps_solves_total{kernel=...} and ceps_solve_rows_total series.
+func TestEngineBlockedSolvesBitIdenticalAndMetered(t *testing.T) {
+	ds := smallDataset(t)
+	queries := []int{ds.Repository[0][0], ds.Repository[1][0], ds.Repository[2][0]}
+
+	scalar := newEngine(t, ds.Graph, ceps.WithConfig(quickConfig()), ceps.WithBlockedSolves(ceps.BlockNever))
+	blocked := newEngine(t, ds.Graph, ceps.WithConfig(quickConfig()), ceps.WithBlockedSolves(ceps.BlockAlways))
+
+	rs, err := scalar.Query(queries...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := blocked.Query(queries...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Stages.SolveKernel != "scalar" {
+		t.Errorf("BlockNever SolveKernel = %q, want scalar", rs.Stages.SolveKernel)
+	}
+	if rb.Stages.SolveKernel != "blocked" {
+		t.Errorf("BlockAlways SolveKernel = %q, want blocked", rb.Stages.SolveKernel)
+	}
+	if rs.Stages.SolveSweeps <= 0 || rb.Stages.SolveSweeps != rs.Stages.SolveSweeps {
+		t.Errorf("SolveSweeps scalar %d vs blocked %d, want equal and positive",
+			rs.Stages.SolveSweeps, rb.Stages.SolveSweeps)
+	}
+	for i := range rs.R {
+		for j := range rs.R[i] {
+			if math.Float64bits(rb.R[i][j]) != math.Float64bits(rs.R[i][j]) {
+				t.Fatalf("score R[%d][%d] differs between kernels: %v vs %v", i, j, rb.R[i][j], rs.R[i][j])
+			}
+		}
+	}
+	if len(rb.Subgraph.Nodes) != len(rs.Subgraph.Nodes) {
+		t.Fatalf("subgraph sizes differ: %d vs %d", len(rb.Subgraph.Nodes), len(rs.Subgraph.Nodes))
+	}
+	for i := range rs.Subgraph.Nodes {
+		if rb.Subgraph.Nodes[i] != rs.Subgraph.Nodes[i] {
+			t.Fatalf("subgraph node %d differs: %d vs %d", i, rb.Subgraph.Nodes[i], rs.Subgraph.Nodes[i])
+		}
+	}
+
+	if text := scrape(t, scalar); !strings.Contains(text, `ceps_solves_total{kernel="scalar"} 1`) {
+		t.Errorf("scalar engine exposition missing ceps_solves_total{kernel=\"scalar\"} 1\n%s", text)
+	}
+	text := scrape(t, blocked)
+	if !strings.Contains(text, `ceps_solves_total{kernel="blocked"} 1`) {
+		t.Errorf("blocked engine exposition missing ceps_solves_total{kernel=\"blocked\"} 1\n%s", text)
+	}
+	if !strings.Contains(text, "ceps_solve_rows_total") || !strings.Contains(text, "ceps_solve_rows_per_second") {
+		t.Errorf("exposition missing solve throughput series\n%s", text)
+	}
+}
