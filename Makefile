@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race race-hammer obs-smoke fuzz-smoke kernel-smoke bench bench-smoke bench-rwr clean
+.PHONY: check vet build test race race-hammer obs-smoke trace-smoke fuzz-smoke kernel-smoke bench bench-smoke bench-rwr clean
 
-check: vet build race race-hammer fuzz-smoke kernel-smoke
+check: vet build race race-hammer trace-smoke fuzz-smoke kernel-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +35,17 @@ obs-smoke:
 	$(GO) test -count=1 ./internal/obs -run 'TestAdminEndpointSmoke'
 	$(GO) test -count=1 . -run 'TestEngineStageTimingsAndMetrics|TestEngineSlowQueryLog'
 	$(GO) test -count=1 ./cmd/ceps -run 'TestServeListeners|TestQueryMux'
+
+# End-to-end tracing smoke: serve a traced fast-mode engine, follow one
+# query's X-Ceps-Trace-Id through /debug/traces, validate the span tree,
+# the waterfall view, and the exposition's new trace/runtime series; plus
+# the engine-level span, bit-identity and cancellation regressions, and
+# the trace-store race hammer under the race detector.
+trace-smoke:
+	$(GO) test -count=1 ./internal/obs -run 'TestSpanTreeAndStore|TestSamplingRules|TestTraceHandlerJSON|TestTraceViewHandlerHTML|TestAdminMuxMountsTraceRoutes|TestRegisterRuntimeMetrics'
+	$(GO) test -count=1 . -run 'TestEngineTraceSpans|TestTracingBitIdentical|TestTraceCancellation|TestSlowQueryLogTraceFields|TestTracedMetricsExposition'
+	$(GO) test -race -count=2 . -run 'TestTraceStoreRaceHammer'
+	$(GO) test -count=1 ./cmd/ceps -run 'TestTraceSmoke|TestTraceFlagValidation'
 
 # Short fuzz passes over the graph parsers; crashers land in
 # internal/graph/testdata/fuzz and fail `make test` from then on.

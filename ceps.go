@@ -117,6 +117,20 @@ type (
 	MetricsRegistry = obs.Registry
 	// SlowQueryEntry is one JSON line of the slow-query log.
 	SlowQueryEntry = obs.SlowQueryEntry
+	// TracingOptions configures request-scoped tracing (WithTracing):
+	// head-sampling rate, the always-keep slow threshold, and the ring size.
+	TracingOptions = obs.TracerOptions
+	// Tracer starts request-scoped traces; get an Engine's with Tracer().
+	Tracer = obs.Tracer
+	// Span is one timed operation of a trace. A nil *Span no-ops on its
+	// whole method set, so handler code threads spans unconditionally.
+	Span = obs.Span
+	// Trace is one finished, immutable trace as served by /debug/traces.
+	Trace = obs.Trace
+	// TraceStore is the fixed-capacity concurrent ring of retained traces.
+	TraceStore = obs.TraceStore
+	// AdminOption customizes AdminMux (e.g. WithTraceStore).
+	AdminOption = obs.AdminOption
 )
 
 // Error taxonomy. Every failure on the query path wraps one of these
@@ -223,10 +237,17 @@ func FastQueryCtx(ctx context.Context, pt *Partitioned, queries []int, cfg Confi
 func MetricsHandler(r *MetricsRegistry) http.Handler { return obs.Handler(r) }
 
 // AdminMux builds the full operational surface for a registry on a fresh
-// mux: /metrics, /healthz, /debug/vars (expvar), and net/http/pprof.
-// Serve it on its own address — the profiler does not belong on a public
-// query port. The ceps CLI's -admin flag does exactly this.
-func AdminMux(r *MetricsRegistry) *http.ServeMux { return obs.AdminMux(r) }
+// mux: /metrics, /healthz, /debug/vars (expvar), net/http/pprof, and —
+// with WithTraceStore — /debug/traces (JSON) and /debug/traces/view (HTML
+// waterfall). Serve it on its own address — the profiler does not belong
+// on a public query port. The ceps CLI's -admin flag does exactly this.
+func AdminMux(r *MetricsRegistry, opts ...AdminOption) *http.ServeMux {
+	return obs.AdminMux(r, opts...)
+}
+
+// WithTraceStore mounts the trace endpoints on an AdminMux, backed by an
+// Engine's TraceStore(). A nil store leaves them unmounted.
+func WithTraceStore(ts *TraceStore) AdminOption { return obs.WithTraceStore(ts) }
 
 // RelRatio compares a Fast CePS result against a full-graph run (Eq. 19).
 func RelRatio(full, fast *Result) (float64, error) { return core.RelRatio(full, fast) }

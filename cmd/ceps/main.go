@@ -29,6 +29,13 @@
 // -slow-log D writes a JSON line to stderr for every query at least D
 // slow; see README.md "Observability".
 //
+// Tracing: -trace-sample P (0 < P ≤ 1) records request-scoped span traces
+// for that fraction of queries (failed queries are always kept), retaining
+// the newest -trace-buffer traces for the admin endpoint's /debug/traces
+// and /debug/traces/view pages. In serve mode every /query response
+// carries an X-Ceps-Trace-Id header, so a slow client request can be
+// looked up with /debug/traces?id=<that id>.
+//
 // Execution is context-aware: -timeout bounds the whole run (graph load,
 // optional pre-partition, and the query), and SIGINT/SIGTERM cancel the
 // in-flight query at its next iteration boundary. Exit codes are distinct
@@ -100,8 +107,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		workers      = fs.Int("workers", 0, "max concurrent random-walk solves (0 = GOMAXPROCS)")
 
 		serveAddr = fs.String("serve", "", "run as a long-lived query service on this address (e.g. :8080) instead of answering -q/-queries-file")
-		adminAddr = fs.String("admin", "", "serve /metrics, /healthz, /debug/vars and pprof on this address (e.g. :6060)")
+		adminAddr = fs.String("admin", "", "serve /metrics, /healthz, /debug/vars, pprof and /debug/traces on this address (e.g. :6060)")
 		slowLog   = fs.Duration("slow-log", 0, "log queries at least this slow to stderr as JSON lines (0 = off)")
+
+		traceSample = fs.Float64("trace-sample", 0, "record span traces for this fraction of queries, 0..1 (0 = tracing off)")
+		traceBuffer = fs.Int("trace-buffer", 0, "how many sampled traces to retain for /debug/traces (0 = default 256)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return exitUsage
@@ -128,6 +138,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *slowLog < 0 {
 		fmt.Fprintf(stderr, "ceps: -slow-log %v must be non-negative\n", *slowLog)
+		return exitUsage
+	}
+	if *traceSample < 0 || *traceSample > 1 {
+		fmt.Fprintf(stderr, "ceps: -trace-sample %g must be in [0, 1]\n", *traceSample)
+		return exitUsage
+	}
+	if *traceBuffer < 0 {
+		fmt.Fprintf(stderr, "ceps: -trace-buffer %d must be non-negative\n", *traceBuffer)
 		return exitUsage
 	}
 
@@ -190,6 +208,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *slowLog > 0 {
 		opts = append(opts, ceps.WithSlowQueryLog(stderr, *slowLog))
+	}
+	if *traceSample > 0 {
+		opts = append(opts, ceps.WithTracing(ceps.TracingOptions{
+			SampleRate: *traceSample,
+			Buffer:     *traceBuffer,
+		}))
 	}
 	eng, err := ceps.NewEngine(g, opts...)
 	if err != nil {

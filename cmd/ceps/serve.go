@@ -69,8 +69,17 @@ func newQueryMux(eng *ceps.Engine, g *ceps.Graph, cfg ceps.Config, queryTimeout 
 			ctx, cancel = context.WithTimeout(ctx, queryTimeout)
 			defer cancel()
 		}
+		// The handler's root span puts the HTTP envelope on the waterfall
+		// and stamps the trace id on the response before the query runs, so
+		// even failed or timed-out requests are linkable to their trace.
+		ctx, span := eng.StartTrace(ctx, "http_query")
+		defer span.End()
+		if id := span.TraceID(); id != "" {
+			w.Header().Set("X-Ceps-Trace-Id", id)
+		}
 		res, err := eng.QueryKSoftANDCtx(ctx, reqCfg.K, queries...)
 		if err != nil {
+			span.SetError(err)
 			writeQueryError(w, queryStatus(err), err)
 			return
 		}
@@ -116,7 +125,7 @@ func serveListeners(ctx context.Context, eng *ceps.Engine, g *ceps.Graph, cfg ce
 	fmt.Fprintf(stderr, "serving queries on http://%s/query\n", queryLn.Addr())
 	if adminLn != nil {
 		servers = append(servers, &http.Server{
-			Handler:           obs.AdminMux(eng.Metrics()),
+			Handler:           obs.AdminMux(eng.Metrics(), obs.WithTraceStore(eng.TraceStore())),
 			ReadHeaderTimeout: 10 * time.Second,
 		})
 		listeners = append(listeners, adminLn)
@@ -161,7 +170,7 @@ func startAdmin(addr string, eng *ceps.Engine, stderr io.Writer) (stop func(), e
 	if err != nil {
 		return nil, fmt.Errorf("admin endpoint: %w", err)
 	}
-	srv := &http.Server{Handler: obs.AdminMux(eng.Metrics()), ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{Handler: obs.AdminMux(eng.Metrics(), obs.WithTraceStore(eng.TraceStore())), ReadHeaderTimeout: 10 * time.Second}
 	go srv.Serve(ln)
 	fmt.Fprintf(stderr, "admin endpoint on http://%s/metrics\n", ln.Addr())
 	return func() {

@@ -40,6 +40,7 @@ type Engine struct {
 
 	metrics *engineMetrics // never nil
 	slow    *obs.SlowLog   // nil when no slow-query log is attached
+	tracer  *obs.Tracer    // nil when tracing is off (nil is a valid no-op)
 }
 
 // Option configures an Engine at construction. Options are applied in
@@ -56,6 +57,7 @@ type engineConfig struct {
 	fastOpts   PartitionOptions
 	slowW      io.Writer
 	slowThresh time.Duration
+	tracing    *TracingOptions
 }
 
 // WithConfig sets the pipeline configuration (default: DefaultConfig).
@@ -144,6 +146,29 @@ func WithSlowQueryLog(w io.Writer, threshold time.Duration) Option {
 	}
 }
 
+// WithTracing enables request-scoped span tracing: every query records a
+// span tree mirroring the pipeline stages (partition/solve/combine/extract,
+// with per-sweep solver events), and finished traces are kept in a
+// fixed-capacity ring when head-sampled (SampleRate), slower than
+// SlowThreshold, or failed. Retained traces are served by AdminMux's
+// /debug/traces endpoints via Engine.TraceStore. Tracing never changes
+// answers, and an engine without WithTracing pays only nil-pointer checks.
+func WithTracing(o TracingOptions) Option {
+	return func(ec *engineConfig) error {
+		if o.SampleRate < 0 || o.SampleRate > 1 {
+			return fmt.Errorf("%w: trace sample rate %g outside [0, 1]", ErrBadConfig, o.SampleRate)
+		}
+		if o.Buffer < 0 {
+			return fmt.Errorf("%w: trace buffer %d must not be negative", ErrBadConfig, o.Buffer)
+		}
+		if o.SlowThreshold < 0 {
+			return fmt.Errorf("%w: negative trace slow threshold %v", ErrBadConfig, o.SlowThreshold)
+		}
+		ec.tracing = &o
+		return nil
+	}
+}
+
 // NewEngine creates an engine over g. With no options it answers
 // full-graph queries under DefaultConfig with no score cache and a
 // GOMAXPROCS solve bound.
@@ -175,7 +200,12 @@ func NewEngine(g *Graph, opts ...Option) (*Engine, error) {
 	if ec.cacheBytes > 0 {
 		e.cache = rwr.NewScoreCache(ec.cacheBytes)
 	}
-	e.metrics = newEngineMetrics(e.CacheStats, ec.workers)
+	if ec.tracing != nil {
+		e.tracer = obs.NewTracer(*ec.tracing)
+	}
+	// The tracer must exist before the registry: the ceps_traces_* counter
+	// funcs read it at scrape time (and read zero from a nil tracer).
+	e.metrics = newEngineMetrics(e.CacheStats, ec.workers, e.tracer)
 	if ec.slowW != nil {
 		e.slow = obs.NewSlowLog(ec.slowW, ec.slowThresh)
 	}
@@ -253,6 +283,25 @@ func (e *Engine) setConfig(cfg Config) {
 // that), or scrape it in-process with WriteText. The registry is live:
 // every scrape reads the current counters.
 func (e *Engine) Metrics() *MetricsRegistry { return e.metrics.reg }
+
+// TraceStore returns the ring of retained traces (the backing store of
+// AdminMux's /debug/traces endpoints), or nil when the engine was built
+// without WithTracing.
+func (e *Engine) TraceStore() *obs.TraceStore { return e.tracer.Store() }
+
+// Tracer returns the engine's tracer, nil when tracing is off. A nil
+// tracer is a valid no-op receiver for its whole method set.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// StartTrace opens a root span for a request that will issue one or more
+// queries, so server handlers can put their own envelope (HTTP decode,
+// response encode) on the waterfall and tie the response to a trace id
+// (the X-Ceps-Trace-Id header). Queries issued with the returned context
+// nest under it. The caller must End the span; with tracing off the span
+// is nil and every operation on it no-ops.
+func (e *Engine) StartTrace(ctx context.Context, name string) (context.Context, *obs.Span) {
+	return e.tracer.StartRoot(ctx, name)
+}
 
 // CacheStats returns a snapshot of the score-cache counters. The second
 // return is false when the engine was built without WithCache.
@@ -402,6 +451,8 @@ func (e *Engine) QueryKSoftANDCtx(ctx context.Context, k int, queries ...int) (r
 // unmetered run.
 func (e *Engine) queryWith(ctx context.Context, cfg Config, pt *Partitioned, queries []int) (*Result, error) {
 	start := time.Now()
+	qctx, span := e.querySpan(ctx)
+	span.SetAttr(obs.Int("queries", len(queries)), obs.Int("k", cfg.EffectiveK(len(queries))))
 	e.metrics.inflight.Add(1)
 	res, err := func() (*Result, error) {
 		defer e.metrics.inflight.Add(-1) // runs even when the pipeline panics
@@ -409,18 +460,45 @@ func (e *Engine) queryWith(ctx context.Context, cfg Config, pt *Partitioned, que
 			return nil, fmt.Errorf("%w: no query nodes given", ErrBadQuery)
 		}
 		if pt != nil {
-			return pt.CePSServingCtx(ctx, queries, cfg, e.serving())
+			return pt.CePSServingCtx(qctx, queries, cfg, e.serving())
 		}
 		runner, err := e.runnerFor(cfg.RWR)
 		if err != nil {
 			return nil, err
 		}
-		return runner.QueryCtx(ctx, queries, cfg)
+		return runner.QueryCtx(qctx, queries, cfg)
 	}()
 	elapsed := time.Since(start)
+	traceID := span.TraceID()
+	if res != nil {
+		res.TraceID = traceID
+	}
+	span.SetAttr(obs.Str("path", queryPath(res, pt != nil)))
+	if res != nil {
+		span.SetAttr(obs.Str("solve_kernel", res.Stages.SolveKernel),
+			obs.Int("solve_sweeps", res.Stages.SolveSweeps),
+			obs.Int("cache_hits", res.Stages.CacheHits),
+			obs.Int("cache_misses", res.Stages.CacheMisses))
+		if res.Fallback != nil {
+			span.SetAttr(obs.Str("fallback", res.Fallback.Reason))
+		}
+	}
+	span.SetError(err)
+	span.End()
 	e.metrics.observeQuery(res, err, elapsed, pt != nil)
-	e.recordSlow(queries, res, err, elapsed, pt != nil)
+	e.recordSlow(queries, res, err, elapsed, pt != nil, traceID)
 	return res, err
+}
+
+// querySpan opens the per-query span: nested under the caller's span when
+// ctx already carries one (an Engine.StartTrace envelope, e.g. the HTTP
+// handler's), otherwise as a new root trace. With tracing off both paths
+// yield a nil span.
+func (e *Engine) querySpan(ctx context.Context) (context.Context, *obs.Span) {
+	if obs.SpanFromContext(ctx) != nil {
+		return obs.StartSpan(ctx, "query")
+	}
+	return e.tracer.StartRoot(ctx, "query")
 }
 
 // TopCenterPieces ranks the strongest center-piece candidates — Steps 1–2

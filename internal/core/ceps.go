@@ -8,6 +8,7 @@ import (
 	"ceps/internal/extract"
 	"ceps/internal/fault"
 	"ceps/internal/graph"
+	"ceps/internal/obs"
 	"ceps/internal/rwr"
 	"ceps/internal/score"
 )
@@ -59,6 +60,12 @@ type Result struct {
 	// partition-picking and induction steps but not the one-time
 	// pre-partitioning.
 	Elapsed time.Duration
+
+	// TraceID is the id of the span trace this query recorded under, ""
+	// when tracing is off. Set by the Engine (tracing lives there, not in
+	// the core pipeline); whether the trace was retained for /debug/traces
+	// depends on the sampling rules.
+	TraceID string
 }
 
 // StageTimings breaks one query's response time into pipeline stages.
@@ -188,21 +195,28 @@ func runPipelineWith(ctx context.Context, solver *rwr.Solver, g *graph.Graph, qu
 		diags []rwr.Diagnostics
 		err   error
 	)
+	solveCtx, solveSpan := obs.StartSpan(ctx, "solve")
+	solveSpan.SetAttr(obs.Str("kernel", cfg.solveKernel(len(queries))),
+		obs.Int("queries", len(queries)), obs.Int("nodes", g.N()))
 	solveStart := time.Now()
 	switch {
 	case cfg.Blocked.Use(len(queries)):
-		R, diags, err = solver.ScoresSetBlockedCtx(ctx, queries, blockedWorkers(cfg.Workers))
+		R, diags, err = solver.ScoresSetBlockedCtx(solveCtx, queries, blockedWorkers(cfg.Workers))
 	case cfg.Workers == 0 || cfg.Workers == 1:
-		R, diags, err = solver.ScoresSetCtx(ctx, queries)
+		R, diags, err = solver.ScoresSetCtx(solveCtx, queries)
 	case cfg.Workers < 0:
-		R, diags, err = solver.ScoresSetParallelCtx(ctx, queries, 0)
+		R, diags, err = solver.ScoresSetParallelCtx(solveCtx, queries, 0)
 	default:
-		R, diags, err = solver.ScoresSetParallelCtx(ctx, queries, cfg.Workers)
+		R, diags, err = solver.ScoresSetParallelCtx(solveCtx, queries, cfg.Workers)
 	}
 	solveDur := time.Since(solveStart)
 	if err != nil {
+		solveSpan.SetError(err)
+		solveSpan.End()
 		return nil, err
 	}
+	solveSpan.SetAttr(obs.Int("sweeps", sumSweeps(diags)))
+	solveSpan.End()
 	res, err := assemblePipeline(ctx, solver, g, queries, cfg, R, diags)
 	if err != nil {
 		return nil, err
@@ -217,15 +231,22 @@ func runPipelineWith(ctx context.Context, solver *rwr.Solver, g *graph.Graph, qu
 // uncached score paths: everything downstream of Step 1 is shared, which
 // is what makes the two paths bit-identical by construction.
 func assemblePipeline(ctx context.Context, solver *rwr.Solver, g *graph.Graph, queries []int, cfg Config, R [][]float64, diags []rwr.Diagnostics) (*Result, error) {
+	_, combineSpan := obs.StartSpan(ctx, "combine")
+	combineSpan.SetAttr(obs.Int("queries", len(queries)), obs.Int("nodes", g.N()))
 	combineStart := time.Now()
 	comb := cfg.Combiner(len(queries))
 	combined, err := score.CombineNodes(R, comb)
 	if err != nil {
+		combineSpan.SetError(err)
+		combineSpan.End()
 		return nil, err
 	}
 	combineDur := time.Since(combineStart)
+	combineSpan.End()
+	extractCtx, extractSpan := obs.StartSpan(ctx, "extract")
+	extractSpan.SetAttr(obs.Int("k", cfg.EffectiveK(len(queries))), obs.Int("budget", cfg.Budget))
 	extractStart := time.Now()
-	ext, err := extract.ExtractCtx(ctx, extract.Input{
+	ext, err := extract.ExtractCtx(extractCtx, extract.Input{
 		G:          g,
 		Queries:    queries,
 		R:          R,
@@ -235,12 +256,14 @@ func assemblePipeline(ctx context.Context, solver *rwr.Solver, g *graph.Graph, q
 		MaxPathLen: cfg.MaxPathLen,
 	})
 	if err != nil {
+		extractSpan.SetError(err)
+		extractSpan.End()
 		return nil, err
 	}
-	sweeps := 0
-	for _, d := range diags {
-		sweeps += d.Sweeps
-	}
+	extractSpan.SetAttr(obs.Int("destinations", len(ext.Destinations)),
+		obs.Int("paths", ext.PathsFound), obs.Int("subgraph_nodes", len(ext.Subgraph.Nodes)))
+	extractSpan.End()
+	sweeps := sumSweeps(diags)
 	return &Result{
 		Subgraph:       ext.Subgraph,
 		WorkGraph:      g,
@@ -252,6 +275,16 @@ func assemblePipeline(ctx context.Context, solver *rwr.Solver, g *graph.Graph, q
 		RWRDiagnostics: diags,
 		Stages:         StageTimings{Combine: combineDur, Extract: time.Since(extractStart), SolveSweeps: sweeps},
 	}, nil
+}
+
+// sumSweeps totals the per-query power-iteration sweep counts — the
+// SolveSweeps of StageTimings and the sweeps attribute of solve spans.
+func sumSweeps(diags []rwr.Diagnostics) int {
+	total := 0
+	for _, d := range diags {
+		total += d.Sweeps
+	}
+	return total
 }
 
 func checkQueries(g *graph.Graph, queries []int) error {

@@ -7,6 +7,7 @@ import (
 
 	"ceps/internal/fault"
 	"ceps/internal/graph"
+	"ceps/internal/obs"
 	"ceps/internal/partition"
 	"ceps/internal/rwr"
 )
@@ -100,12 +101,18 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 	}
 	start := time.Now()
 
+	_, partSpan := obs.StartSpan(ctx, "partition")
 	work, toOrig, workQueries, parts, why := pt.queryUnion(queries)
 	unionDur := time.Since(start)
 	if why != "" {
+		partSpan.SetAttr(obs.Str("fallback_reason", why))
 		if pt.NoFallback {
-			return nil, fmt.Errorf("%w: %s", fault.ErrDegeneratePartition, why)
+			err := fmt.Errorf("%w: %s", fault.ErrDegeneratePartition, why)
+			partSpan.SetError(err)
+			partSpan.End()
+			return nil, err
 		}
+		partSpan.End()
 		res, err := runPipeline(ctx, pt.G, queries, cfg)
 		if err != nil {
 			return nil, err
@@ -118,13 +125,22 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 		return res, nil
 	}
 
+	partSpan.SetAttr(obs.Int("union_nodes", work.N()), obs.Int("graph_nodes", pt.G.N()),
+		obs.Int("parts", len(parts)))
+	partSpan.End()
+
 	var res *Result
 	var err error
 	if sv.enabled() {
+		solveCtx, solveSpan := obs.StartSpan(ctx, "solve")
+		solveSpan.SetAttr(obs.Str("kernel", cfg.solveKernel(len(workQueries))),
+			obs.Int("queries", len(workQueries)), obs.Int("nodes", work.N()))
 		solveStart := time.Now()
 		var solver *rwr.Solver
 		solver, err = rwr.NewSolver(work, cfg.RWR)
 		if err != nil {
+			solveSpan.SetError(err)
+			solveSpan.End()
 			return nil, err
 		}
 		// parts comes from queryUnion — the same set that induced work — so
@@ -133,11 +149,16 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 		var R [][]float64
 		var diags []rwr.Diagnostics
 		var stats rwr.ServeStats
-		R, diags, stats, err = solver.ScoresSetServingOptCtx(ctx, workQueries, sv.Cache, space, sv.Pool, cfg.serveOptions())
+		R, diags, stats, err = solver.ScoresSetServingOptCtx(solveCtx, workQueries, sv.Cache, space, sv.Pool, cfg.serveOptions())
 		solveDur := time.Since(solveStart)
 		if err != nil {
+			solveSpan.SetError(err)
+			solveSpan.End()
 			return nil, err
 		}
+		solveSpan.SetAttr(obs.Int("sweeps", sumSweeps(diags)),
+			obs.Int("cache_hits", stats.Hits), obs.Int("cache_misses", stats.Misses))
+		solveSpan.End()
 		res, err = assemblePipeline(ctx, solver, work, workQueries, cfg, R, diags)
 		if err == nil {
 			res.Stages.Solve = solveDur

@@ -7,6 +7,7 @@ import (
 
 	"ceps/internal/fault"
 	"ceps/internal/graph"
+	"ceps/internal/obs"
 	"ceps/internal/rwr"
 )
 
@@ -93,11 +94,19 @@ func (r *Runner) QueryCtx(ctx context.Context, queries []int, cfg Config) (*Resu
 		return nil, err
 	}
 	start := time.Now()
-	R, diags, stats, err := r.scoresSet(ctx, queries, cfg)
+	solveCtx, solveSpan := obs.StartSpan(ctx, "solve")
+	solveSpan.SetAttr(obs.Str("kernel", cfg.solveKernel(len(queries))),
+		obs.Int("queries", len(queries)), obs.Int("nodes", r.g.N()))
+	R, diags, stats, err := r.scoresSet(solveCtx, queries, cfg)
 	solveDur := time.Since(start)
 	if err != nil {
+		solveSpan.SetError(err)
+		solveSpan.End()
 		return nil, err
 	}
+	solveSpan.SetAttr(obs.Int("sweeps", sumSweeps(diags)),
+		obs.Int("cache_hits", stats.Hits), obs.Int("cache_misses", stats.Misses))
+	solveSpan.End()
 	res, err := assemblePipeline(ctx, r.solver, r.g, queries, cfg, R, diags)
 	if err != nil {
 		return nil, err

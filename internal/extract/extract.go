@@ -24,6 +24,7 @@ import (
 
 	"ceps/internal/fault"
 	"ceps/internal/graph"
+	"ceps/internal/obs"
 )
 
 // Input bundles everything EXTRACT needs.
@@ -128,6 +129,9 @@ func ExtractCtx(ctx context.Context, in Input) (*Result, error) {
 	res := &Result{Provenance: make(map[int]Provenance)}
 
 	dp := newPathDP(in.G, n)
+	// Destination events are gated on Recording so untraced extraction
+	// never builds attribute slices.
+	span := obs.SpanFromContext(ctx)
 
 	for newNodes < in.Budget {
 		if err := fault.FromContext(ctx); err != nil {
@@ -138,6 +142,7 @@ func ExtractCtx(ctx context.Context, in Input) (*Result, error) {
 			break // nothing promising remains
 		}
 		actives := activeSources(in.R, pd, k)
+		prevNew := newNodes
 		pathsAdded := 0
 		for _, src := range actives {
 			if err := fault.FromContext(ctx); err != nil {
@@ -171,6 +176,10 @@ func ExtractCtx(ctx context.Context, in Input) (*Result, error) {
 					sub.PathEdges = append(sub.PathEdges, graph.Edge{U: a, V: b, W: in.G.Weight(a, b)})
 				}
 			}
+		}
+		if span.Recording() {
+			span.AddEvent("destination", obs.Int("dest", pd), obs.Int("paths", pathsAdded),
+				obs.Int("new_nodes", newNodes-prevNew), obs.Bool("excluded", pathsAdded == 0))
 		}
 		if pathsAdded == 0 {
 			// pd cannot be connected to any active source; never retry it.

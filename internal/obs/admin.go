@@ -14,15 +14,38 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
+// AdminOption customizes AdminMux.
+type AdminOption func(*adminConfig)
+
+type adminConfig struct {
+	traces *TraceStore
+}
+
+// WithTraceStore mounts the trace endpoints (/debug/traces and
+// /debug/traces/view) backed by ts. A nil store leaves them unmounted.
+func WithTraceStore(ts *TraceStore) AdminOption {
+	return func(c *adminConfig) { c.traces = ts }
+}
+
 // AdminMux builds the operator-facing endpoint an engine process exposes
 // on its admin address (conventionally a loopback or cluster-internal
-// port, never the public query port — pprof can dump heap contents):
+// port, never the public query port — pprof can dump heap contents and
+// traces carry query node sets):
 //
-//	/metrics      Prometheus text exposition of reg
-//	/healthz      200 "ok" liveness probe
-//	/debug/vars   expvar JSON (includes Go memstats)
-//	/debug/pprof  net/http/pprof profiles (heap, goroutine, CPU, trace)
-func AdminMux(reg *Registry) *http.ServeMux {
+//	/metrics            Prometheus text exposition of reg
+//	/healthz            200 "ok" liveness probe
+//	/debug/vars         expvar JSON (includes Go memstats)
+//	/debug/pprof        net/http/pprof profiles (heap, goroutine, CPU, trace)
+//	/debug/traces       sampled request traces as JSON (?id= detail,
+//	                    ?min_ms= filter, ?limit= capped at the ring size)
+//	                    — mounted only with WithTraceStore
+//	/debug/traces/view  dependency-free HTML waterfall of the same traces
+//	                    — mounted only with WithTraceStore
+func AdminMux(reg *Registry, opts ...AdminOption) *http.ServeMux {
+	var cfg adminConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -35,5 +58,9 @@ func AdminMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if cfg.traces != nil {
+		mux.Handle("/debug/traces", TraceHandler(cfg.traces))
+		mux.Handle("/debug/traces/view", TraceViewHandler(cfg.traces))
+	}
 	return mux
 }

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterRuntimeMetrics publishes Go process health on a registry so the
+// engine's /metrics answers "is the process itself struggling?" alongside
+// the query-level series:
+//
+//	go_goroutines                current goroutine count
+//	go_heap_alloc_bytes          live heap bytes (MemStats.HeapAlloc)
+//	go_gc_pauses_seconds_total   cumulative stop-the-world pause time
+//	process_uptime_seconds       seconds since this call
+//
+// The collectors are lazy (GaugeFunc/CounterFunc sampled at scrape time);
+// the two MemStats-backed series each read runtime.ReadMemStats, which
+// briefly stops the world — fine at scrape cadence, so keep /metrics off
+// hot paths. Registering twice on one registry panics (duplicate series),
+// matching the registry's general contract.
+func RegisterRuntimeMetrics(r *Registry) {
+	start := time.Now()
+	r.GaugeFunc("go_goroutines", "Current number of goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects (MemStats.HeapAlloc).", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	r.CounterFunc("go_gc_pauses_seconds_total", "Cumulative GC stop-the-world pause time in seconds.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.PauseTotalNs) / 1e9
+	})
+	r.CounterFunc("process_uptime_seconds", "Seconds since the process registered its metrics.", func() float64 {
+		return time.Since(start).Seconds()
+	})
+}

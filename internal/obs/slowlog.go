@@ -33,6 +33,14 @@ type SlowQueryEntry struct {
 	CacheMisses int `json:"cache_misses"`
 	// Fallback is the degradation reason when Path is "fast_fallback".
 	Fallback string `json:"fallback,omitempty"`
+	// TraceID links the entry to its retained trace in /debug/traces?id=
+	// (empty when tracing is off or the trace was not sampled).
+	TraceID string `json:"trace_id,omitempty"`
+	// SolveKernel and SolveSweeps summarize Step 1: which kernel answered
+	// ("blocked" or "scalar") and the total power-iteration sweeps across
+	// the query's sources (0 when every source was a cache hit).
+	SolveKernel string `json:"solve_kernel,omitempty"`
+	SolveSweeps int    `json:"solve_sweeps"`
 	// Error is set when the query failed (failures slower than the
 	// threshold are logged too — a timeout is the slowest query there is).
 	Error string `json:"error,omitempty"`

@@ -1,0 +1,440 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the request-scoped tracing half of the observability layer:
+// a Tracer hands every sampled request a tree of Spans whose shape mirrors
+// the paper's §6 cost decomposition (partition / solve / combine /
+// extract), with bounded per-span events for the interior of the hot loops
+// (per-sweep convergence, per-destination EXTRACT picks). Finished traces
+// land in a fixed-capacity TraceStore ring served by the admin mux.
+//
+// Everything is nil-safe by design: a nil *Tracer starts nil *Spans, and
+// every Span method is a no-op on a nil receiver, so the pipeline threads
+// spans unconditionally and pays one pointer check per call site when
+// tracing is off. Event emission inside solver loops must additionally be
+// gated on Span.Recording() so the attribute slices are never even built.
+
+// Attr is one key/value attribute attached to a span or event.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: v} }
+
+// F64 builds a float attribute.
+func F64(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+
+// SpanEvent is one timestamped point event inside a span — e.g. one power
+// iteration sweep, or one EXTRACT destination pick.
+type SpanEvent struct {
+	Time  time.Time
+	Name  string
+	Attrs []Attr
+}
+
+// maxSpanEvents bounds how many events one span retains; later events are
+// counted but dropped, so a pathological query cannot balloon a trace.
+const maxSpanEvents = 512
+
+// Span is one timed operation of a trace. Spans nest: children are started
+// from a context carrying the parent. All methods are safe for concurrent
+// use and are no-ops on a nil receiver.
+type Span struct {
+	tr     *activeTrace
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu      sync.Mutex
+	attrs   []Attr
+	events  []SpanEvent
+	dropped int
+	errMsg  string
+	end     time.Time
+	ended   bool
+}
+
+// Recording reports whether events and attributes set on the span will be
+// retained. It is the gate hot loops check before building attributes.
+func (s *Span) Recording() bool { return s != nil }
+
+// TraceID returns the span's trace id as a 16-hex-digit string, or "" for
+// a nil span.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return formatTraceID(s.tr.id)
+}
+
+// SetAttr attaches attributes to the span. A repeated key overwrites the
+// earlier value in the exported snapshot.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// AddEvent appends a timestamped event. Events beyond the per-span bound
+// are dropped (the drop count is exported with the trace).
+func (s *Span) AddEvent(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if len(s.events) >= maxSpanEvents {
+		s.dropped++
+	} else {
+		s.events = append(s.events, SpanEvent{Time: now, Name: name, Attrs: attrs})
+	}
+	s.mu.Unlock()
+}
+
+// SetError marks the span failed. A nil error is a no-op, so callers can
+// thread the usual `err` unconditionally.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.errMsg = err.Error()
+	s.mu.Unlock()
+}
+
+// End finishes the span. Ending the root span finalizes the trace: the
+// sampling verdict is made (keep when head-sampled, slow, or failed) and
+// the finished trace is either stored or counted as dropped. End is
+// idempotent; ending a nil span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.end = now
+	s.mu.Unlock()
+	s.tr.tracer.open.Add(-1)
+	if s.parent == 0 {
+		s.tr.finish(now)
+	}
+}
+
+// activeTrace is one in-flight trace: the mutable accumulator behind the
+// public immutable Trace snapshot.
+type activeTrace struct {
+	tracer      *Tracer
+	id          uint64
+	start       time.Time
+	headSampled bool
+
+	mu     sync.Mutex
+	spans  []*Span
+	nextID uint64
+}
+
+// newSpan registers a child span on the trace.
+func (tr *activeTrace) newSpan(name string, parent uint64) *Span {
+	tr.mu.Lock()
+	tr.nextID++
+	s := &Span{tr: tr, id: tr.nextID, parent: parent, name: name, start: time.Now()}
+	tr.spans = append(tr.spans, s)
+	tr.mu.Unlock()
+	tr.tracer.open.Add(1)
+	return s
+}
+
+// finish makes the tail sampling decision and snapshots the trace into the
+// store. Un-ended descendant spans (a panic skipped their End) are closed
+// at the root's end time so the trace never exports open intervals.
+func (tr *activeTrace) finish(now time.Time) {
+	tr.mu.Lock()
+	spans := append([]*Span(nil), tr.spans...)
+	tr.mu.Unlock()
+	var rootErr string
+	for _, s := range spans {
+		s.mu.Lock()
+		if !s.ended {
+			s.ended = true
+			s.end = now
+			s.mu.Unlock()
+			tr.tracer.open.Add(-1)
+		} else {
+			s.mu.Unlock()
+		}
+		if s.parent == 0 {
+			s.mu.Lock()
+			rootErr = s.errMsg
+			s.mu.Unlock()
+		}
+	}
+	t := tr.tracer
+	dur := now.Sub(tr.start)
+	reason := ""
+	switch {
+	case rootErr != "":
+		reason = "error"
+	case t.slow > 0 && dur >= t.slow:
+		reason = "slow"
+	case tr.headSampled:
+		reason = "probability"
+	}
+	if reason == "" {
+		t.dropped.Add(1)
+		return
+	}
+	t.sampled.Add(1)
+	t.store.Add(tr.snapshot(now, dur, rootErr, reason, spans))
+}
+
+// snapshot freezes the trace into the immutable exported form.
+func (tr *activeTrace) snapshot(now time.Time, dur time.Duration, rootErr, reason string, spans []*Span) *Trace {
+	td := &Trace{
+		TraceID:    formatTraceID(tr.id),
+		Start:      tr.start,
+		DurationMS: durMS(dur),
+		Error:      rootErr,
+		SampledBy:  reason,
+		Spans:      make([]SpanData, 0, len(spans)),
+	}
+	for _, s := range spans {
+		s.mu.Lock()
+		sd := SpanData{
+			SpanID:        s.id,
+			ParentID:      s.parent,
+			Name:          s.name,
+			StartMS:       durMS(s.start.Sub(tr.start)),
+			DurationMS:    durMS(s.end.Sub(s.start)),
+			Error:         s.errMsg,
+			Attrs:         attrMap(s.attrs),
+			DroppedEvents: s.dropped,
+		}
+		if s.parent == 0 {
+			td.Name = s.name
+		}
+		for _, ev := range s.events {
+			sd.Events = append(sd.Events, EventData{
+				OffsetMS: durMS(ev.Time.Sub(tr.start)),
+				Name:     ev.Name,
+				Attrs:    attrMap(ev.Attrs),
+			})
+		}
+		s.mu.Unlock()
+		td.Spans = append(td.Spans, sd)
+	}
+	return td
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func formatTraceID(id uint64) string {
+	const hexDigits = 16
+	s := strconv.FormatUint(id, 16)
+	for len(s) < hexDigits {
+		s = "0" + s
+	}
+	return s
+}
+
+// TracerOptions configures NewTracer. The zero value samples nothing
+// probabilistically but still keeps every failed trace.
+type TracerOptions struct {
+	// SampleRate is the head-sampling probability in [0, 1]: the fraction
+	// of traces kept regardless of outcome. Values outside the range clamp.
+	SampleRate float64
+	// SlowThreshold, when positive, keeps every trace at least this slow
+	// even when the head-sampling coin said no — the always-on escape hatch
+	// for "why was this one query slow?". Failed traces are always kept.
+	SlowThreshold time.Duration
+	// Buffer is the trace-ring capacity (finished, kept traces retained
+	// for /debug/traces). <= 0 means DefaultTraceBuffer.
+	Buffer int
+	// Store supplies an external ring; nil builds one of Buffer capacity.
+	Store *TraceStore
+}
+
+// DefaultTraceBuffer is the trace-ring capacity when none is configured.
+const DefaultTraceBuffer = 256
+
+// Tracer starts request-scoped traces. A nil *Tracer is a valid no-op
+// tracer: StartRoot returns a nil span and the whole pipeline's tracing
+// code degenerates to pointer checks.
+type Tracer struct {
+	sample  float64
+	slow    time.Duration
+	store   *TraceStore
+	open    atomic.Int64
+	sampled atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// NewTracer builds a tracer writing kept traces to its store.
+func NewTracer(o TracerOptions) *Tracer {
+	if o.SampleRate < 0 {
+		o.SampleRate = 0
+	}
+	if o.SampleRate > 1 {
+		o.SampleRate = 1
+	}
+	st := o.Store
+	if st == nil {
+		st = NewTraceStore(o.Buffer)
+	}
+	return &Tracer{sample: o.SampleRate, slow: o.SlowThreshold, store: st}
+}
+
+// Store returns the tracer's trace ring (nil for a nil tracer).
+func (t *Tracer) Store() *TraceStore {
+	if t == nil {
+		return nil
+	}
+	return t.store
+}
+
+// OpenSpans returns the number of started-but-not-ended spans — zero
+// whenever no traced request is in flight (leak detector for tests).
+func (t *Tracer) OpenSpans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.open.Load()
+}
+
+// Sampled returns how many finished traces were kept (stored).
+func (t *Tracer) Sampled() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.sampled.Load()
+}
+
+// Dropped returns how many finished traces were discarded by sampling.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// StartRoot opens a new trace with one root span and returns a context
+// carrying it. Every trace records fully (cheap in-memory span tree); the
+// keep/drop decision is made at root End, when the duration and error
+// status that the slow/error sampling rules need are known. On a nil
+// tracer it returns ctx unchanged and a nil span.
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	tr := &activeTrace{
+		tracer:      t,
+		id:          randUint64(),
+		start:       time.Now(),
+		headSampled: t.coin(),
+	}
+	s := tr.newSpan(name, 0)
+	return ContextWithSpan(ctx, s), s
+}
+
+// coin makes the head-sampling decision.
+func (t *Tracer) coin() bool {
+	if t.sample <= 0 {
+		return false
+	}
+	if t.sample >= 1 {
+		return true
+	}
+	return float64(randUint64()>>11)/(1<<53) < t.sample
+}
+
+// spanCtxKey keys the active span in a context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the active span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the active span, or nil when ctx carries none —
+// and a nil span no-ops everywhere, so callers never need to branch.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's active span and returns a
+// context carrying the child. Without an active span (tracing off, or an
+// unsampled path) it returns ctx unchanged and a nil span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.tr.newSpan(name, parent.id)
+	return ContextWithSpan(ctx, s), s
+}
+
+// idState seeds the lock-free splitmix64 sequence behind trace ids and
+// sampling coins. Sequential streams from one seed are fine here: ids need
+// uniqueness and coins need uniformity, not unpredictability.
+var idState atomic.Uint64
+
+func init() {
+	idState.Store(uint64(time.Now().UnixNano()))
+}
+
+// randUint64 returns the next splitmix64 output. The zero result is
+// remapped so trace ids are always non-zero.
+func randUint64() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		return 1
+	}
+	return x
+}
+
+// String renders a short operator-facing summary.
+func (t *Trace) String() string {
+	return fmt.Sprintf("trace %s %s %.3fms (%d spans, sampled by %s)",
+		t.TraceID, t.Name, t.DurationMS, len(t.Spans), t.SampledBy)
+}

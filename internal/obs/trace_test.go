@@ -1,0 +1,394 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// traceOne runs one root span through fn and returns the stored trace.
+func traceOne(t *testing.T, tr *Tracer, fn func(ctx context.Context)) *Trace {
+	t.Helper()
+	ctx, root := tr.StartRoot(context.Background(), "root")
+	fn(ctx)
+	id := root.TraceID()
+	root.End()
+	tc, ok := tr.Store().Get(id)
+	if !ok {
+		t.Fatalf("trace %s not stored", id)
+	}
+	return tc
+}
+
+func TestSpanTreeAndStore(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleRate: 1, Buffer: 8})
+	tc := traceOne(t, tr, func(ctx context.Context) {
+		cctx, child := StartSpan(ctx, "solve")
+		child.SetAttr(Str("kernel", "blocked"), Int("queries", 3))
+		child.AddEvent("sweep", Int("sweep", 1), F64("residual", 0.5))
+		_, grand := StartSpan(cctx, "inner")
+		grand.End()
+		child.End()
+	})
+	if tc.Name != "root" || tc.SampledBy != "probability" {
+		t.Fatalf("trace header = %q sampled by %q", tc.Name, tc.SampledBy)
+	}
+	if len(tc.TraceID) != 16 {
+		t.Fatalf("trace id %q not 16 hex digits", tc.TraceID)
+	}
+	if len(tc.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(tc.Spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range tc.Spans {
+		byName[s.Name] = s
+	}
+	if byName["root"].ParentID != 0 {
+		t.Errorf("root parent = %d", byName["root"].ParentID)
+	}
+	if byName["solve"].ParentID != byName["root"].SpanID {
+		t.Errorf("solve parent = %d, root id = %d", byName["solve"].ParentID, byName["root"].SpanID)
+	}
+	if byName["inner"].ParentID != byName["solve"].SpanID {
+		t.Errorf("inner parent = %d, solve id = %d", byName["inner"].ParentID, byName["solve"].SpanID)
+	}
+	solve := byName["solve"]
+	if solve.Attrs["kernel"] != "blocked" || solve.Attrs["queries"] != 3 {
+		t.Errorf("solve attrs = %v", solve.Attrs)
+	}
+	if len(solve.Events) != 1 || solve.Events[0].Name != "sweep" {
+		t.Fatalf("solve events = %v", solve.Events)
+	}
+	if tr.OpenSpans() != 0 {
+		t.Errorf("OpenSpans = %d after trace finished", tr.OpenSpans())
+	}
+	if tr.Sampled() != 1 || tr.Dropped() != 0 {
+		t.Errorf("sampled/dropped = %d/%d", tr.Sampled(), tr.Dropped())
+	}
+}
+
+func TestSamplingRules(t *testing.T) {
+	// SampleRate 0: ordinary traces are dropped...
+	tr := NewTracer(TracerOptions{SampleRate: 0, Buffer: 8})
+	_, root := tr.StartRoot(context.Background(), "boring")
+	id := root.TraceID()
+	root.End()
+	if _, ok := tr.Store().Get(id); ok {
+		t.Fatal("unsampled trace was stored")
+	}
+	if tr.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", tr.Dropped())
+	}
+	// ...but failed traces are always kept,
+	_, root = tr.StartRoot(context.Background(), "failed")
+	root.SetError(errors.New("boom"))
+	id = root.TraceID()
+	root.End()
+	tc, ok := tr.Store().Get(id)
+	if !ok || tc.SampledBy != "error" || tc.Error != "boom" {
+		t.Fatalf("failed trace: ok=%v, got %+v", ok, tc)
+	}
+	// ...and so are slow ones when a threshold is set.
+	slow := NewTracer(TracerOptions{SampleRate: 0, SlowThreshold: time.Nanosecond, Buffer: 8})
+	_, root = slow.StartRoot(context.Background(), "slow")
+	id = root.TraceID()
+	time.Sleep(time.Millisecond)
+	root.End()
+	tc, ok = slow.Store().Get(id)
+	if !ok || tc.SampledBy != "slow" {
+		t.Fatalf("slow trace: ok=%v, got %+v", ok, tc)
+	}
+}
+
+func TestNilTracerAndNilSpanNoOps(t *testing.T) {
+	var tr *Tracer
+	ctx, span := tr.StartRoot(context.Background(), "x")
+	if span != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	if got := SpanFromContext(ctx); got != nil {
+		t.Fatal("nil tracer put a span in the context")
+	}
+	// Every method must be callable on the nil span.
+	span.SetAttr(Str("k", "v"))
+	span.AddEvent("e")
+	span.SetError(errors.New("x"))
+	span.End()
+	if span.Recording() {
+		t.Fatal("nil span claims to record")
+	}
+	if span.TraceID() != "" {
+		t.Fatal("nil span has a trace id")
+	}
+	_, child := StartSpan(ctx, "child")
+	if child != nil {
+		t.Fatal("StartSpan minted a span without a parent")
+	}
+	if tr.Store() != nil || tr.OpenSpans() != 0 || tr.Sampled() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer accessors not zero")
+	}
+}
+
+func TestEventCapBoundsSpanGrowth(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleRate: 1, Buffer: 2})
+	tc := traceOne(t, tr, func(ctx context.Context) {
+		_, s := StartSpan(ctx, "busy")
+		for i := 0; i < maxSpanEvents+25; i++ {
+			s.AddEvent("sweep", Int("sweep", i))
+		}
+		s.End()
+	})
+	var busy SpanData
+	for _, s := range tc.Spans {
+		if s.Name == "busy" {
+			busy = s
+		}
+	}
+	if len(busy.Events) != maxSpanEvents {
+		t.Fatalf("kept %d events, want %d", len(busy.Events), maxSpanEvents)
+	}
+	if busy.DroppedEvents != 25 {
+		t.Fatalf("DroppedEvents = %d, want 25", busy.DroppedEvents)
+	}
+}
+
+func TestUnendedChildrenClosedAtRootEnd(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleRate: 1, Buffer: 2})
+	ctx, root := tr.StartRoot(context.Background(), "root")
+	StartSpan(ctx, "leaked") // never ended, as if a panic skipped End
+	id := root.TraceID()
+	root.End()
+	if tr.OpenSpans() != 0 {
+		t.Fatalf("OpenSpans = %d after root End", tr.OpenSpans())
+	}
+	tc, _ := tr.Store().Get(id)
+	for _, s := range tc.Spans {
+		if s.DurationMS < 0 {
+			t.Fatalf("span %s exported negative duration", s.Name)
+		}
+	}
+}
+
+func TestTraceStoreRing(t *testing.T) {
+	s := NewTraceStore(4)
+	ids := make([]string, 10)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%016x", i+1)
+		s.Add(&Trace{TraceID: ids[i], DurationMS: float64(i)})
+	}
+	if s.Len() != 4 || s.Capacity() != 4 {
+		t.Fatalf("Len/Cap = %d/%d", s.Len(), s.Capacity())
+	}
+	if _, ok := s.Get(ids[0]); ok {
+		t.Fatal("evicted trace still retrievable")
+	}
+	if _, ok := s.Get(ids[9]); !ok {
+		t.Fatal("newest trace missing")
+	}
+	list := s.List(0, 0)
+	if len(list) != 4 || list[0].TraceID != ids[9] || list[3].TraceID != ids[6] {
+		t.Fatalf("List order wrong: %v", list)
+	}
+	if got := s.List(2, 0); len(got) != 2 || got[0].TraceID != ids[9] {
+		t.Fatalf("List(2) = %v", got)
+	}
+	if got := s.List(0, 8.5); len(got) != 1 || got[0].TraceID != ids[9] {
+		t.Fatalf("List(min_ms=8.5) = %v", got)
+	}
+	st := s.Stats()
+	if st.Added != 10 || st.Evicted != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Nil-store accessors must all no-op.
+	var nilStore *TraceStore
+	nilStore.Add(&Trace{TraceID: "x"})
+	if nilStore.Len() != 0 || nilStore.Capacity() != 0 || nilStore.List(0, 0) != nil {
+		t.Fatal("nil store accessors not zero")
+	}
+}
+
+func TestTraceHandlerJSON(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleRate: 1, Buffer: 4})
+	tc := traceOne(t, tr, func(ctx context.Context) {
+		_, s := StartSpan(ctx, "solve")
+		s.AddEvent("sweep", Int("sweep", 1))
+		s.End()
+	})
+	srv := httptest.NewServer(TraceHandler(tr.Store()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("list Content-Type = %q", ct)
+	}
+	var summaries []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&summaries); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(summaries) != 1 || summaries[0]["trace_id"] != tc.TraceID {
+		t.Fatalf("summaries = %v", summaries)
+	}
+	if summaries[0]["spans"] != float64(2) {
+		t.Fatalf("span count = %v", summaries[0]["spans"])
+	}
+
+	resp, err = http.Get(srv.URL + "?id=" + tc.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full Trace
+	if err := json.NewDecoder(resp.Body).Decode(&full); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if full.TraceID != tc.TraceID || len(full.Spans) != 2 {
+		t.Fatalf("detail = %+v", full)
+	}
+
+	for path, want := range map[string]int{
+		"?id=0000000000000000": http.StatusNotFound,
+		"?limit=bogus":         http.StatusBadRequest,
+		"?min_ms=-3":           http.StatusBadRequest,
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("GET %s Content-Type = %q", path, ct)
+		}
+		resp.Body.Close()
+	}
+
+	// limit is capped at the ring size: asking for a million returns what
+	// the ring holds without error.
+	resp, err = http.Get(srv.URL + "?limit=1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	summaries = nil
+	if err := json.NewDecoder(resp.Body).Decode(&summaries); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(summaries) != 1 {
+		t.Fatalf("capped list = %v", summaries)
+	}
+}
+
+func TestTraceViewHandlerHTML(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleRate: 1, Buffer: 4})
+	tc := traceOne(t, tr, func(ctx context.Context) {
+		_, s := StartSpan(ctx, "solve")
+		s.AddEvent("sweep", Int("sweep", 1))
+		s.End()
+	})
+	srv := httptest.NewServer(TraceViewHandler(tr.Store()))
+	defer srv.Close()
+
+	for _, path := range []string{"/debug/traces/view", "/debug/traces/view?id=" + tc.TraceID} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 1<<20)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+			t.Fatalf("GET %s Content-Type = %q", path, ct)
+		}
+		if !strings.Contains(string(body[:n]), tc.TraceID) {
+			t.Fatalf("GET %s does not mention the trace id", path)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/debug/traces/view?id=ffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing id = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestAdminMuxMountsTraceRoutes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "x")
+	ts := NewTraceStore(4)
+	withTraces := httptest.NewServer(AdminMux(reg, WithTraceStore(ts)))
+	defer withTraces.Close()
+	without := httptest.NewServer(AdminMux(reg))
+	defer without.Close()
+
+	check := func(base, path string, want int) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	check(withTraces.URL, "/debug/traces", http.StatusOK)
+	check(withTraces.URL, "/debug/traces/view", http.StatusOK)
+	check(withTraces.URL, "/metrics", http.StatusOK)
+	check(without.URL, "/debug/traces", http.StatusNotFound)
+	check(without.URL, "/debug/traces/view", http.StatusNotFound)
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, series := range []string{
+		"go_goroutines", "go_heap_alloc_bytes",
+		"go_gc_pauses_seconds_total", "process_uptime_seconds",
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("exposition missing %s:\n%s", series, out)
+		}
+	}
+	if _, _, err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("malformed exposition: %v", err)
+	}
+}
+
+func TestSlowQueryEntryTraceFieldNames(t *testing.T) {
+	// The JSON field names are an operator-facing contract: a slow-log
+	// line's trace_id must be pastable into /debug/traces?id=.
+	line, err := json.Marshal(SlowQueryEntry{
+		TraceID:     "00000000deadbeef",
+		SolveKernel: "blocked",
+		SolveSweeps: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"trace_id":"00000000deadbeef"`, `"solve_kernel":"blocked"`, `"solve_sweeps":42`} {
+		if !strings.Contains(string(line), field) {
+			t.Errorf("slow-log entry missing %s: %s", field, line)
+		}
+	}
+}

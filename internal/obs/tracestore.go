@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace is one finished, immutable trace: the snapshot a Tracer stores
+// when the sampling verdict says keep. Field names are stable — the
+// /debug/traces JSON is an operator-facing contract.
+type Trace struct {
+	// TraceID is the 16-hex-digit id (the X-Ceps-Trace-Id header value).
+	TraceID string `json:"trace_id"`
+	// Name is the root span's name.
+	Name string `json:"name"`
+	// Start is when the root span opened.
+	Start time.Time `json:"start"`
+	// DurationMS is the root span's wall time in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	// Error is the root span's error message, "" on success.
+	Error string `json:"error,omitempty"`
+	// SampledBy says which rule kept the trace: "probability" (the head
+	// coin), "slow" (the always-on slow threshold), or "error".
+	SampledBy string `json:"sampled_by"`
+	// Spans is the span tree in start order; the root has ParentID 0.
+	Spans []SpanData `json:"spans"`
+}
+
+// SpanData is one finished span of a Trace.
+type SpanData struct {
+	SpanID   uint64 `json:"span_id"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	// StartMS is the span's offset from the trace start in milliseconds.
+	StartMS    float64 `json:"start_ms"`
+	DurationMS float64 `json:"duration_ms"`
+	Error      string  `json:"error,omitempty"`
+	// Attrs are the span's attributes (repeated keys: last write wins).
+	Attrs map[string]any `json:"attrs,omitempty"`
+	// Events are the span's point events (per-sweep convergence, EXTRACT
+	// destination picks), bounded per span; DroppedEvents counts the rest.
+	Events        []EventData `json:"events,omitempty"`
+	DroppedEvents int         `json:"dropped_events,omitempty"`
+}
+
+// EventData is one point event of a span.
+type EventData struct {
+	// OffsetMS is the event's offset from the trace start in milliseconds.
+	OffsetMS float64        `json:"offset_ms"`
+	Name     string         `json:"name"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceStoreStats is a snapshot of a TraceStore's counters.
+type TraceStoreStats struct {
+	// Added counts every trace ever stored; Evicted counts those the ring
+	// overwrote. Len and Capacity describe the current residency.
+	Added, Evicted uint64
+	Len, Capacity  int
+}
+
+// TraceStore is a fixed-capacity concurrent ring buffer of finished
+// traces: the newest Capacity kept traces are retrievable by id or listed
+// newest-first. Stores and reads are safe for concurrent use; stored
+// traces are immutable, so readers share them without copying.
+type TraceStore struct {
+	mu      sync.Mutex
+	buf     []*Trace
+	next    int // ring write position
+	count   int // residents, <= len(buf)
+	added   uint64
+	evicted uint64
+}
+
+// NewTraceStore returns a ring retaining up to capacity traces;
+// capacity <= 0 means DefaultTraceBuffer.
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = DefaultTraceBuffer
+	}
+	return &TraceStore{buf: make([]*Trace, capacity)}
+}
+
+// Capacity returns the ring size.
+func (s *TraceStore) Capacity() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.buf)
+}
+
+// Len returns how many traces are currently retained.
+func (s *TraceStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *TraceStore) Stats() TraceStoreStats {
+	if s == nil {
+		return TraceStoreStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return TraceStoreStats{Added: s.added, Evicted: s.evicted, Len: s.count, Capacity: len(s.buf)}
+}
+
+// Add stores one finished trace, overwriting the oldest resident when the
+// ring is full.
+func (s *TraceStore) Add(t *Trace) {
+	if s == nil || t == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.buf[s.next] != nil {
+		s.evicted++
+	} else {
+		s.count++
+	}
+	s.buf[s.next] = t
+	s.next = (s.next + 1) % len(s.buf)
+	s.added++
+	s.mu.Unlock()
+}
+
+// Get returns the retained trace with the given id.
+func (s *TraceStore) Get(id string) (*Trace, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.buf {
+		if t != nil && t.TraceID == id {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// List returns up to limit retained traces, newest first, keeping only
+// those with DurationMS >= minMS. limit <= 0 or beyond the ring capacity
+// means the whole ring.
+func (s *TraceStore) List(limit int, minMS float64) []*Trace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if limit <= 0 || limit > len(s.buf) {
+		limit = len(s.buf)
+	}
+	out := make([]*Trace, 0, min(limit, s.count))
+	// Walk backwards from the most recent write position.
+	for i := 1; i <= len(s.buf) && len(out) < limit; i++ {
+		t := s.buf[(s.next-i+len(s.buf))%len(s.buf)]
+		if t == nil {
+			break // ring not yet full: older slots are all empty
+		}
+		if t.DurationMS >= minMS {
+			out = append(out, t)
+		}
+	}
+	return out
+}

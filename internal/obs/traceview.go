@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// This file serves the TraceStore over the admin mux:
+//
+//	/debug/traces            JSON summaries, newest first
+//	/debug/traces?id=ID      one full trace (spans, events)
+//	/debug/traces?min_ms=N   only traces at least N ms slow
+//	/debug/traces?limit=N    at most N summaries (capped at the ring size)
+//	/debug/traces/view       dependency-free HTML waterfall
+//	/debug/traces/view?id=ID one trace's span bars and event ticks
+//
+// Responses are JSON (Content-Type: application/json) except the /view
+// pages, which are self-contained HTML.
+
+// traceSummary is one row of the JSON listing: everything needed to pick a
+// trace without shipping its span tree.
+type traceSummary struct {
+	TraceID    string  `json:"trace_id"`
+	Name       string  `json:"name"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Error      string  `json:"error,omitempty"`
+	SampledBy  string  `json:"sampled_by"`
+	Spans      int     `json:"spans"`
+	Events     int     `json:"events"`
+}
+
+func summarize(t *Trace) traceSummary {
+	events := 0
+	for _, s := range t.Spans {
+		events += len(s.Events)
+	}
+	return traceSummary{
+		TraceID:    t.TraceID,
+		Name:       t.Name,
+		Start:      t.Start.Format("2006-01-02T15:04:05.000Z07:00"),
+		DurationMS: t.DurationMS,
+		Error:      t.Error,
+		SampledBy:  t.SampledBy,
+		Spans:      len(t.Spans),
+		Events:     events,
+	}
+}
+
+// listParams parses the shared ?limit= / ?min_ms= query parameters,
+// clamping limit to the ring size.
+func listParams(r *http.Request, store *TraceStore) (limit int, minMS float64, err error) {
+	limit = store.Capacity()
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 0 {
+			return 0, 0, fmt.Errorf("bad limit %q", v)
+		}
+		if n > 0 && n < limit {
+			limit = n
+		}
+	}
+	if v := r.URL.Query().Get("min_ms"); v != "" {
+		f, perr := strconv.ParseFloat(v, 64)
+		if perr != nil || f < 0 {
+			return 0, 0, fmt.Errorf("bad min_ms %q", v)
+		}
+		minMS = f
+	}
+	return limit, minMS, nil
+}
+
+func writeTraceJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// traceError is the JSON error body of the trace endpoints.
+type traceError struct {
+	Error string `json:"error"`
+}
+
+// TraceHandler serves the JSON trace API for a store (see the file
+// comment for the query parameters). A nil store serves empty listings.
+func TraceHandler(store *TraceStore) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if id := r.URL.Query().Get("id"); id != "" {
+			t, ok := store.Get(id)
+			if !ok {
+				writeTraceJSON(w, http.StatusNotFound, traceError{Error: fmt.Sprintf("no retained trace %q (the ring keeps the newest %d)", id, store.Capacity())})
+				return
+			}
+			writeTraceJSON(w, http.StatusOK, t)
+			return
+		}
+		limit, minMS, err := listParams(r, store)
+		if err != nil {
+			writeTraceJSON(w, http.StatusBadRequest, traceError{Error: err.Error()})
+			return
+		}
+		traces := store.List(limit, minMS)
+		out := make([]traceSummary, 0, len(traces))
+		for _, t := range traces {
+			out = append(out, summarize(t))
+		}
+		writeTraceJSON(w, http.StatusOK, out)
+	})
+}
+
+// The waterfall templates are dependency-free HTML: span bars positioned
+// by percentage offsets, event ticks as thin absolute divs. html/template
+// escapes every interpolated value.
+var traceListTmpl = template.Must(template.New("list").Parse(`<!DOCTYPE html>
+<html><head><title>ceps traces</title><style>
+body{font-family:monospace;margin:1.5em;background:#fafafa;color:#222}
+table{border-collapse:collapse;width:100%}
+td,th{padding:.3em .8em;border-bottom:1px solid #ddd;text-align:left;font-size:13px}
+tr.err td{background:#fdecea}
+a{color:#0b57d0;text-decoration:none}
+.bar{background:#0b57d0;height:8px;display:inline-block;vertical-align:middle}
+small{color:#777}
+</style></head><body>
+<h2>traces <small>({{.Len}} retained of {{.Cap}} capacity)</small></h2>
+<table><tr><th>trace</th><th>name</th><th>start</th><th>duration</th><th>spans</th><th>sampled by</th><th></th></tr>
+{{range .Rows}}<tr{{if .Error}} class="err"{{end}}>
+<td><a href="?id={{.TraceID}}">{{.TraceID}}</a></td>
+<td>{{.Name}}</td><td>{{.Start}}</td>
+<td>{{printf "%.3f" .DurationMS}}ms <span class="bar" style="width:{{.BarPct}}%"></span></td>
+<td>{{.Spans}}</td><td>{{.SampledBy}}</td><td>{{.Error}}</td>
+</tr>{{end}}
+</table></body></html>`))
+
+var traceDetailTmpl = template.Must(template.New("detail").Parse(`<!DOCTYPE html>
+<html><head><title>trace {{.TraceID}}</title><style>
+body{font-family:monospace;margin:1.5em;background:#fafafa;color:#222}
+a{color:#0b57d0;text-decoration:none}
+.lane{position:relative;height:22px;margin:2px 0;background:#f0f0f0}
+.lane .bar{position:absolute;top:3px;height:16px;background:#7aa5e8;border:1px solid #4a7bc8;box-sizing:border-box}
+.lane .bar.err{background:#e89a9a;border-color:#c84a4a}
+.lane .tick{position:absolute;top:0;width:1px;height:22px;background:#1a3f77;opacity:.65}
+.lane .label{position:absolute;top:4px;left:4px;font-size:11px;white-space:nowrap;z-index:2}
+.meta{font-size:12px;color:#555;margin:.2em 0 .8em}
+pre{background:#f0f0f0;padding:.8em;font-size:12px;overflow-x:auto}
+.depth{display:inline-block}
+</style></head><body>
+<p><a href="{{.Back}}">&larr; all traces</a></p>
+<h2>trace {{.TraceID}} — {{.Name}}</h2>
+<div class="meta">start {{.Start}} · {{printf "%.3f" .DurationMS}}ms · sampled by {{.SampledBy}}{{if .Error}} · error: {{.Error}}{{end}}</div>
+{{range .Rows}}
+<div class="meta" style="margin:0;padding-left:{{.Indent}}em">{{.Name}} — {{printf "%.3f" .DurationMS}}ms{{if .Error}} · error: {{.Error}}{{end}}{{if .Attrs}} · {{.Attrs}}{{end}}{{if .Events}} · {{.Events}} events{{if .Dropped}} (+{{.Dropped}} dropped){{end}}{{end}}</div>
+<div class="lane"><div class="bar{{if .Error}} err{{end}}" style="left:{{.LeftPct}}%;width:{{.WidthPct}}%"></div>
+{{range .Ticks}}<div class="tick" style="left:{{.}}%"></div>{{end}}</div>
+{{end}}
+</body></html>`))
+
+// waterRow is one rendered span lane of the waterfall.
+type waterRow struct {
+	Name       string
+	Indent     int
+	DurationMS float64
+	Error      string
+	Attrs      string
+	Events     int
+	Dropped    int
+	LeftPct    float64
+	WidthPct   float64
+	Ticks      []float64
+}
+
+// TraceViewHandler serves the HTML waterfall for a store. A nil store
+// serves an empty listing.
+func TraceViewHandler(store *TraceStore) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if id := r.URL.Query().Get("id"); id != "" {
+			t, ok := store.Get(id)
+			if !ok {
+				http.Error(w, fmt.Sprintf("no retained trace %q", id), http.StatusNotFound)
+				return
+			}
+			_ = traceDetailTmpl.Execute(w, detailPage(t, r.URL.Path))
+			return
+		}
+		limit, minMS, err := listParams(r, store)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		traces := store.List(limit, minMS)
+		maxMS := 0.0
+		for _, t := range traces {
+			if t.DurationMS > maxMS {
+				maxMS = t.DurationMS
+			}
+		}
+		type row struct {
+			traceSummary
+			BarPct float64
+		}
+		page := struct {
+			Len, Cap int
+			Rows     []row
+		}{Len: store.Len(), Cap: store.Capacity()}
+		for _, t := range traces {
+			pct := 0.0
+			if maxMS > 0 {
+				pct = t.DurationMS / maxMS * 30
+			}
+			page.Rows = append(page.Rows, row{summarize(t), pct})
+		}
+		_ = traceListTmpl.Execute(w, page)
+	})
+}
+
+// detailPage lays the span tree out as waterfall rows: children indented
+// under their parent, bars as percentage offsets of the root duration,
+// events as ticks.
+func detailPage(t *Trace, back string) any {
+	total := t.DurationMS
+	if total <= 0 {
+		total = 1e-6
+	}
+	children := make(map[uint64][]SpanData)
+	for _, s := range t.Spans {
+		children[s.ParentID] = append(children[s.ParentID], s)
+	}
+	for _, kids := range children {
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].StartMS < kids[j].StartMS })
+	}
+	var rows []waterRow
+	var walk func(parent uint64, depth int)
+	walk = func(parent uint64, depth int) {
+		for _, s := range children[parent] {
+			row := waterRow{
+				Name:       s.Name,
+				Indent:     depth,
+				DurationMS: s.DurationMS,
+				Error:      s.Error,
+				Attrs:      renderAttrs(s.Attrs),
+				Events:     len(s.Events),
+				Dropped:    s.DroppedEvents,
+				LeftPct:    clampPct(s.StartMS / total * 100),
+				WidthPct:   clampPct(s.DurationMS / total * 100),
+			}
+			if row.WidthPct < 0.2 {
+				row.WidthPct = 0.2 // keep instant spans visible
+			}
+			for _, ev := range s.Events {
+				row.Ticks = append(row.Ticks, clampPct(ev.OffsetMS/total*100))
+			}
+			rows = append(rows, row)
+			walk(s.SpanID, depth+1)
+		}
+	}
+	walk(0, 0)
+	return struct {
+		TraceID, Name, Start, SampledBy, Error, Back string
+		DurationMS                                   float64
+		Rows                                         []waterRow
+	}{
+		TraceID:    t.TraceID,
+		Name:       t.Name,
+		Start:      t.Start.Format("2006-01-02T15:04:05.000Z07:00"),
+		SampledBy:  t.SampledBy,
+		Error:      t.Error,
+		Back:       back,
+		DurationMS: t.DurationMS,
+		Rows:       rows,
+	}
+}
+
+func clampPct(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 100 {
+		return 100
+	}
+	return p
+}
+
+// renderAttrs renders a span's attributes as a compact k=v listing in
+// sorted key order.
+func renderAttrs(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%v", k, attrs[k])
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 
 	"ceps/internal/fault"
 	"ceps/internal/linalg"
+	"ceps/internal/obs"
 )
 
 // BlockMode selects whether a multi-query solve runs the blocked
@@ -169,6 +170,9 @@ func (s *Solver) ScoresSetBlockedCtx(ctx context.Context, queries []int, workers
 	residuals := make([]float64, nq)
 	nonFinite := make([]bool, nq)
 	active := nq
+	// As in ScoresCtx, the per-sweep trace event is gated on Recording so
+	// the untraced lockstep loop pays one pointer check per iteration.
+	span := obs.SpanFromContext(ctx)
 
 	for it := 0; it < s.cfg.Iterations && active > 0; it++ {
 		if err := fault.FromContext(ctx); err != nil {
@@ -200,6 +204,21 @@ func (s *Solver) ScoresSetBlockedCtx(ctx context.Context, queries []int, workers
 			}
 			diags[j].Sweeps = it + 1
 			diags[j].Residual = residuals[j]
+		}
+		if span.Recording() {
+			// One event per lockstep iteration. advanced counts the columns
+			// this sweep moved (so summing advanced over a trace's sweep
+			// events reproduces StageTimings.SolveSweeps), max_residual is
+			// taken over those same columns.
+			maxRes := 0.0
+			for j := range queries {
+				if !frozen[j] && residuals[j] > maxRes {
+					maxRes = residuals[j]
+				}
+			}
+			span.AddEvent("sweep", obs.Str("kernel", "blocked"),
+				obs.Int("sweep", it+1), obs.F64("max_residual", maxRes),
+				obs.Int("frozen", nq-active), obs.Int("advanced", active))
 		}
 		cur, next = next, cur
 		for j, q := range queries {

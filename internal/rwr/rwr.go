@@ -24,6 +24,7 @@ import (
 	"ceps/internal/fault"
 	"ceps/internal/graph"
 	"ceps/internal/linalg"
+	"ceps/internal/obs"
 )
 
 // NormKind selects how the weighted adjacency matrix is normalized into the
@@ -258,6 +259,9 @@ func (s *Solver) ScoresCtx(ctx context.Context, q int) ([]float64, Diagnostics, 
 	if tol <= 0 {
 		tol = defaultConvergedTol
 	}
+	// Sweep events are gated on Recording so the untraced hot loop never
+	// builds attribute slices; a nil span makes the gate one pointer check.
+	span := obs.SpanFromContext(ctx)
 	var first float64
 	for it := 0; it < s.cfg.Iterations; it++ {
 		if err := fault.FromContext(ctx); err != nil {
@@ -268,6 +272,11 @@ func (s *Solver) ScoresCtx(ctx context.Context, q int) ([]float64, Diagnostics, 
 		next[q] += restart
 		diag.Sweeps = it + 1
 		diag.Residual = linalg.MaxDiff(next, r)
+		if span.Recording() {
+			span.AddEvent("sweep", obs.Str("kernel", "scalar"), obs.Int("source", q),
+				obs.Int("sweep", diag.Sweeps), obs.F64("residual", diag.Residual),
+				obs.Int("advanced", 1))
+		}
 		r, next = next, r
 		if math.IsNaN(diag.Residual) || math.IsInf(diag.Residual, 0) || linalg.HasNonFinite(r) {
 			return linalg.Clone(r), diag, fmt.Errorf("%w: non-finite scores after sweep %d of walk from node %d", fault.ErrDiverged, diag.Sweeps, q)

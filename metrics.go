@@ -28,6 +28,12 @@ import (
 //	ceps_solves_total{kernel="blocked"|"scalar"}
 //	ceps_solve_rows_total
 //	ceps_solve_rows_per_second                       (gauge)
+//	ceps_traces_sampled_total
+//	ceps_traces_dropped_total
+//
+// plus the Go runtime series of obs.RegisterRuntimeMetrics
+// (go_goroutines, go_heap_alloc_bytes, go_gc_pauses_seconds_total,
+// process_uptime_seconds).
 
 // engineMetrics holds the typed handles the hot path updates. Every
 // update is an atomic op; none of this perturbs query answers.
@@ -55,9 +61,10 @@ type engineMetrics struct {
 }
 
 // newEngineMetrics builds the registry for one engine. cacheStats reads
-// the live score-cache counters (zero-valued when caching is off), so
-// scrapes always see the full metric set regardless of configuration.
-func newEngineMetrics(cacheStats func() (CacheStats, bool), workers int) *engineMetrics {
+// the live score-cache counters (zero-valued when caching is off), and
+// tracer feeds the trace sampling counters (nil reads zero), so scrapes
+// always see the full metric set regardless of configuration.
+func newEngineMetrics(cacheStats func() (CacheStats, bool), workers int, tracer *obs.Tracer) *engineMetrics {
 	reg := obs.NewRegistry()
 	buckets := obs.DurationBuckets()
 	qt := "ceps_queries_total"
@@ -130,6 +137,11 @@ func newEngineMetrics(cacheStats func() (CacheStats, bool), workers int) *engine
 		}
 		return float64(m.solveRows.Value()) / secs
 	})
+	reg.CounterFunc("ceps_traces_sampled_total", "Finished traces kept in the trace ring.",
+		func() float64 { return float64(tracer.Sampled()) })
+	reg.CounterFunc("ceps_traces_dropped_total", "Finished traces discarded by the sampling rules.",
+		func() float64 { return float64(tracer.Dropped()) })
+	obs.RegisterRuntimeMetrics(reg)
 	return m
 }
 
@@ -208,7 +220,7 @@ func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 // recordSlow writes a slow-query log line when a log is attached and the
 // query crossed its threshold. Failures are logged too — a timed-out
 // query is the slowest query there is.
-func (e *Engine) recordSlow(queries []int, res *Result, err error, elapsed time.Duration, fast bool) {
+func (e *Engine) recordSlow(queries []int, res *Result, err error, elapsed time.Duration, fast bool, traceID string) {
 	if e.slow == nil {
 		return
 	}
@@ -217,6 +229,7 @@ func (e *Engine) recordSlow(queries []int, res *Result, err error, elapsed time.
 		Queries:   append([]int(nil), queries...),
 		Path:      queryPath(res, fast),
 		ElapsedMS: ms(elapsed),
+		TraceID:   traceID,
 	}
 	if res != nil {
 		st := res.Stages
@@ -226,6 +239,8 @@ func (e *Engine) recordSlow(queries []int, res *Result, err error, elapsed time.
 		entry.ExtractMS = ms(st.Extract)
 		entry.CacheHits = st.CacheHits
 		entry.CacheMisses = st.CacheMisses
+		entry.SolveKernel = st.SolveKernel
+		entry.SolveSweeps = st.SolveSweeps
 		if res.Fallback != nil {
 			entry.Fallback = res.Fallback.Reason
 		}

@@ -12,7 +12,7 @@ import (
 
 // recoverEngine builds the minimal Engine state recoverToError touches.
 func recoverEngine() *Engine {
-	return &Engine{metrics: newEngineMetrics(func() (CacheStats, bool) { return CacheStats{}, false }, 1)}
+	return &Engine{metrics: newEngineMetrics(func() (CacheStats, bool) { return CacheStats{}, false }, 1, nil)}
 }
 
 func TestRecoverToErrorConvertsPanic(t *testing.T) {
