@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race race-hammer obs-smoke trace-smoke fuzz-smoke kernel-smoke bench bench-smoke bench-rwr clean
+.PHONY: check vet build test race race-hammer obs-smoke trace-smoke fuzz-smoke kernel-smoke chaos-smoke bench bench-smoke bench-rwr bench-resilience clean
 
-check: vet build race race-hammer trace-smoke fuzz-smoke kernel-smoke
+check: vet build race race-hammer trace-smoke fuzz-smoke kernel-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -47,11 +47,25 @@ trace-smoke:
 	$(GO) test -race -count=2 . -run 'TestTraceStoreRaceHammer'
 	$(GO) test -count=1 ./cmd/ceps -run 'TestTraceSmoke|TestTraceFlagValidation'
 
-# Short fuzz passes over the graph parsers; crashers land in
-# internal/graph/testdata/fuzz and fail `make test` from then on.
+# Short fuzz passes over the graph parsers and the /query request
+# decoder; crashers land in testdata/fuzz and fail `make test` from then
+# on.
 fuzz-smoke:
 	$(GO) test ./internal/graph -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/graph -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME)
+	$(GO) test ./cmd/ceps -run='^$$' -fuzz=FuzzQueryRequest -fuzztime=$(FUZZTIME)
+
+# Chaos suite under the race detector: every fault-injection point fires
+# at least once and must surface as a typed error or a Degraded-marked
+# answer — never a panic, hang, or silent wrong answer — plus the
+# resilience integration tests (bit-identity when disabled, admission
+# sheds, breaker lifecycle through the engine, pool-wait shed hygiene)
+# and the HTTP overload contract.
+chaos-smoke:
+	$(GO) test -race -count=1 . -run 'TestChaos|TestResilience|TestPoolWaitShed'
+	$(GO) test -race -count=1 ./internal/resilience
+	$(GO) test -race -count=1 ./internal/fault
+	$(GO) test -race -count=1 ./cmd/ceps -run 'TestQueryStatusTable|TestWriteQueryErrorRetryAfter|TestQueryMuxPost|TestQueryMuxOverloadResponse'
 
 # Quick pass over the Step-1 kernel grid (2 reps per cell, no JSON): fails
 # if one blocked Q=8 solve is not faster than 8 sequential scalar solves.
@@ -70,6 +84,12 @@ bench-rwr:
 # written to BENCH_serving.json, which is checked in.
 bench-smoke:
 	BENCH_SERVING_OUT=$(CURDIR)/BENCH_serving.json $(GO) test -run '^TestServingSmoke$$' -count=1 .
+
+# Overload comparison (64 closed-loop clients at 2x measured capacity,
+# resilience off vs on) written to BENCH_resilience.json, which is
+# checked in. Off must collapse; on must hold goodput near capacity.
+bench-resilience:
+	$(GO) run ./cmd/cepsbench -exp overload -scale 0.5 -overload-out $(CURDIR)/BENCH_resilience.json
 
 clean:
 	$(GO) clean ./...

@@ -46,6 +46,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"time"
 
 	"ceps/internal/core"
 	"ceps/internal/current"
@@ -54,6 +55,7 @@ import (
 	"ceps/internal/graph"
 	"ceps/internal/obs"
 	"ceps/internal/partition"
+	"ceps/internal/resilience"
 	"ceps/internal/rwr"
 	"ceps/internal/steiner"
 )
@@ -131,6 +133,18 @@ type (
 	TraceStore = obs.TraceStore
 	// AdminOption customizes AdminMux (e.g. WithTraceStore).
 	AdminOption = obs.AdminOption
+	// Degradation records that a Result was produced at reduced fidelity
+	// (relaxed-tolerance solve or full-graph fallback) and why.
+	Degradation = core.Degradation
+	// ResilienceOptions tunes the serving-protection layer (WithResilience):
+	// admission queue bounds, CoDel target, circuit-breaker thresholds, and
+	// the degraded-answer solver parameters.
+	ResilienceOptions = resilience.Options
+	// ResilienceStats is a snapshot of the resilience controller's counters
+	// (admitted/shed, queue depth, breaker state and transitions).
+	ResilienceStats = resilience.Stats
+	// BreakerState is the circuit-breaker state (closed/half-open/open).
+	BreakerState = resilience.State
 )
 
 // Error taxonomy. Every failure on the query path wraps one of these
@@ -156,6 +170,34 @@ var (
 	// ErrInternal: a panic crossed the Engine boundary and was converted
 	// to an error.
 	ErrInternal = fault.ErrInternal
+	// ErrOverloaded: the admission controller or solve pool shed the
+	// request to protect the service. HTTP layers map it to 429; the error
+	// chain carries the shed reason (ShedReason) and a backoff hint
+	// (RetryAfterHint).
+	ErrOverloaded = fault.ErrOverloaded
+	// ErrUnavailable: the circuit breaker is open and degraded answering
+	// is disabled (ResilienceOptions.NoDegrade). HTTP layers map it to 503.
+	ErrUnavailable = fault.ErrUnavailable
+)
+
+// ShedReason extracts the shed reason ("queue_full", "deadline_budget",
+// "codel", "queue_wait", "pool_wait") from an ErrOverloaded chain, or ""
+// for other errors.
+func ShedReason(err error) string { return fault.ShedReason(err) }
+
+// RetryAfterHint extracts the backoff hint carried by an ErrOverloaded
+// chain; ok is false when the error carries none.
+func RetryAfterHint(err error) (d time.Duration, ok bool) { return fault.RetryAfterHint(err) }
+
+// Breaker states (ResilienceStats.BreakerStateCode / Engine.BreakerState).
+const (
+	// BreakerClosed: healthy, all queries on the normal path.
+	BreakerClosed = resilience.StateClosed
+	// BreakerHalfOpen: probing the normal path with a bounded number of
+	// queries while the rest stay degraded.
+	BreakerHalfOpen = resilience.StateHalfOpen
+	// BreakerOpen: all queries degraded (or refused under NoDegrade).
+	BreakerOpen = resilience.StateOpen
 )
 
 // Normalization kinds (§4.3 and Appendix A of the paper).
@@ -248,6 +290,12 @@ func AdminMux(r *MetricsRegistry, opts ...AdminOption) *http.ServeMux {
 // WithTraceStore mounts the trace endpoints on an AdminMux, backed by an
 // Engine's TraceStore(). A nil store leaves them unmounted.
 func WithTraceStore(ts *TraceStore) AdminOption { return obs.WithTraceStore(ts) }
+
+// WithDebugVar adds a named live variable to AdminMux's /debug/vars
+// alongside the standard expvar set; fn is called at scrape time and its
+// result JSON-encoded. The ceps CLI uses it to expose breaker and
+// admission-queue state (Engine.ResilienceStats).
+func WithDebugVar(name string, fn func() any) AdminOption { return obs.WithDebugVar(name, fn) }
 
 // RelRatio compares a Fast CePS result against a full-graph run (Eq. 19).
 func RelRatio(full, fast *Result) (float64, error) { return core.RelRatio(full, fast) }

@@ -15,6 +15,7 @@ type jsonResult struct {
 	ResponseMS float64    `json:"responseMs"`
 	NRatio     float64    `json:"nRatio"`
 	ERatio     *float64   `json:"eRatio,omitempty"`
+	Degraded   string     `json:"degraded,omitempty"`
 	Queries    []int      `json:"queries"`
 	Nodes      []jsonNode `json:"nodes"`
 	PathEdges  []jsonEdge `json:"pathEdges"`
@@ -57,6 +58,9 @@ func buildJSONResult(g *ceps.Graph, res *ceps.Result, queries []int, cfg ceps.Co
 	}
 	if er, err := res.ERatio(); err == nil {
 		out.ERatio = &er
+	}
+	if res.Degraded != nil {
+		out.Degraded = res.Degraded.String()
 	}
 	for _, u := range res.Subgraph.Nodes {
 		n := jsonNode{ID: u, Label: g.Label(u), IsQuery: isQuery[u]}

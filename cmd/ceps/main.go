@@ -22,7 +22,12 @@
 // JSON array in input order.
 //
 // Serve mode: -serve ADDR runs a long-lived HTTP query service
-// (GET /query?q=Alice,Bob&k=N) instead of answering one query or batch.
+// (GET /query?q=Alice,Bob&k=N, or POST /query with a JSON body) instead
+// of answering one query or batch. -resilience adds admission control,
+// load shedding (HTTP 429 + Retry-After), and a circuit breaker that
+// serves relaxed-tolerance degraded answers (or fails fast with 503
+// under -no-degrade); -max-inflight and -max-queue size it. See
+// README.md "Resilience".
 // -admin ADDR additionally exposes the operational surface — Prometheus
 // /metrics, /healthz, /debug/vars, and net/http/pprof — on its own
 // address in every mode, so a long batch can be profiled while it runs.
@@ -106,9 +111,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		cacheMB      = fs.Int("cache-mb", 64, "score-cache budget in MiB, shared across the batch (0 = disable caching)")
 		workers      = fs.Int("workers", 0, "max concurrent random-walk solves (0 = GOMAXPROCS)")
 
-		serveAddr = fs.String("serve", "", "run as a long-lived query service on this address (e.g. :8080) instead of answering -q/-queries-file")
-		adminAddr = fs.String("admin", "", "serve /metrics, /healthz, /debug/vars, pprof and /debug/traces on this address (e.g. :6060)")
-		slowLog   = fs.Duration("slow-log", 0, "log queries at least this slow to stderr as JSON lines (0 = off)")
+		serveAddr     = fs.String("serve", "", "run as a long-lived query service on this address (e.g. :8080) instead of answering -q/-queries-file")
+		adminAddr     = fs.String("admin", "", "serve /metrics, /healthz, /debug/vars, pprof and /debug/traces on this address (e.g. :6060)")
+		slowLog       = fs.Duration("slow-log", 0, "log queries at least this slow to stderr as JSON lines (0 = off)")
+		shutdownGrace = fs.Duration("shutdown-grace", defaultShutdownGrace, "how long in-flight HTTP requests may drain after a shutdown signal")
+
+		resilient   = fs.Bool("resilience", false, "enable the serving resilience layer: admission control, load shedding, and a circuit breaker with degraded answers")
+		maxInflight = fs.Int("max-inflight", 0, "resilience: max concurrently admitted queries (0 = 2x workers)")
+		maxQueue    = fs.Int("max-queue", 0, "resilience: admission queue depth (0 = 4x max-inflight, negative = shed instead of queueing)")
+		noDegrade   = fs.Bool("no-degrade", false, "resilience: fail fast instead of serving relaxed-tolerance answers when the circuit breaker is open")
 
 		traceSample = fs.Float64("trace-sample", 0, "record span traces for this fraction of queries, 0..1 (0 = tracing off)")
 		traceBuffer = fs.Int("trace-buffer", 0, "how many sampled traces to retain for /debug/traces (0 = default 256)")
@@ -138,6 +149,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *slowLog < 0 {
 		fmt.Fprintf(stderr, "ceps: -slow-log %v must be non-negative\n", *slowLog)
+		return exitUsage
+	}
+	if *shutdownGrace <= 0 {
+		fmt.Fprintf(stderr, "ceps: -shutdown-grace %v must be positive\n", *shutdownGrace)
+		return exitUsage
+	}
+	if !*resilient && (*maxInflight != 0 || *maxQueue != 0 || *noDegrade) {
+		fmt.Fprintln(stderr, "ceps: -max-inflight, -max-queue and -no-degrade require -resilience")
+		return exitUsage
+	}
+	if *maxInflight < 0 {
+		fmt.Fprintf(stderr, "ceps: -max-inflight %d must be non-negative\n", *maxInflight)
 		return exitUsage
 	}
 	if *traceSample < 0 || *traceSample > 1 {
@@ -215,6 +238,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			Buffer:     *traceBuffer,
 		}))
 	}
+	if *resilient {
+		opts = append(opts, ceps.WithResilience(ceps.ResilienceOptions{
+			MaxConcurrent: *maxInflight,
+			MaxQueue:      *maxQueue,
+			NoDegrade:     *noDegrade,
+		}))
+	}
 	eng, err := ceps.NewEngine(g, opts...)
 	if err != nil {
 		return fail(err)
@@ -240,10 +270,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				return fail(err)
 			}
 		}
-		return serveListeners(ctx, eng, g, cfg, *queryTimeout, queryLn, adminLn, stderr)
+		return serveListeners(ctx, eng, g, cfg, *queryTimeout, *shutdownGrace, queryLn, adminLn, stderr)
 	}
 	if *adminAddr != "" {
-		stopAdmin, err := startAdmin(*adminAddr, eng, stderr)
+		stopAdmin, err := startAdmin(*adminAddr, eng, *shutdownGrace, stderr)
 		if err != nil {
 			return fail(err)
 		}

@@ -1,0 +1,283 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"strings"
+	"testing"
+	"time"
+
+	"ceps"
+	"ceps/internal/fault"
+)
+
+// TestQueryStatusTable pins the full error→HTTP-status mapping. The
+// overload rows matter most: admission sheds wrap the deadline identities
+// so library callers' errors.Is checks keep working, and the mapping must
+// still classify them as 429, not 504.
+func TestQueryStatusTable(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"overload_queue_full", fault.Overload("queue_full", 2*time.Second, nil), http.StatusTooManyRequests},
+		{"overload_wrapping_deadline", fault.Overload("deadline_budget", time.Second, context.DeadlineExceeded), http.StatusTooManyRequests},
+		{"overload_wrapping_ceps_deadline", fault.Overload("pool_wait", 0, fmt.Errorf("%w: pool wait", ceps.ErrDeadlineExceeded)), http.StatusTooManyRequests},
+		{"breaker_open", fmt.Errorf("%w: circuit breaker open", ceps.ErrUnavailable), http.StatusServiceUnavailable},
+		{"bad_query", fmt.Errorf("%w: no such node", ceps.ErrBadQuery), http.StatusBadRequest},
+		{"bad_config", fmt.Errorf("%w: k out of range", ceps.ErrBadConfig), http.StatusBadRequest},
+		{"deadline", fmt.Errorf("%w: solve", ceps.ErrDeadlineExceeded), http.StatusGatewayTimeout},
+		{"raw_deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"canceled", fmt.Errorf("%w: signal", ceps.ErrCanceled), 499},
+		{"raw_canceled", context.Canceled, 499},
+		{"internal", errors.New("wat"), http.StatusInternalServerError},
+	} {
+		if got := queryStatus(tc.err); got != tc.want {
+			t.Errorf("%s: queryStatus(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestWriteQueryErrorRetryAfter: a 429 always carries Retry-After — the
+// admission controller's hint rounded up to whole seconds, or 1 when the
+// error carries none — and other statuses never do.
+func TestWriteQueryErrorRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		status int
+		err    error
+		want   string // "" = header must be absent
+	}{
+		{"hint_rounds_up", http.StatusTooManyRequests, fault.Overload("queue_full", 1500*time.Millisecond, nil), "2"},
+		{"hint_floors_at_one", http.StatusTooManyRequests, fault.Overload("codel", time.Millisecond, nil), "1"},
+		{"no_hint_defaults_to_one", http.StatusTooManyRequests, errors.New("shed"), "1"},
+		{"not_429_no_header", http.StatusServiceUnavailable, fault.Overload("queue_full", 5*time.Second, nil), ""},
+	} {
+		rec := httptest.NewRecorder()
+		writeQueryError(rec, tc.status, tc.err)
+		if got := rec.Header().Get("Retry-After"); got != tc.want {
+			t.Errorf("%s: Retry-After = %q, want %q", tc.name, got, tc.want)
+		}
+		if rec.Code != tc.status {
+			t.Errorf("%s: status = %d, want %d", tc.name, rec.Code, tc.status)
+		}
+		var body queryError
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
+			t.Errorf("%s: body is not a queryError: %v (%s)", tc.name, err, rec.Body.Bytes())
+		}
+	}
+}
+
+// TestQueryMuxPost exercises the POST /query JSON path end to end: a
+// valid body answers, every malformed shape is a 400 (never a 500 or a
+// panic), an oversized body is 413, and unsupported methods are 405.
+func TestQueryMuxPost(t *testing.T) {
+	g := testGraph(t)
+	eng := testEngine(t, g, ceps.WithCache(1<<20))
+	srv := httptest.NewServer(newQueryMux(eng, g, ceps.DefaultConfig(), 0))
+	defer srv.Close()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := post(`{"q":"Alice,Carol","budget":2,"explain":true}`)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST status = %d, body: %s", resp.StatusCode, body)
+	}
+	var jr jsonResult
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatalf("response is not a jsonResult: %v\n%s", err, body)
+	}
+	if len(jr.Nodes) < 2 {
+		t.Errorf("answer has %d nodes, want at least the 2 query nodes", len(jr.Nodes))
+	}
+
+	resp = post(`{"queries":[0,2],"k":1}`)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("POST by ids: status = %d, want 200", resp.StatusCode)
+	}
+
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"garbage", `{`},
+		{"trailing_data", `{"q":"Alice,Bob"} {"q":"Carol"}`},
+		{"unknown_field", `{"q":"Alice,Bob","frogs":1}`},
+		{"both_q_and_queries", `{"q":"Alice","queries":[1]}`},
+		{"id_out_of_range", `{"queries":[0,99]}`},
+		{"negative_id", `{"queries":[-1]}`},
+		{"no_queries", `{}`},
+		{"unknown_label", `{"q":"NoSuchAuthor"}`},
+	} {
+		resp := post(tc.body)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+
+	resp = post(`{"q":"` + strings.Repeat("x", maxQueryBody+1) + `"}`)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status = %d, want 413", resp.StatusCode)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/query", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE: status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") || !strings.Contains(allow, "POST") {
+		t.Errorf("DELETE: Allow = %q, want GET and POST", allow)
+	}
+}
+
+// TestQueryMuxOverloadResponse drives a resilience-enabled engine into
+// saturation through the real HTTP handler and asserts the wire contract:
+// shed requests get 429 with a Retry-After header and a JSON error body.
+func TestQueryMuxOverloadResponse(t *testing.T) {
+	g := testGraph(t)
+	eng := testEngine(t, g,
+		ceps.WithWorkers(1),
+		ceps.WithResilience(ceps.ResilienceOptions{MaxConcurrent: 1, MaxQueue: -1}),
+	)
+	srv := httptest.NewServer(newQueryMux(eng, g, ceps.DefaultConfig(), 0))
+	defer srv.Close()
+
+	// Hold the only admission slot with an injected slow solve, then hit
+	// the server again: queueing is disabled, so the second request must
+	// be shed with the full 429 envelope.
+	inj := fault.NewInjector(fault.Injection{
+		Point: fault.InjectSolveDelay,
+		Delay: 300 * time.Millisecond,
+	})
+	restore := fault.SetActiveInjector(inj)
+	defer restore()
+
+	firstDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/query?q=Alice,Carol")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		firstDone <- err
+	}()
+
+	// Wait until the slot-holder is actually admitted and inside its
+	// delayed solve, so the next request deterministically finds the
+	// admission slot taken.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st, ok := eng.ResilienceStats()
+		if !ok {
+			t.Fatal("engine has no resilience layer")
+		}
+		if st.Running >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot-holding request was never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Get(srv.URL + "/query?q=Alice,Bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, _ := httputil.DumpResponse(resp, false)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429:\n%s%s", resp.StatusCode, dump, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("429 without Retry-After:\n%s", dump)
+	}
+	var qe queryError
+	if err := json.Unmarshal(body, &qe); err != nil || qe.Error == "" {
+		t.Errorf("429 body is not a queryError: %v (%s)", err, body)
+	}
+	if err := <-firstDone; err != nil {
+		t.Fatalf("slot-holding request failed: %v", err)
+	}
+}
+
+// FuzzQueryRequest drives the POST /query body decoder with arbitrary
+// bytes: it must never panic, and anything it accepts must be a
+// well-formed query set over the graph.
+func FuzzQueryRequest(f *testing.F) {
+	f.Add([]byte(`{"q":"Alice,Carol","k":1,"budget":2,"explain":true}`))
+	f.Add([]byte(`{"queries":[0,1,2]}`))
+	f.Add([]byte(`{"queries":[-1]}`))
+	f.Add([]byte(`{"q":"Alice","queries":[0]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"q":"Alice"} trailing`))
+	f.Add([]byte(`{"frogs":true}`))
+	f.Add([]byte(`[`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"k":9223372036854775807,"q":"0"}`))
+
+	b := ceps.NewBuilder(0)
+	b.AddNode("Alice")
+	b.AddNode("Bob")
+	b.AddNode("Carol")
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	g, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	base := ceps.DefaultConfig()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) > maxQueryBody {
+			return
+		}
+		queries, reqCfg, _, err := decodeQueryRequest(g, base, body)
+		if err != nil {
+			return // rejects are fine; panics are not
+		}
+		if len(queries) == 0 {
+			t.Fatalf("accepted body %q with no queries", body)
+		}
+		for _, q := range queries {
+			if q < 0 || q >= g.N() {
+				t.Fatalf("accepted out-of-range query %d from %q", q, body)
+			}
+		}
+		// Untouched fields must come from the base config.
+		if reqCfg.RWR != base.RWR {
+			t.Fatalf("decoder mutated RWR config: %+v", reqCfg.RWR)
+		}
+	})
+}

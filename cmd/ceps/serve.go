@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
@@ -15,19 +17,108 @@ import (
 	"ceps/internal/obs"
 )
 
-// serveShutdownGrace bounds how long in-flight HTTP requests may run after
-// a shutdown signal before the listeners are torn down hard.
-const serveShutdownGrace = 5 * time.Second
+// defaultShutdownGrace bounds how long in-flight HTTP requests may run
+// after a shutdown signal before the listeners are torn down hard; the
+// -shutdown-grace flag overrides it.
+const defaultShutdownGrace = 5 * time.Second
+
+// maxQueryBody bounds a POST /query request body. Query sets are a few
+// dozen ids or labels; anything near this limit is abuse, not a query.
+const maxQueryBody = 1 << 20
 
 // queryError is the JSON error body of the query endpoint.
 type queryError struct {
 	Error string `json:"error"`
 }
 
+// queryRequest is the POST /query JSON body. Exactly one of Q (ids or
+// labels, comma-separated, as with -q) and Queries (node ids) must be
+// set; K and Budget override the engine's configuration per request
+// without mutating it.
+type queryRequest struct {
+	Q       string `json:"q,omitempty"`
+	Queries []int  `json:"queries,omitempty"`
+	K       *int   `json:"k,omitempty"`
+	Budget  *int   `json:"budget,omitempty"`
+	Explain bool   `json:"explain,omitempty"`
+}
+
+// decodeQueryRequest parses a POST /query body against the graph and the
+// engine's base config. It is a pure function over its inputs so
+// FuzzQueryRequest can drive it with arbitrary bodies; every failure is a
+// client error (HTTP 400), never a panic.
+func decodeQueryRequest(g *ceps.Graph, cfg ceps.Config, body []byte) (queries []int, reqCfg ceps.Config, explain bool, err error) {
+	reqCfg = cfg
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req queryRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, reqCfg, false, fmt.Errorf("bad request body: %w", err)
+	}
+	if dec.More() {
+		return nil, reqCfg, false, fmt.Errorf("bad request body: trailing data after JSON object")
+	}
+	switch {
+	case req.Q != "" && len(req.Queries) > 0:
+		return nil, reqCfg, false, fmt.Errorf(`bad request body: set "q" or "queries", not both`)
+	case len(req.Queries) > 0:
+		for _, id := range req.Queries {
+			if id < 0 || id >= g.N() {
+				return nil, reqCfg, false, fmt.Errorf("query id %d out of range [0,%d)", id, g.N())
+			}
+		}
+		queries = req.Queries
+	default:
+		queries, err = parseQueries(g, req.Q)
+		if err != nil {
+			return nil, reqCfg, false, err
+		}
+	}
+	if req.K != nil {
+		reqCfg.K = *req.K
+	}
+	if req.Budget != nil {
+		reqCfg.Budget = *req.Budget
+	}
+	return queries, reqCfg, req.Explain, nil
+}
+
+// parseQueryParams resolves the GET /query URL parameters (q, k, budget,
+// explain) against the graph and the engine's base config.
+func parseQueryParams(g *ceps.Graph, cfg ceps.Config, q map[string][]string) (queries []int, reqCfg ceps.Config, explain bool, err error) {
+	reqCfg = cfg
+	get := func(key string) string {
+		if vs := q[key]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	queries, err = parseQueries(g, get("q"))
+	if err != nil {
+		return nil, reqCfg, false, err
+	}
+	if v := get("k"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, reqCfg, false, fmt.Errorf("bad k %q: %w", v, err)
+		}
+		reqCfg.K = k
+	}
+	if v := get("budget"); v != "" {
+		b, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, reqCfg, false, fmt.Errorf("bad budget %q: %w", v, err)
+		}
+		reqCfg.Budget = b
+	}
+	return queries, reqCfg, get("explain") != "", nil
+}
+
 // newQueryMux builds the public query API:
 //
-//	GET /query?q=Alice,Bob[&k=N][&budget=N][&explain=1]   JSON result
-//	GET /healthz                                          liveness
+//	GET  /query?q=Alice,Bob[&k=N][&budget=N][&explain=1]  JSON result
+//	POST /query {"q":"Alice,Bob","k":N,...}               JSON result
+//	GET  /healthz                                         liveness
 //
 // Query nodes are ids or labels, as with -q. Per-request k and budget
 // override the engine's configuration without mutating it. The admin
@@ -40,28 +131,35 @@ func newQueryMux(eng *ceps.Engine, g *ceps.Graph, cfg ceps.Config, queryTimeout 
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query()
-		queries, err := parseQueries(g, q.Get("q"))
+		var (
+			queries []int
+			reqCfg  ceps.Config
+			explain bool
+			err     error
+		)
+		switch r.Method {
+		case http.MethodGet:
+			queries, reqCfg, explain, err = parseQueryParams(g, cfg, r.URL.Query())
+		case http.MethodPost:
+			body, rerr := io.ReadAll(http.MaxBytesReader(w, r.Body, maxQueryBody))
+			if rerr != nil {
+				status := http.StatusBadRequest
+				var mbe *http.MaxBytesError
+				if errors.As(rerr, &mbe) {
+					status = http.StatusRequestEntityTooLarge
+				}
+				writeQueryError(w, status, fmt.Errorf("reading request body: %w", rerr))
+				return
+			}
+			queries, reqCfg, explain, err = decodeQueryRequest(g, cfg, body)
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			writeQueryError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+			return
+		}
 		if err != nil {
 			writeQueryError(w, http.StatusBadRequest, err)
 			return
-		}
-		reqCfg := cfg
-		if v := q.Get("k"); v != "" {
-			k, err := strconv.Atoi(v)
-			if err != nil {
-				writeQueryError(w, http.StatusBadRequest, fmt.Errorf("bad k %q: %w", v, err))
-				return
-			}
-			reqCfg.K = k
-		}
-		if v := q.Get("budget"); v != "" {
-			b, err := strconv.Atoi(v)
-			if err != nil {
-				writeQueryError(w, http.StatusBadRequest, fmt.Errorf("bad budget %q: %w", v, err))
-				return
-			}
-			reqCfg.Budget = b
 		}
 		ctx := r.Context()
 		if queryTimeout > 0 {
@@ -84,7 +182,7 @@ func newQueryMux(eng *ceps.Engine, g *ceps.Graph, cfg ceps.Config, queryTimeout 
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		jr := buildJSONResult(g, res, queries, reqCfg, q.Get("explain") != "")
+		jr := buildJSONResult(g, res, queries, reqCfg, explain)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(jr)
@@ -92,9 +190,16 @@ func newQueryMux(eng *ceps.Engine, g *ceps.Graph, cfg ceps.Config, queryTimeout 
 	return mux
 }
 
-// queryStatus maps the library's error taxonomy onto HTTP statuses.
+// queryStatus maps the library's error taxonomy onto HTTP statuses. The
+// overload case is first: admission sheds wrap the deadline identities
+// (so callers' errors.Is deadline checks still match), but over HTTP the
+// actionable signal is "back off and retry", not "gateway timeout".
 func queryStatus(err error) int {
 	switch {
+	case errors.Is(err, ceps.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ceps.ErrUnavailable):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ceps.ErrBadQuery) || errors.Is(err, ceps.ErrBadConfig):
 		return http.StatusBadRequest
 	case errors.Is(err, ceps.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
@@ -106,27 +211,58 @@ func queryStatus(err error) int {
 	}
 }
 
+// retryAfterSeconds renders an admission controller's retry hint as a
+// Retry-After header value: whole seconds, rounded up, at least 1.
+func retryAfterSeconds(err error) string {
+	secs := int64(1)
+	if hint, ok := ceps.RetryAfterHint(err); ok && hint > 0 {
+		if s := int64(math.Ceil(hint.Seconds())); s > secs {
+			secs = s
+		}
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 func writeQueryError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", retryAfterSeconds(err))
+	}
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(queryError{Error: err.Error()})
 }
 
+// adminOptions assembles the admin mux options shared by serve mode and
+// -admin: retained traces, plus live resilience state (admission queue,
+// breaker) on /debug/vars when the engine has a resilience layer.
+func adminOptions(eng *ceps.Engine) []obs.AdminOption {
+	opts := []obs.AdminOption{obs.WithTraceStore(eng.TraceStore())}
+	if _, ok := eng.ResilienceStats(); ok {
+		opts = append(opts, obs.WithDebugVar("resilience", func() any {
+			st, _ := eng.ResilienceStats()
+			return st
+		}))
+	}
+	return opts
+}
+
 // serveListeners runs the query API on queryLn and, when adminLn is
 // non-nil, the admin surface (metrics, health, pprof) on adminLn, until
-// ctx is canceled; then both servers drain gracefully. It owns and closes
-// the listeners.
-func serveListeners(ctx context.Context, eng *ceps.Engine, g *ceps.Graph, cfg ceps.Config, queryTimeout time.Duration, queryLn, adminLn net.Listener, stderr io.Writer) int {
+// ctx is canceled; then both servers drain gracefully for up to grace.
+// It owns and closes the listeners.
+func serveListeners(ctx context.Context, eng *ceps.Engine, g *ceps.Graph, cfg ceps.Config, queryTimeout, grace time.Duration, queryLn, adminLn net.Listener, stderr io.Writer) int {
 	servers := []*http.Server{{
 		Handler:           newQueryMux(eng, g, cfg, queryTimeout),
 		ReadHeaderTimeout: 10 * time.Second,
+		MaxHeaderBytes:    1 << 20,
 	}}
 	listeners := []net.Listener{queryLn}
 	fmt.Fprintf(stderr, "serving queries on http://%s/query\n", queryLn.Addr())
 	if adminLn != nil {
 		servers = append(servers, &http.Server{
-			Handler:           obs.AdminMux(eng.Metrics(), obs.WithTraceStore(eng.TraceStore())),
+			Handler:           obs.AdminMux(eng.Metrics(), adminOptions(eng)...),
 			ReadHeaderTimeout: 10 * time.Second,
+			MaxHeaderBytes:    1 << 20,
 		})
 		listeners = append(listeners, adminLn)
 		fmt.Fprintf(stderr, "admin endpoint on http://%s/metrics\n", adminLn.Addr())
@@ -153,7 +289,7 @@ func serveListeners(ctx context.Context, eng *ceps.Engine, g *ceps.Graph, cfg ce
 			code = exitError
 		}
 	}
-	shCtx, cancel := context.WithTimeout(context.Background(), serveShutdownGrace)
+	shCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	for _, srv := range servers {
 		srv.Shutdown(shCtx)
@@ -165,16 +301,20 @@ func serveListeners(ctx context.Context, eng *ceps.Engine, g *ceps.Graph, cfg ce
 // returns its shutdown function. The endpoint exists so profiles and
 // metrics can be pulled from a long single run (a big pre-partition, a
 // wide batch) while it executes.
-func startAdmin(addr string, eng *ceps.Engine, stderr io.Writer) (stop func(), err error) {
+func startAdmin(addr string, eng *ceps.Engine, grace time.Duration, stderr io.Writer) (stop func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("admin endpoint: %w", err)
 	}
-	srv := &http.Server{Handler: obs.AdminMux(eng.Metrics(), obs.WithTraceStore(eng.TraceStore())), ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{
+		Handler:           obs.AdminMux(eng.Metrics(), adminOptions(eng)...),
+		ReadHeaderTimeout: 10 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 	go srv.Serve(ln)
 	fmt.Fprintf(stderr, "admin endpoint on http://%s/metrics\n", ln.Addr())
 	return func() {
-		shCtx, cancel := context.WithTimeout(context.Background(), serveShutdownGrace)
+		shCtx, cancel := context.WithTimeout(context.Background(), grace)
 		defer cancel()
 		srv.Shutdown(shCtx)
 	}, nil

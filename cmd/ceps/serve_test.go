@@ -97,7 +97,7 @@ func TestServeListeners(t *testing.T) {
 	var stderr bytes.Buffer
 	done := make(chan int, 1)
 	go func() {
-		done <- serveListeners(ctx, eng, g, ceps.DefaultConfig(), time.Second, queryLn, adminLn, &stderr)
+		done <- serveListeners(ctx, eng, g, ceps.DefaultConfig(), time.Second, defaultShutdownGrace, queryLn, adminLn, &stderr)
 	}()
 
 	resp, err := http.Get("http://" + queryLn.Addr().String() + "/query?q=Alice,Bob")

@@ -54,7 +54,7 @@ func TestTraceSmoke(t *testing.T) {
 	var stderr bytes.Buffer
 	done := make(chan int, 1)
 	go func() {
-		done <- serveListeners(ctx, eng, ds.Graph, cfg, time.Minute, queryLn, adminLn, &stderr)
+		done <- serveListeners(ctx, eng, ds.Graph, cfg, time.Minute, defaultShutdownGrace, queryLn, adminLn, &stderr)
 	}()
 
 	queryURL := fmt.Sprintf("http://%s/query?q=%d,%d",

@@ -28,10 +28,15 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "dataset scale (1.0 ≈ 4K authors, 80 ≈ paper's 315K)")
 		trials  = flag.Int("trials", 5, "random query draws averaged per data point")
 		seed    = flag.Int64("seed", 1, "random seed for dataset and query sampling")
-		exps    = flag.String("exp", "all", "comma-separated experiment ids: datastats,fig2,fig4,fig5,fig6,speedup,skew,kernel,inject,retrieval,scaling,steiner,all")
+		exps    = flag.String("exp", "all", "comma-separated experiment ids: datastats,fig2,fig4,fig5,fig6,speedup,skew,kernel,inject,retrieval,scaling,steiner,all; overload runs only when named explicitly")
 		iters   = flag.Int("rwr-iters", 50, "RWR power-iteration count m")
 		htmlOut = flag.String("html", "", "also write the regenerated figures as a self-contained HTML report")
 		jsonOut = flag.String("json", "", "also write every experiment's raw points as JSON")
+
+		overloadDur     = flag.Duration("overload-duration", 2*time.Second, "overload: closed-loop duration per arm")
+		overloadWorkers = flag.Int("overload-workers", 4, "overload: solve-pool workers (sets capacity)")
+		overloadClients = flag.Int("overload-clients", 64, "overload: closed-loop client count")
+		overloadOut     = flag.String("overload-out", "", "overload: also write the two-arm result as JSON to this file")
 	)
 	flag.Parse()
 
@@ -207,6 +212,35 @@ func main() {
 		}
 		return nil
 	})
+	// The overload experiment saturates the host on purpose (64 clients at
+	// 2x capacity), so it never rides along with -exp all: name it.
+	if want["overload"] {
+		run("overload", func() error {
+			r, err := experiments.Overload(s, *overloadWorkers, *overloadClients, 5*time.Millisecond, *overloadDur)
+			if err != nil {
+				return err
+			}
+			record("overload", r)
+			experiments.RenderOverload(os.Stdout, r)
+			if *overloadOut != "" {
+				f, err := os.Create(*overloadOut)
+				if err != nil {
+					return err
+				}
+				enc := json.NewEncoder(f)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(r); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("overload results written to %s\n", *overloadOut)
+			}
+			return nil
+		})
+	}
 	run("inject", func() error {
 		pts, err := experiments.Inject(s, 3, 20, []float64{5, 2, 1, 0.5, 0.1})
 		if err != nil {

@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"ceps/internal/core"
+	"ceps/internal/fault"
 	"ceps/internal/obs"
+	"ceps/internal/resilience"
 	"ceps/internal/rwr"
 )
 
@@ -30,13 +32,16 @@ import (
 type Engine struct {
 	g *Graph
 
-	mu     sync.RWMutex
-	cfg    Config
-	pt     *Partitioned
-	runner *core.Runner // lazily built for cfg.RWR, serving-attached
+	mu       sync.RWMutex
+	cfg      Config
+	pt       *Partitioned
+	runner   *core.Runner // lazily built for cfg.RWR, serving-attached
+	dgRunner *core.Runner // lazily built for the degraded (relaxed-Tol) RWR config
 
 	cache *rwr.ScoreCache // nil when caching is off
 	pool  *rwr.Pool       // never nil
+
+	res *resilience.Controller // nil when resilience is off (the default)
 
 	metrics *engineMetrics // never nil
 	slow    *obs.SlowLog   // nil when no slow-query log is attached
@@ -58,6 +63,7 @@ type engineConfig struct {
 	slowW      io.Writer
 	slowThresh time.Duration
 	tracing    *TracingOptions
+	resilience *ResilienceOptions
 }
 
 // WithConfig sets the pipeline configuration (default: DefaultConfig).
@@ -169,6 +175,24 @@ func WithTracing(o TracingOptions) Option {
 	}
 }
 
+// WithResilience enables the serving-protection layer: a bounded,
+// deadline-aware admission queue with CoDel shedding in front of every
+// query path (rejections carry ErrOverloaded with a Retry-After hint), and
+// a circuit breaker that routes queries to relaxed-tolerance degraded
+// answers (marked on Result.Degraded) when the normal path is failing or
+// saturated. The zero Options value picks defaults sized from the engine's
+// worker bound. Without this option the engine admits everything
+// unconditionally and answers are bit-identical to earlier versions.
+func WithResilience(o ResilienceOptions) Option {
+	return func(ec *engineConfig) error {
+		if err := o.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		ec.resilience = &o
+		return nil
+	}
+}
+
 // NewEngine creates an engine over g. With no options it answers
 // full-graph queries under DefaultConfig with no score cache and a
 // GOMAXPROCS solve bound.
@@ -206,6 +230,28 @@ func NewEngine(g *Graph, opts ...Option) (*Engine, error) {
 	// The tracer must exist before the registry: the ceps_traces_* counter
 	// funcs read it at scrape time (and read zero from a nil tracer).
 	e.metrics = newEngineMetrics(e.CacheStats, ec.workers, e.tracer)
+	if ec.resilience != nil {
+		// The admission controller's deadline budget is driven by the live
+		// p90 of end-to-end latency, so the estimate tracks the workload
+		// (and the degraded path's cheaper solves) without configuration.
+		ctrl, err := resilience.New(*ec.resilience, ec.workers,
+			func() time.Duration {
+				return time.Duration(e.metrics.durTotal.Quantile(0.9) * float64(time.Second))
+			},
+			func(d time.Duration) { e.metrics.queueResidence.Observe(d.Seconds()) })
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		e.res = ctrl
+	}
+	// Resilience series are registered unconditionally (zero-valued when
+	// the layer is off) so dashboards never lose the family.
+	e.metrics.attachResilience(func() ResilienceStats {
+		if e.res == nil {
+			return ResilienceStats{BreakerState: resilience.StateClosed.String()}
+		}
+		return e.res.Stats()
+	})
 	if ec.slowW != nil {
 		e.slow = obs.NewSlowLog(ec.slowW, ec.slowThresh)
 	}
@@ -271,6 +317,7 @@ func (e *Engine) setConfig(cfg Config) {
 	e.cfg = cfg
 	if rwrChanged {
 		e.runner = nil
+		e.dgRunner = nil
 	}
 	e.mu.Unlock()
 	if rwrChanged && e.cache != nil {
@@ -389,10 +436,13 @@ func (e *Engine) Prepare() error {
 // runner rather than an error.
 func (e *Engine) runnerFor(rc RWRConfig) (*core.Runner, error) {
 	e.mu.RLock()
-	r := e.runner
+	r, dr := e.runner, e.dgRunner
 	e.mu.RUnlock()
 	if r != nil && r.RWRConfig() == rc {
 		return r, nil
+	}
+	if dr != nil && dr.RWRConfig() == rc {
+		return dr, nil
 	}
 	nr, err := core.NewRunner(e.g, rc)
 	if err != nil {
@@ -401,11 +451,20 @@ func (e *Engine) runnerFor(rc RWRConfig) (*core.Runner, error) {
 	nr.WithServing(e.serving())
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.cfg.RWR == rc {
+	switch {
+	case e.cfg.RWR == rc:
 		if e.runner != nil && e.runner.RWRConfig() == rc {
 			return e.runner, nil // another goroutine won the build race
 		}
 		e.runner = nr
+	case e.res != nil && degradedRWR(e.cfg.RWR, e.res.Options()) == rc:
+		// The breaker's degraded config gets its own published runner —
+		// otherwise every degraded query would pay the O(M) matrix
+		// normalization, defeating the point of a cheap fallback path.
+		if e.dgRunner != nil && e.dgRunner.RWRConfig() == rc {
+			return e.dgRunner, nil
+		}
+		e.dgRunner = nr
 	}
 	return nr, nil
 }
@@ -453,9 +512,45 @@ func (e *Engine) queryWith(ctx context.Context, cfg Config, pt *Partitioned, que
 	start := time.Now()
 	qctx, span := e.querySpan(ctx)
 	span.SetAttr(obs.Int("queries", len(queries)), obs.Int("k", cfg.EffectiveK(len(queries))))
+	// Resilience gate: admission first (bounded queue, deadline budget,
+	// CoDel), then the breaker's routing decision. Both are skipped —
+	// leaving answers bit-identical — when WithResilience was not given.
+	var (
+		release  func()
+		probe    bool
+		degraded *core.Degradation
+	)
+	if e.res != nil {
+		var err error
+		release, err = e.res.Admit(qctx)
+		if err != nil {
+			span.SetAttr(obs.Str("shed", fault.ShedReason(err)))
+			span.SetError(err)
+			span.End()
+			return nil, err
+		}
+		switch e.res.Route() {
+		case resilience.RouteProbe:
+			probe = true
+		case resilience.RouteDegrade:
+			if e.res.Options().NoDegrade {
+				release()
+				err := fmt.Errorf("%w: circuit breaker open", ErrUnavailable)
+				e.metrics.errCounter(err).Inc()
+				span.SetAttr(obs.Str("shed", "breaker_open"))
+				span.SetError(err)
+				span.End()
+				return nil, err
+			}
+			cfg, degraded = degradeConfig(cfg, e.res.Options())
+		}
+	}
 	e.metrics.inflight.Add(1)
 	res, err := func() (*Result, error) {
 		defer e.metrics.inflight.Add(-1) // runs even when the pipeline panics
+		if release != nil {
+			defer release()
+		}
 		if len(queries) == 0 {
 			return nil, fmt.Errorf("%w: no query nodes given", ErrBadQuery)
 		}
@@ -468,6 +563,12 @@ func (e *Engine) queryWith(ctx context.Context, cfg Config, pt *Partitioned, que
 		}
 		return runner.QueryCtx(qctx, queries, cfg)
 	}()
+	if e.res != nil {
+		e.res.Observe(breakerFailure(err), probe)
+	}
+	if degraded != nil && err == nil && res != nil {
+		res.Degraded = degraded
+	}
 	elapsed := time.Since(start)
 	traceID := span.TraceID()
 	if res != nil {
@@ -482,12 +583,78 @@ func (e *Engine) queryWith(ctx context.Context, cfg Config, pt *Partitioned, que
 		if res.Fallback != nil {
 			span.SetAttr(obs.Str("fallback", res.Fallback.Reason))
 		}
+		if res.Degraded != nil {
+			span.SetAttr(obs.Str("degraded", res.Degraded.Mode),
+				obs.Str("degraded_reason", res.Degraded.Reason))
+		}
 	}
 	span.SetError(err)
 	span.End()
 	e.metrics.observeQuery(res, err, elapsed, pt != nil)
 	e.recordSlow(queries, res, err, elapsed, pt != nil, traceID)
 	return res, err
+}
+
+// degradedRWR relaxes an RWR config to the breaker's cheap fallback shape:
+// tolerance loosened to at least DegradedTol (so early stopping bites after
+// a handful of sweeps) and iterations capped at DegradedIterations.
+func degradedRWR(rc RWRConfig, o ResilienceOptions) RWRConfig {
+	if rc.Tol < o.DegradedTol {
+		rc.Tol = o.DegradedTol
+	}
+	if rc.Iterations > o.DegradedIterations {
+		rc.Iterations = o.DegradedIterations
+	}
+	return rc
+}
+
+// degradeConfig applies degradedRWR to a query's config snapshot and
+// builds the Degradation marker the result will carry. The relaxed config
+// has a different fingerprint, so cached degraded vectors live in their own
+// key space and can never be served to full-fidelity queries.
+func degradeConfig(cfg Config, o ResilienceOptions) (Config, *core.Degradation) {
+	cfg.RWR = degradedRWR(cfg.RWR, o)
+	return cfg, &core.Degradation{
+		Mode: "relaxed_tol",
+		Reason: fmt.Sprintf("circuit breaker open: solved with tol=%g, iterations<=%d",
+			cfg.RWR.Tol, cfg.RWR.Iterations),
+	}
+}
+
+// breakerFailure classifies a query outcome for the circuit breaker.
+// Caller mistakes (bad query/config) and caller hang-ups (pure
+// cancellation) say nothing about service health; everything else —
+// deadline misses, divergence, internal errors, pool-wait sheds — counts
+// as a failure.
+func breakerFailure(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrBadQuery), errors.Is(err, ErrBadConfig):
+		return false
+	case errors.Is(err, ErrCanceled) && !errors.Is(err, ErrDeadlineExceeded):
+		return false
+	default:
+		return true
+	}
+}
+
+// ResilienceStats snapshots the resilience controller's counters; ok is
+// false when the engine was built without WithResilience.
+func (e *Engine) ResilienceStats() (ResilienceStats, bool) {
+	if e.res == nil {
+		return ResilienceStats{}, false
+	}
+	return e.res.Stats(), true
+}
+
+// BreakerState returns the circuit breaker's current state (BreakerClosed
+// when resilience is off).
+func (e *Engine) BreakerState() BreakerState {
+	if e.res == nil {
+		return BreakerClosed
+	}
+	return e.res.BreakerState()
 }
 
 // querySpan opens the per-query span: nested under the caller's span when

@@ -49,6 +49,11 @@ type Result struct {
 	// records why. Plain CePS results always have a nil Fallback.
 	Fallback *Fallback
 
+	// Degraded is non-nil when the answer was produced at reduced fidelity
+	// — by the resilience layer's relaxed-tolerance path or the full-graph
+	// fallback — and records the mode and reason.
+	Degraded *Degradation
+
 	// Stages attributes Elapsed to the pipeline stages of the paper's cost
 	// model (Step 1 solve, Step 2 combine, Step 3 EXTRACT, plus the Fast
 	// CePS union preparation). Engines aggregate these into per-stage
@@ -116,8 +121,25 @@ func (f *Fallback) String() string {
 	return fmt.Sprintf("%s → %s (%s)", f.From, f.To, f.Reason)
 }
 
-// Degraded reports whether the result was produced by a fallback path.
-func (r *Result) Degraded() bool { return r.Fallback != nil }
+// Degradation records that the answer was produced at reduced fidelity and
+// why. Distinct from Fallback (a different execution path at full
+// fidelity): a degraded result may rank teams slightly differently than the
+// full-fidelity pipeline would, and callers that cannot accept that must
+// check this field.
+type Degradation struct {
+	// Mode names the fidelity reduction: "relaxed_tol" (circuit breaker
+	// routed the query to a loosened-tolerance, iteration-capped solve) or
+	// "full_graph_fallback" (Fast CePS union was unusable; answered on the
+	// full graph, exact but off the fast path).
+	Mode string
+	// Reason says what forced the degradation.
+	Reason string
+}
+
+// String renders the degradation for logs.
+func (d *Degradation) String() string {
+	return fmt.Sprintf("%s (%s)", d.Mode, d.Reason)
+}
 
 // Converged reports whether every per-query random-walk solve converged
 // (vacuously true when no diagnostics were recorded).

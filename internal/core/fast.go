@@ -120,6 +120,7 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 		res.Queries = append([]int(nil), queries...)
 		res.WorkQueries = append([]int(nil), queries...)
 		res.Fallback = &Fallback{From: "fast-ceps", To: "full-ceps", Reason: why}
+		res.Degraded = &Degradation{Mode: "full_graph_fallback", Reason: why}
 		res.Stages.Partition = unionDur
 		res.Elapsed = time.Since(start)
 		return res, nil
@@ -188,6 +189,9 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 // reason means the union cannot answer the query and the caller should
 // fall back to the full graph.
 func (pt *Partitioned) queryUnion(queries []int) (work *graph.Graph, toOrig []int, workQueries []int, parts []int, reason string) {
+	if inj := fault.ActiveInjector(); inj != nil && inj.Fire(fault.InjectPartitionDegenerate) {
+		return nil, nil, nil, nil, "injected partition degeneracy"
+	}
 	if pt.Partition == nil {
 		return nil, nil, nil, nil, "no partition state (partitioner failed or was never run)"
 	}

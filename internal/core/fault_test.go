@@ -42,8 +42,11 @@ func TestFastCePSFallbackOnPartitionerFailure(t *testing.T) {
 	if err != nil {
 		t.Fatalf("degraded query should succeed, got %v", err)
 	}
-	if res.Fallback == nil || !res.Degraded() {
+	if res.Fallback == nil || res.Degraded == nil {
 		t.Fatal("fallback not recorded")
+	}
+	if res.Degraded.Mode != "full_graph_fallback" {
+		t.Errorf("Degraded = %+v, want full_graph_fallback", res.Degraded)
 	}
 	if res.Fallback.From != "fast-ceps" || res.Fallback.To != "full-ceps" {
 		t.Errorf("fallback = %+v", res.Fallback)

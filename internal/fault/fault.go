@@ -18,6 +18,14 @@
 //     returning this, but it is exposed for callers that disable fallback.
 //   - ErrInternal: a panic crossed the public Engine boundary and was
 //     converted to an error.
+//   - ErrOverloaded: the serving layer refused or abandoned the work to
+//     protect itself — admission-queue rejection, CoDel shed, or a solve-pool
+//     wait the caller's deadline could not survive. Always carried by an
+//     *OverloadError, which names the shed reason and a retry hint.
+//   - ErrUnavailable: the circuit breaker is open and degraded answering is
+//     disabled, so the engine has nothing to serve.
+//   - ErrInjected: a chaos-test fault injector (see inject.go) fired; never
+//     produced outside an armed Injector.
 //
 // The sentinels live in an internal leaf package (importable from linalg
 // upward without cycles) and are re-exported by the root ceps package.
@@ -27,6 +35,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 var (
@@ -48,7 +57,74 @@ var (
 	ErrDegeneratePartition = errors.New("ceps: degenerate partition union")
 	// ErrInternal marks a panic recovered at the public API boundary.
 	ErrInternal = errors.New("ceps: internal error")
+	// ErrOverloaded marks work the serving layer shed to protect itself.
+	ErrOverloaded = errors.New("ceps: overloaded")
+	// ErrUnavailable marks a query refused because the circuit breaker is
+	// open and degraded answering is disabled.
+	ErrUnavailable = errors.New("ceps: service unavailable")
+	// ErrInjected marks a fault fired by the chaos injector.
+	ErrInjected = errors.New("ceps: injected fault")
 )
+
+// OverloadError is the typed rejection of the load-shedding layer. It
+// satisfies errors.Is(err, ErrOverloaded) and, when a context death caused
+// the shed, the usual context identities too (via the wrapped Err).
+type OverloadError struct {
+	// Reason names the shed point: "queue_full", "deadline_budget",
+	// "codel", "queue_wait" (context fired while queued for admission), or
+	// "pool_wait" (context fired while queued for a solve slot).
+	Reason string
+	// RetryAfter is a hint for how long the caller should back off before
+	// retrying (0 = no estimate). HTTP handlers surface it as Retry-After.
+	RetryAfter time.Duration
+	// Err is the underlying cause (e.g. the fired context error); may be nil.
+	Err error
+}
+
+// Error renders the overload with its reason and cause.
+func (e *OverloadError) Error() string {
+	msg := fmt.Sprintf("%s (%s)", ErrOverloaded.Error(), e.Reason)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes both the overload sentinel and the underlying cause, so a
+// pool-wait shed under a deadline matches ErrOverloaded and
+// ErrDeadlineExceeded/context.DeadlineExceeded alike.
+func (e *OverloadError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrOverloaded, e.Err}
+	}
+	return []error{ErrOverloaded}
+}
+
+// Overload builds an OverloadError. reason should be one of the stable
+// Reason values documented on OverloadError (metrics label them).
+func Overload(reason string, retryAfter time.Duration, err error) *OverloadError {
+	return &OverloadError{Reason: reason, RetryAfter: retryAfter, Err: err}
+}
+
+// ShedReason extracts the shed reason from an overload error chain, or ""
+// when err does not carry an OverloadError.
+func ShedReason(err error) string {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return oe.Reason
+	}
+	return ""
+}
+
+// RetryAfterHint extracts the backoff hint from an overload error chain.
+// ok is false when err carries no OverloadError or no estimate.
+func RetryAfterHint(err error) (d time.Duration, ok bool) {
+	var oe *OverloadError
+	if errors.As(err, &oe) && oe.RetryAfter > 0 {
+		return oe.RetryAfter, true
+	}
+	return 0, false
+}
 
 // FromContext converts a fired context into the taxonomy: the returned
 // error satisfies errors.Is for both the ceps sentinel (ErrCanceled or

@@ -1,0 +1,220 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the chaos fault-injection harness: a process-global,
+// atomically swappable Injector that the serving hot paths consult at a
+// handful of fixed points. The cost model mirrors the nil-safe tracing
+// span: when no injector is armed, every hook site is one atomic pointer
+// load and a nil check — nothing is allocated and no clock is read — so
+// production binaries pay effectively nothing for carrying the hooks.
+//
+// Chaos tests arm an Injector with SetActiveInjector (which returns a
+// restore func), drive queries, and then assert (a) the typed error or
+// degraded answer the fault must surface as and (b) Fired counts proving
+// the injection actually exercised the path under test.
+
+// InjectionPoint names one instrumented fault site in the pipeline.
+type InjectionPoint int
+
+const (
+	// InjectSolveDelay pauses at the entry of a random-walk solve
+	// (context-aware: a fired deadline cuts the pause short).
+	InjectSolveDelay InjectionPoint = iota
+	// InjectSolveError fails a random-walk solve with a typed error.
+	InjectSolveError
+	// InjectSolveNaN poisons the first power-iteration sweep with a NaN so
+	// the solver's non-finite guard must surface ErrDiverged — the "silent
+	// wrong answer" probe.
+	InjectSolveNaN
+	// InjectCacheFail fails the score-cache serving path.
+	InjectCacheFail
+	// InjectPoolStarve makes a solve-pool acquisition block until the
+	// caller's context fires (a wedged pool slot).
+	InjectPoolStarve
+	// InjectPartitionDegenerate forces the Fast CePS partition union to
+	// report itself degenerate, exercising the full-graph fallback.
+	InjectPartitionDegenerate
+
+	numInjectionPoints
+)
+
+// String names the point for test output and fired-count maps.
+func (p InjectionPoint) String() string {
+	switch p {
+	case InjectSolveDelay:
+		return "solve_delay"
+	case InjectSolveError:
+		return "solve_error"
+	case InjectSolveNaN:
+		return "solve_nan"
+	case InjectCacheFail:
+		return "cache_fail"
+	case InjectPoolStarve:
+		return "pool_starve"
+	case InjectPartitionDegenerate:
+		return "partition_degenerate"
+	default:
+		return fmt.Sprintf("InjectionPoint(%d)", int(p))
+	}
+}
+
+// InjectionPoints lists every instrumented point (for exhaustive chaos
+// sweeps).
+func InjectionPoints() []InjectionPoint {
+	pts := make([]InjectionPoint, numInjectionPoints)
+	for i := range pts {
+		pts[i] = InjectionPoint(i)
+	}
+	return pts
+}
+
+// Injection arms one point.
+type Injection struct {
+	// Point selects the fault site.
+	Point InjectionPoint
+	// P is the per-evaluation fire probability; values outside (0,1) mean
+	// "always fire".
+	P float64
+	// Delay is the pause for InjectSolveDelay.
+	Delay time.Duration
+	// Err overrides the error returned by error-kind points; nil wraps
+	// ErrInjected with the point name.
+	Err error
+	// Count caps how many times the point fires (0 = unlimited). Chaos
+	// tests use it to model transient faults the breaker should recover
+	// from.
+	Count int64
+}
+
+// Injector evaluates armed injections and counts fires per point. Safe for
+// concurrent use by any number of solves.
+type Injector struct {
+	arms      [numInjectionPoints]*Injection
+	remaining [numInjectionPoints]atomic.Int64 // only read when arm.Count > 0
+	fired     [numInjectionPoints]atomic.Int64
+	rng       atomic.Uint64 // xorshift state for probabilistic arms
+}
+
+// NewInjector arms the given injections. Arming the same point twice keeps
+// the last one.
+func NewInjector(injs ...Injection) *Injector {
+	i := &Injector{}
+	i.rng.Store(0x9E3779B97F4A7C15)
+	for _, inj := range injs {
+		if inj.Point < 0 || inj.Point >= numInjectionPoints {
+			continue
+		}
+		cp := inj
+		i.arms[inj.Point] = &cp
+		i.remaining[inj.Point].Store(inj.Count)
+	}
+	return i
+}
+
+// Fired returns how many times the point has fired.
+func (i *Injector) Fired(p InjectionPoint) int64 {
+	if i == nil || p < 0 || p >= numInjectionPoints {
+		return 0
+	}
+	return i.fired[p].Load()
+}
+
+// FiredCounts snapshots every point's fire count, keyed by point name.
+func (i *Injector) FiredCounts() map[string]int64 {
+	out := make(map[string]int64, numInjectionPoints)
+	for p := InjectionPoint(0); p < numInjectionPoints; p++ {
+		out[p.String()] = i.Fired(p)
+	}
+	return out
+}
+
+// roll draws a uniform [0,1) float from the lock-free xorshift state.
+func (i *Injector) roll() float64 {
+	for {
+		old := i.rng.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if i.rng.CompareAndSwap(old, x) {
+			return float64(x>>11) / float64(1<<53)
+		}
+	}
+}
+
+// fire evaluates one point: nil when unarmed, the coin says no, or the
+// fire-count budget is spent. A non-nil return is a recorded fire.
+func (i *Injector) fire(p InjectionPoint) *Injection {
+	if i == nil {
+		return nil
+	}
+	inj := i.arms[p]
+	if inj == nil {
+		return nil
+	}
+	if inj.P > 0 && inj.P < 1 && i.roll() >= inj.P {
+		return nil
+	}
+	if inj.Count > 0 && i.remaining[p].Add(-1) < 0 {
+		return nil
+	}
+	i.fired[p].Add(1)
+	return inj
+}
+
+// Fire evaluates a point and reports whether it fired. Used by sites whose
+// fault shape is intrinsic (NaN poisoning, degenerate unions).
+func (i *Injector) Fire(p InjectionPoint) bool { return i.fire(p) != nil }
+
+// Err evaluates an error-kind point: the armed error (or an ErrInjected
+// wrapper) when it fires, nil otherwise.
+func (i *Injector) Err(p InjectionPoint) error {
+	inj := i.fire(p)
+	if inj == nil {
+		return nil
+	}
+	if inj.Err != nil {
+		return inj.Err
+	}
+	return fmt.Errorf("%w: %s", ErrInjected, p)
+}
+
+// Delay evaluates a delay-kind point: when it fires, sleep the armed
+// duration honoring ctx (a fired context cuts the pause and returns its
+// taxonomy error). Unarmed or zero delays return nil immediately.
+func (i *Injector) Delay(ctx context.Context, p InjectionPoint) error {
+	inj := i.fire(p)
+	if inj == nil || inj.Delay <= 0 {
+		return nil
+	}
+	t := time.NewTimer(inj.Delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return FromContext(ctx)
+	}
+}
+
+// active is the process-global injector; nil (the steady state) means no
+// chaos is armed and every hook site is one atomic load + nil check.
+var active atomic.Pointer[Injector]
+
+// ActiveInjector returns the armed injector, nil when chaos is off.
+func ActiveInjector() *Injector { return active.Load() }
+
+// SetActiveInjector arms i globally and returns a restore func that
+// reinstates the previous injector. Tests must defer the restore; arming is
+// process-wide, so chaos tests using it cannot run in parallel with each
+// other.
+func SetActiveInjector(i *Injector) (restore func()) {
+	prev := active.Swap(i)
+	return func() { active.Store(prev) }
+}

@@ -1,0 +1,129 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInjectorNilSafe(t *testing.T) {
+	var i *Injector
+	if i.Fire(InjectSolveNaN) {
+		t.Error("nil injector fired")
+	}
+	if err := i.Err(InjectSolveError); err != nil {
+		t.Errorf("nil injector Err = %v", err)
+	}
+	if err := i.Delay(context.Background(), InjectSolveDelay); err != nil {
+		t.Errorf("nil injector Delay = %v", err)
+	}
+	if n := i.Fired(InjectSolveNaN); n != 0 {
+		t.Errorf("nil injector Fired = %d", n)
+	}
+	if ActiveInjector() != nil {
+		t.Error("ActiveInjector non-nil with no chaos armed")
+	}
+}
+
+func TestInjectorErrAndCount(t *testing.T) {
+	i := NewInjector(Injection{Point: InjectSolveError, Count: 2})
+	for n := 0; n < 2; n++ {
+		err := i.Err(InjectSolveError)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("fire %d: err = %v, want ErrInjected", n, err)
+		}
+	}
+	if err := i.Err(InjectSolveError); err != nil {
+		t.Fatalf("count-exhausted Err = %v, want nil", err)
+	}
+	if n := i.Fired(InjectSolveError); n != 2 {
+		t.Errorf("Fired = %d, want 2", n)
+	}
+	// Custom error passes through unwrapped.
+	sentinel := errors.New("boom")
+	j := NewInjector(Injection{Point: InjectCacheFail, Err: sentinel})
+	if err := j.Err(InjectCacheFail); !errors.Is(err, sentinel) {
+		t.Errorf("custom Err = %v, want sentinel", err)
+	}
+}
+
+func TestInjectorProbability(t *testing.T) {
+	i := NewInjector(Injection{Point: InjectSolveNaN, P: 0.5})
+	fired := 0
+	for n := 0; n < 1000; n++ {
+		if i.Fire(InjectSolveNaN) {
+			fired++
+		}
+	}
+	if fired < 350 || fired > 650 {
+		t.Errorf("P=0.5 fired %d/1000, want ~500", fired)
+	}
+}
+
+func TestInjectorDelayHonorsContext(t *testing.T) {
+	i := NewInjector(Injection{Point: InjectSolveDelay, Delay: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := i.Delay(ctx, InjectSolveDelay)
+	if !errors.Is(err, ErrDeadlineExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("interrupted Delay err = %v, want deadline identities", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("Delay blocked %v despite fired context", el)
+	}
+}
+
+func TestSetActiveInjectorRestore(t *testing.T) {
+	i := NewInjector(Injection{Point: InjectPoolStarve})
+	restore := SetActiveInjector(i)
+	if ActiveInjector() != i {
+		t.Fatal("ActiveInjector did not return armed injector")
+	}
+	restore()
+	if ActiveInjector() != nil {
+		t.Fatal("restore did not clear the injector")
+	}
+}
+
+func TestInjectionPointNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range InjectionPoints() {
+		name := p.String()
+		if name == "" || seen[name] {
+			t.Errorf("point %d: bad or duplicate name %q", p, name)
+		}
+		seen[name] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("expected 6 injection points, got %d", len(seen))
+	}
+}
+
+func TestOverloadError(t *testing.T) {
+	base := FromContext(expiredCtx())
+	err := Overload("pool_wait", 0, base)
+	if !errors.Is(err, ErrOverloaded) || !errors.Is(err, ErrDeadlineExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("overload identities wrong: %v", err)
+	}
+	if r := ShedReason(err); r != "pool_wait" {
+		t.Errorf("ShedReason = %q", r)
+	}
+	if _, ok := RetryAfterHint(err); ok {
+		t.Error("RetryAfterHint ok with zero hint")
+	}
+	hinted := Overload("queue_full", 250*time.Millisecond, nil)
+	if d, ok := RetryAfterHint(hinted); !ok || d != 250*time.Millisecond {
+		t.Errorf("RetryAfterHint = %v/%v", d, ok)
+	}
+	if ShedReason(errors.New("plain")) != "" {
+		t.Error("ShedReason on non-overload error")
+	}
+}
+
+func expiredCtx() context.Context {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	cancel()
+	return ctx
+}

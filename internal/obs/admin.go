@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 )
@@ -19,12 +21,55 @@ type AdminOption func(*adminConfig)
 
 type adminConfig struct {
 	traces *TraceStore
+	vars   []debugVar
+}
+
+type debugVar struct {
+	name string
+	fn   func() any
 }
 
 // WithTraceStore mounts the trace endpoints (/debug/traces and
 // /debug/traces/view) backed by ts. A nil store leaves them unmounted.
 func WithTraceStore(ts *TraceStore) AdminOption {
 	return func(c *adminConfig) { c.traces = ts }
+}
+
+// WithDebugVar adds a named variable to /debug/vars alongside the standard
+// expvar set (cmdline, memstats). fn is called at scrape time and its
+// result JSON-encoded; it must be safe for concurrent use. Engines use it
+// to expose live breaker and admission-queue state.
+func WithDebugVar(name string, fn func() any) AdminOption {
+	return func(c *adminConfig) { c.vars = append(c.vars, debugVar{name: name, fn: fn}) }
+}
+
+// debugVarsHandler renders the expvar set plus the configured extra vars
+// as one JSON object, mirroring expvar.Handler's output format.
+func debugVarsHandler(vars []debugVar) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+		})
+		for _, v := range vars {
+			b, err := json.Marshal(v.fn())
+			if err != nil {
+				b = []byte(fmt.Sprintf("%q", "error: "+err.Error()))
+			}
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "%q: %s", v.name, b)
+		}
+		fmt.Fprintf(w, "\n}\n")
+	})
 }
 
 // AdminMux builds the operator-facing endpoint an engine process exposes
@@ -34,7 +79,8 @@ func WithTraceStore(ts *TraceStore) AdminOption {
 //
 //	/metrics            Prometheus text exposition of reg
 //	/healthz            200 "ok" liveness probe
-//	/debug/vars         expvar JSON (includes Go memstats)
+//	/debug/vars         expvar JSON (Go memstats plus any WithDebugVar
+//	                    extras, e.g. breaker and admission-queue state)
 //	/debug/pprof        net/http/pprof profiles (heap, goroutine, CPU, trace)
 //	/debug/traces       sampled request traces as JSON (?id= detail,
 //	                    ?min_ms= filter, ?limit= capped at the ring size)
@@ -52,7 +98,11 @@ func AdminMux(reg *Registry, opts ...AdminOption) *http.ServeMux {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
 	})
-	mux.Handle("/debug/vars", expvar.Handler())
+	if len(cfg.vars) > 0 {
+		mux.Handle("/debug/vars", debugVarsHandler(cfg.vars))
+	} else {
+		mux.Handle("/debug/vars", expvar.Handler())
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -62,5 +63,43 @@ func TestAdminEndpointSmoke(t *testing.T) {
 	}
 	if code, _ := get("/debug/pprof/goroutine?debug=1"); code != http.StatusOK {
 		t.Fatalf("/debug/pprof/goroutine = %d", code)
+	}
+}
+
+func TestAdminMuxWithDebugVar(t *testing.T) {
+	reg := NewRegistry()
+	type state struct {
+		Breaker string `json:"breaker_state"`
+		Depth   int    `json:"queue_depth"`
+	}
+	srv := httptest.NewServer(AdminMux(reg,
+		WithDebugVar("resilience", func() any { return state{Breaker: "closed", Depth: 2} })))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	// The merged handler must stay valid JSON and include both the
+	// standard expvar set and the custom var.
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal(body, &all); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v\n%s", err, body)
+	}
+	if _, ok := all["memstats"]; !ok {
+		t.Error("/debug/vars lost the standard memstats var")
+	}
+	raw, ok := all["resilience"]
+	if !ok {
+		t.Fatalf("/debug/vars missing custom var: %s", body)
+	}
+	var got state
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("resilience var: %v", err)
+	}
+	if got.Breaker != "closed" || got.Depth != 2 {
+		t.Errorf("resilience var = %+v", got)
 	}
 }

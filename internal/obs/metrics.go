@@ -248,6 +248,42 @@ func (h *Histogram) Sum() float64 {
 	return s
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket
+// cumulative counts with linear interpolation inside the winning bucket.
+// With no observations it returns 0; when the quantile lands in the +Inf
+// tail it returns the largest finite bound (a deliberate underestimate —
+// good enough for admission budgeting, which only needs scale).
+func (h *Histogram) Quantile(q float64) float64 {
+	cum, count, _ := h.snapshot()
+	if count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count)
+	for i, c := range cum {
+		if float64(c) < rank {
+			continue
+		}
+		if i >= len(h.upper) {
+			return h.upper[len(h.upper)-1] // +Inf tail
+		}
+		lo, loCum := 0.0, uint64(0)
+		if i > 0 {
+			lo, loCum = h.upper[i-1], cum[i-1]
+		}
+		inBucket := float64(c - loCum)
+		if inBucket <= 0 {
+			return h.upper[i]
+		}
+		return lo + (h.upper[i]-lo)*(rank-float64(loCum))/inBucket
+	}
+	return h.upper[len(h.upper)-1]
+}
+
 // Histogram returns (registering on first use) the histogram for
 // name+labels with the given upper bounds. Bounds are sorted and
 // deduplicated; +Inf is implicit. An empty bucket list panics.

@@ -57,6 +57,48 @@ func TestHistogramBucketing(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{0.01, 0.1, 1})
+
+	// Empty histogram: no estimate.
+	if q := h.Quantile(0.9); q != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", q)
+	}
+
+	// 100 observations spread uniformly in (0, 0.01]: every quantile must
+	// land inside the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 10000)
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 0.01 {
+		t.Fatalf("p50 = %v, want in (0, 0.01]", q)
+	}
+
+	// Push 100 more into the (0.1, 1] bucket: p90 now interpolates there.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	if q := h.Quantile(0.9); q <= 0.1 || q > 1 {
+		t.Fatalf("p90 = %v, want in (0.1, 1]", q)
+	}
+	// Quantile is monotone in q.
+	if h.Quantile(0.99) < h.Quantile(0.5) {
+		t.Fatal("Quantile not monotone")
+	}
+
+	// +Inf tail values clamp to the largest finite bound.
+	h2 := r.Histogram("lat2", "latency", []float64{0.01})
+	h2.Observe(5)
+	if q := h2.Quantile(0.9); q != 0.01 {
+		t.Fatalf("tail Quantile = %v, want 0.01 (largest finite bound)", q)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if h2.Quantile(-1) < 0 || h2.Quantile(2) != h2.Quantile(1) {
+		t.Fatal("q clamp broken")
+	}
+}
+
 func TestHistogramConcurrentObserve(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat", "latency", DurationBuckets())

@@ -33,6 +33,9 @@ type SlowQueryEntry struct {
 	CacheMisses int `json:"cache_misses"`
 	// Fallback is the degradation reason when Path is "fast_fallback".
 	Fallback string `json:"fallback,omitempty"`
+	// Degraded is the fidelity-reduction mode ("relaxed_tol",
+	// "full_graph_fallback") when the answer was degraded.
+	Degraded string `json:"degraded,omitempty"`
 	// TraceID links the entry to its retained trace in /debug/traces?id=
 	// (empty when tracing is off or the trace was not sampled).
 	TraceID string `json:"trace_id,omitempty"`

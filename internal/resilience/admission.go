@@ -1,0 +1,202 @@
+package resilience
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ceps/internal/fault"
+)
+
+// admitter is the bounded, deadline-aware admission queue. Invariant: a
+// waiter only enqueues when every concurrency slot is busy, and release
+// hands its slot directly to the queue head (slot transfer), so the queue
+// is non-empty only while running == MaxConcurrent.
+type admitter struct {
+	opts      Options
+	estimate  func() time.Duration // current per-query service estimate; may be nil
+	residence func(time.Duration)  // queue-residence observer; may be nil
+	saturated func()               // called on queue-pressure sheds (feeds breaker)
+
+	mu         sync.Mutex
+	running    int
+	queue      *list.List // of *waiter, FIFO
+	aboveSince time.Time  // CoDel: head residence continuously above target since
+
+	admitted           atomic.Int64
+	shedQueueFull      atomic.Int64
+	shedDeadlineBudget atomic.Int64
+	shedCoDel          atomic.Int64
+	shedQueueWait      atomic.Int64
+}
+
+// waiter is one queued admission request. The granter (a releasing query)
+// resolves it by sending on ready: nil transfers the slot, an overload
+// error sheds it. el is nilled under the lock exactly when the waiter is
+// removed from the queue, so the ctx-fired path can tell "still queued"
+// from "already resolved".
+type waiter struct {
+	ready chan error // buffered 1
+	enq   time.Time
+	el    *list.Element
+}
+
+func newAdmitter(opts Options, estimate func() time.Duration, residence func(time.Duration), saturated func()) *admitter {
+	return &admitter{
+		opts:      opts,
+		estimate:  estimate,
+		residence: residence,
+		saturated: saturated,
+		queue:     list.New(),
+	}
+}
+
+// est returns the service-time estimate, falling back to a nominal 10ms
+// when no histogram data exists yet (cold start).
+func (a *admitter) est() time.Duration {
+	if a.estimate != nil {
+		if d := a.estimate(); d > 0 {
+			return d
+		}
+	}
+	return 10 * time.Millisecond
+}
+
+// retryHint estimates how long a rejected caller should back off: the time
+// for the current queue plus itself to drain through MaxConcurrent slots.
+func (a *admitter) retryHint(qlen int) time.Duration {
+	d := a.est() * time.Duration(qlen+1) / time.Duration(a.opts.MaxConcurrent)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// admit grants a concurrency slot or returns a typed overload error. The
+// returned release must be called exactly once when the query finishes.
+func (a *admitter) admit(ctx context.Context) (release func(), err error) {
+	now := time.Now()
+	a.mu.Lock()
+	if a.running < a.opts.MaxConcurrent && a.queue.Len() == 0 {
+		a.running++
+		a.mu.Unlock()
+		a.admitted.Add(1)
+		if a.residence != nil {
+			a.residence(0)
+		}
+		return a.release, nil
+	}
+	qlen := a.queue.Len()
+	if qlen >= a.opts.MaxQueue {
+		a.mu.Unlock()
+		a.shedQueueFull.Add(1)
+		a.saturated()
+		return nil, fault.Overload("queue_full", a.retryHint(qlen), nil)
+	}
+	// Deadline budget: estimated wait for everything ahead of us plus our
+	// own service time must fit the remaining deadline, else the work
+	// would burn a slot only to miss anyway.
+	if dl, ok := ctx.Deadline(); ok {
+		est := a.est()
+		wait := est * time.Duration(qlen) / time.Duration(a.opts.MaxConcurrent)
+		if now.Add(wait + est).After(dl) {
+			a.mu.Unlock()
+			a.shedDeadlineBudget.Add(1)
+			return nil, fault.Overload("deadline_budget", a.retryHint(qlen), nil)
+		}
+	}
+	w := &waiter{ready: make(chan error, 1), enq: now}
+	w.el = a.queue.PushBack(w)
+	a.mu.Unlock()
+
+	select {
+	case err := <-w.ready:
+		if err != nil {
+			return nil, err // shed by CoDel while queued
+		}
+		a.admitted.Add(1)
+		return a.release, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.el != nil {
+			a.queue.Remove(w.el)
+			w.el = nil
+			a.mu.Unlock()
+			a.shedQueueWait.Add(1)
+			return nil, fault.Overload("queue_wait", 0, fault.FromContext(ctx))
+		}
+		a.mu.Unlock()
+		// Resolved concurrently with the context firing: the outcome is
+		// already buffered on ready.
+		if err := <-w.ready; err != nil {
+			return nil, err
+		}
+		// Granted a slot we can no longer use — pass it onward.
+		a.release()
+		a.shedQueueWait.Add(1)
+		return nil, fault.Overload("queue_wait", 0, fault.FromContext(ctx))
+	}
+}
+
+// release returns a slot: either hands it to the queue head (after CoDel
+// inspection) or frees it. CoDel: while the head's queue residence has
+// stayed above QueueTarget continuously for more than QueueInterval, shed
+// one head per interval — standing queues get trimmed, transient bursts
+// ride through.
+func (a *admitter) release() {
+	now := time.Now()
+	a.mu.Lock()
+	for {
+		front := a.queue.Front()
+		if front == nil {
+			a.running--
+			a.aboveSince = time.Time{}
+			a.mu.Unlock()
+			return
+		}
+		w := front.Value.(*waiter)
+		res := now.Sub(w.enq)
+		if res > a.opts.QueueTarget {
+			if a.aboveSince.IsZero() {
+				a.aboveSince = now
+			} else if now.Sub(a.aboveSince) > a.opts.QueueInterval {
+				a.queue.Remove(front)
+				w.el = nil
+				a.aboveSince = now // restart the interval: one shed per interval
+				a.mu.Unlock()
+				a.shedCoDel.Add(1)
+				a.saturated()
+				w.ready <- fault.Overload("codel", a.retryHint(0), nil)
+				a.mu.Lock()
+				continue
+			}
+		} else {
+			a.aboveSince = time.Time{}
+		}
+		a.queue.Remove(front)
+		w.el = nil
+		a.mu.Unlock()
+		if a.residence != nil {
+			a.residence(res)
+		}
+		w.ready <- nil // slot transferred; running unchanged
+		return
+	}
+}
+
+func (a *admitter) stats() Stats {
+	a.mu.Lock()
+	depth, running := a.queue.Len(), a.running
+	a.mu.Unlock()
+	return Stats{
+		Admitted:           a.admitted.Load(),
+		ShedQueueFull:      a.shedQueueFull.Load(),
+		ShedDeadlineBudget: a.shedDeadlineBudget.Load(),
+		ShedCoDel:          a.shedCoDel.Load(),
+		ShedQueueWait:      a.shedQueueWait.Load(),
+		QueueDepth:         int64(depth),
+		Running:            int64(running),
+	}
+}

@@ -1,0 +1,195 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// State is the circuit-breaker state.
+type State int
+
+const (
+	// StateClosed is the healthy state: all queries take the normal path.
+	StateClosed State = iota
+	// StateHalfOpen probes the normal path with a bounded number of
+	// queries while the rest stay degraded.
+	StateHalfOpen
+	// StateOpen diverts all queries to degraded answering (or
+	// ErrUnavailable when degrading is disabled).
+	StateOpen
+)
+
+// String names the state for gauges and /debug/vars.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half_open"
+	case StateOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// Route is the serving decision for one admitted query.
+type Route int
+
+const (
+	// RouteNormal serves at full fidelity.
+	RouteNormal Route = iota
+	// RouteProbe serves at full fidelity, and the outcome decides whether
+	// the half-open breaker closes or re-trips.
+	RouteProbe
+	// RouteDegrade serves a relaxed-tolerance degraded answer.
+	RouteDegrade
+)
+
+// windowBuckets is the sliding-window resolution: failure rate is computed
+// over Window split into this many rotating buckets, so samples age out
+// with Window/windowBuckets granularity.
+const windowBuckets = 10
+
+// bucket holds the samples of one window slice. slot is the absolute
+// bucket index (unix time / bucket duration); a stale slot means the slice
+// has rotated and is reset before use.
+type bucket struct {
+	slot     int64
+	total    int64
+	failures int64
+}
+
+// breaker is a closed/open/half-open circuit breaker fed by query outcomes
+// and admission-saturation sheds.
+type breaker struct {
+	opts      Options
+	bucketDur time.Duration
+
+	mu             sync.Mutex
+	st             State
+	openedAt       time.Time
+	buckets        [windowBuckets]bucket
+	probesInFlight int // half-open: probes currently routed, bounded by HalfOpenProbes
+	probeOKs       int // half-open: consecutive probe successes
+	toOpen         int64
+	toHalfOpen     int64
+	toClosed       int64
+}
+
+func newBreaker(opts Options) *breaker {
+	bd := opts.Window / windowBuckets
+	if bd <= 0 {
+		bd = time.Millisecond
+	}
+	return &breaker{opts: opts, bucketDur: bd}
+}
+
+func (b *breaker) state() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.st
+}
+
+func (b *breaker) stats() (st State, toOpen, toHalfOpen, toClosed int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.st, b.toOpen, b.toHalfOpen, b.toClosed
+}
+
+// route decides how the next query is served and, when open and the
+// cool-down has elapsed, transitions to half-open (the deciding query
+// becomes the first probe).
+func (b *breaker) route() Route {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.st {
+	case StateClosed:
+		return RouteNormal
+	case StateOpen:
+		if time.Since(b.openedAt) >= b.opts.OpenFor {
+			b.st = StateHalfOpen
+			b.toHalfOpen++
+			b.probesInFlight = 1
+			b.probeOKs = 0
+			return RouteProbe
+		}
+		return RouteDegrade
+	default: // StateHalfOpen
+		if b.probesInFlight < b.opts.HalfOpenProbes {
+			b.probesInFlight++
+			return RouteProbe
+		}
+		return RouteDegrade
+	}
+}
+
+// record feeds one outcome. probe must be true iff the query was routed as
+// a probe; a failed probe re-trips immediately, HalfOpenProbes consecutive
+// successes close the breaker and reset the window.
+func (b *breaker) record(failure, probe bool) {
+	now := time.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe && b.st == StateHalfOpen {
+		if b.probesInFlight > 0 {
+			b.probesInFlight--
+		}
+		if failure {
+			b.trip(now)
+			return
+		}
+		b.probeOKs++
+		if b.probeOKs >= b.opts.HalfOpenProbes {
+			b.st = StateClosed
+			b.toClosed++
+			b.buckets = [windowBuckets]bucket{}
+		}
+		return
+	}
+	// Normal (or stale-probe) sample: rotate into the window, and trip
+	// from closed when the windowed failure rate crosses the threshold.
+	bk := b.bucketAt(now)
+	bk.total++
+	if failure {
+		bk.failures++
+	}
+	if b.st == StateClosed {
+		total, fails := b.windowCounts(now)
+		if total >= int64(b.opts.MinSamples) && float64(fails) >= b.opts.FailureRate*float64(total) {
+			b.trip(now)
+		}
+	}
+}
+
+// trip opens the breaker. Callers hold b.mu.
+func (b *breaker) trip(now time.Time) {
+	b.st = StateOpen
+	b.openedAt = now
+	b.toOpen++
+	b.probesInFlight = 0
+	b.probeOKs = 0
+}
+
+// bucketAt returns the live bucket for now, resetting it if its slot has
+// rotated. Callers hold b.mu.
+func (b *breaker) bucketAt(now time.Time) *bucket {
+	slot := now.UnixNano() / int64(b.bucketDur)
+	bk := &b.buckets[slot%windowBuckets]
+	if bk.slot != slot {
+		*bk = bucket{slot: slot}
+	}
+	return bk
+}
+
+// windowCounts sums the buckets still inside the window. Callers hold b.mu.
+func (b *breaker) windowCounts(now time.Time) (total, failures int64) {
+	oldest := now.UnixNano()/int64(b.bucketDur) - windowBuckets + 1
+	for i := range b.buckets {
+		if b.buckets[i].slot >= oldest {
+			total += b.buckets[i].total
+			failures += b.buckets[i].failures
+		}
+	}
+	return total, failures
+}

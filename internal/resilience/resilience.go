@@ -1,0 +1,219 @@
+// Package resilience implements the serving-protection layer: a bounded,
+// deadline-aware admission controller with CoDel-style queue shedding, and
+// a closed/open/half-open circuit breaker that routes queries to degraded
+// answering when the normal path is failing or saturated.
+//
+// The package is deliberately engine-agnostic: it speaks durations, error
+// classifications, and routing decisions. The engine supplies a service-time
+// estimator (read from its latency histograms) and decides what "degraded"
+// means (relaxed-tolerance solves); HTTP layers map the typed overload
+// errors onto 429/503.
+//
+// Control flow per query:
+//
+//	release, err := ctrl.Admit(ctx)   // bounded queue, deadline budget, CoDel
+//	if err != nil { return err }      // typed *fault.OverloadError
+//	defer release()
+//	switch ctrl.Route() {
+//	case RouteNormal:  // full-fidelity pipeline
+//	case RouteProbe:   // full fidelity, but outcome closes/re-trips breaker
+//	case RouteDegrade: // relaxed-Tol fast path, Result marked Degraded
+//	}
+//	ctrl.Observe(failure, probe)      // feeds the breaker window
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Options tunes the admission controller and circuit breaker. The zero
+// value of every field selects a sensible default at construction; Validate
+// rejects nonsensical explicit values.
+type Options struct {
+	// MaxConcurrent caps queries running concurrently inside the engine.
+	// 0 → 2× the engine's solve-pool workers.
+	MaxConcurrent int
+	// MaxQueue bounds the admission queue. 0 → 4× MaxConcurrent; negative →
+	// no queueing (reject as soon as MaxConcurrent is reached).
+	MaxQueue int
+	// QueueTarget is the CoDel residence target: while the time spent
+	// queued stays above it continuously for QueueInterval, the head of the
+	// queue is shed. 0 → 5ms.
+	QueueTarget time.Duration
+	// QueueInterval is the CoDel observation interval. 0 → 100ms.
+	QueueInterval time.Duration
+
+	// FailureRate is the breaker trip threshold over Window. 0 → 0.5.
+	FailureRate float64
+	// MinSamples is the minimum number of window samples before the
+	// failure rate is acted on. 0 → 20.
+	MinSamples int
+	// Window is the sliding window over which failures are counted. 0 → 10s.
+	Window time.Duration
+	// OpenFor is how long the breaker stays open before probing. 0 → 1s.
+	OpenFor time.Duration
+	// HalfOpenProbes is how many consecutive probe successes close the
+	// breaker (and the concurrent-probe cap while half-open). 0 → 3.
+	HalfOpenProbes int
+
+	// DegradedTol is the relaxed solver tolerance used for degraded
+	// answers. 0 → 1e-3.
+	DegradedTol float64
+	// DegradedIterations caps solver iterations for degraded answers.
+	// 0 → 15.
+	DegradedIterations int
+	// NoDegrade disables degraded answering: with the breaker open,
+	// queries fail with ErrUnavailable instead.
+	NoDegrade bool
+}
+
+// Validate rejects explicitly nonsensical option values (zero values are
+// fine — they mean "default").
+func (o Options) Validate() error {
+	if o.MaxConcurrent < 0 {
+		return fmt.Errorf("resilience: MaxConcurrent must be >= 0, got %d", o.MaxConcurrent)
+	}
+	if o.QueueTarget < 0 || o.QueueInterval < 0 {
+		return fmt.Errorf("resilience: queue target/interval must be >= 0")
+	}
+	if o.FailureRate < 0 || o.FailureRate > 1 {
+		return fmt.Errorf("resilience: FailureRate must be in [0,1], got %g", o.FailureRate)
+	}
+	if o.MinSamples < 0 || o.HalfOpenProbes < 0 {
+		return fmt.Errorf("resilience: MinSamples/HalfOpenProbes must be >= 0")
+	}
+	if o.Window < 0 || o.OpenFor < 0 {
+		return fmt.Errorf("resilience: Window/OpenFor must be >= 0")
+	}
+	if o.DegradedTol < 0 {
+		return fmt.Errorf("resilience: DegradedTol must be >= 0, got %g", o.DegradedTol)
+	}
+	if o.DegradedIterations < 0 {
+		return fmt.Errorf("resilience: DegradedIterations must be >= 0, got %d", o.DegradedIterations)
+	}
+	return nil
+}
+
+// withDefaults resolves zero values against the engine's worker count.
+func (o Options) withDefaults(workers int) Options {
+	if workers < 1 {
+		workers = 1
+	}
+	if o.MaxConcurrent == 0 {
+		o.MaxConcurrent = 2 * workers
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = 4 * o.MaxConcurrent
+	}
+	if o.MaxQueue < 0 {
+		o.MaxQueue = 0
+	}
+	if o.QueueTarget == 0 {
+		o.QueueTarget = 5 * time.Millisecond
+	}
+	if o.QueueInterval == 0 {
+		o.QueueInterval = 100 * time.Millisecond
+	}
+	if o.FailureRate == 0 {
+		o.FailureRate = 0.5
+	}
+	if o.MinSamples == 0 {
+		o.MinSamples = 20
+	}
+	if o.Window == 0 {
+		o.Window = 10 * time.Second
+	}
+	if o.OpenFor == 0 {
+		o.OpenFor = time.Second
+	}
+	if o.HalfOpenProbes == 0 {
+		o.HalfOpenProbes = 3
+	}
+	if o.DegradedTol == 0 {
+		o.DegradedTol = 1e-3
+	}
+	if o.DegradedIterations == 0 {
+		o.DegradedIterations = 15
+	}
+	return o
+}
+
+// Controller couples the admission queue and the circuit breaker behind one
+// per-engine instance. All methods are safe for concurrent use.
+type Controller struct {
+	opts Options
+	adm  *admitter
+	brk  *breaker
+}
+
+// New builds a Controller. workers sizes the concurrency defaults; estimate
+// (may be nil) returns the current per-query service-time estimate used for
+// deadline budgeting and Retry-After hints; residence (may be nil) observes
+// each admitted request's queue residence (the engine points it at a
+// histogram).
+func New(opts Options, workers int, estimate func() time.Duration, residence func(time.Duration)) (*Controller, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(workers)
+	c := &Controller{opts: opts}
+	c.brk = newBreaker(opts)
+	c.adm = newAdmitter(opts, estimate, residence, func() {
+		// Queue-pressure sheds count as saturation failures for the
+		// breaker: a persistently full queue should open it and divert
+		// load to the cheap degraded path.
+		c.brk.record(true, false)
+	})
+	return c, nil
+}
+
+// Options returns the resolved (defaulted) options.
+func (c *Controller) Options() Options { return c.opts }
+
+// Admit grants a concurrency slot or sheds the request with a typed
+// *fault.OverloadError (reasons: queue_full, deadline_budget, codel,
+// queue_wait). release must be called exactly once when the query finishes.
+func (c *Controller) Admit(ctx context.Context) (release func(), err error) {
+	return c.adm.admit(ctx)
+}
+
+// Route reports how the next admitted query should be served.
+func (c *Controller) Route() Route { return c.brk.route() }
+
+// Observe feeds one query outcome into the breaker window. probe must be
+// true iff Route returned RouteProbe for this query.
+func (c *Controller) Observe(failure, probe bool) { c.brk.record(failure, probe) }
+
+// BreakerState returns the current breaker state.
+func (c *Controller) BreakerState() State { return c.brk.state() }
+
+// Stats snapshots every counter and gauge the controller maintains. The
+// JSON field names are the stable /debug/vars contract.
+type Stats struct {
+	Admitted           int64  `json:"admitted"`
+	ShedQueueFull      int64  `json:"shed_queue_full"`
+	ShedDeadlineBudget int64  `json:"shed_deadline_budget"`
+	ShedCoDel          int64  `json:"shed_codel"`
+	ShedQueueWait      int64  `json:"shed_queue_wait"`
+	QueueDepth         int64  `json:"queue_depth"`
+	Running            int64  `json:"running"`
+	BreakerState       string `json:"breaker_state"`
+	BreakerStateCode   int64  `json:"breaker_state_code"`
+	ToOpen             int64  `json:"breaker_to_open"`
+	ToHalfOpen         int64  `json:"breaker_to_half_open"`
+	ToClosed           int64  `json:"breaker_to_closed"`
+}
+
+// Stats snapshots the controller counters.
+func (c *Controller) Stats() Stats {
+	s := c.adm.stats()
+	st, toOpen, toHalf, toClosed := c.brk.stats()
+	s.BreakerState = st.String()
+	s.BreakerStateCode = int64(st)
+	s.ToOpen = toOpen
+	s.ToHalfOpen = toHalf
+	s.ToClosed = toClosed
+	return s
+}

@@ -1,0 +1,349 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ceps/internal/fault"
+)
+
+func newTestController(t *testing.T, opts Options, estimate func() time.Duration) *Controller {
+	t.Helper()
+	c, err := New(opts, 2, estimate, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults(4)
+	if o.MaxConcurrent != 8 {
+		t.Errorf("MaxConcurrent = %d, want 8 (2x workers)", o.MaxConcurrent)
+	}
+	if o.MaxQueue != 32 {
+		t.Errorf("MaxQueue = %d, want 32 (4x MaxConcurrent)", o.MaxQueue)
+	}
+	if o.QueueTarget != 5*time.Millisecond || o.QueueInterval != 100*time.Millisecond {
+		t.Errorf("CoDel defaults = %v/%v", o.QueueTarget, o.QueueInterval)
+	}
+	if o.FailureRate != 0.5 || o.MinSamples != 20 || o.Window != 10*time.Second {
+		t.Errorf("breaker window defaults = %g/%d/%v", o.FailureRate, o.MinSamples, o.Window)
+	}
+	if o.OpenFor != time.Second || o.HalfOpenProbes != 3 {
+		t.Errorf("breaker recovery defaults = %v/%d", o.OpenFor, o.HalfOpenProbes)
+	}
+	if o.DegradedTol != 1e-3 || o.DegradedIterations != 15 {
+		t.Errorf("degrade defaults = %g/%d", o.DegradedTol, o.DegradedIterations)
+	}
+	// Negative MaxQueue means "no queueing at all".
+	if q := (Options{MaxQueue: -1}).withDefaults(4).MaxQueue; q != 0 {
+		t.Errorf("MaxQueue -1 resolved to %d, want 0", q)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{MaxConcurrent: -1},
+		{QueueTarget: -time.Second},
+		{FailureRate: 1.5},
+		{FailureRate: -0.1},
+		{MinSamples: -1},
+		{Window: -time.Second},
+		{DegradedTol: -1},
+		{DegradedIterations: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, o)
+		}
+	}
+	if err := (Options{}).Validate(); err != nil {
+		t.Errorf("zero Options rejected: %v", err)
+	}
+}
+
+func TestAdmitFastPath(t *testing.T) {
+	c := newTestController(t, Options{MaxConcurrent: 2}, nil)
+	rel1, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("Admit 1: %v", err)
+	}
+	rel2, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("Admit 2: %v", err)
+	}
+	s := c.Stats()
+	if s.Admitted != 2 || s.Running != 2 || s.QueueDepth != 0 {
+		t.Errorf("stats = %+v, want admitted=2 running=2 depth=0", s)
+	}
+	rel1()
+	rel2()
+	if s := c.Stats(); s.Running != 0 {
+		t.Errorf("Running after release = %d, want 0", s.Running)
+	}
+}
+
+func TestAdmitQueueFull(t *testing.T) {
+	// MaxQueue -1: reject as soon as concurrency is saturated.
+	c := newTestController(t, Options{MaxConcurrent: 1, MaxQueue: -1}, nil)
+	rel, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("Admit 1: %v", err)
+	}
+	defer rel()
+	_, err = c.Admit(context.Background())
+	if !errors.Is(err, fault.ErrOverloaded) {
+		t.Fatalf("saturated Admit err = %v, want ErrOverloaded", err)
+	}
+	if r := fault.ShedReason(err); r != "queue_full" {
+		t.Errorf("ShedReason = %q, want queue_full", r)
+	}
+	if _, ok := fault.RetryAfterHint(err); !ok {
+		t.Errorf("queue_full shed carries no Retry-After hint")
+	}
+	if s := c.Stats(); s.ShedQueueFull != 1 {
+		t.Errorf("ShedQueueFull = %d, want 1", s.ShedQueueFull)
+	}
+}
+
+func TestAdmitQueueTransfer(t *testing.T) {
+	c := newTestController(t, Options{MaxConcurrent: 1, MaxQueue: 4}, nil)
+	rel, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("Admit 1: %v", err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		rel2, err := c.Admit(context.Background())
+		if err == nil {
+			rel2()
+		}
+		got <- err
+	}()
+	// Wait for the second request to queue, then release the slot to it.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rel()
+	if err := <-got; err != nil {
+		t.Fatalf("queued Admit: %v", err)
+	}
+	if s := c.Stats(); s.Admitted != 2 || s.Running != 0 {
+		t.Errorf("stats = %+v, want admitted=2 running=0", s)
+	}
+}
+
+func TestAdmitQueueWaitShedOnContext(t *testing.T) {
+	c := newTestController(t, Options{MaxConcurrent: 1, MaxQueue: 4}, nil)
+	rel, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("Admit 1: %v", err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = c.Admit(ctx)
+	if !errors.Is(err, fault.ErrOverloaded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued+expired Admit err = %v, want ErrOverloaded and DeadlineExceeded", err)
+	}
+	if r := fault.ShedReason(err); r != "queue_wait" {
+		t.Errorf("ShedReason = %q, want queue_wait", r)
+	}
+	s := c.Stats()
+	if s.ShedQueueWait != 1 || s.QueueDepth != 0 {
+		t.Errorf("stats = %+v, want ShedQueueWait=1 depth=0", s)
+	}
+}
+
+func TestAdmitDeadlineBudgetShed(t *testing.T) {
+	// Estimated service time (50ms) far exceeds the request's remaining
+	// deadline once anything is queued ahead of it.
+	c := newTestController(t, Options{MaxConcurrent: 1, MaxQueue: 8},
+		func() time.Duration { return 50 * time.Millisecond })
+	rel, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("Admit 1: %v", err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err = c.Admit(ctx)
+	if r := fault.ShedReason(err); r != "deadline_budget" {
+		t.Fatalf("ShedReason = %q (err %v), want deadline_budget", r, err)
+	}
+	if s := c.Stats(); s.ShedDeadlineBudget != 1 {
+		t.Errorf("ShedDeadlineBudget = %d, want 1", s.ShedDeadlineBudget)
+	}
+}
+
+func TestAdmitCoDelShed(t *testing.T) {
+	// Tiny target and interval so a single slow occupant pushes the
+	// queue head's residence far past both.
+	c := newTestController(t, Options{
+		MaxConcurrent: 1, MaxQueue: 8,
+		QueueTarget: time.Microsecond, QueueInterval: time.Microsecond,
+	}, nil)
+	rel, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("Admit 1: %v", err)
+	}
+	got := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			rel2, err := c.Admit(context.Background())
+			if err == nil {
+				defer rel2()
+			}
+			got <- err
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().QueueDepth < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// First release: residence above target, aboveSince starts → head is
+	// granted. Second release: still above target past the interval → the
+	// remaining head is CoDel-shed.
+	time.Sleep(5 * time.Millisecond)
+	rel()
+	errs := []error{<-got}
+	time.Sleep(5 * time.Millisecond)
+	// The granted waiter released; its release inspects the last head.
+	errs = append(errs, <-got)
+	var shed, granted int
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			granted++
+		case fault.ShedReason(err) == "codel":
+			shed++
+		default:
+			t.Errorf("unexpected err %v", err)
+		}
+	}
+	if granted != 1 || shed != 1 {
+		t.Fatalf("granted=%d shed=%d, want 1/1 (errs %v)", granted, shed, errs)
+	}
+	if s := c.Stats(); s.ShedCoDel != 1 {
+		t.Errorf("ShedCoDel = %d, want 1", s.ShedCoDel)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	c := newTestController(t, Options{
+		MinSamples: 4, FailureRate: 0.5, OpenFor: 20 * time.Millisecond, HalfOpenProbes: 2,
+	}, nil)
+	if st := c.BreakerState(); st != StateClosed {
+		t.Fatalf("initial state = %v, want closed", st)
+	}
+	if r := c.Route(); r != RouteNormal {
+		t.Fatalf("closed route = %v, want normal", r)
+	}
+	// Trip: 4 failures out of 4 samples.
+	for i := 0; i < 4; i++ {
+		c.Observe(true, false)
+	}
+	if st := c.BreakerState(); st != StateOpen {
+		t.Fatalf("state after failures = %v, want open", st)
+	}
+	if r := c.Route(); r != RouteDegrade {
+		t.Fatalf("open route = %v, want degrade", r)
+	}
+	// After OpenFor, the next route is a probe (half-open).
+	time.Sleep(25 * time.Millisecond)
+	if r := c.Route(); r != RouteProbe {
+		t.Fatalf("post-cooldown route = %v, want probe", r)
+	}
+	if st := c.BreakerState(); st != StateHalfOpen {
+		t.Fatalf("state = %v, want half_open", st)
+	}
+	// Second concurrent probe allowed, third degrades.
+	if r := c.Route(); r != RouteProbe {
+		t.Fatalf("second probe route = %v, want probe", r)
+	}
+	if r := c.Route(); r != RouteDegrade {
+		t.Fatalf("probe-capped route = %v, want degrade", r)
+	}
+	// Two probe successes close it.
+	c.Observe(false, true)
+	c.Observe(false, true)
+	if st := c.BreakerState(); st != StateClosed {
+		t.Fatalf("state after probes = %v, want closed", st)
+	}
+	s := c.Stats()
+	if s.ToOpen != 1 || s.ToHalfOpen != 1 || s.ToClosed != 1 {
+		t.Errorf("transitions = %+v, want 1/1/1", s)
+	}
+	// Window was reset on close: the old failures must not re-trip.
+	c.Observe(false, false)
+	if st := c.BreakerState(); st != StateClosed {
+		t.Errorf("state after reset sample = %v, want closed", st)
+	}
+}
+
+func TestBreakerProbeFailureRetrips(t *testing.T) {
+	c := newTestController(t, Options{
+		MinSamples: 2, FailureRate: 0.5, OpenFor: 5 * time.Millisecond, HalfOpenProbes: 2,
+	}, nil)
+	c.Observe(true, false)
+	c.Observe(true, false)
+	if st := c.BreakerState(); st != StateOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if r := c.Route(); r != RouteProbe {
+		t.Fatalf("route = %v, want probe", r)
+	}
+	c.Observe(true, true) // failed probe
+	if st := c.BreakerState(); st != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+	if s := c.Stats(); s.ToOpen != 2 {
+		t.Errorf("ToOpen = %d, want 2", s.ToOpen)
+	}
+}
+
+func TestBreakerSaturationTrips(t *testing.T) {
+	// Queue-pressure sheds alone must open the breaker.
+	c := newTestController(t, Options{
+		MaxConcurrent: 1, MaxQueue: -1, MinSamples: 3, FailureRate: 0.5,
+	}, nil)
+	rel, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	defer rel()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Admit(context.Background()); !errors.Is(err, fault.ErrOverloaded) {
+			t.Fatalf("Admit %d err = %v, want overload", i, err)
+		}
+	}
+	if st := c.BreakerState(); st != StateOpen {
+		t.Fatalf("state after saturation sheds = %v, want open", st)
+	}
+}
+
+func TestBreakerWindowAgesOut(t *testing.T) {
+	// With a tiny window, old failures must age out instead of tripping.
+	c := newTestController(t, Options{
+		MinSamples: 4, FailureRate: 0.5, Window: 20 * time.Millisecond,
+	}, nil)
+	c.Observe(true, false)
+	c.Observe(true, false)
+	c.Observe(true, false)
+	time.Sleep(40 * time.Millisecond) // all three age out
+	c.Observe(true, false)
+	if st := c.BreakerState(); st != StateClosed {
+		t.Fatalf("state = %v, want closed (window should have aged out)", st)
+	}
+}

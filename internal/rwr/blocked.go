@@ -158,6 +158,20 @@ func (s *Solver) ScoresSetBlockedCtx(ctx context.Context, queries []int, workers
 	for j, q := range queries {
 		cur.Set(q, j, 1) // column j starts at the unit vector e_{q_j}
 	}
+	// Chaos hooks, mirroring ScoresCtx: the NaN arm poisons column 0's
+	// start vector so the per-column non-finite guard must surface
+	// ErrDiverged.
+	if inj := fault.ActiveInjector(); inj != nil {
+		if err := inj.Delay(ctx, fault.InjectSolveDelay); err != nil {
+			return nil, nil, err
+		}
+		if err := inj.Err(fault.InjectSolveError); err != nil {
+			return nil, nil, err
+		}
+		if inj.Fire(fault.InjectSolveNaN) {
+			cur.Set(queries[0], 0, math.NaN())
+		}
+	}
 
 	restart := 1 - s.cfg.C
 	tol := s.cfg.Tol

@@ -86,13 +86,21 @@ func NewPool(n int) *Pool {
 // Size returns the pool's concurrency bound.
 func (p *Pool) Size() int { return cap(p.sem) }
 
-// acquire blocks until a slot is free or ctx fires.
+// acquire blocks until a slot is free or ctx fires. A wait the context did
+// not survive is classified as a pool_wait shed (ErrOverloaded wrapping the
+// context identity), not an ordinary error: the pool refusing the work in
+// time is load, not failure, and metrics count it as such.
 func (p *Pool) acquire(ctx context.Context) error {
+	if inj := fault.ActiveInjector(); inj != nil && inj.Fire(fault.InjectPoolStarve) {
+		// Chaos: a wedged pool — block until the caller's context fires.
+		<-ctx.Done()
+		return fault.Overload("pool_wait", 0, fault.FromContext(ctx))
+	}
 	select {
 	case p.sem <- struct{}{}:
 		return nil
 	case <-ctx.Done():
-		return fault.FromContext(ctx)
+		return fault.Overload("pool_wait", 0, fault.FromContext(ctx))
 	}
 }
 
@@ -430,6 +438,13 @@ func (s *Solver) ScoresSetServingOptCtx(ctx context.Context, queries []int, cach
 	for _, q := range queries {
 		if q < 0 || q >= s.n {
 			return nil, nil, stats, fmt.Errorf("%w: query node %d out of range [0,%d)", fault.ErrBadQuery, q, s.n)
+		}
+	}
+	if cache != nil {
+		if inj := fault.ActiveInjector(); inj != nil {
+			if err := inj.Err(fault.InjectCacheFail); err != nil {
+				return nil, nil, stats, err
+			}
 		}
 	}
 	if opt.Blocked.Use(len(queries)) {

@@ -254,6 +254,20 @@ func (s *Solver) ScoresCtx(ctx context.Context, q int) ([]float64, Diagnostics, 
 	r, next := *rbuf, *nbuf
 	linalg.Fill(r, 0)
 	r[q] = 1
+	// Chaos hooks: one atomic load when unarmed. The NaN arm poisons the
+	// start vector so the in-loop non-finite guard must catch it — proving
+	// a numerical fault surfaces as ErrDiverged, never as silent garbage.
+	if inj := fault.ActiveInjector(); inj != nil {
+		if err := inj.Delay(ctx, fault.InjectSolveDelay); err != nil {
+			return nil, diag, err
+		}
+		if err := inj.Err(fault.InjectSolveError); err != nil {
+			return nil, diag, err
+		}
+		if inj.Fire(fault.InjectSolveNaN) {
+			r[q] = math.NaN()
+		}
+	}
 	restart := 1 - s.cfg.C
 	tol := s.cfg.Tol
 	if tol <= 0 {

@@ -30,6 +30,13 @@ import (
 //	ceps_solve_rows_per_second                       (gauge)
 //	ceps_traces_sampled_total
 //	ceps_traces_dropped_total
+//	ceps_admitted_total
+//	ceps_shed_total{reason="queue_full"|"deadline_budget"|"codel"|"queue_wait"|"pool_wait"}
+//	ceps_degraded_total{mode="relaxed_tol"|"full_graph_fallback"}
+//	ceps_queue_residence_seconds                     (histogram)
+//	ceps_queue_depth                                 (gauge)
+//	ceps_breaker_state                               (gauge: 0=closed, 1=half-open, 2=open)
+//	ceps_breaker_transitions_total{to="open"|"half_open"|"closed"}
 //
 // plus the Go runtime series of obs.RegisterRuntimeMetrics
 // (go_goroutines, go_heap_alloc_bytes, go_gc_pauses_seconds_total,
@@ -43,7 +50,15 @@ type engineMetrics struct {
 	queriesFull, queriesFast, queriesFallback *obs.Counter
 
 	errCanceled, errDeadline, errDiverged, errBadQuery,
-	errBadConfig, errDegenerate, errInternal, errOther *obs.Counter
+	errBadConfig, errDegenerate, errInternal,
+	errUnavailable, errOther *obs.Counter
+
+	// Resilience accounting. shedPoolWait is the one shed the engine (not
+	// the admission controller) counts: a context that died waiting for a
+	// solve-pool slot. Degraded answers are split by fidelity mode.
+	shedPoolWait                     *obs.Counter
+	degradedRelaxed, degradedFallback *obs.Counter
+	queueResidence                   *obs.Histogram
 
 	durTotal, durPartition, durSolve, durCombine, durExtract *obs.Histogram
 
@@ -85,7 +100,15 @@ func newEngineMetrics(cacheStats func() (CacheStats, bool), workers int, tracer 
 		errBadConfig:    reg.Counter(et, etHelp, obs.Label{Name: "kind", Value: "bad_config"}),
 		errDegenerate:   reg.Counter(et, etHelp, obs.Label{Name: "kind", Value: "degenerate_partition"}),
 		errInternal:     reg.Counter(et, etHelp, obs.Label{Name: "kind", Value: "internal"}),
+		errUnavailable:  reg.Counter(et, etHelp, obs.Label{Name: "kind", Value: "unavailable"}),
 		errOther:        reg.Counter(et, etHelp, obs.Label{Name: "kind", Value: "other"}),
+		shedPoolWait: reg.Counter("ceps_shed_total", "Requests shed to protect the service, by reason.",
+			obs.Label{Name: "reason", Value: "pool_wait"}),
+		degradedRelaxed: reg.Counter("ceps_degraded_total", "Degraded answers served, by fidelity mode.",
+			obs.Label{Name: "mode", Value: "relaxed_tol"}),
+		degradedFallback: reg.Counter("ceps_degraded_total", "Degraded answers served, by fidelity mode.",
+			obs.Label{Name: "mode", Value: "full_graph_fallback"}),
+		queueResidence: reg.Histogram("ceps_queue_residence_seconds", "Admission-queue residence time of admitted requests.", buckets),
 		durTotal:        reg.Histogram("ceps_query_duration_seconds", "End-to-end query response time.", buckets),
 		durPartition:    reg.Histogram(st, stHelp, buckets, obs.Label{Name: "stage", Value: "partition"}),
 		durSolve:        reg.Histogram(st, stHelp, buckets, obs.Label{Name: "stage", Value: "solve"}),
@@ -145,6 +168,36 @@ func newEngineMetrics(cacheStats func() (CacheStats, bool), workers int, tracer 
 	return m
 }
 
+// attachResilience registers the admission/breaker series, reading stats
+// at scrape time (zero-valued when resilience is off, so the families are
+// always present).
+func (m *engineMetrics) attachResilience(stats func() ResilienceStats) {
+	shed := "ceps_shed_total"
+	shedHelp := "Requests shed to protect the service, by reason."
+	tr := "ceps_breaker_transitions_total"
+	trHelp := "Circuit-breaker state transitions, by destination state."
+	m.reg.CounterFunc("ceps_admitted_total", "Requests admitted by the admission controller.",
+		func() float64 { return float64(stats().Admitted) })
+	m.reg.CounterFunc(shed, shedHelp,
+		func() float64 { return float64(stats().ShedQueueFull) }, obs.Label{Name: "reason", Value: "queue_full"})
+	m.reg.CounterFunc(shed, shedHelp,
+		func() float64 { return float64(stats().ShedDeadlineBudget) }, obs.Label{Name: "reason", Value: "deadline_budget"})
+	m.reg.CounterFunc(shed, shedHelp,
+		func() float64 { return float64(stats().ShedCoDel) }, obs.Label{Name: "reason", Value: "codel"})
+	m.reg.CounterFunc(shed, shedHelp,
+		func() float64 { return float64(stats().ShedQueueWait) }, obs.Label{Name: "reason", Value: "queue_wait"})
+	m.reg.CounterFunc(tr, trHelp,
+		func() float64 { return float64(stats().ToOpen) }, obs.Label{Name: "to", Value: "open"})
+	m.reg.CounterFunc(tr, trHelp,
+		func() float64 { return float64(stats().ToHalfOpen) }, obs.Label{Name: "to", Value: "half_open"})
+	m.reg.CounterFunc(tr, trHelp,
+		func() float64 { return float64(stats().ToClosed) }, obs.Label{Name: "to", Value: "closed"})
+	m.reg.GaugeFunc("ceps_breaker_state", "Circuit-breaker state (0=closed, 1=half-open, 2=open).",
+		func() float64 { return float64(stats().BreakerStateCode) })
+	m.reg.GaugeFunc("ceps_queue_depth", "Admission-queue depth.",
+		func() float64 { return float64(stats().QueueDepth) })
+}
+
 // queryPath names the execution path for metrics and the slow-query log.
 func queryPath(res *Result, fast bool) string {
 	switch {
@@ -186,8 +239,22 @@ func (m *engineMetrics) observeQuery(res *Result, err error, elapsed time.Durati
 			m.solveRows.Add(uint64(st.SolveSweeps) * uint64(res.WorkGraph.N()))
 		}
 	}
+	if res != nil && res.Degraded != nil {
+		switch res.Degraded.Mode {
+		case "relaxed_tol":
+			m.degradedRelaxed.Inc()
+		default:
+			m.degradedFallback.Inc()
+		}
+	}
 	if err != nil {
-		m.errCounter(err).Inc()
+		// A pool-wait shed is load shedding, not a service failure: it
+		// counts under ceps_shed_total, never the error-kind series.
+		if errors.Is(err, ErrOverloaded) {
+			m.shedPoolWait.Inc()
+		} else {
+			m.errCounter(err).Inc()
+		}
 	}
 }
 
@@ -207,6 +274,8 @@ func (m *engineMetrics) errCounter(err error) *obs.Counter {
 		return m.errBadConfig
 	case errors.Is(err, ErrDegeneratePartition):
 		return m.errDegenerate
+	case errors.Is(err, ErrUnavailable):
+		return m.errUnavailable
 	case errors.Is(err, ErrInternal):
 		return m.errInternal
 	default:
@@ -243,6 +312,9 @@ func (e *Engine) recordSlow(queries []int, res *Result, err error, elapsed time.
 		entry.SolveSweeps = st.SolveSweeps
 		if res.Fallback != nil {
 			entry.Fallback = res.Fallback.Reason
+		}
+		if res.Degraded != nil {
+			entry.Degraded = res.Degraded.Mode
 		}
 	}
 	if err != nil {
