@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race race-hammer obs-smoke trace-smoke fuzz-smoke kernel-smoke chaos-smoke bench bench-smoke bench-rwr bench-resilience clean
+.PHONY: check vet build test race race-hammer obs-smoke trace-smoke fuzz-smoke kernel-smoke chaos-smoke coalesce-smoke bench bench-smoke bench-rwr bench-resilience bench-coalesce clean
 
-check: vet build race race-hammer trace-smoke fuzz-smoke kernel-smoke chaos-smoke
+check: vet build race race-hammer trace-smoke fuzz-smoke kernel-smoke chaos-smoke coalesce-smoke
 
 vet:
 	$(GO) vet ./...
@@ -72,6 +72,17 @@ chaos-smoke:
 kernel-smoke:
 	RWR_KERNEL_REPS=2 $(GO) test -run '^TestRWRKernelSmoke$$' -count=1 .
 
+# Coalescing smoke: the two-arm comparison at smoke scale (panels must
+# actually form, answers must stay bit-identical, throughput must not
+# regress), the engine-level bit-identity/shed/hammer regressions under
+# the race detector, and the v1 HTTP surface incl. the trace-id-on-every-
+# response contract.
+coalesce-smoke:
+	$(GO) test -count=1 . -run 'TestCoalesceSmoke'
+	$(GO) test -race -count=1 . -run 'TestEngineCoalesc'
+	$(GO) test -race -count=1 ./internal/rwr -run 'TestCoalesce'
+	$(GO) test -count=1 ./cmd/ceps -run 'TestV1|TestLegacyQuery|TestTraceIDOnEveryPath|TestReadQueryRequests'
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
@@ -90,6 +101,13 @@ bench-smoke:
 # checked in. Off must collapse; on must hold goodput near capacity.
 bench-resilience:
 	$(GO) run ./cmd/cepsbench -exp overload -scale 0.5 -overload-out $(CURDIR)/BENCH_resilience.json
+
+# Coalescing comparison (64 unpaced closed-loop clients draining 512
+# distinct 2-source sets through a 4-slot pool, coalescing off vs on)
+# written to BENCH_coalesce.json, which is checked in. On must deliver
+# >= 1.5x solve-rows/sec at lower p99, bit-identical.
+bench-coalesce:
+	$(GO) run ./cmd/cepsbench -exp coalesce -scale 0.5 -rwr-iters 25 -coalesce-delay 10ms -coalesce-out $(CURDIR)/BENCH_coalesce.json
 
 clean:
 	$(GO) clean ./...

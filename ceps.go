@@ -111,6 +111,12 @@ type (
 	// BlockMode selects blocked vs per-query execution of Step 1 (see
 	// WithBlockedSolves / Config.Blocked).
 	BlockMode = rwr.BlockMode
+	// CoalesceOptions bounds the cross-request solve coalescer
+	// (WithCoalescing): forming latency budget and panel width cap.
+	CoalesceOptions = rwr.CoalesceOptions
+	// CoalesceStats is a snapshot of the coalescer's counters (panels
+	// solved, rows, widest panel, aborts).
+	CoalesceStats = rwr.CoalesceStats
 	// StageTimings is the per-stage breakdown (partition, solve, combine,
 	// extract) and cache accounting carried on every Result.
 	StageTimings = core.StageTimings
@@ -181,8 +187,8 @@ var (
 )
 
 // ShedReason extracts the shed reason ("queue_full", "deadline_budget",
-// "codel", "queue_wait", "pool_wait") from an ErrOverloaded chain, or ""
-// for other errors.
+// "codel", "queue_wait", "pool_wait", "coalesce_wait") from an
+// ErrOverloaded chain, or "" for other errors.
 func ShedReason(err error) string { return fault.ShedReason(err) }
 
 // RetryAfterHint extracts the backoff hint carried by an ErrOverloaded

@@ -25,25 +25,25 @@ type batchOptions struct {
 	explain         bool
 }
 
-// jsonBatchItem is one element of the JSON array batch mode emits: the
-// query set plus either its result or its error string.
-type jsonBatchItem struct {
-	Queries []int       `json:"queries"`
-	Error   string      `json:"error,omitempty"`
-	Result  *jsonResult `json:"result,omitempty"`
-}
-
-// readQuerySets parses a batch file: one comma-separated query set per
-// line (ids or labels, as with -q); blank lines and lines starting with
-// '#' are skipped. Trailing '#' comments on a query line are stripped.
-func readQuerySets(g *ceps.Graph, path string) ([][]int, error) {
+// readQueryRequests parses a batch file into v1 query requests. Two line
+// forms mix freely:
+//
+//   - legacy: a comma-separated query set (ids or labels, as with -q);
+//     '#' starts a comment, inline or whole-line
+//   - v1: a JSON object in the /v1/query request schema, e.g.
+//     {"sources":[0,2],"k":1,"timeout_ms":50} — no comment stripping, so
+//     labels containing '#' survive
+//
+// Blank lines are skipped. Every line is validated against the graph up
+// front so a typo fails fast with its line number instead of mid-batch.
+func readQueryRequests(g *ceps.Graph, path string) ([]queryRequestV1, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 
-	var sets [][]int
+	var reqs []queryRequestV1
 	sc := bufio.NewScanner(f)
 	// A query line enumerates a node set and can exceed bufio's 64 KiB
 	// default token limit (a few thousand labeled members already do),
@@ -52,11 +52,18 @@ func readQuerySets(g *ceps.Graph, path string) ([][]int, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := sc.Text()
-		if i := strings.IndexByte(line, '#'); i >= 0 {
-			line = line[:i]
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "{") {
+			req, _, err := decodeQueryRequestV1(g, []byte(line))
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+			}
+			reqs = append(reqs, req)
+			continue
 		}
-		line = strings.TrimSpace(line)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
 		if line == "" {
 			continue
 		}
@@ -64,23 +71,28 @@ func readQuerySets(g *ceps.Graph, path string) ([][]int, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
 		}
-		sets = append(sets, qs)
+		reqs = append(reqs, queryRequestV1{Sources: qs})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if len(sets) == 0 {
+	if len(reqs) == 0 {
 		return nil, fmt.Errorf("%s: no query sets", path)
 	}
-	return sets, nil
+	return reqs, nil
 }
 
-// runBatch answers every query set in the file concurrently through the
-// engine's batch API and prints the answers in input order. Per-set
-// failures are reported inline and turn the exit code into exitError;
-// an expired outer deadline wins and maps to exitDeadline.
-func runBatch(ctx context.Context, eng *ceps.Engine, g *ceps.Graph, sets [][]int, cfg ceps.Config, opts batchOptions, stdout, stderr io.Writer) int {
-	items := eng.QueryBatchCtx(ctx, sets, ceps.BatchOptions{PerQueryTimeout: opts.perQueryTimeout})
+// runBatch answers every request in the file concurrently through the
+// same executor as POST /v1/batch and prints the answers in input order.
+// Per-set failures are reported inline and turn the exit code into
+// exitError; an expired outer deadline wins and maps to exitDeadline.
+func runBatch(ctx context.Context, eng *ceps.Engine, g *ceps.Graph, reqs []queryRequestV1, cfg ceps.Config, opts batchOptions, stdout, stderr io.Writer) int {
+	if opts.explain {
+		for i := range reqs {
+			reqs[i].Explain = true
+		}
+	}
+	items := execBatchV1(ctx, eng, g, cfg, reqs, opts.perQueryTimeout)
 
 	if st, ok := eng.CacheStats(); ok {
 		fmt.Fprintf(stderr, "cache: %d hits, %d misses (%.0f%% hit rate), %d entries, %s/%s used\n",
@@ -89,31 +101,22 @@ func runBatch(ctx context.Context, eng *ceps.Engine, g *ceps.Graph, sets [][]int
 	}
 
 	code := exitOK
-	var jsonItems []jsonBatchItem
 	for i, item := range items {
-		if opts.jsonOut {
-			ji := jsonBatchItem{Queries: item.Queries}
-			if item.Err != nil {
-				ji.Error = item.Err.Error()
+		if !opts.jsonOut {
+			if item.Error != "" {
+				fmt.Fprintf(stdout, "--- set %d %v: error: %s\n", i+1, item.Queries, item.Error)
 			} else {
-				jr := buildJSONResult(g, item.Result, item.Queries, cfg, opts.explain)
-				ji.Result = &jr
-			}
-			jsonItems = append(jsonItems, ji)
-		} else if item.Err != nil {
-			fmt.Fprintf(stdout, "--- set %d %v: error: %v\n", i+1, item.Queries, item.Err)
-		} else {
-			res := item.Result
-			fmt.Fprintf(stdout, "--- set %d %v: %d nodes, %d path edges, NRatio %.4f, %v\n",
-				i+1, item.Queries, res.Subgraph.Size(), len(res.Subgraph.PathEdges),
-				res.NRatio(), res.Elapsed)
-			for _, u := range res.Subgraph.Nodes {
-				fmt.Fprintf(stdout, "    %6d  %s\n", u, g.Label(u))
+				jr := item.Result
+				fmt.Fprintf(stdout, "--- set %d %v: %d nodes, %d path edges, NRatio %.4f, %.3fms\n",
+					i+1, item.Queries, len(jr.Nodes), len(jr.PathEdges), jr.NRatio, jr.ResponseMS)
+				for _, n := range jr.Nodes {
+					fmt.Fprintf(stdout, "    %6d  %s\n", n.ID, n.Label)
+				}
 			}
 		}
-		if item.Err != nil {
+		if item.err != nil {
 			// The whole run hitting -timeout outranks per-set failures.
-			if errors.Is(item.Err, ceps.ErrDeadlineExceeded) && ctx.Err() != nil {
+			if errors.Is(item.err, ceps.ErrDeadlineExceeded) && ctx.Err() != nil {
 				code = exitDeadline
 			} else if code == exitOK {
 				code = exitError
@@ -123,7 +126,7 @@ func runBatch(ctx context.Context, eng *ceps.Engine, g *ceps.Graph, sets [][]int
 	if opts.jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonItems); err != nil {
+		if err := enc.Encode(items); err != nil {
 			fmt.Fprintln(stderr, "ceps:", err)
 			return exitError
 		}

@@ -18,7 +18,7 @@ func writeBatchFile(t *testing.T, content string) string {
 	return path
 }
 
-func TestReadQuerySets(t *testing.T) {
+func TestReadQueryRequests(t *testing.T) {
 	g := testGraph(t)
 	path := writeBatchFile(t, `
 # comment line
@@ -26,32 +26,66 @@ Alice,Carol
 0, 2   # trailing comment
 Bob,Alice
 `)
-	sets, err := readQuerySets(g, path)
+	reqs, err := readQueryRequests(g, path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := [][]int{{0, 2}, {0, 2}, {1, 0}}
-	if len(sets) != len(want) {
-		t.Fatalf("got %d sets, want %d", len(sets), len(want))
+	if len(reqs) != len(want) {
+		t.Fatalf("got %d sets, want %d", len(reqs), len(want))
 	}
 	for i := range want {
 		for j := range want[i] {
-			if sets[i][j] != want[i][j] {
-				t.Fatalf("set %d = %v, want %v", i, sets[i], want[i])
+			if reqs[i].Sources[j] != want[i][j] {
+				t.Fatalf("set %d = %v, want %v", i, reqs[i].Sources, want[i])
 			}
 		}
 	}
 }
 
-func TestReadQuerySetsErrors(t *testing.T) {
+// TestReadQueryRequestsJSONLines: v1 JSON-object lines mix with legacy
+// comma lines and carry per-request overrides.
+func TestReadQueryRequestsJSONLines(t *testing.T) {
 	g := testGraph(t)
-	if _, err := readQuerySets(g, writeBatchFile(t, "# only comments\n")); err == nil {
+	path := writeBatchFile(t, `
+Alice,Carol
+{"sources":[1,0],"k":1,"timeout_ms":50,"no_degrade":true}
+{"q":"Bob,Carol","budget":3,"coalesce":false}
+`)
+	reqs, err := readQueryRequests(g, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 3 {
+		t.Fatalf("got %d requests, want 3", len(reqs))
+	}
+	r := reqs[1]
+	if len(r.Sources) != 2 || r.Sources[0] != 1 || r.K == nil || *r.K != 1 ||
+		r.TimeoutMS != 50 || !r.NoDegrade {
+		t.Fatalf("JSON line parsed as %+v", r)
+	}
+	r = reqs[2]
+	if r.Q != "Bob,Carol" || r.Budget == nil || *r.Budget != 3 ||
+		r.Coalesce == nil || *r.Coalesce {
+		t.Fatalf("JSON line parsed as %+v", r)
+	}
+}
+
+func TestReadQueryRequestsErrors(t *testing.T) {
+	g := testGraph(t)
+	if _, err := readQueryRequests(g, writeBatchFile(t, "# only comments\n")); err == nil {
 		t.Error("empty batch should fail")
 	}
-	if _, err := readQuerySets(g, writeBatchFile(t, "NoSuchAuthor\n")); err == nil {
+	if _, err := readQueryRequests(g, writeBatchFile(t, "NoSuchAuthor\n")); err == nil {
 		t.Error("unknown label should fail")
 	}
-	if _, err := readQuerySets(g, filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+	if _, err := readQueryRequests(g, writeBatchFile(t, `{"sources":[99]}`+"\n")); err == nil {
+		t.Error("out-of-range JSON line should fail")
+	}
+	if _, err := readQueryRequests(g, writeBatchFile(t, `{"sources":[0],`+"\n")); err == nil {
+		t.Error("malformed JSON line should fail")
+	}
+	if _, err := readQueryRequests(g, filepath.Join(t.TempDir(), "missing.txt")); err == nil {
 		t.Error("missing file should fail")
 	}
 }
@@ -78,7 +112,7 @@ func TestRunBatchJSON(t *testing.T) {
 	if code != exitOK {
 		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
 	}
-	var items []jsonBatchItem
+	var items []batchItemV1
 	if err := json.Unmarshal(out.Bytes(), &items); err != nil {
 		t.Fatalf("bad JSON: %v\n%s", err, out.String())
 	}
@@ -151,24 +185,24 @@ func TestRunUsageBothQueryModes(t *testing.T) {
 	}
 }
 
-// TestReadQuerySetsLongLine pins the scanner buffer fix: a query line
-// longer than bufio.Scanner's 64 KiB default token limit must parse, not
-// fail the whole batch with ErrTooLong.
-func TestReadQuerySetsLongLine(t *testing.T) {
+// TestReadQueryRequestsLongLine pins the scanner buffer fix: a query
+// line longer than bufio.Scanner's 64 KiB default token limit must
+// parse, not fail the whole batch with ErrTooLong.
+func TestReadQueryRequestsLongLine(t *testing.T) {
 	g := testGraph(t)
 	var sb strings.Builder
 	for sb.Len() < 100<<10 {
 		sb.WriteString("Alice,Bob,Carol,")
 	}
 	sb.WriteString("Alice\n")
-	sets, err := readQuerySets(g, writeBatchFile(t, sb.String()))
+	reqs, err := readQueryRequests(g, writeBatchFile(t, sb.String()))
 	if err != nil {
 		t.Fatalf("long line should parse, got: %v", err)
 	}
-	if len(sets) != 1 {
-		t.Fatalf("got %d sets, want 1", len(sets))
+	if len(reqs) != 1 {
+		t.Fatalf("got %d sets, want 1", len(reqs))
 	}
-	if want := 3*(sb.Len()/16) + 1; len(sets[0]) < 64<<10/16 {
-		t.Fatalf("set has %d members, want about %d", len(sets[0]), want)
+	if want := 3*(sb.Len()/16) + 1; len(reqs[0].Sources) < 64<<10/16 {
+		t.Fatalf("set has %d members, want about %d", len(reqs[0].Sources), want)
 	}
 }

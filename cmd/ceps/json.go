@@ -8,8 +8,11 @@ import (
 	"ceps"
 )
 
-// jsonResult is the machine-readable form of a query answer.
+// jsonResult is the machine-readable form of a query answer. It doubles
+// as the v1 QueryResponse schema: /v1/query returns one, /v1/batch an
+// array of them wrapped in per-item envelopes.
 type jsonResult struct {
+	TraceID    string     `json:"traceId,omitempty"`
 	QueryType  string     `json:"queryType"`
 	Budget     int        `json:"budget"`
 	ResponseMS float64    `json:"responseMs"`

@@ -12,22 +12,28 @@
 // -alpha and -norm for the normalization, and -partitions to enable Fast
 // CePS (pre-partition, then answer on the query partitions).
 //
-// Batch mode: -queries-file FILE answers many query sets concurrently —
-// one comma-separated set per line, '#' starts a comment. Sets share the
-// engine's score cache (-cache-mb, default 64 MiB) and solve pool
-// (-workers), so overlapping sets pay each member's random walk once;
-// cache statistics are printed to stderr. -query-timeout arms a deadline
-// on each set individually; a set that fails or times out is reported
-// inline without aborting the rest. With -json the batch is emitted as a
-// JSON array in input order.
+// Batch mode: -queries-file FILE answers many query sets concurrently.
+// Each line is either a comma-separated set ('#' starts a comment) or a
+// JSON object in the /v1/query request schema (per-line k, budget,
+// timeout_ms, no_degrade, coalesce overrides). Sets share the engine's
+// score cache (-cache-mb, default 64 MiB) and solve pool (-workers), so
+// overlapping sets pay each member's random walk once; cache statistics
+// are printed to stderr. -query-timeout arms a deadline on each set
+// individually; a set that fails or times out is reported inline without
+// aborting the rest. With -json the batch is emitted as a JSON array in
+// input order.
 //
-// Serve mode: -serve ADDR runs a long-lived HTTP query service
-// (GET /query?q=Alice,Bob&k=N, or POST /query with a JSON body) instead
-// of answering one query or batch. -resilience adds admission control,
-// load shedding (HTTP 429 + Retry-After), and a circuit breaker that
-// serves relaxed-tolerance degraded answers (or fails fast with 503
-// under -no-degrade); -max-inflight and -max-queue size it. See
-// README.md "Resilience".
+// Serve mode: -serve ADDR runs a long-lived HTTP query service instead
+// of answering one query or batch: GET/POST /v1/query answers one typed
+// request, POST /v1/batch an array of them, and the pre-v1 /query
+// contract survives as a deprecated alias (it answers with a Deprecation
+// header). -resilience adds admission control, load shedding (HTTP 429 +
+// Retry-After), and a circuit breaker that serves relaxed-tolerance
+// degraded answers (or fails fast with 503 under -no-degrade);
+// -max-inflight and -max-queue size it. See README.md "Resilience".
+// -coalesce merges concurrent cache-miss solves into blocked panels
+// (one multi-source solve instead of Q scalar ones) at the price of up
+// to ~1ms of added latency per miss; answers are bit-identical.
 // -admin ADDR additionally exposes the operational surface — Prometheus
 // /metrics, /healthz, /debug/vars, and net/http/pprof — on its own
 // address in every mode, so a long batch can be profiled while it runs.
@@ -37,9 +43,9 @@
 // Tracing: -trace-sample P (0 < P ≤ 1) records request-scoped span traces
 // for that fraction of queries (failed queries are always kept), retaining
 // the newest -trace-buffer traces for the admin endpoint's /debug/traces
-// and /debug/traces/view pages. In serve mode every /query response
-// carries an X-Ceps-Trace-Id header, so a slow client request can be
-// looked up with /debug/traces?id=<that id>.
+// and /debug/traces/view pages. In serve mode every HTTP response — even
+// a 400 or a 429 shed — carries an X-Ceps-Trace-Id header, so a slow or
+// failed client request can be looked up with /debug/traces?id=<that id>.
 //
 // Execution is context-aware: -timeout bounds the whole run (graph load,
 // optional pre-partition, and the query), and SIGINT/SIGTERM cancel the
@@ -106,10 +112,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		jsonFmt   = fs.Bool("json", false, "emit the result as JSON instead of a listing")
 		explain   = fs.Bool("explain", false, "print the key path that justified each node")
 
-		queriesFile  = fs.String("queries-file", "", "answer a batch: one comma-separated query set per line (# starts a comment); mutually exclusive with -q")
+		queriesFile  = fs.String("queries-file", "", "answer a batch: one query set per line, comma-separated or a /v1/query JSON object (# starts a comment); mutually exclusive with -q")
 		queryTimeout = fs.Duration("query-timeout", 0, "per-query-set deadline in batch mode, per-request deadline in serve mode (0 = none)")
 		cacheMB      = fs.Int("cache-mb", 64, "score-cache budget in MiB, shared across the batch (0 = disable caching)")
 		workers      = fs.Int("workers", 0, "max concurrent random-walk solves (0 = GOMAXPROCS)")
+		coalesce     = fs.Bool("coalesce", false, "merge concurrent cache-miss solves into blocked multi-source panels (requires caching)")
 
 		serveAddr     = fs.String("serve", "", "run as a long-lived query service on this address (e.g. :8080) instead of answering -q/-queries-file")
 		adminAddr     = fs.String("admin", "", "serve /metrics, /healthz, /debug/vars, pprof and /debug/traces on this address (e.g. :6060)")
@@ -141,6 +148,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *cacheMB < 0 || *workers < 0 {
 		fmt.Fprintln(stderr, "ceps: -cache-mb and -workers must be non-negative")
+		return exitUsage
+	}
+	if *coalesce && *cacheMB == 0 {
+		fmt.Fprintln(stderr, "ceps: -coalesce requires caching; raise -cache-mb")
 		return exitUsage
 	}
 	if *parts < 0 {
@@ -229,6 +240,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *workers > 0 {
 		opts = append(opts, ceps.WithWorkers(*workers))
 	}
+	if *coalesce {
+		opts = append(opts, ceps.WithCoalescing(ceps.CoalesceOptions{}))
+	}
 	if *slowLog > 0 {
 		opts = append(opts, ceps.WithSlowQueryLog(stderr, *slowLog))
 	}
@@ -285,11 +299,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "ceps: -auto-k is not supported in batch mode")
 			return exitUsage
 		}
-		sets, err := readQuerySets(g, *queriesFile)
+		reqs, err := readQueryRequests(g, *queriesFile)
 		if err != nil {
 			return fail(err)
 		}
-		return runBatch(ctx, eng, g, sets, cfg, batchOptions{
+		return runBatch(ctx, eng, g, reqs, cfg, batchOptions{
 			perQueryTimeout: *queryTimeout,
 			jsonOut:         *jsonFmt,
 			explain:         *explain,
@@ -311,7 +325,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 	}
-	res, err := eng.QueryCtx(ctx, queries...)
+	res, err := eng.Do(ctx, queries)
 	if err != nil {
 		return fail(err)
 	}

@@ -167,6 +167,7 @@ func TestQueryMuxOverloadResponse(t *testing.T) {
 	eng := testEngine(t, g,
 		ceps.WithWorkers(1),
 		ceps.WithResilience(ceps.ResilienceOptions{MaxConcurrent: 1, MaxQueue: -1}),
+		ceps.WithTracing(ceps.TracingOptions{SampleRate: 1}),
 	)
 	srv := httptest.NewServer(newQueryMux(eng, g, ceps.DefaultConfig(), 0))
 	defer srv.Close()
@@ -222,6 +223,10 @@ func TestQueryMuxOverloadResponse(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Errorf("429 without Retry-After:\n%s", dump)
 	}
+	// Regression: shed responses must be linkable to their trace too.
+	if resp.Header.Get("X-Ceps-Trace-Id") == "" {
+		t.Errorf("429 without X-Ceps-Trace-Id:\n%s", dump)
+	}
 	var qe queryError
 	if err := json.Unmarshal(body, &qe); err != nil || qe.Error == "" {
 		t.Errorf("429 body is not a queryError: %v (%s)", err, body)
@@ -231,9 +236,10 @@ func TestQueryMuxOverloadResponse(t *testing.T) {
 	}
 }
 
-// FuzzQueryRequest drives the POST /query body decoder with arbitrary
-// bytes: it must never panic, and anything it accepts must be a
-// well-formed query set over the graph.
+// FuzzQueryRequest drives both POST body decoders — the legacy /query
+// schema and the v1 schema — with arbitrary bytes: neither may panic,
+// and anything either accepts must be a well-formed query set over the
+// graph.
 func FuzzQueryRequest(f *testing.F) {
 	f.Add([]byte(`{"q":"Alice,Carol","k":1,"budget":2,"explain":true}`))
 	f.Add([]byte(`{"queries":[0,1,2]}`))
@@ -246,6 +252,11 @@ func FuzzQueryRequest(f *testing.F) {
 	f.Add([]byte(`null`))
 	f.Add([]byte(``))
 	f.Add([]byte(`{"k":9223372036854775807,"q":"0"}`))
+	f.Add([]byte(`{"sources":[0,2],"k":1,"budget":2,"timeout_ms":50,"no_degrade":true,"coalesce":false}`))
+	f.Add([]byte(`{"sources":[-1]}`))
+	f.Add([]byte(`{"sources":[0],"q":"Alice"}`))
+	f.Add([]byte(`{"timeout_ms":-1,"sources":[0]}`))
+	f.Add([]byte(`{"coalesce":null,"sources":[0]}`))
 
 	b := ceps.NewBuilder(0)
 	b.AddNode("Alice")
@@ -264,20 +275,41 @@ func FuzzQueryRequest(f *testing.F) {
 			return
 		}
 		queries, reqCfg, _, err := decodeQueryRequest(g, base, body)
+		if err == nil {
+			if len(queries) == 0 {
+				t.Fatalf("accepted body %q with no queries", body)
+			}
+			for _, q := range queries {
+				if q < 0 || q >= g.N() {
+					t.Fatalf("accepted out-of-range query %d from %q", q, body)
+				}
+			}
+			// Untouched fields must come from the base config.
+			if reqCfg.RWR != base.RWR {
+				t.Fatalf("decoder mutated RWR config: %+v", reqCfg.RWR)
+			}
+		}
+
+		req, v1Queries, err := decodeQueryRequestV1(g, body)
 		if err != nil {
 			return // rejects are fine; panics are not
 		}
-		if len(queries) == 0 {
-			t.Fatalf("accepted body %q with no queries", body)
+		if len(v1Queries) == 0 {
+			t.Fatalf("v1 accepted body %q with no queries", body)
 		}
-		for _, q := range queries {
+		for _, q := range v1Queries {
 			if q < 0 || q >= g.N() {
-				t.Fatalf("accepted out-of-range query %d from %q", q, body)
+				t.Fatalf("v1 accepted out-of-range query %d from %q", q, body)
 			}
 		}
-		// Untouched fields must come from the base config.
-		if reqCfg.RWR != base.RWR {
-			t.Fatalf("decoder mutated RWR config: %+v", reqCfg.RWR)
+		if req.K != nil && *req.K < 0 {
+			t.Fatalf("v1 accepted negative k from %q", body)
+		}
+		if req.Budget != nil && *req.Budget <= 0 {
+			t.Fatalf("v1 accepted non-positive budget from %q", body)
+		}
+		if req.TimeoutMS < 0 {
+			t.Fatalf("v1 accepted negative timeout_ms from %q", body)
 		}
 	})
 }

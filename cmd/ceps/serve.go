@@ -114,23 +114,64 @@ func parseQueryParams(g *ceps.Graph, cfg ceps.Config, q map[string][]string) (qu
 	return queries, reqCfg, get("explain") != "", nil
 }
 
+// traceHandler is an HTTP handler that runs inside an already-opened
+// request trace. The withTrace wrapper has stamped X-Ceps-Trace-Id on
+// the response headers before the handler body runs.
+type traceHandler func(ctx context.Context, span *ceps.Span, w http.ResponseWriter, r *http.Request)
+
+// withTrace opens the request's root span before anything else touches
+// the request — before the body is read, before decoding, before
+// admission — so every response carries X-Ceps-Trace-Id and is linkable
+// to its retained trace. That explicitly includes decode failures (400,
+// 405, 413) and engine sheds (429, 503), which previously raced past the
+// header stamp.
+func withTrace(eng *ceps.Engine, name string, h traceHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, span := eng.StartTrace(r.Context(), name)
+		defer span.End()
+		if id := span.TraceID(); id != "" {
+			w.Header().Set("X-Ceps-Trace-Id", id)
+		}
+		h(ctx, span, w, r)
+	}
+}
+
 // newQueryMux builds the public query API:
 //
-//	GET  /query?q=Alice,Bob[&k=N][&budget=N][&explain=1]  JSON result
-//	POST /query {"q":"Alice,Bob","k":N,...}               JSON result
-//	GET  /healthz                                         liveness
+//	GET  /v1/query?sources=1,2[&k=N][&budget=N][&timeout_ms=N]...  JSON result
+//	POST /v1/query {"sources":[1,2],"k":N,...}                     JSON result
+//	POST /v1/batch {"queries":[{...},{...}]}                       JSON results
+//	GET|POST /query                                                deprecated alias
+//	GET  /healthz                                                  liveness
 //
-// Query nodes are ids or labels, as with -q. Per-request k and budget
-// override the engine's configuration without mutating it. The admin
-// surface (metrics, pprof) deliberately lives on its own mux/port so the
-// profiler is never exposed on the public address.
+// The v1 endpoints speak the typed queryRequestV1 schema (see v1.go),
+// which is also the CLI -queries-file format. The legacy /query routes
+// keep their original request/response shape but answer with a
+// Deprecation header pointing at the successor. Per-request overrides
+// never mutate the engine's configuration. The admin surface (metrics,
+// pprof) deliberately lives on its own mux/port so the profiler is never
+// exposed on the public address.
 func newQueryMux(eng *ceps.Engine, g *ceps.Graph, cfg ceps.Config, queryTimeout time.Duration) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/query", withTrace(eng, "http_query", handleQueryV1(eng, g, cfg, queryTimeout)))
+	mux.HandleFunc("/v1/batch", withTrace(eng, "http_batch", handleBatchV1(eng, g, cfg, queryTimeout)))
+	mux.HandleFunc("/query", withTrace(eng, "http_query", handleQueryLegacy(eng, g, cfg, queryTimeout)))
+	return mux
+}
+
+// handleQueryLegacy serves the pre-v1 /query contract unchanged, plus
+// the RFC 8594-style deprecation headers steering clients to /v1/query.
+// It runs through the same Do funnel as v1, which also fixes a long-
+// standing gap: the legacy per-request budget override used to be
+// accepted by the decoder and then silently dropped before the solve.
+func handleQueryLegacy(eng *ceps.Engine, g *ceps.Graph, cfg ceps.Config, queryTimeout time.Duration) traceHandler {
+	return func(ctx context.Context, span *ceps.Span, w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/query>; rel="successor-version"`)
 		var (
 			queries []int
 			reqCfg  ceps.Config
@@ -141,14 +182,11 @@ func newQueryMux(eng *ceps.Engine, g *ceps.Graph, cfg ceps.Config, queryTimeout 
 		case http.MethodGet:
 			queries, reqCfg, explain, err = parseQueryParams(g, cfg, r.URL.Query())
 		case http.MethodPost:
-			body, rerr := io.ReadAll(http.MaxBytesReader(w, r.Body, maxQueryBody))
-			if rerr != nil {
-				status := http.StatusBadRequest
-				var mbe *http.MaxBytesError
-				if errors.As(rerr, &mbe) {
-					status = http.StatusRequestEntityTooLarge
-				}
-				writeQueryError(w, status, fmt.Errorf("reading request body: %w", rerr))
+			var body []byte
+			var status int
+			body, status, err = readBody(w, r)
+			if err != nil {
+				writeQueryError(w, status, err)
 				return
 			}
 			queries, reqCfg, explain, err = decodeQueryRequest(g, cfg, body)
@@ -161,33 +199,21 @@ func newQueryMux(eng *ceps.Engine, g *ceps.Graph, cfg ceps.Config, queryTimeout 
 			writeQueryError(w, http.StatusBadRequest, err)
 			return
 		}
-		ctx := r.Context()
+		opts := []ceps.QueryOption{ceps.WithK(reqCfg.K)}
+		if reqCfg.Budget > 0 {
+			opts = append(opts, ceps.WithQueryBudget(reqCfg.Budget))
+		}
 		if queryTimeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, queryTimeout)
-			defer cancel()
+			opts = append(opts, ceps.WithQueryTimeout(queryTimeout))
 		}
-		// The handler's root span puts the HTTP envelope on the waterfall
-		// and stamps the trace id on the response before the query runs, so
-		// even failed or timed-out requests are linkable to their trace.
-		ctx, span := eng.StartTrace(ctx, "http_query")
-		defer span.End()
-		if id := span.TraceID(); id != "" {
-			w.Header().Set("X-Ceps-Trace-Id", id)
-		}
-		res, err := eng.QueryKSoftANDCtx(ctx, reqCfg.K, queries...)
+		res, err := eng.Do(ctx, queries, opts...)
 		if err != nil {
 			span.SetError(err)
 			writeQueryError(w, queryStatus(err), err)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		jr := buildJSONResult(g, res, queries, reqCfg, explain)
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(jr)
-	})
-	return mux
+		writeQueryResult(w, g, res, queries, reqCfg, explain)
+	}
 }
 
 // queryStatus maps the library's error taxonomy onto HTTP statuses. The

@@ -1,0 +1,341 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ceps"
+)
+
+func v1TestServer(t *testing.T, opts ...ceps.Option) (*httptest.Server, *ceps.Engine) {
+	t.Helper()
+	g := testGraph(t)
+	eng := testEngine(t, g, append([]ceps.Option{ceps.WithCache(1 << 20)}, opts...)...)
+	srv := httptest.NewServer(newQueryMux(eng, g, ceps.DefaultConfig(), 0))
+	t.Cleanup(srv.Close)
+	return srv, eng
+}
+
+// TestV1QueryGet: the GET parameter form resolves sources/q with the
+// usual overrides and answers the v1 response schema.
+func TestV1QueryGet(t *testing.T) {
+	srv, _ := v1TestServer(t)
+
+	resp, err := http.Get(srv.URL + "/v1/query?sources=0,2&budget=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", resp.StatusCode, body)
+	}
+	var jr jsonResult
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatalf("response is not a jsonResult: %v\n%s", err, body)
+	}
+	if len(jr.Nodes) < 2 {
+		t.Errorf("answer has %d nodes, want at least the 2 query nodes", len(jr.Nodes))
+	}
+	if jr.Budget != 2 {
+		t.Errorf("budget override not reflected: got %d, want 2", jr.Budget)
+	}
+
+	for _, tc := range []struct {
+		url  string
+		want int
+	}{
+		{"/v1/query?q=Alice,Bob", http.StatusOK},
+		{"/v1/query?q=NoSuchAuthor", http.StatusBadRequest},
+		{"/v1/query", http.StatusBadRequest},
+		{"/v1/query?sources=0&k=frogs", http.StatusBadRequest},
+		{"/v1/query?sources=0&timeout_ms=-1", http.StatusBadRequest},
+		{"/v1/query?sources=0&budget=0", http.StatusBadRequest},
+	} {
+		resp, err := http.Get(srv.URL + tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.url, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestV1QueryPost exercises the typed POST body: every option field is
+// accepted, malformed shapes are 400 (never 500 or a panic), and the
+// method/oversize contracts match the legacy endpoint.
+func TestV1QueryPost(t *testing.T) {
+	srv, _ := v1TestServer(t)
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := post(`{"sources":[0,2],"k":1,"budget":2,"timeout_ms":5000,"no_degrade":true,"coalesce":false,"explain":true}`)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST status = %d, body: %s", resp.StatusCode, body)
+	}
+	var jr jsonResult
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatalf("response is not a jsonResult: %v\n%s", err, body)
+	}
+	if jr.Budget != 2 {
+		t.Errorf("budget override not reflected: got %d, want 2", jr.Budget)
+	}
+
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"garbage", `{`},
+		{"trailing_data", `{"q":"Alice"} {"q":"Carol"}`},
+		{"unknown_field", `{"q":"Alice","frogs":1}`},
+		{"legacy_field_rejected", `{"queries":[0,2]}`},
+		{"both_sources_and_q", `{"q":"Alice","sources":[0]}`},
+		{"id_out_of_range", `{"sources":[0,99]}`},
+		{"negative_id", `{"sources":[-1]}`},
+		{"no_queries", `{}`},
+		{"negative_k", `{"sources":[0],"k":-1}`},
+		{"zero_budget", `{"sources":[0],"budget":0}`},
+		{"negative_timeout", `{"sources":[0],"timeout_ms":-5}`},
+	} {
+		resp := post(tc.body)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+
+	resp = post(`{"q":"` + strings.Repeat("x", maxQueryBody+1) + `"}`)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status = %d, want 413", resp.StatusCode)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/query", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE: status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestV1Batch: per-entry results come back in input order, a bad entry
+// fails alone (the envelope stays 200), and envelope-level garbage is a
+// client error.
+func TestV1Batch(t *testing.T) {
+	srv, _ := v1TestServer(t)
+
+	resp, err := http.Post(srv.URL+"/v1/batch", "application/json", strings.NewReader(
+		`{"queries":[{"q":"Alice,Carol","budget":2},{"sources":[99]},{"sources":[1,2],"k":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", resp.StatusCode, body)
+	}
+	var out batchResponseV1
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("response is not a batchResponseV1: %v\n%s", err, body)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(out.Results))
+	}
+	if out.Results[0].Error != "" || out.Results[0].Result == nil {
+		t.Errorf("entry 0 should answer: %+v", out.Results[0])
+	}
+	if out.Results[0].Result.Budget != 2 {
+		t.Errorf("entry 0 budget override not reflected: %d", out.Results[0].Result.Budget)
+	}
+	if out.Results[1].Error == "" || out.Results[1].Result != nil {
+		t.Errorf("entry 1 should fail alone: %+v", out.Results[1])
+	}
+	if out.Results[2].Error != "" || out.Results[2].Result == nil {
+		t.Errorf("entry 2 should answer: %+v", out.Results[2])
+	}
+
+	for _, tc := range []struct {
+		name, body string
+		want       int
+	}{
+		{"garbage", `{`, http.StatusBadRequest},
+		{"empty", `{"queries":[]}`, http.StatusBadRequest},
+		{"unknown_field", `{"frogs":[]}`, http.StatusBadRequest},
+		{"trailing", `{"queries":[{"q":"Alice"}]} x`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(srv.URL+"/v1/batch", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/batch: status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestLegacyQueryDeprecation: the pre-v1 endpoint keeps answering but
+// every response — success or failure — carries the deprecation headers
+// pointing at the successor route.
+func TestLegacyQueryDeprecation(t *testing.T) {
+	srv, _ := v1TestServer(t)
+	for _, url := range []string{
+		"/query?q=Alice,Carol",  // 200
+		"/query?q=NoSuchAuthor", // 400
+	} {
+		resp, err := http.Get(srv.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.Header.Get("Deprecation") != "true" {
+			t.Errorf("%s: missing Deprecation header", url)
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/query") {
+			t.Errorf("%s: Link = %q, want successor pointer", url, link)
+		}
+	}
+
+	// v1 responses must not be marked deprecated.
+	resp, err := http.Get(srv.URL + "/v1/query?sources=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("Deprecation") != "" {
+		t.Error("/v1/query should not carry a Deprecation header")
+	}
+}
+
+// TestLegacyQueryBudgetOverride pins the fix for a silently dropped
+// override: the legacy decoder always accepted a per-request budget, but
+// the old handler never handed it to the engine.
+func TestLegacyQueryBudgetOverride(t *testing.T) {
+	srv, _ := v1TestServer(t)
+	resp, err := http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"q":"Alice,Carol","budget":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", resp.StatusCode, body)
+	}
+	var jr jsonResult
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatalf("bad body: %v", err)
+	}
+	if jr.Budget != 2 {
+		t.Errorf("budget override not reflected: got %d, want 2", jr.Budget)
+	}
+}
+
+// TestTraceIDOnEveryPath is the regression test for the header gap: with
+// tracing on, every response must carry X-Ceps-Trace-Id — including the
+// 400/405/413 paths that used to be written before the span was opened.
+func TestTraceIDOnEveryPath(t *testing.T) {
+	srv, _ := v1TestServer(t, ceps.WithTracing(ceps.TracingOptions{SampleRate: 1}))
+
+	do := func(name string, req *http.Request, want int) {
+		t.Helper()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s: status = %d, want %d", name, resp.StatusCode, want)
+		}
+		if resp.Header.Get("X-Ceps-Trace-Id") == "" {
+			t.Errorf("%s (%d): missing X-Ceps-Trace-Id", name, resp.StatusCode)
+		}
+	}
+	get := func(path string) *http.Request {
+		req, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return req
+	}
+	post := func(path, body string) *http.Request {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return req
+	}
+	del := func(path string) *http.Request {
+		req, err := http.NewRequest(http.MethodDelete, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return req
+	}
+
+	do("v1 success", get("/v1/query?sources=0,2"), http.StatusOK)
+	do("v1 bad request", get("/v1/query?q=NoSuchAuthor"), http.StatusBadRequest)
+	do("v1 bad body", post("/v1/query", `{`), http.StatusBadRequest)
+	do("v1 method", del("/v1/query"), http.StatusMethodNotAllowed)
+	do("v1 oversize", post("/v1/query", `{"q":"`+strings.Repeat("x", maxQueryBody+1)+`"}`), http.StatusRequestEntityTooLarge)
+	do("v1 batch success", post("/v1/batch", `{"queries":[{"sources":[0]}]}`), http.StatusOK)
+	do("v1 batch bad", post("/v1/batch", `{`), http.StatusBadRequest)
+	do("legacy success", get("/query?q=Alice,Carol"), http.StatusOK)
+	do("legacy bad request", get("/query?q=NoSuchAuthor"), http.StatusBadRequest)
+	do("legacy bad body", post("/query", `{`), http.StatusBadRequest)
+	do("legacy method", del("/query"), http.StatusMethodNotAllowed)
+
+	// The body echoes the same id for successful answers, so a client can
+	// log it from either place.
+	resp, err := http.Get(srv.URL + "/v1/query?sources=0,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	headerID := resp.Header.Get("X-Ceps-Trace-Id")
+	resp.Body.Close()
+	var jr jsonResult
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.TraceID == "" || jr.TraceID != headerID {
+		t.Errorf("body traceId %q != header %q", jr.TraceID, headerID)
+	}
+}

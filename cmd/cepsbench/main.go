@@ -28,7 +28,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "dataset scale (1.0 ≈ 4K authors, 80 ≈ paper's 315K)")
 		trials  = flag.Int("trials", 5, "random query draws averaged per data point")
 		seed    = flag.Int64("seed", 1, "random seed for dataset and query sampling")
-		exps    = flag.String("exp", "all", "comma-separated experiment ids: datastats,fig2,fig4,fig5,fig6,speedup,skew,kernel,inject,retrieval,scaling,steiner,all; overload runs only when named explicitly")
+		exps    = flag.String("exp", "all", "comma-separated experiment ids: datastats,fig2,fig4,fig5,fig6,speedup,skew,kernel,inject,retrieval,scaling,steiner,all; overload and coalesce run only when named explicitly")
 		iters   = flag.Int("rwr-iters", 50, "RWR power-iteration count m")
 		htmlOut = flag.String("html", "", "also write the regenerated figures as a self-contained HTML report")
 		jsonOut = flag.String("json", "", "also write every experiment's raw points as JSON")
@@ -37,6 +37,12 @@ func main() {
 		overloadWorkers = flag.Int("overload-workers", 4, "overload: solve-pool workers (sets capacity)")
 		overloadClients = flag.Int("overload-clients", 64, "overload: closed-loop client count")
 		overloadOut     = flag.String("overload-out", "", "overload: also write the two-arm result as JSON to this file")
+
+		coalesceWorkers = flag.Int("coalesce-workers", 4, "coalesce: solve-pool workers")
+		coalesceClients = flag.Int("coalesce-clients", 64, "coalesce: closed-loop client count")
+		coalesceSets    = flag.Int("coalesce-sets", 512, "coalesce: distinct 2-source query sets per arm")
+		coalesceDelay   = flag.Duration("coalesce-delay", 5*time.Millisecond, "coalesce: injected per-solve-call delay")
+		coalesceOut     = flag.String("coalesce-out", "", "coalesce: also write the two-arm result as JSON to this file")
 	)
 	flag.Parse()
 
@@ -237,6 +243,35 @@ func main() {
 					return err
 				}
 				fmt.Printf("overload results written to %s\n", *overloadOut)
+			}
+			return nil
+		})
+	}
+	// The coalesce experiment also saturates the host (64 unpaced clients
+	// against a 4-slot pool), so like overload it runs only when named.
+	if want["coalesce"] {
+		run("coalesce", func() error {
+			r, err := experiments.Coalesce(s, *coalesceWorkers, *coalesceClients, *coalesceSets, *coalesceDelay)
+			if err != nil {
+				return err
+			}
+			record("coalesce", r)
+			experiments.RenderCoalesce(os.Stdout, r)
+			if *coalesceOut != "" {
+				f, err := os.Create(*coalesceOut)
+				if err != nil {
+					return err
+				}
+				enc := json.NewEncoder(f)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(r); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("coalesce results written to %s\n", *coalesceOut)
 			}
 			return nil
 		})

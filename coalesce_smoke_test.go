@@ -1,0 +1,65 @@
+package ceps_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"ceps/internal/experiments"
+)
+
+// TestCoalesceSmoke runs a shrunk version of the two-arm coalescing
+// comparison (see internal/experiments/coalesce.go) and enforces the
+// qualitative floors `make coalesce-smoke` gates on: concurrent misses
+// actually merge (mean panel width > 1), the merged answers are
+// bit-identical to the uncoalesced ones, and coalescing never costs
+// throughput. When BENCH_COALESCE_OUT names a file the full result is
+// written there as JSON (this is what `make bench-coalesce` runs, at
+// bigger parameters via cmd/cepsbench).
+func TestCoalesceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped with -short")
+	}
+	if raceDetectorEnabled {
+		t.Skip("timing-sensitive; the race detector distorts the closed-loop " +
+			"throughput comparison (make coalesce-smoke runs this without -race)")
+	}
+	s, err := experiments.NewSetup(0.2, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Base.RWR.Iterations = 25
+	r, err := experiments.Coalesce(s, 4, 32, 128, 4*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("coalesce smoke: off %.0f rows/sec p99 %.1fms, on %.0f rows/sec p99 %.1fms, mean width %.1f, speedup %.2fx",
+		r.Off.RowsPerSec, r.Off.P99MS, r.On.RowsPerSec, r.On.P99MS, r.On.MeanWidth, r.SpeedupRows)
+
+	if !r.BitIdentical {
+		t.Error("coalesced answers diverged from uncoalesced ones")
+	}
+	if r.Off.Errored != 0 || r.On.Errored != 0 {
+		t.Errorf("errors under closed-loop load: off %d, on %d", r.Off.Errored, r.On.Errored)
+	}
+	if r.On.MeanWidth <= 1 {
+		t.Errorf("mean panel width %.2f, want > 1: concurrent misses never merged", r.On.MeanWidth)
+	}
+	// Qualitative floor only — the quantitative >= 1.5x headline is
+	// enforced on the checked-in BENCH_coalesce.json, not per CI run.
+	if r.On.RowsPerSec < r.Off.RowsPerSec {
+		t.Errorf("coalescing lost throughput: on %.0f rows/sec < off %.0f",
+			r.On.RowsPerSec, r.Off.RowsPerSec)
+	}
+
+	if out := os.Getenv("BENCH_COALESCE_OUT"); out != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

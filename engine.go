@@ -40,6 +40,7 @@ type Engine struct {
 
 	cache *rwr.ScoreCache // nil when caching is off
 	pool  *rwr.Pool       // never nil
+	coal  *rwr.Coalescer  // nil when coalescing is off
 
 	res *resilience.Controller // nil when resilience is off (the default)
 
@@ -56,6 +57,7 @@ type Option func(*engineConfig) error
 type engineConfig struct {
 	cfg        Config
 	cacheBytes int64
+	coalesce   *CoalesceOptions
 	workers    int
 	fastMode   bool
 	fastParts  int
@@ -113,6 +115,31 @@ func WithWorkers(n int) Option {
 func WithBlockedSolves(m BlockMode) Option {
 	return func(ec *engineConfig) error {
 		ec.cfg.Blocked = m
+		return nil
+	}
+}
+
+// WithCoalescing enables the cross-request solve coalescer: cache misses
+// from concurrent queries join a forming panel — bounded by a latency
+// budget (CoalesceOptions.MaxWait, default 1ms) and a width cap (MaxWidth,
+// default 16), released early whenever a pool slot is already free — and
+// the panel solves as one blocked multi-source call under one pool slot.
+// Coalesced answers are bit-identical to uncoalesced ones (the blocked
+// kernel is column-wise identical to scalar); the option only changes how
+// concurrent misses are scheduled, trading up to MaxWait of added latency
+// for streaming the transition matrix once per panel instead of once per
+// miss. Requires WithCache — the fan-out rides the cache's single-flight
+// entries — and NewEngine rejects the combination without it. Individual
+// calls can opt out with WithCoalesceHint(false) (or Config.NoCoalesce).
+func WithCoalescing(o CoalesceOptions) Option {
+	return func(ec *engineConfig) error {
+		if o.MaxWait < 0 {
+			return fmt.Errorf("%w: negative coalesce wait budget %v", ErrBadConfig, o.MaxWait)
+		}
+		if o.MaxWidth < 0 {
+			return fmt.Errorf("%w: negative coalesce panel width %d", ErrBadConfig, o.MaxWidth)
+		}
+		ec.coalesce = &o
 		return nil
 	}
 }
@@ -224,12 +251,24 @@ func NewEngine(g *Graph, opts ...Option) (*Engine, error) {
 	if ec.cacheBytes > 0 {
 		e.cache = rwr.NewScoreCache(ec.cacheBytes)
 	}
+	if ec.coalesce != nil {
+		if e.cache == nil {
+			return nil, fmt.Errorf("%w: WithCoalescing requires WithCache (the panel fan-out rides the cache's single-flight entries)", ErrBadConfig)
+		}
+		e.coal = rwr.NewCoalescer(*ec.coalesce)
+	}
 	if ec.tracing != nil {
 		e.tracer = obs.NewTracer(*ec.tracing)
 	}
 	// The tracer must exist before the registry: the ceps_traces_* counter
 	// funcs read it at scrape time (and read zero from a nil tracer).
 	e.metrics = newEngineMetrics(e.CacheStats, ec.workers, e.tracer)
+	if e.coal != nil {
+		e.coal.OnSolve(func(width int) {
+			e.metrics.coalescedSolves.Inc()
+			e.metrics.coalescePanelWidth.Observe(float64(width))
+		})
+	}
 	if ec.resilience != nil {
 		// The admission controller's deadline budget is driven by the live
 		// p90 of end-to-end latency, so the estimate tracks the workload
@@ -275,10 +314,10 @@ func (e *Engine) Config() Config {
 	return e.cfg
 }
 
-// serving bundles the engine's cache and pool for the core query paths.
-// Both are fixed at construction, so no lock is needed.
+// serving bundles the engine's cache, pool and coalescer for the core
+// query paths. All are fixed at construction, so no lock is needed.
 func (e *Engine) serving() core.Serving {
-	return core.Serving{Cache: e.cache, Pool: e.pool}
+	return core.Serving{Cache: e.cache, Pool: e.pool, Coalescer: e.coal}
 }
 
 // snapshot returns the configuration and partition state one query runs
@@ -357,6 +396,15 @@ func (e *Engine) CacheStats() (CacheStats, bool) {
 		return CacheStats{}, false
 	}
 	return e.cache.Stats(), true
+}
+
+// CoalesceStats returns a snapshot of the solve coalescer's counters. The
+// second return is false when the engine was built without WithCoalescing.
+func (e *Engine) CoalesceStats() (CoalesceStats, bool) {
+	if e.coal == nil {
+		return CoalesceStats{}, false
+	}
+	return e.coal.Stats(), true
 }
 
 // EnableFastMode pre-partitions the graph into p parts (Table 5 Step 0);
@@ -472,8 +520,11 @@ func (e *Engine) runnerFor(rc RWRConfig) (*core.Runner, error) {
 // Query answers a center-piece subgraph query for the given query nodes,
 // using Fast CePS when fast mode is enabled and the cached transition
 // matrix otherwise.
+//
+// Deprecated: use Do, which adds per-call options; Query(q...) is
+// Do(context.Background(), q).
 func (e *Engine) Query(queries ...int) (*Result, error) {
-	return e.QueryCtx(context.Background(), queries...)
+	return e.Do(context.Background(), queries)
 }
 
 // QueryCtx is Query with cooperative cancellation and deadline support:
@@ -481,25 +532,27 @@ func (e *Engine) Query(queries ...int) (*Result, error) {
 // Engine boundary additionally converts any panic escaping the pipeline
 // into an error wrapping ErrInternal, so one poisoned query cannot crash
 // a service that multiplexes many callers onto one Engine.
+//
+// Deprecated: use Do; QueryCtx(ctx, q...) is Do(ctx, q).
 func (e *Engine) QueryCtx(ctx context.Context, queries ...int) (res *Result, err error) {
-	defer e.recoverToError(&err)
-	cfg, pt := e.snapshot()
-	return e.queryWith(ctx, cfg, pt, queries)
+	return e.Do(ctx, queries)
 }
 
 // QueryKSoftAND answers a K_softAND query without mutating the engine's
 // stored configuration.
+//
+// Deprecated: use Do with WithK.
 func (e *Engine) QueryKSoftAND(k int, queries ...int) (*Result, error) {
-	return e.QueryKSoftANDCtx(context.Background(), k, queries...)
+	return e.Do(context.Background(), queries, WithK(k))
 }
 
 // QueryKSoftANDCtx is QueryKSoftAND with cooperative cancellation, routed
 // through the same config/partition snapshot as QueryCtx.
+//
+// Deprecated: use Do with WithK; QueryKSoftANDCtx(ctx, k, q...) is
+// Do(ctx, q, WithK(k)).
 func (e *Engine) QueryKSoftANDCtx(ctx context.Context, k int, queries ...int) (res *Result, err error) {
-	defer e.recoverToError(&err)
-	cfg, pt := e.snapshot()
-	cfg.K = k
-	return e.queryWith(ctx, cfg, pt, queries)
+	return e.Do(ctx, queries, WithK(k))
 }
 
 // queryWith answers one query under an already-taken snapshot, and is the
@@ -508,7 +561,7 @@ func (e *Engine) QueryKSoftANDCtx(ctx context.Context, k int, queries ...int) (r
 // total and per-stage latency) and the slow-query log. Instrumentation
 // only reads the finished Result; answers stay bit-identical to an
 // unmetered run.
-func (e *Engine) queryWith(ctx context.Context, cfg Config, pt *Partitioned, queries []int) (*Result, error) {
+func (e *Engine) queryWith(ctx context.Context, cfg Config, pt *Partitioned, queries []int, noDegrade bool) (*Result, error) {
 	start := time.Now()
 	qctx, span := e.querySpan(ctx)
 	span.SetAttr(obs.Int("queries", len(queries)), obs.Int("k", cfg.EffectiveK(len(queries))))
@@ -533,7 +586,7 @@ func (e *Engine) queryWith(ctx context.Context, cfg Config, pt *Partitioned, que
 		case resilience.RouteProbe:
 			probe = true
 		case resilience.RouteDegrade:
-			if e.res.Options().NoDegrade {
+			if noDegrade || e.res.Options().NoDegrade {
 				release()
 				err := fmt.Errorf("%w: circuit breaker open", ErrUnavailable)
 				e.metrics.errCounter(err).Inc()
@@ -725,7 +778,7 @@ func (e *Engine) QueryAutoKCtx(ctx context.Context, queries ...int) (res *Result
 		return nil, err
 	}
 	cfg.K = k
-	return e.queryWith(ctx, cfg, pt, queries)
+	return e.queryWith(ctx, cfg, pt, queries, false)
 }
 
 // BatchOptions tunes QueryBatchCtx. The zero value is ready to use.
@@ -751,65 +804,23 @@ type BatchItem struct {
 	Err error
 }
 
-// QueryBatch answers many query sets concurrently; see QueryBatchCtx.
+// QueryBatch answers many query sets concurrently; see DoBatch.
+//
+// Deprecated: use DoBatch.
 func (e *Engine) QueryBatch(querySets [][]int) []BatchItem {
-	return e.QueryBatchCtx(context.Background(), querySets, BatchOptions{})
+	return e.DoBatch(context.Background(), querySets)
 }
 
 // QueryBatchCtx answers many query sets concurrently against one
-// config/partition snapshot, sharing the engine's score cache and solve
-// pool: a batch of overlapping team queries pays each member's solve once
-// (concurrent requests for the same cold source join a single in-flight
-// solve). Items are returned in input order; per-set failures — including
-// per-set deadlines and recovered panics — land in the item's Err without
-// aborting the batch. Canceling ctx aborts the in-flight sets at their
-// next iteration boundary.
+// config/partition snapshot; see DoBatch for the semantics.
+//
+// Deprecated: use DoBatch; BatchOptions map onto WithQueryTimeout and
+// WithBatchConcurrency.
 func (e *Engine) QueryBatchCtx(ctx context.Context, querySets [][]int, opts BatchOptions) []BatchItem {
-	cfg, pt := e.snapshot()
-	items := make([]BatchItem, len(querySets))
-	conc := opts.Concurrency
-	if conc <= 0 {
-		conc = e.pool.Size()
-	}
-	if conc > len(querySets) {
-		conc = len(querySets)
-	}
-	if conc < 1 {
-		conc = 1
-	}
-	sem := make(chan struct{}, conc)
-	var wg sync.WaitGroup
-	for i := range querySets {
-		items[i].Queries = append([]int(nil), querySets[i]...)
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			ictx := ctx
-			if opts.PerQueryTimeout > 0 {
-				var cancel context.CancelFunc
-				ictx, cancel = context.WithTimeout(ctx, opts.PerQueryTimeout)
-				defer cancel()
-			}
-			items[i].Result, items[i].Err = func() (res *Result, err error) {
-				defer e.recoverToError(&err)
-				return e.queryWith(ictx, cfg, pt, items[i].Queries)
-			}()
-		}(i)
-	}
-	wg.Wait()
-	for i := range items {
-		switch {
-		case items[i].Err == nil:
-			e.metrics.batchOK.Inc()
-		case errors.Is(items[i].Err, ErrDeadlineExceeded) || errors.Is(items[i].Err, context.DeadlineExceeded):
-			e.metrics.batchDeadline.Inc()
-		default:
-			e.metrics.batchErr.Inc()
-		}
-	}
-	return items
+	return e.doBatch(ctx, querySets, queryOptions{
+		timeout:     opts.PerQueryTimeout,
+		concurrency: opts.Concurrency,
+	})
 }
 
 // recoverToError converts a panic on the public Engine boundary into an

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -48,15 +49,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
+
 	fmt.Println("\n--- AND query (nodes close to ALL four) ---")
-	and, err := eng.Query(queries...)
+	and, err := eng.Do(ctx, queries)
 	if err != nil {
 		log.Fatal(err)
 	}
 	describe(ds, and, queries)
 
 	fmt.Println("\n--- 2_softAND query (nodes close to at least TWO) ---")
-	soft, err := eng.QueryKSoftAND(2, queries...)
+	soft, err := eng.Do(ctx, queries, ceps.WithK(2))
 	if err != nil {
 		log.Fatal(err)
 	}

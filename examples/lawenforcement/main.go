@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -51,7 +52,8 @@ func main() {
 	for _, s := range suspects {
 		fmt.Printf("  [susp] %s\n", g.Label(s))
 	}
-	full, err := eng.Query(suspects...)
+	ctx := context.Background()
+	full, err := eng.Do(ctx, suspects)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func main() {
 		fmt.Printf("  [susp] %s\n", g.Label(s))
 	}
 
-	fullLocal, err := eng.Query(local...)
+	fullLocal, err := eng.Do(ctx, local)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,7 +83,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fastLocal, err := eng.Query(local...)
+	fastLocal, err := eng.Do(ctx, local)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -50,7 +51,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := eng.Query(alice, dave)
+	res, err := eng.Do(context.Background(), []int{alice, dave})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -104,6 +104,12 @@ type StageTimings struct {
 	// under early stopping) — with the work-graph size, the basis of the
 	// engine's rows/s kernel throughput metric.
 	SolveSweeps int
+	// CoalescePanelWidth is the widest shared solve panel that served one
+	// of this query's cache misses (0 without coalescing; 1 means a panel
+	// solved for this query alone), and CoalesceWait is the longest delay
+	// a miss spent queued in a forming panel before its solve launched.
+	CoalescePanelWidth int
+	CoalesceWait       time.Duration
 }
 
 // Fallback records one step down the graceful-degradation ladder: the

@@ -54,6 +54,13 @@ type Config struct {
 	// how the sweeps are scheduled, so flipping it never invalidates
 	// caches. The default (BlockAuto) fuses whenever Q ≥ 2.
 	Blocked rwr.BlockMode
+
+	// NoCoalesce opts this query out of the engine's cross-request solve
+	// coalescer (when one is attached): its cache misses solve directly
+	// instead of joining a shared panel. Coalescing never changes answers
+	// (panel solves are bit-identical), so like Blocked this is a pure
+	// scheduling knob and never part of a cache key.
+	NoCoalesce bool
 }
 
 // DefaultConfig returns the paper's operating point: c = 0.5, m = 50,

@@ -150,7 +150,11 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 		var R [][]float64
 		var diags []rwr.Diagnostics
 		var stats rwr.ServeStats
-		R, diags, stats, err = solver.ScoresSetServingOptCtx(solveCtx, workQueries, sv.Cache, space, sv.Pool, cfg.serveOptions())
+		opt := cfg.serveOptions()
+		if !cfg.NoCoalesce {
+			opt.Coalesce = sv.Coalescer
+		}
+		R, diags, stats, err = solver.ScoresSetServingOptCtx(solveCtx, workQueries, sv.Cache, space, sv.Pool, opt)
 		solveDur := time.Since(solveStart)
 		if err != nil {
 			solveSpan.SetError(err)
@@ -159,12 +163,19 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 		}
 		solveSpan.SetAttr(obs.Int("sweeps", sumSweeps(diags)),
 			obs.Int("cache_hits", stats.Hits), obs.Int("cache_misses", stats.Misses))
+		if stats.CoalescedWidth > 0 {
+			solveSpan.AddEvent("coalesce_wait",
+				obs.Int("panel_width", stats.CoalescedWidth),
+				obs.F64("wait_ms", 1e3*stats.CoalesceWait.Seconds()))
+		}
 		solveSpan.End()
 		res, err = assemblePipeline(ctx, solver, work, workQueries, cfg, R, diags)
 		if err == nil {
 			res.Stages.Solve = solveDur
 			res.Stages.SolveKernel = cfg.solveKernel(len(workQueries))
 			res.Stages.CacheHits, res.Stages.CacheMisses = stats.Hits, stats.Misses
+			res.Stages.CoalescePanelWidth = stats.CoalescedWidth
+			res.Stages.CoalesceWait = stats.CoalesceWait
 		}
 	} else {
 		res, err = runPipeline(ctx, work, workQueries, cfg)

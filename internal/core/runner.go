@@ -59,7 +59,11 @@ func (r *Runner) RWRConfig() rwr.Config { return r.rwrCfg }
 // the stats are zero on the plain path (no cache to hit).
 func (r *Runner) scoresSet(ctx context.Context, queries []int, cfg Config) ([][]float64, []rwr.Diagnostics, rwr.ServeStats, error) {
 	if r.sv.enabled() {
-		return r.solver.ScoresSetServingOptCtx(ctx, queries, r.sv.Cache, r.space, r.sv.Pool, cfg.serveOptions())
+		opt := cfg.serveOptions()
+		if !cfg.NoCoalesce {
+			opt.Coalesce = r.sv.Coalescer
+		}
+		return r.solver.ScoresSetServingOptCtx(ctx, queries, r.sv.Cache, r.space, r.sv.Pool, opt)
 	}
 	var (
 		R     [][]float64
@@ -106,6 +110,11 @@ func (r *Runner) QueryCtx(ctx context.Context, queries []int, cfg Config) (*Resu
 	}
 	solveSpan.SetAttr(obs.Int("sweeps", sumSweeps(diags)),
 		obs.Int("cache_hits", stats.Hits), obs.Int("cache_misses", stats.Misses))
+	if stats.CoalescedWidth > 0 {
+		solveSpan.AddEvent("coalesce_wait",
+			obs.Int("panel_width", stats.CoalescedWidth),
+			obs.F64("wait_ms", 1e3*stats.CoalesceWait.Seconds()))
+	}
 	solveSpan.End()
 	res, err := assemblePipeline(ctx, r.solver, r.g, queries, cfg, R, diags)
 	if err != nil {
@@ -116,6 +125,8 @@ func (r *Runner) QueryCtx(ctx context.Context, queries []int, cfg Config) (*Resu
 	res.Stages.Solve = solveDur
 	res.Stages.SolveKernel = cfg.solveKernel(len(queries))
 	res.Stages.CacheHits, res.Stages.CacheMisses = stats.Hits, stats.Misses
+	res.Stages.CoalescePanelWidth = stats.CoalescedWidth
+	res.Stages.CoalesceWait = stats.CoalesceWait
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

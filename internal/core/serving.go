@@ -16,6 +16,10 @@ type Serving struct {
 	// Pool bounds how many random-walk solves run concurrently across all
 	// queries and batches sharing it.
 	Pool *rwr.Pool
+	// Coalescer, when non-nil, merges concurrent cache misses into shared
+	// blocked solve panels in front of the pool. It requires a Cache (the
+	// fan-out rides the single-flight entries) and is ignored without one.
+	Coalescer *rwr.Coalescer
 }
 
 // enabled reports whether any serving state is attached.

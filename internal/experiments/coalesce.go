@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ceps"
+	"ceps/internal/fault"
+)
+
+// --- Coalesce: online request coalescing into blocked solve panels -----
+//
+// A fleet of unpaced closed-loop clients drains a fixed list of distinct
+// query sets through a deliberately small solve pool, once with the
+// coalescer off and once on. The per-solve service time is pinned by an
+// injected delay, which fires once per solve *call*: uncoalesced, every
+// cache-miss set pays the full delay for its own handful of rows;
+// coalesced, concurrent misses ride one blocked panel and the same delay
+// buys up to MaxWidth rows. Throughput is reported as solve-rows/sec and
+// the two arms' answers are fingerprinted to prove bit-identity.
+
+// CoalesceArm is the outcome of one arm (coalescing off or on).
+type CoalesceArm struct {
+	Coalesced bool  `json:"coalesced"`
+	Attempted int64 `json:"attempted"`
+	OK        int64 `json:"ok"`
+	Errored   int64 `json:"errored"`
+	// Rows is the number of per-source score rows delivered (OK sets
+	// times their set size); RowsPerSec is the headline throughput.
+	Rows       int64   `json:"rows"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	WallS      float64 `json:"wall_s"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	// Panels/MeanWidth/MaxWidth describe the blocked solves (on arm only;
+	// zero when the coalescer is off).
+	Panels    uint64  `json:"panels,omitempty"`
+	MeanWidth float64 `json:"mean_width,omitempty"`
+	MaxWidth  int     `json:"max_width,omitempty"`
+}
+
+// CoalesceResult is the full two-arm comparison.
+type CoalesceResult struct {
+	Workers      int     `json:"workers"`
+	Clients      int     `json:"clients"`
+	Sets         int     `json:"sets"`
+	SolveDelayMS float64 `json:"solve_delay_ms"`
+
+	Off CoalesceArm `json:"off"`
+	On  CoalesceArm `json:"on"`
+
+	// SpeedupRows is On.RowsPerSec / Off.RowsPerSec.
+	SpeedupRows float64 `json:"speedup_rows"`
+	// BitIdentical reports whether every set's answer matched between the
+	// arms down to the Float64bits.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// Coalesce runs the two-arm coalescing comparison: clients closed-loop
+// clients drain sets distinct 2-source query sets through a workers-slot
+// pool, solve time pinned by solveDelay per call.
+func Coalesce(s *Setup, workers, clients, sets int, solveDelay time.Duration) (*CoalesceResult, error) {
+	if workers <= 0 || clients <= 0 || sets <= 0 || solveDelay <= 0 {
+		return nil, fmt.Errorf("coalesce: workers, clients, sets and solveDelay must be positive")
+	}
+	restore := fault.SetActiveInjector(fault.NewInjector(fault.Injection{
+		Point: fault.InjectSolveDelay,
+		Delay: solveDelay,
+	}))
+	defer restore()
+
+	// Distinct sources per set as far as the graph allows: a permutation
+	// walk gives every set fresh cache misses until it wraps, and both
+	// arms see the exact same sequence either way.
+	n := s.Dataset.Graph.N()
+	if n < 2 {
+		return nil, fmt.Errorf("coalesce: graph too small")
+	}
+	perm := s.rng(41).Perm(n)
+	queries := make([][]int, sets)
+	for i := range queries {
+		a, b := perm[(2*i)%n], perm[(2*i+1)%n]
+		if a == b {
+			b = perm[(2*i+2)%n]
+		}
+		queries[i] = []int{a, b}
+	}
+	cfg := s.Base
+	cfg.Budget = 10
+
+	out := &CoalesceResult{
+		Workers:      workers,
+		Clients:      clients,
+		Sets:         sets,
+		SolveDelayMS: 1e3 * solveDelay.Seconds(),
+	}
+	var fps [2][]uint64
+	for i, coalesced := range []bool{false, true} {
+		opts := []ceps.Option{
+			ceps.WithConfig(cfg), ceps.WithWorkers(workers),
+			ceps.WithCache(64 << 20),
+		}
+		if coalesced {
+			opts = append(opts, ceps.WithCoalescing(ceps.CoalesceOptions{}))
+		}
+		eng, err := ceps.NewEngine(s.Dataset.Graph, opts...)
+		if err != nil {
+			return nil, err
+		}
+		arm, prints := runCoalesceArm(eng, queries, clients)
+		arm.Coalesced = coalesced
+		if coalesced {
+			if st, ok := eng.CoalesceStats(); ok && st.Panels > 0 {
+				arm.Panels = st.Panels
+				arm.MeanWidth = float64(st.Rows) / float64(st.Panels)
+				arm.MaxWidth = st.MaxWidth
+			}
+			out.On = arm
+		} else {
+			out.Off = arm
+		}
+		fps[i] = prints
+	}
+	out.BitIdentical = true
+	for i := range fps[0] {
+		if fps[0][i] != fps[1][i] {
+			out.BitIdentical = false
+			break
+		}
+	}
+	if out.Off.RowsPerSec > 0 {
+		out.SpeedupRows = out.On.RowsPerSec / out.Off.RowsPerSec
+	}
+	return out, nil
+}
+
+// runCoalesceArm drains the query list through one engine with an unpaced
+// closed-loop client fleet and fingerprints every answer by set index.
+func runCoalesceArm(eng *ceps.Engine, queries [][]int, clients int) (CoalesceArm, []uint64) {
+	var arm CoalesceArm
+	prints := make([]uint64, len(queries))
+	var next, attempted, okc, rows, errored atomic.Int64
+	var mu sync.Mutex
+	var delivered []float64 // ms
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				attempted.Add(1)
+				t0 := time.Now()
+				res, err := eng.Do(context.Background(), queries[i])
+				lat := time.Since(t0)
+				if err != nil {
+					errored.Add(1)
+					continue
+				}
+				okc.Add(1)
+				rows.Add(int64(len(queries[i])))
+				prints[i] = fingerprintResult(res)
+				mu.Lock()
+				delivered = append(delivered, 1e3*lat.Seconds())
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	arm.Attempted = attempted.Load()
+	arm.OK = okc.Load()
+	arm.Errored = errored.Load()
+	arm.Rows = rows.Load()
+	arm.WallS = wall.Seconds()
+	if arm.WallS > 0 {
+		arm.RowsPerSec = float64(arm.Rows) / arm.WallS
+	}
+	sort.Float64s(delivered)
+	arm.P50MS = quantileMS(delivered, 0.50)
+	arm.P99MS = quantileMS(delivered, 0.99)
+	return arm, prints
+}
+
+// fingerprintResult hashes a result's node set, score rows and combined
+// vector at full Float64bits precision, so equal fingerprints across arms
+// mean bit-identical answers.
+func fingerprintResult(res *ceps.Result) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, u := range res.Subgraph.Nodes {
+		w(uint64(u))
+	}
+	for _, row := range res.R {
+		for _, x := range row {
+			w(math.Float64bits(x))
+		}
+	}
+	for _, x := range res.Combined {
+		w(math.Float64bits(x))
+	}
+	return h.Sum64()
+}
+
+// RenderCoalesce prints the two-arm comparison.
+func RenderCoalesce(w io.Writer, r *CoalesceResult) {
+	fmt.Fprintf(w, "coalesce: %d workers, %d clients, %d sets, %.1fms/solve\n",
+		r.Workers, r.Clients, r.Sets, r.SolveDelayMS)
+	fmt.Fprintf(w, "%-10s %9s %7s %7s %9s %10s %8s %8s %7s %9s %8s\n",
+		"coalesce", "attempted", "ok", "errored", "rows", "rows/sec", "p50ms", "p99ms", "panels", "meanwidth", "maxwidth")
+	for _, a := range []CoalesceArm{r.Off, r.On} {
+		mode := "off"
+		if a.Coalesced {
+			mode = "on"
+		}
+		fmt.Fprintf(w, "%-10s %9d %7d %7d %9d %10.0f %8.1f %8.1f %7d %9.1f %8d\n",
+			mode, a.Attempted, a.OK, a.Errored, a.Rows, a.RowsPerSec,
+			a.P50MS, a.P99MS, a.Panels, a.MeanWidth, a.MaxWidth)
+	}
+	fmt.Fprintf(w, "speedup %.2fx rows/sec, bit-identical: %v\n", r.SpeedupRows, r.BitIdentical)
+}

@@ -71,8 +71,10 @@ var (
 // the shed, the usual context identities too (via the wrapped Err).
 type OverloadError struct {
 	// Reason names the shed point: "queue_full", "deadline_budget",
-	// "codel", "queue_wait" (context fired while queued for admission), or
-	// "pool_wait" (context fired while queued for a solve slot).
+	// "codel", "queue_wait" (context fired while queued for admission),
+	// "pool_wait" (context fired while queued for a solve slot), or
+	// "coalesce_wait" (context fired while queued in a forming coalescer
+	// panel).
 	Reason string
 	// RetryAfter is a hint for how long the caller should back off before
 	// retrying (0 = no estimate). HTTP handlers surface it as Retry-After.

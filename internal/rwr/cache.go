@@ -9,6 +9,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sync"
+	"time"
 
 	"ceps/internal/fault"
 )
@@ -394,6 +395,13 @@ func (s *Solver) solvePooled(ctx context.Context, q int, pool *Pool) ([]float64,
 // is what per-query stage accounting (Result.Stages) reports.
 type ServeStats struct {
 	Hits, Misses int
+	// CoalescedWidth is the widest shared panel that served one of this
+	// call's misses (0 when no miss went through a coalescer; 1 means a
+	// panel solved for this caller alone).
+	CoalescedWidth int
+	// CoalesceWait is the longest forming delay one of this call's misses
+	// spent queued in a panel before its solve launched.
+	CoalesceWait time.Duration
 }
 
 // ServeOptions selects the execution strategy of a serving-layer solve.
@@ -409,6 +417,13 @@ type ServeOptions struct {
 	// Workers bounds the intra-sweep row-parallelism of a blocked solve
 	// (≤ 0 means GOMAXPROCS). Scalar execution ignores it.
 	Workers int
+	// Coalesce, when non-nil, routes this call's cache misses through a
+	// shared cross-request coalescer: misses join a forming panel (possibly
+	// alongside other callers' misses for the same key space) instead of
+	// solving directly. Requires a cache; ignored without one. Because
+	// panel solves are bit-identical to scalar solves, coalescing never
+	// influences cache keys or answers — only scheduling.
+	Coalesce *Coalescer
 }
 
 // ScoresSetServingCtx computes the score matrix for a query set through
@@ -447,10 +462,93 @@ func (s *Solver) ScoresSetServingOptCtx(ctx context.Context, queries []int, cach
 			}
 		}
 	}
+	if opt.Coalesce != nil && cache != nil {
+		return s.scoresSetServingCoalesced(ctx, queries, cache, space, pool, opt)
+	}
 	if opt.Blocked.Use(len(queries)) {
 		return s.scoresSetServingBlocked(ctx, queries, cache, space, pool, opt)
 	}
 	return s.scoresSetServingScalar(ctx, queries, cache, space, pool)
+}
+
+// scoresSetServingCoalesced is the coalesced miss path: hits and followers
+// behave exactly as in the blocked path, but every miss this call leads is
+// handed to the shared coalescer, where it may ride one blocked panel with
+// misses from concurrent callers. Queries are pre-validated by the caller.
+func (s *Solver) scoresSetServingCoalesced(ctx context.Context, queries []int, cache *ScoreCache, space uint64, pool *Pool, opt ServeOptions) ([][]float64, []Diagnostics, ServeStats, error) {
+	var stats ServeStats
+	R := make([][]float64, len(queries))
+	diags := make([]Diagnostics, len(queries))
+	type pending struct {
+		idx int
+		q   int
+		fl  *flight
+	}
+	var leaders, followers []pending
+	for i, q := range queries {
+		vec, d, ok, fl, leader := cache.getOrJoin(space, q)
+		if ok {
+			R[i], diags[i] = vec, d
+			stats.Hits++
+			continue
+		}
+		if leader {
+			leaders = append(leaders, pending{i, q, fl})
+		} else {
+			followers = append(followers, pending{i, q, fl})
+		}
+	}
+	var firstErr error
+	if len(leaders) > 0 {
+		entries := make([]panelEntry, len(leaders))
+		for k, p := range leaders {
+			entries[k] = panelEntry{q: p.q, fl: p.fl}
+		}
+		panels := opt.Coalesce.enqueue(s, cache, space, pool, opt.Workers, entries)
+		for k, p := range leaders {
+			if firstErr != nil {
+				// Still release our liveness reference: the panel either
+				// solves for its remaining waiters or aborts cleanly, and
+				// its flights are finished by the panel goroutine either
+				// way — unlike the blocked path, nothing is orphaned here.
+				panels[k].leave()
+				continue
+			}
+			vec, d, err := opt.Coalesce.wait(ctx, panels[k], p.fl)
+			if err != nil && contextual(err) && fault.ShedReason(err) == "" {
+				if ctxErr := fault.FromContext(ctx); ctxErr != nil {
+					err = ctxErr
+				} else {
+					// The panel was abandoned or canceled by other waiters
+					// while our context is alive: solve solo, uncoalesced.
+					vec, d, _, err = s.serveOne(ctx, cache, space, p.q, pool)
+				}
+			}
+			if err != nil {
+				firstErr = err
+				continue
+			}
+			R[p.idx], diags[p.idx] = vec, d
+			stats.Misses++
+			panels[k].noteStats(&stats)
+		}
+	}
+	if firstErr != nil {
+		return nil, nil, stats, firstErr
+	}
+	for _, p := range followers {
+		vec, d, hit, err := s.awaitFlight(ctx, cache, space, p.q, p.fl, pool)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		R[p.idx], diags[p.idx] = vec, d
+		if hit {
+			stats.Hits++
+		} else {
+			stats.Misses++
+		}
+	}
+	return R, diags, stats, nil
 }
 
 // scoresSetServingBlocked is the blocked miss path of the serving layer.

@@ -31,7 +31,9 @@ import (
 //	ceps_traces_sampled_total
 //	ceps_traces_dropped_total
 //	ceps_admitted_total
-//	ceps_shed_total{reason="queue_full"|"deadline_budget"|"codel"|"queue_wait"|"pool_wait"}
+//	ceps_shed_total{reason="queue_full"|"deadline_budget"|"codel"|"queue_wait"|"pool_wait"|"coalesce_wait"}
+//	ceps_coalesced_solves_total
+//	ceps_coalesce_panel_width                        (histogram)
 //	ceps_degraded_total{mode="relaxed_tol"|"full_graph_fallback"}
 //	ceps_queue_residence_seconds                     (histogram)
 //	ceps_queue_depth                                 (gauge)
@@ -53,12 +55,13 @@ type engineMetrics struct {
 	errBadConfig, errDegenerate, errInternal,
 	errUnavailable, errOther *obs.Counter
 
-	// Resilience accounting. shedPoolWait is the one shed the engine (not
-	// the admission controller) counts: a context that died waiting for a
-	// solve-pool slot. Degraded answers are split by fidelity mode.
-	shedPoolWait                     *obs.Counter
+	// Resilience accounting. shedPoolWait and shedCoalesceWait are the
+	// sheds the engine (not the admission controller) counts: a context
+	// that died waiting for a solve-pool slot, or queued in a forming
+	// coalescer panel. Degraded answers are split by fidelity mode.
+	shedPoolWait, shedCoalesceWait    *obs.Counter
 	degradedRelaxed, degradedFallback *obs.Counter
-	queueResidence                   *obs.Histogram
+	queueResidence                    *obs.Histogram
 
 	durTotal, durPartition, durSolve, durCombine, durExtract *obs.Histogram
 
@@ -73,6 +76,12 @@ type engineMetrics struct {
 	// the solve-stage seconds is the rows/s throughput gauge.
 	solvesBlocked, solvesScalar *obs.Counter
 	solveRows                   *obs.Counter
+
+	// Coalescer accounting: panels solved and their width distribution
+	// (fed by the coalescer's OnSolve hook, not the per-query path — one
+	// panel serves misses from many queries).
+	coalescedSolves    *obs.Counter
+	coalescePanelWidth *obs.Histogram
 }
 
 // newEngineMetrics builds the registry for one engine. cacheStats reads
@@ -104,11 +113,13 @@ func newEngineMetrics(cacheStats func() (CacheStats, bool), workers int, tracer 
 		errOther:        reg.Counter(et, etHelp, obs.Label{Name: "kind", Value: "other"}),
 		shedPoolWait: reg.Counter("ceps_shed_total", "Requests shed to protect the service, by reason.",
 			obs.Label{Name: "reason", Value: "pool_wait"}),
+		shedCoalesceWait: reg.Counter("ceps_shed_total", "Requests shed to protect the service, by reason.",
+			obs.Label{Name: "reason", Value: "coalesce_wait"}),
 		degradedRelaxed: reg.Counter("ceps_degraded_total", "Degraded answers served, by fidelity mode.",
 			obs.Label{Name: "mode", Value: "relaxed_tol"}),
 		degradedFallback: reg.Counter("ceps_degraded_total", "Degraded answers served, by fidelity mode.",
 			obs.Label{Name: "mode", Value: "full_graph_fallback"}),
-		queueResidence: reg.Histogram("ceps_queue_residence_seconds", "Admission-queue residence time of admitted requests.", buckets),
+		queueResidence:  reg.Histogram("ceps_queue_residence_seconds", "Admission-queue residence time of admitted requests.", buckets),
 		durTotal:        reg.Histogram("ceps_query_duration_seconds", "End-to-end query response time.", buckets),
 		durPartition:    reg.Histogram(st, stHelp, buckets, obs.Label{Name: "stage", Value: "partition"}),
 		durSolve:        reg.Histogram(st, stHelp, buckets, obs.Label{Name: "stage", Value: "solve"}),
@@ -123,6 +134,10 @@ func newEngineMetrics(cacheStats func() (CacheStats, bool), workers int, tracer 
 		solvesBlocked:   reg.Counter("ceps_solves_total", "Step 1 solves, by kernel.", obs.Label{Name: "kernel", Value: "blocked"}),
 		solvesScalar:    reg.Counter("ceps_solves_total", "Step 1 solves, by kernel.", obs.Label{Name: "kernel", Value: "scalar"}),
 		solveRows:       reg.Counter("ceps_solve_rows_total", "Matrix rows swept by Step 1 power iterations (sweeps × work-graph nodes)."),
+		coalescedSolves: reg.Counter("ceps_coalesced_solves_total", "Blocked panels solved by the cross-request coalescer."),
+		coalescePanelWidth: reg.Histogram("ceps_coalesce_panel_width",
+			"Sources per coalesced panel solve (1 = a panel solved for a single miss).",
+			[]float64{1, 2, 4, 8, 16, 32}),
 	}
 	cacheCounter := func(read func(CacheStats) uint64) func() float64 {
 		return func() float64 {
@@ -248,10 +263,17 @@ func (m *engineMetrics) observeQuery(res *Result, err error, elapsed time.Durati
 		}
 	}
 	if err != nil {
-		// A pool-wait shed is load shedding, not a service failure: it
-		// counts under ceps_shed_total, never the error-kind series.
+		// A pool-wait or coalesce-wait shed is load shedding, not a service
+		// failure: it counts under ceps_shed_total, never the error-kind
+		// series. Splitting by reason keeps the two queueing stages (pool
+		// slot vs forming panel) distinguishable on dashboards, and a
+		// request sheds under exactly one reason — never both.
 		if errors.Is(err, ErrOverloaded) {
-			m.shedPoolWait.Inc()
+			if ShedReason(err) == "coalesce_wait" {
+				m.shedCoalesceWait.Inc()
+			} else {
+				m.shedPoolWait.Inc()
+			}
 		} else {
 			m.errCounter(err).Inc()
 		}

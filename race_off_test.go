@@ -1,0 +1,7 @@
+//go:build !race
+
+package ceps_test
+
+// raceDetectorEnabled reports whether the race detector is compiled in;
+// see race_on_test.go.
+const raceDetectorEnabled = false

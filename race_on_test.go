@@ -1,0 +1,9 @@
+//go:build race
+
+package ceps_test
+
+// raceDetectorEnabled reports whether the race detector is compiled in;
+// timing-floor smoke tests skip under it (the detector slows compute ~10x
+// and `go test -race ./...` runs packages in parallel, so closed-loop
+// throughput comparisons stop measuring the system under test).
+const raceDetectorEnabled = true
