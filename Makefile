@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race race-hammer obs-smoke trace-smoke fuzz-smoke kernel-smoke chaos-smoke coalesce-smoke bench bench-smoke bench-rwr bench-resilience bench-coalesce clean
+.PHONY: check vet build test race race-hammer obs-smoke trace-smoke fuzz-smoke kernel-smoke chaos-smoke coalesce-smoke replace-smoke bench bench-smoke bench-rwr bench-resilience bench-coalesce bench-replace clean
 
-check: vet build race race-hammer trace-smoke fuzz-smoke kernel-smoke chaos-smoke coalesce-smoke
+check: vet build race race-hammer trace-smoke fuzz-smoke kernel-smoke chaos-smoke coalesce-smoke replace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -83,6 +83,17 @@ coalesce-smoke:
 	$(GO) test -race -count=1 ./internal/rwr -run 'TestCoalesce'
 	$(GO) test -count=1 ./cmd/ceps -run 'TestV1|TestLegacyQuery|TestTraceIDOnEveryPath|TestReadQueryRequests'
 
+# Subteam-replacement smoke: the title-paper workload on a tiny substrate.
+# Floors on rank stability (warm repeats reproduce the ranking from the
+# cache, bit-identical across serving configurations) and panel usage
+# (blocked kernel, cold misses, warm hits), plus the core ranking and
+# HTTP/CLI surface tests under the race detector.
+replace-smoke:
+	$(GO) test -count=1 . -run 'TestReplaceSmoke|TestReplaceBitIdentical'
+	$(GO) test -race -count=1 . -run 'TestEngineReplaceSubteam|TestReplaceReconfigureHammer'
+	$(GO) test -race -count=1 ./internal/core -run 'TestReplaceSubteam'
+	$(GO) test -count=1 ./cmd/ceps -run 'TestDecodeReplaceRequestV1|TestV1Replace|TestRunReplaceVerb'
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
@@ -108,6 +119,12 @@ bench-resilience:
 # >= 1.5x solve-rows/sec at lower p99, bit-identical.
 bench-coalesce:
 	$(GO) run ./cmd/cepsbench -exp coalesce -scale 0.5 -rwr-iters 25 -coalesce-delay 10ms -coalesce-out $(CURDIR)/BENCH_coalesce.json
+
+# Subteam-replacement evaluation (held-out co-author recovery, replace
+# ranker vs the plain center-piece baseline over identical pools) written
+# to BENCH_replace.json, which is checked in.
+bench-replace:
+	$(GO) run ./cmd/cepsbench -exp replace -scale 0.5 -replace-out $(CURDIR)/BENCH_replace.json
 
 clean:
 	$(GO) clean ./...

@@ -94,6 +94,12 @@ func main() {
 // It installs the signal handler and the -timeout deadline around the
 // whole pipeline, so a stuck partitioner or query is interruptible.
 func run(argv []string, stdout, stderr io.Writer) int {
+	// Verb dispatch: `ceps replace ...` answers a subteam-replacement
+	// query (see replace.go); everything else is the classic flag-driven
+	// center-piece query surface.
+	if len(argv) > 0 && argv[0] == "replace" {
+		return runReplace(argv[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("ceps", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -193,22 +199,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	fail := func(err error) int {
-		// Library errors already carry the "ceps:" prefix; don't stutter.
-		msg := err.Error()
-		if !strings.HasPrefix(msg, "ceps:") {
-			msg = "ceps: " + msg
-		}
-		fmt.Fprintln(stderr, msg)
-		switch {
-		case errors.Is(err, ceps.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
-			return exitDeadline
-		case errors.Is(err, ceps.ErrCanceled) || errors.Is(err, context.Canceled):
-			return exitSignal
-		default:
-			return exitError
-		}
-	}
+	fail := func(err error) int { return failWith(err, stderr) }
 
 	g, err := ceps.ReadGraphFile(*graphPath)
 	if err != nil {
@@ -390,6 +381,25 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return exitOK
+}
+
+// failWith prints an error and classifies it into the exit-code scheme
+// shared by every verb.
+func failWith(err error, stderr io.Writer) int {
+	// Library errors already carry the "ceps:" prefix; don't stutter.
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "ceps:") {
+		msg = "ceps: " + msg
+	}
+	fmt.Fprintln(stderr, msg)
+	switch {
+	case errors.Is(err, ceps.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
+		return exitDeadline
+	case errors.Is(err, ceps.ErrCanceled) || errors.Is(err, context.Canceled):
+		return exitSignal
+	default:
+		return exitError
+	}
 }
 
 func cepsDotOptions(queries []int) ceps.DOTOptions {

@@ -141,6 +141,7 @@ func withTrace(eng *ceps.Engine, name string, h traceHandler) http.HandlerFunc {
 //	GET  /v1/query?sources=1,2[&k=N][&budget=N][&timeout_ms=N]...  JSON result
 //	POST /v1/query {"sources":[1,2],"k":N,...}                     JSON result
 //	POST /v1/batch {"queries":[{...},{...}]}                       JSON results
+//	POST /v1/replace {"team":[...],"departing":[...],...}          JSON ranking
 //	GET|POST /query                                                deprecated alias
 //	GET  /healthz                                                  liveness
 //
@@ -159,6 +160,7 @@ func newQueryMux(eng *ceps.Engine, g *ceps.Graph, cfg ceps.Config, queryTimeout 
 	})
 	mux.HandleFunc("/v1/query", withTrace(eng, "http_query", handleQueryV1(eng, g, cfg, queryTimeout)))
 	mux.HandleFunc("/v1/batch", withTrace(eng, "http_batch", handleBatchV1(eng, g, cfg, queryTimeout)))
+	mux.HandleFunc("/v1/replace", withTrace(eng, "http_replace", handleReplaceV1(eng, g, queryTimeout)))
 	mux.HandleFunc("/query", withTrace(eng, "http_query", handleQueryLegacy(eng, g, cfg, queryTimeout)))
 	return mux
 }

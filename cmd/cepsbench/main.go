@@ -28,7 +28,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "dataset scale (1.0 ≈ 4K authors, 80 ≈ paper's 315K)")
 		trials  = flag.Int("trials", 5, "random query draws averaged per data point")
 		seed    = flag.Int64("seed", 1, "random seed for dataset and query sampling")
-		exps    = flag.String("exp", "all", "comma-separated experiment ids: datastats,fig2,fig4,fig5,fig6,speedup,skew,kernel,inject,retrieval,scaling,steiner,all; overload and coalesce run only when named explicitly")
+		exps    = flag.String("exp", "all", "comma-separated experiment ids: datastats,fig2,fig4,fig5,fig6,speedup,skew,kernel,replace,inject,retrieval,scaling,steiner,all; overload and coalesce run only when named explicitly")
 		iters   = flag.Int("rwr-iters", 50, "RWR power-iteration count m")
 		htmlOut = flag.String("html", "", "also write the regenerated figures as a self-contained HTML report")
 		jsonOut = flag.String("json", "", "also write every experiment's raw points as JSON")
@@ -43,6 +43,10 @@ func main() {
 		coalesceSets    = flag.Int("coalesce-sets", 512, "coalesce: distinct 2-source query sets per arm")
 		coalesceDelay   = flag.Duration("coalesce-delay", 5*time.Millisecond, "coalesce: injected per-solve-call delay")
 		coalesceOut     = flag.String("coalesce-out", "", "coalesce: also write the two-arm result as JSON to this file")
+
+		replaceTeams = flag.Int("replace-teams", 24, "replace: held-out co-author recovery trials")
+		replaceSize  = flag.Int("replace-team-size", 4, "replace: team size per trial")
+		replaceOut   = flag.String("replace-out", "", "replace: also write the two-arm result as JSON to this file")
 	)
 	flag.Parse()
 
@@ -218,6 +222,28 @@ func main() {
 		}
 		return nil
 	})
+	run("replace", func() error {
+		r, err := experiments.ReplaceEval(s, *replaceTeams, *replaceSize)
+		if err != nil {
+			return err
+		}
+		record("replace", r)
+		experiments.RenderReplaceEval(os.Stdout, r)
+		if *replaceOut != "" {
+			if err := writeResultJSON(*replaceOut, r); err != nil {
+				return err
+			}
+			fmt.Printf("replace results written to %s\n", *replaceOut)
+		}
+		if page != nil {
+			page.Sections = append(page.Sections, report.Section{
+				Title: "Subteam replacement: held-out co-author recovery",
+				Prose: "Each trial departs one author of a real substrate paper and holds out another co-author of the same paper; the replace ranker (walk proximity + co-authorship kernel) and the plain center-piece scorer rank the identical two-hop pool.",
+				Table: experiments.ReplaceEvalTable(r),
+			})
+		}
+		return nil
+	})
 	// The overload experiment saturates the host on purpose (64 clients at
 	// 2x capacity), so it never rides along with -exp all: name it.
 	if want["overload"] {
@@ -363,6 +389,21 @@ func main() {
 		experiments.RenderSteiner(os.Stdout, pts)
 		return nil
 	})
+}
+
+// writeResultJSON writes one experiment's result as indented JSON.
+func writeResultJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

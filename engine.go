@@ -44,6 +44,8 @@ type Engine struct {
 
 	res *resilience.Controller // nil when resilience is off (the default)
 
+	bp *BipartiteGraph // nil unless WithBipartite attached a substrate
+
 	metrics *engineMetrics // never nil
 	slow    *obs.SlowLog   // nil when no slow-query log is attached
 	tracer  *obs.Tracer    // nil when tracing is off (nil is a valid no-op)
@@ -66,6 +68,23 @@ type engineConfig struct {
 	slowThresh time.Duration
 	tracing    *TracingOptions
 	resilience *ResilienceOptions
+	bp         *BipartiteGraph
+}
+
+// WithBipartite attaches the author–paper incidence substrate the engine's
+// graph was projected from. ReplaceSubteam then scores structural overlap
+// by co-authored-paper counts (the substrate's exact kernel) instead of
+// approximating it on the projected co-authorship graph. Other query types
+// ignore it. The substrate's author ids must coincide with the graph's
+// node ids (as dblp.Dataset guarantees between Papers and Graph).
+func WithBipartite(bp *BipartiteGraph) Option {
+	return func(ec *engineConfig) error {
+		if bp == nil {
+			return fmt.Errorf("%w: nil bipartite substrate", ErrBadConfig)
+		}
+		ec.bp = bp
+		return nil
+	}
 }
 
 // WithConfig sets the pipeline configuration (default: DefaultConfig).
@@ -247,6 +266,7 @@ func NewEngine(g *Graph, opts ...Option) (*Engine, error) {
 		g:    g,
 		cfg:  ec.cfg,
 		pool: rwr.NewPool(ec.workers),
+		bp:   ec.bp,
 	}
 	if ec.cacheBytes > 0 {
 		e.cache = rwr.NewScoreCache(ec.cacheBytes)

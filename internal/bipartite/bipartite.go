@@ -13,6 +13,7 @@ package bipartite
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"ceps/internal/graph"
@@ -132,7 +133,12 @@ func (g *Graph) Project(w Weighting, labels []string) (*graph.Graph, error) {
 	}
 	for _, authors := range g.paperAuthors {
 		wt := w(len(authors))
-		if wt <= 0 {
+		// Skip non-positive AND non-finite weights. A custom Weighting that
+		// divides by teamSize-1 without a guard yields +Inf (or NaN via
+		// 0·Inf downstream) on single-author papers; NaN in particular
+		// passes a plain `wt <= 0` check (all comparisons with NaN are
+		// false) and would poison the projection and every walk on it.
+		if !(wt > 0) || math.IsInf(wt, +1) {
 			continue
 		}
 		for i := 0; i < len(authors); i++ {

@@ -159,3 +159,86 @@ func TestProjectRandomConsistency(t *testing.T) {
 		}
 	}
 }
+
+// TestFractionalWeightingSingleAuthor is the regression test for the
+// teamSize = 1 degenerate input: 1/(teamSize-1) would be 1/0 = +Inf, which
+// would poison every edge of the projected graph and every downstream
+// random walk. The guard must return exactly 0 (skip the paper), and
+// FractionalWeighting must never yield a non-finite weight for any team
+// size.
+func TestFractionalWeightingSingleAuthor(t *testing.T) {
+	if got := FractionalWeighting(1); got != 0 {
+		t.Fatalf("FractionalWeighting(1) = %v, want 0", got)
+	}
+	for _, k := range []int{-1, 0, 1, 2, 3, 50, 1 << 20} {
+		w := FractionalWeighting(k)
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("FractionalWeighting(%d) = %v, want finite", k, w)
+		}
+		if w < 0 {
+			t.Fatalf("FractionalWeighting(%d) = %v, want non-negative", k, w)
+		}
+	}
+}
+
+// TestProjectFractionalSingleAuthorPapers projects a corpus that includes
+// single-author papers under FractionalWeighting and asserts every
+// resulting edge weight is finite and positive.
+func TestProjectFractionalSingleAuthorPapers(t *testing.T) {
+	g := build(t, [][]int{
+		{0},       // single-author: contributes nothing
+		{0, 1},    // weight 1
+		{0, 1, 2}, // weight 1/2 per pair
+		{3},       // isolated-by-projection author
+	})
+	pg, err := g.Project(FractionalWeighting, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range pg.Edges() {
+		if math.IsNaN(e.W) || math.IsInf(e.W, 0) || e.W <= 0 {
+			t.Fatalf("edge (%d,%d) weight %v, want finite positive", e.U, e.V, e.W)
+		}
+	}
+	if got, want := pg.Weight(0, 1), 1.5; got != want {
+		t.Fatalf("w(0,1) = %v, want %v", got, want)
+	}
+}
+
+// TestProjectSkipsNonFiniteWeights audits Project against the same class
+// of degenerate input arriving through a custom Weighting: NaN passes a
+// plain `wt <= 0` check (all comparisons with NaN are false) and +Inf
+// passes it too, so both must be skipped explicitly.
+func TestProjectSkipsNonFiniteWeights(t *testing.T) {
+	g := build(t, [][]int{
+		{0, 1},    // poisoned by the custom weighting below
+		{0, 1, 2}, // fine
+	})
+	poison := func(teamSize int) float64 {
+		switch teamSize {
+		case 2:
+			return math.NaN()
+		case 3:
+			return 1
+		default:
+			return math.Inf(+1)
+		}
+	}
+	pg, err := g.Project(poison, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range pg.Edges() {
+		if math.IsNaN(e.W) || math.IsInf(e.W, 0) {
+			t.Fatalf("edge (%d,%d) weight %v leaked a non-finite weight into the projection", e.U, e.V, e.W)
+		}
+	}
+	// The NaN paper is dropped; only the 3-author paper contributes.
+	if got := pg.Weight(0, 1); got != 1 {
+		t.Fatalf("w(0,1) = %v, want 1 (NaN-weighted paper skipped)", got)
+	}
+	allInf := func(int) float64 { return math.Inf(+1) }
+	if _, err := g.Project(allInf, nil); err != nil {
+		t.Fatalf("Project with all-Inf weighting should yield an empty projection, got error %v", err)
+	}
+}

@@ -223,3 +223,42 @@ func TestJaccard(t *testing.T) {
 		t.Fatalf("self jaccard = %v, want 1", j)
 	}
 }
+
+func TestReplaceEval(t *testing.T) {
+	s := tinySetup(t)
+	r, err := ReplaceEval(s, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Teams != 6 || r.TeamSize != 3 {
+		t.Fatalf("trial accounting: %+v", r)
+	}
+	for _, a := range []ReplaceArm{r.Replace, r.Centerpiece} {
+		if a.MRR <= 0 || a.MRR > 1 {
+			t.Errorf("%s: MRR %v outside (0,1]", a.Name, a.MRR)
+		}
+		if a.Hits10 < a.Hits5 || a.Hits5 < a.Hits1 {
+			t.Errorf("%s: hits not monotone: %+v", a.Name, a)
+		}
+		if a.MeanRank < 1 {
+			t.Errorf("%s: mean rank %v below 1", a.Name, a.MeanRank)
+		}
+	}
+	if r.MeanPoolSize <= 0 || r.CacheHits+r.CacheMisses == 0 {
+		t.Errorf("panel bookkeeping empty: %+v", r)
+	}
+	var buf strings.Builder
+	RenderReplaceEval(&buf, r)
+	if !strings.Contains(buf.String(), "centerpiece") {
+		t.Errorf("render output missing baseline arm:\n%s", buf.String())
+	}
+	if tbl := ReplaceEvalTable(r); len(tbl.Rows) != 2 {
+		t.Errorf("table rows = %d, want 2", len(tbl.Rows))
+	}
+	if _, err := ReplaceEval(s, 0, 3); err == nil {
+		t.Error("zero teams should fail")
+	}
+	if _, err := ReplaceEval(s, 1, 1); err == nil {
+		t.Error("team size 1 should fail")
+	}
+}

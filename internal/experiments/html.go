@@ -179,4 +179,22 @@ func DataStatsTable(s graphstat.Summary) *report.Table {
 	}
 }
 
+// ReplaceEvalTable renders the held-out co-author recovery comparison.
+func ReplaceEvalTable(r *ReplaceEvalResult) *report.Table {
+	t := &report.Table{
+		Headers: []string{"arm", "MRR", "hits@1", "hits@5", "hits@10", "mean rank"},
+	}
+	for _, a := range []ReplaceArm{r.Replace, r.Centerpiece} {
+		t.Rows = append(t.Rows, []string{
+			a.Name,
+			fmt.Sprintf("%.3f", a.MRR),
+			fmt.Sprintf("%d/%d", a.Hits1, r.Teams),
+			fmt.Sprintf("%d/%d", a.Hits5, r.Teams),
+			fmt.Sprintf("%d/%d", a.Hits10, r.Teams),
+			fmt.Sprintf("%.1f", a.MeanRank),
+		})
+	}
+	return t
+}
+
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"ceps"
+)
+
+// --- Replace: the title-paper workload -----------------------------------
+//
+// Subteam replacement evaluated by held-out co-author recovery: each trial
+// takes a real paper from the substrate's author–paper incidence, forms the
+// team from some of its authors, departs one, and holds out another
+// co-author of the SAME paper who is not on the team. The held-out author
+// is one hop from the remaining members — guaranteed to sit in the two-hop
+// candidate pool — and is about the best replacement the ground truth can
+// certify, so the quality question is where each ranker places them.
+//
+// Two arms rank the identical pool:
+//
+//   - replace: Engine.ReplaceSubteam — blocked RWR proximity from each
+//     candidate to the remaining members blended with the bipartite
+//     co-authorship kernel.
+//   - centerpiece: the paper's own CePS scorer as a baseline — one
+//     Engine.Do query on the remaining members, candidates ranked by their
+//     combined center-piece score r(Q, ·).
+//
+// Ranks are reported as MRR and hits@k, plus panel bookkeeping (pool
+// sizes, cache traffic) proving the workload ran through the serving
+// substrate rather than a side path.
+
+// ReplaceArm aggregates one ranker's recovery quality over all trials.
+type ReplaceArm struct {
+	Name string `json:"name"`
+	// MRR is the mean reciprocal rank of the held-out co-author.
+	MRR    float64 `json:"mrr"`
+	Hits1  int     `json:"hits_at_1"`
+	Hits5  int     `json:"hits_at_5"`
+	Hits10 int     `json:"hits_at_10"`
+	// MeanRank is the arithmetic mean 1-based rank (lower is better).
+	MeanRank float64 `json:"mean_rank"`
+}
+
+// ReplaceEvalResult is the full two-arm comparison.
+type ReplaceEvalResult struct {
+	Teams    int `json:"teams"`
+	TeamSize int `json:"team_size"`
+	// MeanPoolSize is the mean two-hop candidate-pool size per trial.
+	MeanPoolSize float64 `json:"mean_pool_size"`
+	// SolveKernel is the Step-1 kernel the replace panels ran on.
+	SolveKernel string `json:"solve_kernel"`
+	// CacheHits/CacheMisses total the replace arms' candidate-vector cache
+	// traffic across all trials.
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+
+	Replace     ReplaceArm `json:"replace"`
+	Centerpiece ReplaceArm `json:"centerpiece"`
+}
+
+// ReplaceEval runs the held-out co-author recovery comparison over teams
+// trials of size teamSize.
+func ReplaceEval(s *Setup, teams, teamSize int) (*ReplaceEvalResult, error) {
+	if teams <= 0 || teamSize < 2 {
+		return nil, fmt.Errorf("replace: teams must be positive and teamSize at least 2")
+	}
+	bp := s.Dataset.Papers
+	if bp == nil {
+		return nil, fmt.Errorf("replace: dataset has no author–paper incidence")
+	}
+	eng, err := ceps.NewEngine(s.Dataset.Graph,
+		ceps.WithConfig(s.Base), ceps.WithCache(64<<20), ceps.WithBipartite(bp))
+	if err != nil {
+		return nil, err
+	}
+
+	// Trial teams: a deterministic shuffle over the papers, keeping those
+	// with enough authors for a team plus a held-out co-author.
+	rng := s.rng(73)
+	order := rng.Perm(bp.Papers())
+	out := &ReplaceEvalResult{TeamSize: teamSize}
+	var (
+		rankSumReplace, rankSumBase float64
+		poolSum                     int
+	)
+	ctx := context.Background()
+	for _, p := range order {
+		if out.Teams >= teams {
+			break
+		}
+		authors := bp.PaperAuthors(p)
+		if len(authors) < teamSize+1 {
+			continue
+		}
+		pick := append([]int(nil), authors...)
+		rng.Shuffle(len(pick), func(i, j int) { pick[i], pick[j] = pick[j], pick[i] })
+		team := pick[:teamSize]
+		departed := team[teamSize-1]
+		heldOut := pick[teamSize]
+
+		res, err := eng.ReplaceSubteam(ctx, team,
+			ceps.WithDeparting(departed),
+			ceps.WithReplaceTopN(-1), ceps.WithMaxCandidates(-1))
+		if err != nil {
+			return nil, fmt.Errorf("replace trial on paper %d: %w", p, err)
+		}
+		rankReplace := -1
+		pool := make([]int, len(res.Replacements))
+		for i, rep := range res.Replacements {
+			pool[i] = rep.Node
+			if rep.Node == heldOut {
+				rankReplace = i
+			}
+		}
+		if rankReplace < 0 {
+			// Cannot happen with an uncapped two-hop pool; fail loudly
+			// rather than skew the average.
+			return nil, fmt.Errorf("replace trial on paper %d: held-out author %d missing from pool", p, heldOut)
+		}
+
+		// Baseline: center-piece scores of the remaining members, ranking
+		// the exact same pool. The default engine runs plain CePS, so
+		// Combined indexes original graph ids.
+		qres, err := eng.Do(ctx, res.Remaining)
+		if err != nil {
+			return nil, fmt.Errorf("centerpiece trial on paper %d: %w", p, err)
+		}
+		ranked := append([]int(nil), pool...)
+		sort.SliceStable(ranked, func(i, j int) bool {
+			si, sj := qres.Combined[ranked[i]], qres.Combined[ranked[j]]
+			if si != sj {
+				return si > sj
+			}
+			return ranked[i] < ranked[j]
+		})
+		rankBase := -1
+		for i, u := range ranked {
+			if u == heldOut {
+				rankBase = i
+				break
+			}
+		}
+
+		out.Teams++
+		poolSum += res.PoolSize
+		out.SolveKernel = res.Stages.SolveKernel
+		out.CacheHits += res.Stages.CacheHits
+		out.CacheMisses += res.Stages.CacheMisses
+		tally(&out.Replace, rankReplace, &rankSumReplace)
+		tally(&out.Centerpiece, rankBase, &rankSumBase)
+	}
+	if out.Teams < teams {
+		return nil, fmt.Errorf("replace: substrate yielded only %d teams with %d+ authors, want %d",
+			out.Teams, teamSize+1, teams)
+	}
+	out.Replace.Name = "replace"
+	out.Centerpiece.Name = "centerpiece"
+	out.MeanPoolSize = float64(poolSum) / float64(out.Teams)
+	out.Replace.MRR = out.Replace.MRR / float64(out.Teams)
+	out.Centerpiece.MRR = out.Centerpiece.MRR / float64(out.Teams)
+	out.Replace.MeanRank = rankSumReplace / float64(out.Teams)
+	out.Centerpiece.MeanRank = rankSumBase / float64(out.Teams)
+	return out, nil
+}
+
+// tally folds one trial's 0-based rank into an arm's accumulators (MRR is
+// left as a running sum; ReplaceEval divides at the end).
+func tally(arm *ReplaceArm, rank int, rankSum *float64) {
+	arm.MRR += 1 / float64(rank+1)
+	*rankSum += float64(rank + 1)
+	if rank < 1 {
+		arm.Hits1++
+	}
+	if rank < 5 {
+		arm.Hits5++
+	}
+	if rank < 10 {
+		arm.Hits10++
+	}
+}
+
+// RenderReplaceEval prints the two-arm comparison.
+func RenderReplaceEval(w io.Writer, r *ReplaceEvalResult) {
+	fmt.Fprintf(w, "replace: %d teams of %d, mean pool %.1f, kernel %s, cache %d hits / %d misses\n",
+		r.Teams, r.TeamSize, r.MeanPoolSize, r.SolveKernel, r.CacheHits, r.CacheMisses)
+	fmt.Fprintf(w, "%-12s %7s %8s %8s %8s %10s\n",
+		"arm", "mrr", "hits@1", "hits@5", "hits@10", "mean rank")
+	for _, a := range []ReplaceArm{r.Replace, r.Centerpiece} {
+		fmt.Fprintf(w, "%-12s %7.3f %7d/%d %7d/%d %7d/%d %10.1f\n",
+			a.Name, a.MRR, a.Hits1, r.Teams, a.Hits5, r.Teams, a.Hits10, r.Teams, a.MeanRank)
+	}
+}

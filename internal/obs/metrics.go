@@ -250,18 +250,30 @@ func (h *Histogram) Sum() float64 {
 
 // Quantile estimates the q-quantile (q in [0,1]) from the bucket
 // cumulative counts with linear interpolation inside the winning bucket.
-// With no observations it returns 0; when the quantile lands in the +Inf
-// tail it returns the largest finite bound (a deliberate underestimate —
-// good enough for admission budgeting, which only needs scale).
+// Edge cases are pinned — the resilience layer's retry budgeting consumes
+// this under exactly the cold-start conditions that hit them: with no
+// observations it returns 0; q outside [0,1] (including NaN) clamps to the
+// nearest endpoint; when the quantile lands in the +Inf overflow bucket it
+// returns the largest finite bound (a deliberate underestimate — good
+// enough for admission budgeting, which only needs scale), or 0 when the
+// histogram has no finite bound at all. It never panics.
 func (h *Histogram) Quantile(q float64) float64 {
 	cum, count, _ := h.snapshot()
 	if count == 0 {
 		return 0
 	}
+	// NaN fails both comparisons; treat it like q = 1 (the conservative
+	// end for a latency budget) rather than letting it select no bucket.
 	if q < 0 {
 		q = 0
-	} else if q > 1 {
+	} else if q > 1 || math.IsNaN(q) {
 		q = 1
+	}
+	// All bounds can be +Inf at registration time (they dedup/strip to an
+	// empty finite list, leaving only the overflow bucket); there is no
+	// finite bound to report.
+	if len(h.upper) == 0 {
+		return 0
 	}
 	rank := q * float64(count)
 	for i, c := range cum {

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantileEdgeCases pins the behavior the resilience layer's
+// retry budgeting relies on under cold-start conditions: empty histograms,
+// q outside [0,1], NaN q, and distributions whose mass sits entirely in
+// the implicit +Inf overflow bucket must all produce a finite number —
+// never a panic, never NaN.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_q_edge", "test", []float64{0.1, 1, 10})
+
+	// Empty histogram: every quantile is 0.
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	// q clamps to [0,1]; out-of-range requests answer like the endpoints.
+	if got, want := h.Quantile(-3), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-3) = %v, want clamp to Quantile(0) = %v", got, want)
+	}
+	if got, want := h.Quantile(7), h.Quantile(1); got != want {
+		t.Errorf("Quantile(7) = %v, want clamp to Quantile(1) = %v", got, want)
+	}
+	// NaN clamps to the conservative end (q = 1) instead of falling
+	// through the bucket scan.
+	if got, want := h.Quantile(math.NaN()), h.Quantile(1); got != want || math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %v, want %v", got, want)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		got := h.Quantile(q)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("Quantile(%v) = %v, want finite", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileOverflowMass pins the all-mass-in-overflow case:
+// every observation beyond the largest finite bound reports that bound (a
+// deliberate underestimate with the right scale), not +Inf.
+func TestHistogramQuantileOverflowMass(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_q_overflow", "test", []float64{0.1, 1})
+	for i := 0; i < 10; i++ {
+		h.Observe(100) // all land in the implicit +Inf bucket
+	}
+	for _, q := range []float64{0.1, 0.5, 1} {
+		if got := h.Quantile(q); got != 1 {
+			t.Errorf("overflow-only Quantile(%v) = %v, want largest finite bound 1", q, got)
+		}
+	}
+	// q = 0 is degenerate (rank 0 precedes all mass): it reports the first
+	// bucket bound, which is still finite — pin that too.
+	if got := h.Quantile(0); got != 0.1 {
+		t.Errorf("overflow-only Quantile(0) = %v, want first bound 0.1", got)
+	}
+}
+
+// TestHistogramQuantileOnlyInfBuckets covers a histogram registered with
+// only +Inf bounds: dedup strips them (the overflow bucket is implicit),
+// leaving no finite bound at all. Quantile must return 0, not index out of
+// range.
+func TestHistogramQuantileOnlyInfBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_q_inf", "test", []float64{math.Inf(+1)})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("no-finite-bound Quantile(0.5) = %v on empty histogram, want 0", got)
+	}
+	h.Observe(3)
+	h.Observe(4)
+	if got := h.Quantile(0.9); got != 0 {
+		t.Errorf("no-finite-bound Quantile(0.9) = %v, want 0 (no finite bound to report)", got)
+	}
+	if got := h.Sum(); got != 7 {
+		t.Errorf("Sum() = %v, want 7", got)
+	}
+}

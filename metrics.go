@@ -5,6 +5,7 @@ import (
 	"errors"
 	"time"
 
+	"ceps/internal/core"
 	"ceps/internal/obs"
 )
 
@@ -39,6 +40,9 @@ import (
 //	ceps_queue_depth                                 (gauge)
 //	ceps_breaker_state                               (gauge: 0=closed, 1=half-open, 2=open)
 //	ceps_breaker_transitions_total{to="open"|"half_open"|"closed"}
+//	ceps_replace_total{pool="two_hop"|"densest"|"explicit"}
+//	ceps_replace_duration_seconds                    (histogram)
+//	ceps_replace_candidates                          (histogram: scored pool size)
 //
 // plus the Go runtime series of obs.RegisterRuntimeMetrics
 // (go_goroutines, go_heap_alloc_bytes, go_gc_pauses_seconds_total,
@@ -82,6 +86,14 @@ type engineMetrics struct {
 	// panel serves misses from many queries).
 	coalescedSolves    *obs.Counter
 	coalescePanelWidth *obs.Histogram
+
+	// Subteam-replacement accounting: requests by candidate-pool strategy,
+	// end-to-end latency, and the scored pool-size distribution. Errors
+	// land in the shared ceps_query_errors_total series (same kinds, same
+	// dashboards).
+	replaceTwoHop, replaceDensest, replaceExplicit *obs.Counter
+	replaceDur                                     *obs.Histogram
+	replaceCandidates                              *obs.Histogram
 }
 
 // newEngineMetrics builds the registry for one engine. cacheStats reads
@@ -138,6 +150,12 @@ func newEngineMetrics(cacheStats func() (CacheStats, bool), workers int, tracer 
 		coalescePanelWidth: reg.Histogram("ceps_coalesce_panel_width",
 			"Sources per coalesced panel solve (1 = a panel solved for a single miss).",
 			[]float64{1, 2, 4, 8, 16, 32}),
+		replaceTwoHop:   reg.Counter("ceps_replace_total", "Subteam-replacement queries, by candidate-pool strategy.", obs.Label{Name: "pool", Value: "two_hop"}),
+		replaceDensest:  reg.Counter("ceps_replace_total", "Subteam-replacement queries, by candidate-pool strategy.", obs.Label{Name: "pool", Value: "densest"}),
+		replaceExplicit: reg.Counter("ceps_replace_total", "Subteam-replacement queries, by candidate-pool strategy.", obs.Label{Name: "pool", Value: "explicit"}),
+		replaceDur:      reg.Histogram("ceps_replace_duration_seconds", "End-to-end subteam-replacement response time.", buckets),
+		replaceCandidates: reg.Histogram("ceps_replace_candidates", "Scored candidates per replacement query.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
 	}
 	cacheCounter := func(read func(CacheStats) uint64) func() float64 {
 		return func() float64 {
@@ -268,6 +286,51 @@ func (m *engineMetrics) observeQuery(res *Result, err error, elapsed time.Durati
 		// series. Splitting by reason keeps the two queueing stages (pool
 		// slot vs forming panel) distinguishable on dashboards, and a
 		// request sheds under exactly one reason — never both.
+		if errors.Is(err, ErrOverloaded) {
+			if ShedReason(err) == "coalesce_wait" {
+				m.shedCoalesceWait.Inc()
+			} else {
+				m.shedPoolWait.Inc()
+			}
+		} else {
+			m.errCounter(err).Inc()
+		}
+	}
+}
+
+// observeReplace folds one finished subteam-replacement query into the
+// engine-wide aggregates. Replacement shares the error-kind, degraded and
+// shed series with the query path (same failure modes, same dashboards);
+// only the request counter, latency, and pool-size series are its own.
+func (m *engineMetrics) observeReplace(res *core.ReplaceResult, strategy string, err error, elapsed time.Duration) {
+	switch strategy {
+	case "densest":
+		m.replaceDensest.Inc()
+	case "explicit":
+		m.replaceExplicit.Inc()
+	default:
+		m.replaceTwoHop.Inc()
+	}
+	m.replaceDur.Observe(elapsed.Seconds())
+	if res != nil {
+		m.replaceCandidates.Observe(float64(res.PoolSize))
+		m.durSolve.Observe(res.Stages.Solve.Seconds())
+		switch res.Stages.SolveKernel {
+		case "blocked":
+			m.solvesBlocked.Inc()
+		case "scalar":
+			m.solvesScalar.Inc()
+		}
+		if res.Degraded != nil {
+			switch res.Degraded.Mode {
+			case "relaxed_tol":
+				m.degradedRelaxed.Inc()
+			default:
+				m.degradedFallback.Inc()
+			}
+		}
+	}
+	if err != nil {
 		if errors.Is(err, ErrOverloaded) {
 			if ShedReason(err) == "coalesce_wait" {
 				m.shedCoalesceWait.Inc()
