@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race race-hammer obs-smoke trace-smoke fuzz-smoke kernel-smoke chaos-smoke coalesce-smoke replace-smoke bench bench-smoke bench-rwr bench-resilience bench-coalesce bench-replace clean
+.PHONY: check vet build test race race-hammer obs-smoke trace-smoke fuzz-smoke kernel-smoke chaos-smoke coalesce-smoke replace-smoke precompute-smoke bench bench-smoke bench-rwr bench-resilience bench-coalesce bench-replace bench-precompute clean
 
-check: vet build race race-hammer trace-smoke fuzz-smoke kernel-smoke chaos-smoke coalesce-smoke replace-smoke
+check: vet build race race-hammer trace-smoke fuzz-smoke kernel-smoke chaos-smoke coalesce-smoke replace-smoke precompute-smoke
 
 vet:
 	$(GO) vet ./...
@@ -94,6 +94,17 @@ replace-smoke:
 	$(GO) test -race -count=1 ./internal/core -run 'TestReplaceSubteam'
 	$(GO) test -count=1 ./cmd/ceps -run 'TestDecodeReplaceRequestV1|TestV1Replace|TestRunReplaceVerb'
 
+# Precompute-tier smoke: golden artifact-vs-iterative identity on all
+# three normalizations, the Reconfigure invalidation regression, the
+# artifact-vs-Reconfigure race hammer, cepspre build/verify/corruption
+# round-trips, and the cold-start floor (artifact hit rate >= 0.9,
+# artifact-served cold pass within 2x of warm-cache latency).
+precompute-smoke:
+	$(GO) test -count=1 . -run 'TestArtifactGoldenAllNorms|TestArtifactFastModeServing|TestArtifactReconfigureInvalidation|TestReplaceExactViaArtifactTier|TestArtifactDirRejectsDamage|TestArtifactMismatchBypasses|TestPrecomputeSmoke'
+	$(GO) test -race -count=2 . -run 'TestArtifactReconfigureRaceHammer'
+	$(GO) test -race -count=1 ./internal/artifact
+	$(GO) test -count=1 ./cmd/cepspre
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
@@ -119,6 +130,12 @@ bench-resilience:
 # >= 1.5x solve-rows/sec at lower p99, bit-identical.
 bench-coalesce:
 	$(GO) run ./cmd/cepsbench -exp coalesce -scale 0.5 -rwr-iters 25 -coalesce-delay 10ms -coalesce-out $(CURDIR)/BENCH_coalesce.json
+
+# Precompute-tier headline numbers (artifact hit rate, artifact-served
+# cold vs warm-cache vs bare-iterative ns/query on the DBLP-scale
+# substrate) written to BENCH_precompute.json, which is checked in.
+bench-precompute:
+	BENCH_PRECOMPUTE_OUT=$(CURDIR)/BENCH_precompute.json $(GO) test -run '^TestPrecomputeSmoke$$' -count=1 .
 
 # Subteam-replacement evaluation (held-out co-author recovery, replace
 # ranker vs the plain center-piece baseline over identical pools) written

@@ -1,0 +1,422 @@
+package ceps_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ceps"
+	"ceps/internal/artifact"
+	"ceps/internal/partition"
+)
+
+// buildArtifactDir precomputes artifacts for g under rc into a temp
+// directory, the in-process equivalent of running cepspre. parts = 0
+// builds the full-graph artifact only; otherwise the full graph plus one
+// artifact per part (seed must match the engine's fast-mode seed). The
+// byte budget picks the class: unions whose dense inverse fits become
+// ClassDense, the rest top-source panels.
+func buildArtifactDir(t testing.TB, g *ceps.Graph, rc ceps.RWRConfig, parts int, seed int64, budget int64) string {
+	t.Helper()
+	dir := t.TempDir()
+	bc := artifact.BuildConfig{RWR: rc, IncludeFull: true, ByteBudget: budget}
+	if parts > 0 {
+		pt, err := partition.KWayCtx(context.Background(), g, parts, partition.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc.Partition = pt
+	}
+	if _, err := artifact.Build(context.Background(), g, bc, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// corruptOneArtifact flips the last byte of one .cpa file in dir.
+func corruptOneArtifact(t testing.TB, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".cpa" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	t.Fatal("no artifact file to corrupt")
+}
+
+// panelBudget forces ClassPanel with n-1 sources: one byte short of the
+// dense inverse, so the builder falls back to a panel that still covers
+// every node except the single lowest-weighted-degree one.
+func panelBudget(g *ceps.Graph) int64 {
+	n := int64(g.N())
+	return 8 * n * (n - 1)
+}
+
+// TestArtifactGoldenAllNorms compares artifact-served engines against
+// plain iterative ones on all three normalizations, for both artifact
+// classes.
+//
+// Panel-class rows are the iterative solver's own output, so the whole
+// Result must be bit-identical. Dense-class rows are the converged fixed
+// point (1−c)(I−cW̃)⁻¹e_q rather than the m-sweep iterate; with m = 50
+// and c = 0.5 the truncation gap is bounded by c^(m+1)/(1−c) ≈ 9e-16 per
+// entry, so the combined scores must agree to 1e-9 with huge margin.
+func TestArtifactGoldenAllNorms(t *testing.T) {
+	ds := smallDataset(t)
+	g := ds.Graph
+	queries := []int{ds.Repository[0][0], ds.Repository[1][0], ds.Repository[2][1]}
+	norms := []struct {
+		name string
+		kind ceps.NormKind
+	}{
+		{"column", ceps.NormColumn},
+		{"penalized", ceps.NormDegreePenalized},
+		{"symmetric", ceps.NormSymmetric},
+	}
+	for _, nm := range norms {
+		cfg := ceps.DefaultConfig()
+		cfg.RWR.Norm = nm.kind
+		ref, err := ceps.NewEngine(g, ceps.WithConfig(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Do(context.Background(), queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		t.Run(nm.name+"/panel", func(t *testing.T) {
+			dir := buildArtifactDir(t, g, cfg.RWR, 0, 1, panelBudget(g))
+			eng := newEngine(t, g, ceps.WithConfig(cfg), ceps.WithCache(8<<20), ceps.WithArtifactDir(dir))
+			defer eng.Close()
+			got, err := eng.Do(context.Background(), queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Stages.ArtifactHits == 0 {
+				t.Fatal("no artifact hits: the panel never served")
+			}
+			if !resultEquals(want, got) {
+				t.Fatal("panel-served result is not bit-identical to the iterative one")
+			}
+		})
+
+		t.Run(nm.name+"/dense", func(t *testing.T) {
+			dir := buildArtifactDir(t, g, cfg.RWR, 0, 1, 64<<20)
+			eng := newEngine(t, g, ceps.WithConfig(cfg), ceps.WithCache(8<<20), ceps.WithArtifactDir(dir))
+			defer eng.Close()
+			got, err := eng.Do(context.Background(), queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Stages.ArtifactHits != len(queries) {
+				t.Fatalf("artifact hits = %d, want %d (dense artifact covers every source)",
+					got.Stages.ArtifactHits, len(queries))
+			}
+			if got.Stages.SolveKernel != "artifact" {
+				t.Fatalf("kernel %q, want artifact", got.Stages.SolveKernel)
+			}
+			for j := range want.Combined {
+				if d := math.Abs(got.Combined[j] - want.Combined[j]); d > 1e-9 {
+					t.Fatalf("node %d: dense-served score %v vs iterative %v (diff %g > 1e-9)",
+						j, got.Combined[j], want.Combined[j], d)
+				}
+			}
+		})
+	}
+}
+
+// TestArtifactFastModeServing exercises the per-partition artifacts: a
+// fast-mode engine whose single-part unions are precomputed answers cold
+// queries out of the mmapped rows, bit-identically (panel class).
+func TestArtifactFastModeServing(t *testing.T) {
+	ds := smallDataset(t)
+	g := ds.Graph
+	cfg := quickConfig()
+	const parts = 4
+	dir := buildArtifactDir(t, g, cfg.RWR, parts, 1, 64<<20)
+
+	ref := newEngine(t, g, ceps.WithConfig(cfg), ceps.WithFastMode(parts, ceps.PartitionOptions{Seed: 1}))
+	eng := newEngine(t, g, ceps.WithConfig(cfg), ceps.WithCache(8<<20),
+		ceps.WithArtifactDir(dir), ceps.WithFastMode(parts, ceps.PartitionOptions{Seed: 1}))
+	defer eng.Close()
+
+	if st, ok := eng.ArtifactStats(); !ok || st.Bound < parts {
+		t.Fatalf("stats = %+v, want the full space and all %d single-part spaces bound", st, parts)
+	}
+	hits := 0
+	for _, repo := range ds.Repository {
+		if len(repo) < 2 {
+			continue
+		}
+		queries := repo[:2]
+		want, err := ref.Do(context.Background(), queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Do(context.Background(), queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits += got.Stages.ArtifactHits
+		// Dense rows are the converged fixed point; compare with the same
+		// tolerance argument as the golden test (quickConfig's m = 25 gives
+		// a truncation gap ≈ 3e-8).
+		if len(got.Combined) != len(want.Combined) {
+			t.Fatalf("work graphs differ: %d vs %d nodes", len(got.Combined), len(want.Combined))
+		}
+		for j := range want.Combined {
+			if d := math.Abs(got.Combined[j] - want.Combined[j]); d > 1e-6 {
+				t.Fatalf("node %d: %v vs %v (diff %g)", j, got.Combined[j], want.Combined[j], d)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no query was served from a per-partition artifact")
+	}
+}
+
+// TestArtifactReconfigureInvalidation is the regression test for the tier
+// invalidation bug class: after Reconfigure changes the RWR parameters,
+// the tier must stop serving artifacts built for the old config (their
+// fingerprints no longer match) and must re-probe — not stay dead — when
+// the original config returns.
+func TestArtifactReconfigureInvalidation(t *testing.T) {
+	ds := smallDataset(t)
+	g := ds.Graph
+	cfgA := ceps.DefaultConfig()
+	cfgB := cfgA
+	cfgB.RWR.C = 0.6
+	queries := []int{ds.Repository[0][0], ds.Repository[1][0]}
+	dir := buildArtifactDir(t, g, cfgA.RWR, 0, 1, 64<<20)
+
+	eng := newEngine(t, g, ceps.WithConfig(cfgA), ceps.WithCache(8<<20), ceps.WithArtifactDir(dir))
+	defer eng.Close()
+	res, err := eng.Do(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stages.ArtifactHits != len(queries) {
+		t.Fatalf("cold query under the built config: %d artifact hits, want %d", res.Stages.ArtifactHits, len(queries))
+	}
+
+	if err := eng.Reconfigure(cfgB); err != nil {
+		t.Fatal(err)
+	}
+	res, err = eng.Do(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stages.ArtifactHits != 0 {
+		t.Fatalf("reconfigured engine took %d artifact hits from stale artifacts", res.Stages.ArtifactHits)
+	}
+	want, err := newEngine(t, g, ceps.WithConfig(cfgB)).Do(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultEquals(want, res) {
+		t.Fatal("post-reconfigure answer differs from a plain engine under the new config")
+	}
+
+	if err := eng.Reconfigure(cfgA); err != nil {
+		t.Fatal(err)
+	}
+	res, err = eng.Do(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stages.ArtifactHits != len(queries) {
+		t.Fatalf("tier did not re-probe when the built config returned: %d hits", res.Stages.ArtifactHits)
+	}
+	st, ok := eng.ArtifactStats()
+	if !ok {
+		t.Fatal("artifact stats should be available")
+	}
+	if st.Rebinds < 3 || st.Generation < 3 {
+		t.Fatalf("stats = %+v, want a rebind per construction and per Reconfigure", st)
+	}
+}
+
+// TestArtifactReconfigureRaceHammer races artifact-served queries against
+// Reconfigure. Artifacts are panel class (bit-identical to iterative
+// rows), so every answer must exactly match a reference engine running one
+// of the two configurations — a stale binding serving the wrong config
+// would show up as an answer matching neither. Run with -race.
+func TestArtifactReconfigureRaceHammer(t *testing.T) {
+	ds := smallDataset(t)
+	cfgA := quickConfig()
+	cfgB := quickConfig()
+	cfgB.RWR.Iterations = 30
+	dir := buildArtifactDir(t, ds.Graph, cfgA.RWR, 0, 1, panelBudget(ds.Graph))
+
+	refA := newEngine(t, ds.Graph, ceps.WithConfig(cfgA))
+	refB := newEngine(t, ds.Graph, ceps.WithConfig(cfgB))
+	eng := newEngine(t, ds.Graph, ceps.WithConfig(cfgA),
+		ceps.WithCache(8<<20), ceps.WithWorkers(2), ceps.WithArtifactDir(dir))
+	defer eng.Close()
+
+	sets := [][]int{
+		{ds.Repository[0][0], ds.Repository[0][1]},
+		{ds.Repository[1][0], ds.Repository[1][1]},
+		{ds.Repository[2][0], ds.Repository[2][1]},
+	}
+	wantA := make([]*ceps.Result, len(sets))
+	wantB := make([]*ceps.Result, len(sets))
+	for i, qs := range sets {
+		var err error
+		if wantA[i], err = refA.Do(context.Background(), qs); err != nil {
+			t.Fatal(err)
+		}
+		if wantB[i], err = refB.Do(context.Background(), qs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const clients = 8
+	const perClient = 30
+	var wg sync.WaitGroup
+	errc := make(chan error, clients+1)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for n := 0; n < perClient; n++ {
+				i := (c + n) % len(sets)
+				got, err := eng.Do(context.Background(), sets[i])
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !resultEquals(wantA[i], got) && !resultEquals(wantB[i], got) {
+					errc <- errors.New("answer matches neither configuration: stale artifact binding leaked across Reconfigure")
+					return
+				}
+			}
+		}(c)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for n := 0; n < 20; n++ {
+			cfg := cfgA
+			if n%2 == 0 {
+				cfg = cfgB
+			}
+			if err := eng.Reconfigure(cfg); err != nil {
+				errc <- err
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	<-done
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestReplaceExactViaArtifactTier: with a dense-class artifact bound,
+// ReplaceSubteam's exact scoring reads the shared mmapped inverse instead
+// of factorizing a per-Runner one — and since dense rows are
+// Float64bits-identical to the PreSolver's, the rankings must match the
+// artifact-free engine exactly.
+func TestReplaceExactViaArtifactTier(t *testing.T) {
+	ds := smallDataset(t)
+	cfg := quickConfig()
+	dir := buildArtifactDir(t, ds.Graph, cfg.RWR, 0, 1, 64<<20)
+
+	team, departed := replaceTeam(ds)
+	ref := newEngine(t, ds.Graph, ceps.WithConfig(cfg), ceps.WithBipartite(ds.Papers))
+	want, err := ref.ReplaceSubteam(context.Background(), team,
+		ceps.WithDeparting(departed), ceps.WithExactScores())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := newEngine(t, ds.Graph, ceps.WithConfig(cfg), ceps.WithBipartite(ds.Papers),
+		ceps.WithCache(8<<20), ceps.WithArtifactDir(dir))
+	defer eng.Close()
+	before, _ := eng.ArtifactStats()
+	got, err := eng.ReplaceSubteam(context.Background(), team,
+		ceps.WithDeparting(departed), ceps.WithExactScores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := eng.ArtifactStats()
+	if after.Hits <= before.Hits {
+		t.Fatal("exact scoring did not read the artifact tier")
+	}
+	if got.Stages.SolveKernel != "exact" {
+		t.Fatalf("kernel %q, want exact", got.Stages.SolveKernel)
+	}
+	if len(got.Replacements) != len(want.Replacements) {
+		t.Fatalf("%d replacements vs %d", len(got.Replacements), len(want.Replacements))
+	}
+	for i := range want.Replacements {
+		w, g := want.Replacements[i], got.Replacements[i]
+		if w.Node != g.Node ||
+			math.Float64bits(w.Score) != math.Float64bits(g.Score) ||
+			math.Float64bits(w.RWRProximity) != math.Float64bits(g.RWRProximity) {
+			t.Fatalf("rank %d: tier-served %+v vs presolve %+v", i, g, w)
+		}
+	}
+}
+
+// TestArtifactDirRejectsDamage: an artifact directory with a corrupted
+// file must reject engine construction outright — serving would silently
+// fall back, hiding operational damage.
+func TestArtifactDirRejectsDamage(t *testing.T) {
+	ds := smallDataset(t)
+	cfg := quickConfig()
+	dir := buildArtifactDir(t, ds.Graph, cfg.RWR, 0, 1, panelBudget(ds.Graph))
+	corruptOneArtifact(t, dir)
+	_, err := ceps.NewEngine(ds.Graph, ceps.WithConfig(cfg), ceps.WithArtifactDir(dir))
+	if !errors.Is(err, ceps.ErrBadConfig) {
+		t.Fatalf("NewEngine on a damaged artifact dir: %v, want ErrBadConfig", err)
+	}
+}
+
+// TestArtifactMismatchBypasses: artifacts built for a different config
+// load fine but bind nothing; the engine answers iteratively.
+func TestArtifactMismatchBypasses(t *testing.T) {
+	ds := smallDataset(t)
+	cfgBuilt := quickConfig()
+	cfgLive := quickConfig()
+	cfgLive.RWR.C = 0.7
+	dir := buildArtifactDir(t, ds.Graph, cfgBuilt.RWR, 0, 1, 64<<20)
+	eng := newEngine(t, ds.Graph, ceps.WithConfig(cfgLive), ceps.WithCache(8<<20), ceps.WithArtifactDir(dir))
+	defer eng.Close()
+	st, ok := eng.ArtifactStats()
+	if !ok || st.Loaded != 1 || st.Bound != 0 {
+		t.Fatalf("stats = %+v, want 1 loaded / 0 bound on a config mismatch", st)
+	}
+	res, err := eng.Do(context.Background(), []int{ds.Repository[0][0], ds.Repository[1][0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stages.ArtifactHits != 0 {
+		t.Fatal("bypassed tier still served rows")
+	}
+}

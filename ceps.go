@@ -48,6 +48,7 @@ import (
 	"net/http"
 	"time"
 
+	"ceps/internal/artifact"
 	"ceps/internal/core"
 	"ceps/internal/current"
 	"ceps/internal/dblp"
@@ -151,6 +152,10 @@ type (
 	ResilienceStats = resilience.Stats
 	// BreakerState is the circuit-breaker state (closed/half-open/open).
 	BreakerState = resilience.State
+	// ArtifactStats is a snapshot of the precompute tier's counters
+	// (artifacts loaded, key spaces bound, bytes mapped, hits/misses,
+	// bind fallbacks, rebind generation); see Engine.ArtifactStats.
+	ArtifactStats = artifact.TierStats
 )
 
 // Error taxonomy. Every failure on the query path wraps one of these

@@ -34,6 +34,9 @@
 // -coalesce merges concurrent cache-miss solves into blocked panels
 // (one multi-source solve instead of Q scalar ones) at the price of up
 // to ~1ms of added latency per miss; answers are bit-identical.
+// -artifacts DIR mmaps a cepspre-built precompute directory so cold
+// queries over precomputed partition unions are answered by one row read
+// instead of a power iteration (see the cepspre command).
 // -admin ADDR additionally exposes the operational surface — Prometheus
 // /metrics, /healthz, /debug/vars, and net/http/pprof — on its own
 // address in every mode, so a long batch can be profiled while it runs.
@@ -123,6 +126,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		cacheMB      = fs.Int("cache-mb", 64, "score-cache budget in MiB, shared across the batch (0 = disable caching)")
 		workers      = fs.Int("workers", 0, "max concurrent random-walk solves (0 = GOMAXPROCS)")
 		coalesce     = fs.Bool("coalesce", false, "merge concurrent cache-miss solves into blocked multi-source panels (requires caching)")
+		artifactsDir = fs.String("artifacts", "", "mmap a cepspre-built artifact directory: cold queries over precomputed partition unions become one row read (fingerprints must match this run's graph, RWR flags, -partitions and its seed)")
 
 		serveAddr     = fs.String("serve", "", "run as a long-lived query service on this address (e.g. :8080) instead of answering -q/-queries-file")
 		adminAddr     = fs.String("admin", "", "serve /metrics, /healthz, /debug/vars, pprof and /debug/traces on this address (e.g. :6060)")
@@ -233,6 +237,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *coalesce {
 		opts = append(opts, ceps.WithCoalescing(ceps.CoalesceOptions{}))
+	}
+	if *artifactsDir != "" {
+		opts = append(opts, ceps.WithArtifactDir(*artifactsDir))
 	}
 	if *slowLog > 0 {
 		opts = append(opts, ceps.WithSlowQueryLog(stderr, *slowLog))

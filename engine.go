@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"runtime"
 	"sync"
 	"time"
 
+	"ceps/internal/artifact"
 	"ceps/internal/core"
 	"ceps/internal/fault"
 	"ceps/internal/obs"
@@ -42,6 +44,10 @@ type Engine struct {
 	pool  *rwr.Pool       // never nil
 	coal  *rwr.Coalescer  // nil when coalescing is off
 
+	arts     *artifact.Tier  // nil when no artifact directory is attached
+	artStore *artifact.Store // backing store of arts, closed with the tier
+	graphFP  uint64          // content fingerprint of g, computed when arts != nil
+
 	res *resilience.Controller // nil when resilience is off (the default)
 
 	bp *BipartiteGraph // nil unless WithBipartite attached a substrate
@@ -69,6 +75,7 @@ type engineConfig struct {
 	tracing    *TracingOptions
 	resilience *ResilienceOptions
 	bp         *BipartiteGraph
+	artifacts  string
 }
 
 // WithBipartite attaches the author–paper incidence substrate the engine's
@@ -174,6 +181,27 @@ func WithFastMode(p int, opts PartitionOptions) Option {
 		ec.fastMode = true
 		ec.fastParts = p
 		ec.fastOpts = opts
+		return nil
+	}
+}
+
+// WithArtifactDir attaches a precompute-artifact directory written by the
+// cepspre tool: per-partition solve artifacts are mmapped at construction
+// and consulted on the serving miss path, between the score cache and the
+// iterative solver, so a cold query over a precomputed partition union
+// becomes one mat-vec row read. Artifacts are content-keyed by graph, RWR
+// config, and partition fingerprints; any mismatch with the live engine
+// state (including after Reconfigure) cleanly bypasses the tier — answers
+// are then identical to an engine without this option. A directory that
+// exists but fails to open (corrupt or truncated artifacts, bad index)
+// rejects construction with ErrBadConfig rather than silently serving
+// nothing.
+func WithArtifactDir(dir string) Option {
+	return func(ec *engineConfig) error {
+		if dir == "" {
+			return fmt.Errorf("%w: empty artifact directory", ErrBadConfig)
+		}
+		ec.artifacts = dir
 		return nil
 	}
 }
@@ -311,6 +339,9 @@ func NewEngine(g *Graph, opts ...Option) (*Engine, error) {
 		}
 		return e.res.Stats()
 	})
+	// Artifact series likewise register unconditionally: they read the tier
+	// at scrape time and report zero until (unless) one is attached below.
+	e.metrics.attachArtifacts(e.ArtifactStats)
 	if ec.slowW != nil {
 		e.slow = obs.NewSlowLog(ec.slowW, ec.slowThresh)
 	}
@@ -320,6 +351,18 @@ func NewEngine(g *Graph, opts ...Option) (*Engine, error) {
 			return nil, err
 		}
 		e.pt = pt
+	}
+	if ec.artifacts != "" {
+		store, err := artifact.Open(ec.artifacts)
+		if err != nil {
+			return nil, fmt.Errorf("%w: opening artifact directory %q: %v", ErrBadConfig, ec.artifacts, err)
+		}
+		e.artStore = store
+		e.arts = artifact.NewTier(store, log.Printf)
+		// The graph fingerprint is the content key artifacts were built
+		// against; one O(M) pass here buys every later bind.
+		e.graphFP = g.Fingerprint()
+		e.rebindArtifacts()
 	}
 	return e, nil
 }
@@ -334,10 +377,34 @@ func (e *Engine) Config() Config {
 	return e.cfg
 }
 
-// serving bundles the engine's cache, pool and coalescer for the core
-// query paths. All are fixed at construction, so no lock is needed.
+// serving bundles the engine's cache, pool, coalescer and artifact tier
+// for the core query paths. All are fixed at construction, so no lock is
+// needed. The tier is only placed in the interface field when it exists —
+// a typed-nil ArtifactReader would defeat the core layer's nil checks.
 func (e *Engine) serving() core.Serving {
-	return core.Serving{Cache: e.cache, Pool: e.pool, Coalescer: e.coal}
+	sv := core.Serving{Cache: e.cache, Pool: e.pool, Coalescer: e.coal}
+	if e.arts != nil {
+		sv.Artifacts = e.arts
+	}
+	return sv
+}
+
+// rebindArtifacts re-derives the artifact tier's key-space bindings from
+// the engine's current config and partition state: drop everything (bump
+// the binding generation), then bind afresh. It runs at construction and
+// after every state change that moves the runtime key spaces — an RWR
+// reconfigure or a partition swap — in generation-bump parity with the
+// ScoreCache purge those paths already do, so a stale artifact can never
+// serve a reconfigured engine.
+func (e *Engine) rebindArtifacts() {
+	if e.arts == nil {
+		return
+	}
+	e.mu.RLock()
+	cfg, pt := e.cfg, e.pt
+	e.mu.RUnlock()
+	e.arts.Rebind()
+	core.BindArtifacts(e.arts, e.g, e.graphFP, cfg.RWR, pt)
 }
 
 // snapshot returns the configuration and partition state one query runs
@@ -379,8 +446,11 @@ func (e *Engine) setConfig(cfg Config) {
 		e.dgRunner = nil
 	}
 	e.mu.Unlock()
-	if rwrChanged && e.cache != nil {
-		e.cache.Purge()
+	if rwrChanged {
+		if e.cache != nil {
+			e.cache.Purge()
+		}
+		e.rebindArtifacts()
 	}
 }
 
@@ -427,6 +497,26 @@ func (e *Engine) CoalesceStats() (CoalesceStats, bool) {
 	return e.coal.Stats(), true
 }
 
+// ArtifactStats returns a snapshot of the precompute tier's counters. The
+// second return is false when the engine was built without WithArtifactDir.
+func (e *Engine) ArtifactStats() (ArtifactStats, bool) {
+	if e.arts == nil {
+		return ArtifactStats{}, false
+	}
+	return e.arts.Stats(), true
+}
+
+// Close releases resources the engine holds beyond garbage-collected
+// memory — today that is the mmapped artifact store. It is a no-op on an
+// engine built without WithArtifactDir, and answers issued after Close on
+// one built with it are undefined.
+func (e *Engine) Close() error {
+	if e.artStore == nil {
+		return nil
+	}
+	return e.artStore.Close()
+}
+
 // EnableFastMode pre-partitions the graph into p parts (Table 5 Step 0);
 // subsequent Query calls use Fast CePS. It reports the one-time partition
 // cost through the returned Partitioned's PartitionTime.
@@ -463,6 +553,9 @@ func (e *Engine) installPartitioned(pt *Partitioned) {
 	if changed && pt != nil && e.cache != nil {
 		e.cache.Purge()
 	}
+	if changed {
+		e.rebindArtifacts()
+	}
 }
 
 // Partitioned returns the engine's Fast CePS state, nil when fast mode is
@@ -475,9 +568,7 @@ func (e *Engine) Partitioned() *Partitioned {
 
 // DisableFastMode reverts the engine to full-graph CePS.
 func (e *Engine) DisableFastMode() {
-	e.mu.Lock()
-	e.pt = nil
-	e.mu.Unlock()
+	e.installPartitioned(nil)
 }
 
 // FastMode reports whether Fast CePS is active.
@@ -652,7 +743,8 @@ func (e *Engine) queryWith(ctx context.Context, cfg Config, pt *Partitioned, que
 		span.SetAttr(obs.Str("solve_kernel", res.Stages.SolveKernel),
 			obs.Int("solve_sweeps", res.Stages.SolveSweeps),
 			obs.Int("cache_hits", res.Stages.CacheHits),
-			obs.Int("cache_misses", res.Stages.CacheMisses))
+			obs.Int("cache_misses", res.Stages.CacheMisses),
+			obs.Int("artifact_hits", res.Stages.ArtifactHits))
 		if res.Fallback != nil {
 			span.SetAttr(obs.Str("fallback", res.Fallback.Reason))
 		}

@@ -1,0 +1,149 @@
+// Package artifact implements the persisted precompute tier: versioned
+// on-disk files of per-source random-walk score vectors, produced offline
+// by cmd/cepspre and memory-mapped at engine startup, so a cold query is
+// one row read instead of a power iteration.
+//
+// This is the §6 pre-compute/memory trade-off made durable. The paper
+// observes that materializing A = (I − c·W̃)⁻¹ makes every query
+// "nearly real-time" but is "a heavy burden when N is big"; the runtime
+// ScoreCache (internal/rwr) answers that burden incrementally, caching
+// only sources queries actually ask about. Artifacts complete the
+// picture from the other end: the burden is paid once, offline, within
+// an explicit byte budget, and the result survives process restarts.
+//
+// Two artifact classes split the budget:
+//
+//   - ClassDense: every source of the (partition-union) graph is covered;
+//     the rows are read from the dense inverse (rwr.PreSolver), so they
+//     are Float64bits-identical to what the in-process PreSolver would
+//     compute. Chosen when 8·N² fits the byte budget.
+//   - ClassPanel: only the top-k sources by weighted degree are covered
+//     (k = budget / (8·N)); the rows are iterative solves, bit-identical
+//     to the serving path's own solver. Uncovered sources miss the tier
+//     and fall through to the iterative solver.
+//
+// Artifacts are keyed by content fingerprints (graph, RWR config,
+// partition, part set) rather than by the process-local identities the
+// ScoreCache keys on, which is what lets a file written by one process
+// be trusted by another. The Tier type performs that translation at
+// engine startup and on every Reconfigure.
+package artifact
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Magic identifies an artifact file; the trailing digit is the format
+// generation and changes whenever the layout does.
+const Magic = "CEPSART1"
+
+// Version is the current artifact format version, stored in every header.
+const Version = 1
+
+// headerSize is the fixed byte length of the on-disk header:
+//
+//	off  0  magic            [8]byte  "CEPSART1"
+//	off  8  version          uint32
+//	off 12  class            uint32
+//	off 16  graph fp         uint64
+//	off 24  config fp        uint64
+//	off 32  partition fp     uint64
+//	off 40  restart bits     uint64   Float64bits(1 − c), informational
+//	off 48  n                uint32   nodes in the solved graph
+//	off 52  nParts           uint32
+//	off 56  nSources         uint32
+//	off 60  (pad)            uint32
+//	off 64  checksum         uint64   FNV-64a over header[0:64) + payload
+//
+// The payload starts at offset 72: nParts×uint32 part ids, nSources×uint32
+// ascending source ids, zero padding to 8-byte alignment, then
+// nSources×n float64 score rows, all little-endian.
+const headerSize = 72
+
+// IndexFile is the manifest cmd/cepspre writes next to the artifacts; the
+// Store only loads files the index lists.
+const IndexFile = "index.json"
+
+// FileExt is the artifact file extension.
+const FileExt = ".cpa"
+
+// Class distinguishes how an artifact's rows were computed and what they
+// promise (see the package comment).
+type Class uint32
+
+const (
+	// ClassDense covers every source; rows come from the dense inverse and
+	// are Float64bits-identical to rwr.PreSolver output.
+	ClassDense Class = 1
+	// ClassPanel covers the top-k sources by weighted degree; rows are
+	// iterative solves, bit-identical to the serving solver's own.
+	ClassPanel Class = 2
+)
+
+// String names the class for logs and the index file.
+func (c Class) String() string {
+	switch c {
+	case ClassDense:
+		return "dense"
+	case ClassPanel:
+		return "panel"
+	default:
+		return "unknown"
+	}
+}
+
+// classFromString is the inverse of Class.String for index decoding.
+func classFromString(s string) (Class, bool) {
+	switch s {
+	case "dense":
+		return ClassDense, true
+	case "panel":
+		return ClassPanel, true
+	default:
+		return 0, false
+	}
+}
+
+// Key states everything an artifact's vectors depend on, in content
+// (process-independent) terms: the graph, the walk configuration, and —
+// for partition-union artifacts — the partition and the part set whose
+// union was solved. A full-graph artifact has PartitionFP 0 and no Parts.
+type Key struct {
+	GraphFP     uint64
+	ConfigFP    uint64
+	PartitionFP uint64
+	Parts       []int
+}
+
+// ID collapses the key into the 64-bit hash used as the artifact's file
+// name; Store.Find still verifies full field equality after an ID match.
+func (k Key) ID() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(k.GraphFP)
+	put(k.ConfigFP)
+	put(k.PartitionFP)
+	put(uint64(len(k.Parts)))
+	for _, p := range k.Parts {
+		put(uint64(p))
+	}
+	return h.Sum64()
+}
+
+// Equal reports full field equality, including the part set.
+func (k Key) Equal(o Key) bool {
+	if k.GraphFP != o.GraphFP || k.ConfigFP != o.ConfigFP || k.PartitionFP != o.PartitionFP || len(k.Parts) != len(o.Parts) {
+		return false
+	}
+	for i := range k.Parts {
+		if k.Parts[i] != o.Parts[i] {
+			return false
+		}
+	}
+	return true
+}

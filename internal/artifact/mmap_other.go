@@ -1,0 +1,18 @@
+//go:build !unix
+
+package artifact
+
+import "os"
+
+// mapFile on platforms without syscall.Mmap reads the file into memory;
+// the tier behaves identically, just without the page-cache sharing.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	data, err = readAll(f, size)
+	return data, false, err
+}
+
+// unmapFile is a no-op for read-into-memory loads.
+func unmapFile(data []byte, mapped bool) error { return nil }

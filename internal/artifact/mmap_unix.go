@@ -1,0 +1,32 @@
+//go:build unix
+
+package artifact
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. mapped reports whether the
+// returned slice is an actual mapping (and must go through unmapFile) or a
+// plain allocation. On mmap failure it degrades to reading the file into
+// memory rather than failing the load.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err == nil {
+		return data, true, nil
+	}
+	data, err = readAll(f, size)
+	return data, false, err
+}
+
+// unmapFile releases a mapping produced by mapFile.
+func unmapFile(data []byte, mapped bool) error {
+	if !mapped || data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -95,9 +95,15 @@ type StageTimings struct {
 	// shared score cache (or a joined in-flight solve) versus solved
 	// fresh. Both are zero when the query ran without a serving layer.
 	CacheHits, CacheMisses int
+	// ArtifactHits counts the cache misses (it is a subset of CacheMisses)
+	// the persisted precompute tier answered with a row read instead of an
+	// iterative solve. Zero when no artifact tier is attached.
+	ArtifactHits int
 	// SolveKernel names the Step 1 execution strategy: "blocked" (one
-	// fused SpMM sweep advancing all Q walks) or "scalar" (per-query
-	// power iterations). Empty when Step 1 was skipped entirely.
+	// fused SpMM sweep advancing all Q walks), "scalar" (per-query power
+	// iterations), or "artifact" (every resolved source came from the
+	// precompute tier — no iterative solve ran). Empty when Step 1 was
+	// skipped entirely.
 	SolveKernel string
 	// SolveSweeps is the total number of power-iteration sweeps across
 	// the query set (the Q·m of the paper's Step 1 cost model, or less

@@ -119,6 +119,18 @@ func (c Config) solveKernel(q int) string {
 	return "scalar"
 }
 
+// solveKernelWithArtifacts overrides the configured kernel name with
+// "artifact" when the precompute tier served every source this call had to
+// resolve (every cache miss). Mixed resolutions keep the configured name —
+// the iterative kernel did run — and all-cache-hit calls keep it too, for
+// continuity with pre-artifact metrics.
+func solveKernelWithArtifacts(kernel string, stats rwr.ServeStats) string {
+	if stats.ArtifactHits > 0 && stats.ArtifactHits == stats.Misses {
+		return "artifact"
+	}
+	return kernel
+}
+
 // EffectiveK resolves the K_softAND coefficient for a query set of size q:
 // 0 (AND) becomes q, and values above q clamp to q.
 func (c Config) EffectiveK(q int) int {

@@ -154,6 +154,7 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 		if !cfg.NoCoalesce {
 			opt.Coalesce = sv.Coalescer
 		}
+		opt.Artifacts = sv.Artifacts
 		R, diags, stats, err = solver.ScoresSetServingOptCtx(solveCtx, workQueries, sv.Cache, space, sv.Pool, opt)
 		solveDur := time.Since(solveStart)
 		if err != nil {
@@ -162,7 +163,8 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 			return nil, err
 		}
 		solveSpan.SetAttr(obs.Int("sweeps", sumSweeps(diags)),
-			obs.Int("cache_hits", stats.Hits), obs.Int("cache_misses", stats.Misses))
+			obs.Int("cache_hits", stats.Hits), obs.Int("cache_misses", stats.Misses),
+			obs.Int("artifact_hits", stats.ArtifactHits))
 		if stats.CoalescedWidth > 0 {
 			solveSpan.AddEvent("coalesce_wait",
 				obs.Int("panel_width", stats.CoalescedWidth),
@@ -172,8 +174,9 @@ func (pt *Partitioned) CePSServingCtx(ctx context.Context, queries []int, cfg Co
 		res, err = assemblePipeline(ctx, solver, work, workQueries, cfg, R, diags)
 		if err == nil {
 			res.Stages.Solve = solveDur
-			res.Stages.SolveKernel = cfg.solveKernel(len(workQueries))
+			res.Stages.SolveKernel = solveKernelWithArtifacts(cfg.solveKernel(len(workQueries)), stats)
 			res.Stages.CacheHits, res.Stages.CacheMisses = stats.Hits, stats.Misses
+			res.Stages.ArtifactHits = stats.ArtifactHits
 			res.Stages.CoalescePanelWidth = stats.CoalescedWidth
 			res.Stages.CoalesceWait = stats.CoalesceWait
 		}

@@ -372,19 +372,57 @@ func overlapScore(g *graph.Graph, bp *bipartite.Graph, c int, departing []int) f
 }
 
 // exactScoresSet answers a candidate panel from the dense pre-solved
-// inverse (I − cW̃)⁻¹, built lazily on first use and shared by every
+// inverse (I − cW̃)⁻¹. When the serving layer carries a precompute tier
+// with a dense-class artifact bound for this runner's key space, the rows
+// come straight from the mmapped file — the artifact's rows are
+// Float64bits-identical to PreSolver.Scores, so this swap never changes an
+// answer. Otherwise the inverse is built lazily on first use (in parallel
+// when a solve pool suggests a worker count) and shared by every
 // subsequent exact query on this Runner. Graphs beyond
 // rwr.DefaultPreSolveLimit nodes refuse with ErrBadConfig — the inverse is
 // O(n²) memory and O(n³) to factor, the precompute strategy the paper
 // reserves for small graphs.
 func (r *Runner) exactScoresSet(queries []int) ([][]float64, error) {
+	if R, ok := r.exactFromArtifacts(queries); ok {
+		return R, nil
+	}
 	r.preOnce.Do(func() {
-		r.pre, r.preErr = rwr.NewPreSolver(r.solver, 0)
+		workers := 0
+		if r.sv.Pool != nil {
+			workers = r.sv.Pool.Size()
+		}
+		r.pre, r.preErr = rwr.NewPreSolverParallel(r.solver, 0, workers)
 	})
 	if r.preErr != nil {
 		return nil, fmt.Errorf("%w: exact candidate scoring unavailable: %v", fault.ErrBadConfig, r.preErr)
 	}
 	return r.pre.ScoresSet(queries)
+}
+
+// exactReader is the dense-class read the precompute tier offers beyond
+// the plain rwr.ArtifactReader contract: rows bit-identical to the dense
+// inverse, the only class exactScoresSet may substitute for it.
+type exactReader interface {
+	ReadExact(space uint64, source int) ([]float64, bool)
+}
+
+// exactFromArtifacts serves the whole candidate panel from a bound
+// dense-class artifact, all or nothing: a partial panel would silently mix
+// exact rows with rows the caller still expects to be exact.
+func (r *Runner) exactFromArtifacts(queries []int) ([][]float64, bool) {
+	er, ok := r.sv.Artifacts.(exactReader)
+	if !ok {
+		return nil, false
+	}
+	R := make([][]float64, len(queries))
+	for i, q := range queries {
+		vec, ok := er.ReadExact(r.space, q)
+		if !ok || len(vec) != r.g.N() {
+			return nil, false
+		}
+		R[i] = vec
+	}
+	return R, true
 }
 
 // ReplaceSubteam answers a subteam-replacement query with the cached
@@ -454,8 +492,12 @@ func (r *Runner) ReplaceSubteamCtx(ctx context.Context, spec ReplaceSpec, cfg Co
 		return nil, err
 	}
 	solveSpan.SetAttr(obs.Int("sweeps", sumSweeps(diags)),
-		obs.Int("cache_hits", stats.Hits), obs.Int("cache_misses", stats.Misses))
+		obs.Int("cache_hits", stats.Hits), obs.Int("cache_misses", stats.Misses),
+		obs.Int("artifact_hits", stats.ArtifactHits))
 	solveSpan.End()
+	if !spec.Exact {
+		kernel = solveKernelWithArtifacts(kernel, stats)
+	}
 
 	// Step 2: blend the two kernels and rank.
 	_, scoreSpan := obs.StartSpan(ctx, "replace_score")
@@ -523,6 +565,7 @@ func (r *Runner) ReplaceSubteamCtx(ctx context.Context, spec ReplaceSpec, cfg Co
 			Combine:            time.Since(scoreStart),
 			CacheHits:          stats.Hits,
 			CacheMisses:        stats.Misses,
+			ArtifactHits:       stats.ArtifactHits,
 			SolveKernel:        kernel,
 			SolveSweeps:        sumSweeps(diags),
 			CoalescePanelWidth: stats.CoalescedWidth,

@@ -71,6 +71,7 @@ func (r *Runner) scoresSet(ctx context.Context, queries []int, cfg Config) ([][]
 		if !cfg.NoCoalesce {
 			opt.Coalesce = r.sv.Coalescer
 		}
+		opt.Artifacts = r.sv.Artifacts
 		return r.solver.ScoresSetServingOptCtx(ctx, queries, r.sv.Cache, r.space, r.sv.Pool, opt)
 	}
 	var (
@@ -117,7 +118,8 @@ func (r *Runner) QueryCtx(ctx context.Context, queries []int, cfg Config) (*Resu
 		return nil, err
 	}
 	solveSpan.SetAttr(obs.Int("sweeps", sumSweeps(diags)),
-		obs.Int("cache_hits", stats.Hits), obs.Int("cache_misses", stats.Misses))
+		obs.Int("cache_hits", stats.Hits), obs.Int("cache_misses", stats.Misses),
+		obs.Int("artifact_hits", stats.ArtifactHits))
 	if stats.CoalescedWidth > 0 {
 		solveSpan.AddEvent("coalesce_wait",
 			obs.Int("panel_width", stats.CoalescedWidth),
@@ -131,8 +133,9 @@ func (r *Runner) QueryCtx(ctx context.Context, queries []int, cfg Config) (*Resu
 	res.Queries = append([]int(nil), queries...)
 	res.WorkQueries = append([]int(nil), queries...)
 	res.Stages.Solve = solveDur
-	res.Stages.SolveKernel = cfg.solveKernel(len(queries))
+	res.Stages.SolveKernel = solveKernelWithArtifacts(cfg.solveKernel(len(queries)), stats)
 	res.Stages.CacheHits, res.Stages.CacheMisses = stats.Hits, stats.Misses
+	res.Stages.ArtifactHits = stats.ArtifactHits
 	res.Stages.CoalescePanelWidth = stats.CoalescedWidth
 	res.Stages.CoalesceWait = stats.CoalesceWait
 	res.Elapsed = time.Since(start)

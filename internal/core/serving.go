@@ -20,10 +20,17 @@ type Serving struct {
 	// blocked solve panels in front of the pool. It requires a Cache (the
 	// fan-out rides the single-flight entries) and is ignored without one.
 	Coalescer *rwr.Coalescer
+	// Artifacts, when non-nil, is the persisted precompute tier consulted
+	// between the cache and the iterative solver: cache misses whose key
+	// space is bound to an on-disk artifact (see BindArtifacts) become one
+	// row read instead of a power iteration.
+	Artifacts rwr.ArtifactReader
 }
 
 // enabled reports whether any serving state is attached.
-func (sv Serving) enabled() bool { return sv.Cache != nil || sv.Pool != nil }
+func (sv Serving) enabled() bool {
+	return sv.Cache != nil || sv.Pool != nil || sv.Artifacts != nil
+}
 
 // partitionedID hands each PrePartition-built state a unique non-zero
 // identity, so cached vectors solved on one partition's induced unions can

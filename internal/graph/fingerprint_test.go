@@ -1,0 +1,50 @@
+package graph
+
+import "testing"
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	g1 := randomGraph(t, 40, 100, 11)
+	g2 := randomGraph(t, 40, 100, 11)
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Fatal("identically built graphs must share a fingerprint")
+	}
+	if g1.Fingerprint() != g1.Fingerprint() {
+		t.Fatal("fingerprint must be deterministic across calls")
+	}
+
+	// Different topology.
+	other := randomGraph(t, 40, 100, 12)
+	if g1.Fingerprint() == other.Fingerprint() {
+		t.Fatal("different graphs should (overwhelmingly) differ in fingerprint")
+	}
+
+	// Same topology, one perturbed weight.
+	b := NewBuilder(g1.N())
+	first := true
+	g1.ForEachEdge(func(u, v int, w float64) {
+		if first {
+			w += 0.5
+			first = false
+		}
+		b.AddEdge(u, v, w)
+	})
+	perturbed := b.MustBuild()
+	if g1.Fingerprint() == perturbed.Fingerprint() {
+		t.Fatal("a weight change must change the fingerprint")
+	}
+}
+
+func TestFingerprintIgnoresLabels(t *testing.T) {
+	b1 := NewBuilder(0)
+	a := b1.AddNode("alice")
+	c := b1.AddNode("bob")
+	b1.AddEdge(a, c, 2)
+
+	b2 := NewBuilder(2)
+	b2.AddEdge(0, 1, 2)
+
+	labeled, plain := b1.MustBuild(), b2.MustBuild()
+	if labeled.Fingerprint() != plain.Fingerprint() {
+		t.Fatal("labels never influence a solve and must not influence the fingerprint")
+	}
+}

@@ -12,7 +12,9 @@
 package graph
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 )
 
@@ -146,6 +148,32 @@ func (g *Graph) ForEachEdge(fn func(u, v int, w float64)) {
 			}
 		}
 	}
+}
+
+// Fingerprint returns a stable 64-bit content hash of the graph's
+// structure and weights: node count, edge count, and every undirected
+// edge (u, v, weight bits) in the deterministic CSR iteration order.
+// Labels are excluded — they never influence a solve — so two graphs with
+// equal fingerprints produce identical random-walk score vectors under
+// equal configurations. Unlike the process-local identities the score
+// cache keys on, the fingerprint is stable across processes, which is
+// what lets persisted precompute artifacts (internal/artifact) be keyed
+// offline and matched at engine startup.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(g.N()))
+	put(uint64(g.numEdges))
+	g.ForEachEdge(func(u, v int, w float64) {
+		put(uint64(u))
+		put(uint64(v))
+		put(math.Float64bits(w))
+	})
+	return h.Sum64()
 }
 
 // Validate checks the internal invariants of the CSR representation. It is

@@ -1,0 +1,77 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomDominant returns a diagonally dominant (hence nonsingular) n×n
+// matrix, deterministic under the seed.
+func randomDominant(n int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	a := NewDense(n, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			a.Set(r, c, rng.NormFloat64())
+		}
+		a.Add(r, r, float64(n))
+	}
+	return a
+}
+
+func TestSolveDenseParallelBitIdentical(t *testing.T) {
+	a := randomDominant(73, 31)
+	f, err := a.Factorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewDense(73, 41)
+	rng := rand.New(rand.NewSource(32))
+	for r := 0; r < b.Rows(); r++ {
+		for c := 0; c < b.Cols(); c++ {
+			b.Set(r, c, rng.NormFloat64())
+		}
+	}
+	serial := f.SolveDense(b)
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		par := f.SolveDenseParallel(b, workers)
+		for r := 0; r < b.Rows(); r++ {
+			for c := 0; c < b.Cols(); c++ {
+				if math.Float64bits(serial.At(r, c)) != math.Float64bits(par.At(r, c)) {
+					t.Fatalf("workers=%d: (%d,%d) serial %v vs parallel %v — column solves must be bit-identical", workers, r, c, serial.At(r, c), par.At(r, c))
+				}
+			}
+		}
+	}
+}
+
+func TestInverseParallelBitIdentical(t *testing.T) {
+	a := randomDominant(60, 33)
+	serial, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := a.InverseParallel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 60; r++ {
+		for c := 0; c < 60; c++ {
+			if math.Float64bits(serial.At(r, c)) != math.Float64bits(par.At(r, c)) {
+				t.Fatalf("(%d,%d): serial %v vs parallel %v", r, c, serial.At(r, c), par.At(r, c))
+			}
+		}
+	}
+}
+
+func TestInverseParallelSingular(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := a.InverseParallel(4); err == nil {
+		t.Fatal("singular matrix must fail InverseParallel too")
+	}
+}

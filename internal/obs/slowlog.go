@@ -31,6 +31,9 @@ type SlowQueryEntry struct {
 	// score cache (or a joined in-flight solve) vs. solved fresh.
 	CacheHits   int `json:"cache_hits"`
 	CacheMisses int `json:"cache_misses"`
+	// ArtifactHits counts the misses answered by a precomputed artifact
+	// row read instead of an iterative solve (subset of CacheMisses).
+	ArtifactHits int `json:"artifact_hits,omitempty"`
 	// Fallback is the degradation reason when Path is "fast_fallback".
 	Fallback string `json:"fallback,omitempty"`
 	// Degraded is the fidelity-reduction mode ("relaxed_tol",

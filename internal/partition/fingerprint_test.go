@@ -1,0 +1,43 @@
+package partition
+
+import "testing"
+
+func TestResultFingerprint(t *testing.T) {
+	g, _ := communityGraph(t, 4, 30, 5)
+	r1, err := KWay(g, 4, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := KWay(g, 4, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Fingerprint() != r2.Fingerprint() {
+		t.Fatal("same graph, k, and seed must reproduce the fingerprint")
+	}
+	if r1.Fingerprint() != r1.Fingerprint() {
+		t.Fatal("fingerprint must be deterministic across calls")
+	}
+
+	other, err := KWay(g, 4, Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range r1.Assign {
+		if r1.Assign[i] != other.Assign[i] {
+			same = false
+			break
+		}
+	}
+	if !same && r1.Fingerprint() == other.Fingerprint() {
+		t.Fatal("different assignments should differ in fingerprint")
+	}
+
+	// A single reassigned node must change the fingerprint.
+	mut := &Result{Assign: append([]int(nil), r1.Assign...), K: r1.K}
+	mut.Assign[0] = (mut.Assign[0] + 1) % mut.K
+	if mut.Fingerprint() == r1.Fingerprint() {
+		t.Fatal("a single moved node must change the fingerprint")
+	}
+}

@@ -23,7 +23,9 @@ package partition
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sort"
 
@@ -108,6 +110,28 @@ func KWayCtx(ctx context.Context, g *graph.Graph, k int, opts Options) (*Result,
 		}
 	})
 	return res, nil
+}
+
+// Fingerprint returns a stable 64-bit content hash of the partition: the
+// part count and the full node→part assignment. Two Results with equal
+// fingerprints induce identical partition unions (NodesInParts returns
+// the same node sets), so the fingerprint identifies a partition across
+// processes — the offline precompute pipeline (internal/artifact) keys
+// per-partition artifacts by it, and an engine only binds an artifact
+// when its partition fingerprint matches the live state's.
+func (r *Result) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(r.K))
+	put(uint64(len(r.Assign)))
+	for _, p := range r.Assign {
+		put(uint64(p))
+	}
+	return h.Sum64()
 }
 
 // Balance returns the imbalance factor of the partition: the largest part

@@ -336,42 +336,52 @@ func contextual(err error) bool {
 }
 
 // serveOne resolves one source's score vector through the serving layer:
-// cache hit, join of an in-flight solve, or a fresh pool-bounded solve
-// (stored on success). cache may be nil (always solve) and pool may be nil
-// (unbounded). hit reports whether the vector was served without a fresh
-// solve by this caller (stored vector or joined flight).
-func (s *Solver) serveOne(ctx context.Context, cache *ScoreCache, space uint64, q int, pool *Pool) (vec []float64, diag Diagnostics, hit bool, err error) {
+// cache hit, join of an in-flight solve, a precompute-tier row read, or a
+// fresh pool-bounded solve (stored on success). cache may be nil (consult
+// artifacts, else solve), pool may be nil (unbounded), and art may be nil
+// (no precompute tier). src reports how the vector was obtained.
+func (s *Solver) serveOne(ctx context.Context, cache *ScoreCache, space uint64, q int, pool *Pool, art ArtifactReader) (vec []float64, diag Diagnostics, src serveSource, err error) {
 	if cache == nil {
+		if vec, ok := s.readArtifact(art, space, q); ok {
+			return vec, artifactDiag(), srcArtifact, nil
+		}
 		vec, diag, err = s.solvePooled(ctx, q, pool)
-		return vec, diag, false, err
+		return vec, diag, srcSolved, err
 	}
 	for {
 		vec, diag, ok, fl, leader := cache.getOrJoin(space, q)
 		if ok {
-			return vec, diag, true, nil
+			return vec, diag, srcCached, nil
 		}
 		if leader {
+			// The artifact tier sits between the cache and the solver: a
+			// covered source is one row read, finished into the flight so
+			// followers inherit it and the LRU stores it like any solve.
+			if vec, ok := s.readArtifact(art, space, q); ok {
+				cache.finish(space, q, fl, vec, artifactDiag(), nil)
+				return vec, artifactDiag(), srcArtifact, nil
+			}
 			vec, diag, err := s.solvePooled(ctx, q, pool)
 			cache.finish(space, q, fl, vec, diag, err)
-			return vec, diag, false, err
+			return vec, diag, srcSolved, err
 		}
 		select {
 		case <-fl.done:
 			if fl.err == nil {
 				out := make([]float64, len(fl.vec))
 				copy(out, fl.vec)
-				return out, fl.diag, true, nil
+				return out, fl.diag, srcCached, nil
 			}
 			if !contextual(fl.err) {
-				return nil, Diagnostics{}, false, fl.err
+				return nil, Diagnostics{}, srcSolved, fl.err
 			}
 			if err := fault.FromContext(ctx); err != nil {
-				return nil, Diagnostics{}, false, err
+				return nil, Diagnostics{}, srcSolved, err
 			}
 			// The leader's context died but ours is alive: retry (and
 			// likely become the new leader).
 		case <-ctx.Done():
-			return nil, Diagnostics{}, false, fault.FromContext(ctx)
+			return nil, Diagnostics{}, srcSolved, fault.FromContext(ctx)
 		}
 	}
 }
@@ -395,6 +405,10 @@ func (s *Solver) solvePooled(ctx context.Context, q int, pool *Pool) ([]float64,
 // is what per-query stage accounting (Result.Stages) reports.
 type ServeStats struct {
 	Hits, Misses int
+	// ArtifactHits counts the Misses (they are a subset — the cache did
+	// miss) that the precompute tier answered with a row read instead of
+	// an iterative solve.
+	ArtifactHits int
 	// CoalescedWidth is the widest shared panel that served one of this
 	// call's misses (0 when no miss went through a coalescer; 1 means a
 	// panel solved for this caller alone).
@@ -402,6 +416,32 @@ type ServeStats struct {
 	// CoalesceWait is the longest forming delay one of this call's misses
 	// spent queued in a panel before its solve launched.
 	CoalesceWait time.Duration
+}
+
+// serveSource says how one source's vector was obtained.
+type serveSource int
+
+const (
+	// srcSolved: a fresh iterative solve ran for this caller.
+	srcSolved serveSource = iota
+	// srcCached: a stored vector or another caller's flight served it.
+	srcCached
+	// srcArtifact: a precompute-tier row read served it (counted as a
+	// cache miss plus an artifact hit).
+	srcArtifact
+)
+
+// count folds one resolved source into the per-call stats.
+func (stats *ServeStats) count(src serveSource) {
+	switch src {
+	case srcCached:
+		stats.Hits++
+	case srcArtifact:
+		stats.Misses++
+		stats.ArtifactHits++
+	default:
+		stats.Misses++
+	}
 }
 
 // ServeOptions selects the execution strategy of a serving-layer solve.
@@ -424,6 +464,14 @@ type ServeOptions struct {
 	// panel solves are bit-identical to scalar solves, coalescing never
 	// influences cache keys or answers — only scheduling.
 	Coalesce *Coalescer
+	// Artifacts, when non-nil, is consulted for every cache miss this call
+	// leads, between the cache and the solver: a covered source becomes
+	// one row read (stored into the cache like a solved vector would be)
+	// instead of an iterative solve. Artifact rows are bit-identical to
+	// iterative solves for panel-class artifacts and within documented
+	// tolerance (~1e-9, the solver's own convergence tolerance) for
+	// dense-inverse ones, so artifacts never influence cache keys.
+	Artifacts ArtifactReader
 }
 
 // ScoresSetServingCtx computes the score matrix for a query set through
@@ -468,7 +516,7 @@ func (s *Solver) ScoresSetServingOptCtx(ctx context.Context, queries []int, cach
 	if opt.Blocked.Use(len(queries)) {
 		return s.scoresSetServingBlocked(ctx, queries, cache, space, pool, opt)
 	}
-	return s.scoresSetServingScalar(ctx, queries, cache, space, pool)
+	return s.scoresSetServingScalar(ctx, queries, cache, space, pool, opt.Artifacts)
 }
 
 // scoresSetServingCoalesced is the coalesced miss path: hits and followers
@@ -479,12 +527,7 @@ func (s *Solver) scoresSetServingCoalesced(ctx context.Context, queries []int, c
 	var stats ServeStats
 	R := make([][]float64, len(queries))
 	diags := make([]Diagnostics, len(queries))
-	type pending struct {
-		idx int
-		q   int
-		fl  *flight
-	}
-	var leaders, followers []pending
+	var leaders, followers []pendingFlight
 	for i, q := range queries {
 		vec, d, ok, fl, leader := cache.getOrJoin(space, q)
 		if ok {
@@ -493,11 +536,12 @@ func (s *Solver) scoresSetServingCoalesced(ctx context.Context, queries []int, c
 			continue
 		}
 		if leader {
-			leaders = append(leaders, pending{i, q, fl})
+			leaders = append(leaders, pendingFlight{i, q, fl})
 		} else {
-			followers = append(followers, pending{i, q, fl})
+			followers = append(followers, pendingFlight{i, q, fl})
 		}
 	}
+	leaders = s.serveLeadersFromArtifacts(cache, space, opt.Artifacts, leaders, R, diags, &stats)
 	var firstErr error
 	if len(leaders) > 0 {
 		entries := make([]panelEntry, len(leaders))
@@ -521,7 +565,7 @@ func (s *Solver) scoresSetServingCoalesced(ctx context.Context, queries []int, c
 				} else {
 					// The panel was abandoned or canceled by other waiters
 					// while our context is alive: solve solo, uncoalesced.
-					vec, d, _, err = s.serveOne(ctx, cache, space, p.q, pool)
+					vec, d, _, err = s.serveOne(ctx, cache, space, p.q, pool, opt.Artifacts)
 				}
 			}
 			if err != nil {
@@ -537,16 +581,12 @@ func (s *Solver) scoresSetServingCoalesced(ctx context.Context, queries []int, c
 		return nil, nil, stats, firstErr
 	}
 	for _, p := range followers {
-		vec, d, hit, err := s.awaitFlight(ctx, cache, space, p.q, p.fl, pool)
+		vec, d, src, err := s.awaitFlight(ctx, cache, space, p.q, p.fl, pool, opt.Artifacts)
 		if err != nil {
 			return nil, nil, stats, err
 		}
 		R[p.idx], diags[p.idx] = vec, d
-		if hit {
-			stats.Hits++
-		} else {
-			stats.Misses++
-		}
+		stats.count(src)
 	}
 	return R, diags, stats, nil
 }
@@ -556,21 +596,36 @@ func (s *Solver) scoresSetServingCoalesced(ctx context.Context, queries []int, c
 func (s *Solver) scoresSetServingBlocked(ctx context.Context, queries []int, cache *ScoreCache, space uint64, pool *Pool, opt ServeOptions) ([][]float64, []Diagnostics, ServeStats, error) {
 	var stats ServeStats
 	if cache == nil {
-		R, diags, err := s.blockedPooled(ctx, queries, opt.Workers, pool)
-		if err != nil {
-			return nil, nil, stats, err
+		R := make([][]float64, len(queries))
+		diags := make([]Diagnostics, len(queries))
+		var missIdx []int
+		for i, q := range queries {
+			if vec, ok := s.readArtifact(opt.Artifacts, space, q); ok {
+				R[i], diags[i] = vec, artifactDiag()
+				stats.ArtifactHits++
+				continue
+			}
+			missIdx = append(missIdx, i)
 		}
 		stats.Misses = len(queries)
+		if len(missIdx) > 0 {
+			missQ := make([]int, len(missIdx))
+			for k, i := range missIdx {
+				missQ[k] = queries[i]
+			}
+			mR, mD, err := s.blockedPooled(ctx, missQ, opt.Workers, pool)
+			if err != nil {
+				return nil, nil, stats, err
+			}
+			for k, i := range missIdx {
+				R[i], diags[i] = mR[k], mD[k]
+			}
+		}
 		return R, diags, stats, nil
 	}
 	R := make([][]float64, len(queries))
 	diags := make([]Diagnostics, len(queries))
-	type pending struct {
-		idx int
-		q   int
-		fl  *flight
-	}
-	var leaders, followers []pending
+	var leaders, followers []pendingFlight
 	for i, q := range queries {
 		vec, d, ok, fl, leader := cache.getOrJoin(space, q)
 		if ok {
@@ -579,11 +634,12 @@ func (s *Solver) scoresSetServingBlocked(ctx context.Context, queries []int, cac
 			continue
 		}
 		if leader {
-			leaders = append(leaders, pending{i, q, fl})
+			leaders = append(leaders, pendingFlight{i, q, fl})
 		} else {
-			followers = append(followers, pending{i, q, fl})
+			followers = append(followers, pendingFlight{i, q, fl})
 		}
 	}
+	leaders = s.serveLeadersFromArtifacts(cache, space, opt.Artifacts, leaders, R, diags, &stats)
 	if len(leaders) > 0 {
 		missQ := make([]int, len(leaders))
 		for k, p := range leaders {
@@ -608,18 +664,47 @@ func (s *Solver) scoresSetServingBlocked(ctx context.Context, queries []int, cac
 	// from this very call never deadlock; followers of external leaders
 	// inherit serveOne's wait-and-retry semantics.
 	for _, p := range followers {
-		vec, d, hit, err := s.awaitFlight(ctx, cache, space, p.q, p.fl, pool)
+		vec, d, src, err := s.awaitFlight(ctx, cache, space, p.q, p.fl, pool, opt.Artifacts)
 		if err != nil {
 			return nil, nil, stats, err
 		}
 		R[p.idx], diags[p.idx] = vec, d
-		if hit {
-			stats.Hits++
-		} else {
-			stats.Misses++
-		}
+		stats.count(src)
 	}
 	return R, diags, stats, nil
+}
+
+// pendingFlight is one triaged source awaiting resolution in a batch
+// serving path: its position in the query set, the source id, and the
+// flight this caller leads or follows.
+type pendingFlight struct {
+	idx int
+	q   int
+	fl  *flight
+}
+
+// serveLeadersFromArtifacts is the precompute-tier consultation for a
+// batch of flight leaders, run after cache triage and before the
+// iterative solve: each covered source becomes one row read, finished
+// into its flight (so followers inherit it and the LRU stores it exactly
+// as it would a solved vector) and recorded in R/diags/stats. The leaders
+// the tier could not serve are returned for the solve.
+func (s *Solver) serveLeadersFromArtifacts(cache *ScoreCache, space uint64, art ArtifactReader, leaders []pendingFlight, R [][]float64, diags []Diagnostics, stats *ServeStats) []pendingFlight {
+	if art == nil || len(leaders) == 0 {
+		return leaders
+	}
+	kept := leaders[:0]
+	for _, p := range leaders {
+		vec, ok := s.readArtifact(art, space, p.q)
+		if !ok {
+			kept = append(kept, p)
+			continue
+		}
+		cache.finish(space, p.q, p.fl, vec, artifactDiag(), nil)
+		R[p.idx], diags[p.idx] = vec, artifactDiag()
+		stats.count(srcArtifact)
+	}
+	return kept
 }
 
 // blockedPooled runs one blocked multi-source solve under a single pool
@@ -640,55 +725,51 @@ func (s *Solver) blockedPooled(ctx context.Context, queries []int, workers int, 
 // same semantics as serveOne's follower branch: inherit the result, or on
 // a contextual leader failure with a live context, re-enter the serving
 // path (and possibly become the new leader).
-func (s *Solver) awaitFlight(ctx context.Context, cache *ScoreCache, space uint64, q int, fl *flight, pool *Pool) (vec []float64, diag Diagnostics, hit bool, err error) {
+func (s *Solver) awaitFlight(ctx context.Context, cache *ScoreCache, space uint64, q int, fl *flight, pool *Pool, art ArtifactReader) (vec []float64, diag Diagnostics, src serveSource, err error) {
 	select {
 	case <-fl.done:
 		if fl.err == nil {
 			out := make([]float64, len(fl.vec))
 			copy(out, fl.vec)
-			return out, fl.diag, true, nil
+			return out, fl.diag, srcCached, nil
 		}
 		if !contextual(fl.err) {
-			return nil, Diagnostics{}, false, fl.err
+			return nil, Diagnostics{}, srcSolved, fl.err
 		}
 		if err := fault.FromContext(ctx); err != nil {
-			return nil, Diagnostics{}, false, err
+			return nil, Diagnostics{}, srcSolved, err
 		}
-		return s.serveOne(ctx, cache, space, q, pool)
+		return s.serveOne(ctx, cache, space, q, pool, art)
 	case <-ctx.Done():
-		return nil, Diagnostics{}, false, fault.FromContext(ctx)
+		return nil, Diagnostics{}, srcSolved, fault.FromContext(ctx)
 	}
 }
 
 // scoresSetServingScalar is the historical per-query serving path. Queries
 // are pre-validated by the caller.
-func (s *Solver) scoresSetServingScalar(ctx context.Context, queries []int, cache *ScoreCache, space uint64, pool *Pool) ([][]float64, []Diagnostics, ServeStats, error) {
+func (s *Solver) scoresSetServingScalar(ctx context.Context, queries []int, cache *ScoreCache, space uint64, pool *Pool, art ArtifactReader) ([][]float64, []Diagnostics, ServeStats, error) {
 	var stats ServeStats
 	R := make([][]float64, len(queries))
 	diags := make([]Diagnostics, len(queries))
 	if len(queries) == 1 || pool == nil || pool.Size() == 1 {
 		for i, q := range queries {
-			r, d, hit, err := s.serveOne(ctx, cache, space, q, pool)
+			r, d, src, err := s.serveOne(ctx, cache, space, q, pool, art)
 			if err != nil {
 				return nil, nil, stats, err
 			}
 			R[i], diags[i] = r, d
-			if hit {
-				stats.Hits++
-			} else {
-				stats.Misses++
-			}
+			stats.count(src)
 		}
 		return R, diags, stats, nil
 	}
 	errs := make([]error, len(queries))
-	hits := make([]bool, len(queries))
+	srcs := make([]serveSource, len(queries))
 	var wg sync.WaitGroup
 	for i, q := range queries {
 		wg.Add(1)
 		go func(i, q int) {
 			defer wg.Done()
-			R[i], diags[i], hits[i], errs[i] = s.serveOne(ctx, cache, space, q, pool)
+			R[i], diags[i], srcs[i], errs[i] = s.serveOne(ctx, cache, space, q, pool, art)
 		}(i, q)
 	}
 	wg.Wait()
@@ -700,12 +781,8 @@ func (s *Solver) scoresSetServingScalar(ctx context.Context, queries []int, cach
 			return nil, nil, stats, err
 		}
 	}
-	for _, hit := range hits {
-		if hit {
-			stats.Hits++
-		} else {
-			stats.Misses++
-		}
+	for _, src := range srcs {
+		stats.count(src)
 	}
 	return R, diags, stats, nil
 }

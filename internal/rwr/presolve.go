@@ -28,8 +28,19 @@ type PreSolver struct {
 const DefaultPreSolveLimit = 5000
 
 // NewPreSolver materializes the inverse for the solver's graph and
-// configuration. maxN ≤ 0 means DefaultPreSolveLimit.
+// configuration. maxN ≤ 0 means DefaultPreSolveLimit. The factorization's
+// column solves run on all available CPUs; use NewPreSolverParallel to
+// pin the worker count (results are bit-identical either way).
 func NewPreSolver(s *Solver, maxN int) (*PreSolver, error) {
+	return NewPreSolverParallel(s, maxN, 0)
+}
+
+// NewPreSolverParallel is NewPreSolver with an explicit worker count for
+// the O(N³) triangular column solves that dominate the inverse (workers
+// ≤ 0 means GOMAXPROCS). Columns are independent, so the inverse — and
+// every score vector read from it — is bit-identical across worker
+// counts.
+func NewPreSolverParallel(s *Solver, maxN, workers int) (*PreSolver, error) {
 	if maxN <= 0 {
 		maxN = DefaultPreSolveLimit
 	}
@@ -44,7 +55,7 @@ func NewPreSolver(s *Solver, maxN int) (*PreSolver, error) {
 		}
 		a.Add(r, r, 1)
 	}
-	inv, err := a.Inverse()
+	inv, err := a.InverseParallel(workers)
 	if err != nil {
 		return nil, fmt.Errorf("rwr: I − c·W̃ is singular: %w", err)
 	}

@@ -1,0 +1,69 @@
+package rwr
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+func TestPreSolverParallelBitIdentical(t *testing.T) {
+	g := randomGraph(t, 120, 360, 49)
+	for _, norm := range []NormKind{NormColumn, NormDegreePenalized, NormSymmetric} {
+		s, err := NewSolver(g, Config{C: 0.5, Iterations: 50, Norm: norm, Alpha: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := NewPreSolverParallel(s, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 7} {
+			par, err := NewPreSolverParallel(s, 0, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range []int{0, 60, 119} {
+				a, err := serial.Scores(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := par.Scores(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := range a {
+					if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+						t.Fatalf("norm %v workers %d q %d node %d: serial %v vs parallel %v", norm, workers, q, j, a[j], b[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkPreSolverBuild guards the parallel factorization against
+// regression: the parallel build at GOMAXPROCS must not be slower than
+// the single-worker build (compare the serial/parallel sub-benchmarks
+// with benchstat).
+func BenchmarkPreSolverBuild(b *testing.B) {
+	g := randomGraph(b, 600, 2400, 51)
+	s, err := NewSolver(g, colConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := NewPreSolverParallel(s, 0, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			if _, err := NewPreSolverParallel(s, 0, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

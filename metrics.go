@@ -26,8 +26,12 @@ import (
 //	ceps_slow_queries_total
 //	ceps_panics_recovered_total
 //	ceps_workers                                     (gauge)
-//	ceps_solves_total{kernel="blocked"|"scalar"}
+//	ceps_solves_total{kernel="blocked"|"scalar"|"artifact"}
 //	ceps_solve_rows_total
+//	ceps_artifact_{hits,misses,fallbacks,rebinds}_total
+//	ceps_artifacts_loaded                            (gauge)
+//	ceps_artifact_bound                              (gauge)
+//	ceps_artifact_bytes_mapped                       (gauge)
 //	ceps_solve_rows_per_second                       (gauge)
 //	ceps_traces_sampled_total
 //	ceps_traces_dropped_total
@@ -75,11 +79,12 @@ type engineMetrics struct {
 	panics   *obs.Counter
 	slow     *obs.Counter
 
-	// Step 1 kernel accounting: solves by execution strategy, plus the
-	// total matrix rows swept (sweeps × work-graph nodes), whose ratio to
-	// the solve-stage seconds is the rows/s throughput gauge.
-	solvesBlocked, solvesScalar *obs.Counter
-	solveRows                   *obs.Counter
+	// Step 1 kernel accounting: solves by execution strategy — "artifact"
+	// means every miss of the call was served by a precomputed row read —
+	// plus the total matrix rows swept (sweeps × work-graph nodes), whose
+	// ratio to the solve-stage seconds is the rows/s throughput gauge.
+	solvesBlocked, solvesScalar, solvesArtifact *obs.Counter
+	solveRows                                   *obs.Counter
 
 	// Coalescer accounting: panels solved and their width distribution
 	// (fed by the coalescer's OnSolve hook, not the per-query path — one
@@ -145,6 +150,7 @@ func newEngineMetrics(cacheStats func() (CacheStats, bool), workers int, tracer 
 		slow:            reg.Counter("ceps_slow_queries_total", "Queries logged by the slow-query log."),
 		solvesBlocked:   reg.Counter("ceps_solves_total", "Step 1 solves, by kernel.", obs.Label{Name: "kernel", Value: "blocked"}),
 		solvesScalar:    reg.Counter("ceps_solves_total", "Step 1 solves, by kernel.", obs.Label{Name: "kernel", Value: "scalar"}),
+		solvesArtifact:  reg.Counter("ceps_solves_total", "Step 1 solves, by kernel.", obs.Label{Name: "kernel", Value: "artifact"}),
 		solveRows:       reg.Counter("ceps_solve_rows_total", "Matrix rows swept by Step 1 power iterations (sweeps × work-graph nodes)."),
 		coalescedSolves: reg.Counter("ceps_coalesced_solves_total", "Blocked panels solved by the cross-request coalescer."),
 		coalescePanelWidth: reg.Histogram("ceps_coalesce_panel_width",
@@ -199,6 +205,32 @@ func newEngineMetrics(cacheStats func() (CacheStats, bool), workers int, tracer 
 		func() float64 { return float64(tracer.Dropped()) })
 	obs.RegisterRuntimeMetrics(reg)
 	return m
+}
+
+// attachArtifacts registers the precompute-tier series, reading stats at
+// scrape time (zero-valued when no artifact directory is attached, so the
+// families are always present).
+func (m *engineMetrics) attachArtifacts(stats func() (ArtifactStats, bool)) {
+	read := func(f func(ArtifactStats) float64) func() float64 {
+		return func() float64 {
+			st, _ := stats()
+			return f(st)
+		}
+	}
+	m.reg.CounterFunc("ceps_artifact_hits_total", "Score vectors served from a precomputed artifact row.",
+		read(func(s ArtifactStats) float64 { return float64(s.Hits) }))
+	m.reg.CounterFunc("ceps_artifact_misses_total", "Artifact-tier consultations that fell through to the iterative solver.",
+		read(func(s ArtifactStats) float64 { return float64(s.Misses) }))
+	m.reg.CounterFunc("ceps_artifact_fallbacks_total", "Artifacts rejected at bind time (fingerprint matched, shape disagreed).",
+		read(func(s ArtifactStats) float64 { return float64(s.Fallbacks) }))
+	m.reg.CounterFunc("ceps_artifact_rebinds_total", "Tier rebinds (construction, Reconfigure, partition swaps).",
+		read(func(s ArtifactStats) float64 { return float64(s.Rebinds) }))
+	m.reg.GaugeFunc("ceps_artifacts_loaded", "Artifacts mmapped from the attached directory.",
+		read(func(s ArtifactStats) float64 { return float64(s.Loaded) }))
+	m.reg.GaugeFunc("ceps_artifact_bound", "Runtime key spaces currently bound to an artifact.",
+		read(func(s ArtifactStats) float64 { return float64(s.Bound) }))
+	m.reg.GaugeFunc("ceps_artifact_bytes_mapped", "Total mapped artifact bytes.",
+		read(func(s ArtifactStats) float64 { return float64(s.BytesMapped) }))
 }
 
 // attachResilience registers the admission/breaker series, reading stats
@@ -267,6 +299,8 @@ func (m *engineMetrics) observeQuery(res *Result, err error, elapsed time.Durati
 			m.solvesBlocked.Inc()
 		case "scalar":
 			m.solvesScalar.Inc()
+		case "artifact":
+			m.solvesArtifact.Inc()
 		}
 		if st.SolveSweeps > 0 && res.WorkGraph != nil {
 			m.solveRows.Add(uint64(st.SolveSweeps) * uint64(res.WorkGraph.N()))
@@ -320,6 +354,8 @@ func (m *engineMetrics) observeReplace(res *core.ReplaceResult, strategy string,
 			m.solvesBlocked.Inc()
 		case "scalar":
 			m.solvesScalar.Inc()
+		case "artifact":
+			m.solvesArtifact.Inc()
 		}
 		if res.Degraded != nil {
 			switch res.Degraded.Mode {
@@ -393,6 +429,7 @@ func (e *Engine) recordSlow(queries []int, res *Result, err error, elapsed time.
 		entry.ExtractMS = ms(st.Extract)
 		entry.CacheHits = st.CacheHits
 		entry.CacheMisses = st.CacheMisses
+		entry.ArtifactHits = st.ArtifactHits
 		entry.SolveKernel = st.SolveKernel
 		entry.SolveSweeps = st.SolveSweeps
 		if res.Fallback != nil {
