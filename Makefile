@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race race-hammer obs-smoke trace-smoke fuzz-smoke kernel-smoke chaos-smoke coalesce-smoke replace-smoke precompute-smoke bench bench-smoke bench-rwr bench-resilience bench-coalesce bench-replace bench-precompute clean
+.PHONY: check vet build test race race-hammer obs-smoke trace-smoke fuzz-smoke kernel-smoke chaos-smoke coalesce-smoke replace-smoke precompute-smoke flight-smoke bench bench-smoke bench-rwr bench-resilience bench-coalesce bench-replace bench-precompute bench-flight clean
 
-check: vet build race race-hammer trace-smoke fuzz-smoke kernel-smoke chaos-smoke coalesce-smoke replace-smoke precompute-smoke
+check: vet build race race-hammer trace-smoke fuzz-smoke kernel-smoke chaos-smoke coalesce-smoke replace-smoke precompute-smoke flight-smoke
 
 vet:
 	$(GO) vet ./...
@@ -105,6 +105,18 @@ precompute-smoke:
 	$(GO) test -race -count=1 ./internal/artifact
 	$(GO) test -count=1 ./cmd/cepspre
 
+# Flight-recorder smoke: the chaos-to-bundle pipeline (injected solve
+# delays breach the latency objective, exactly one debounced bundle with
+# profiles, traces, and a valid metrics snapshot), the armed-overhead and
+# bit-identity floors, the slow-log field-set regression, the admin
+# surface hammered under the race detector, and the `ceps diag` CLI
+# round-trip.
+flight-smoke:
+	$(GO) test -count=1 . -run 'TestFlightSmoke|TestFlightOverhead'
+	$(GO) test -race -count=1 . -run 'TestAdminHammer'
+	$(GO) test -race -count=1 ./internal/obs -run 'TestSLO|TestObjective|TestSpike|TestDebounce|TestTrigger|TestBundle|TestFlight|TestNilFlight|TestSlowQueryEntryFieldSet'
+	$(GO) test -count=1 ./cmd/ceps -run 'TestDiag|TestVersionFlag|TestHealthzCarriesVersion'
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
@@ -136,6 +148,12 @@ bench-coalesce:
 # substrate) written to BENCH_precompute.json, which is checked in.
 bench-precompute:
 	BENCH_PRECOMPUTE_OUT=$(CURDIR)/BENCH_precompute.json $(GO) test -run '^TestPrecomputeSmoke$$' -count=1 .
+
+# Flight-recorder overhead numbers (paired armed-vs-disarmed per-query
+# latency, bit-identity verdict) written to BENCH_flight.json, which is
+# checked in. Armed must stay within 1% of disarmed.
+bench-flight:
+	BENCH_FLIGHT_OUT=$(CURDIR)/BENCH_flight.json $(GO) test -run '^TestFlightOverhead$$' -count=1 .
 
 # Subteam-replacement evaluation (held-out co-author recovery, replace
 # ranker vs the plain center-piece baseline over identical pools) written

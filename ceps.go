@@ -156,6 +156,40 @@ type (
 	// (artifacts loaded, key spaces bound, bytes mapped, hits/misses,
 	// bind fallbacks, rebind generation); see Engine.ArtifactStats.
 	ArtifactStats = artifact.TierStats
+	// Objective is one declarative service-level objective the flight
+	// recorder tracks (WithFlightRecorder / FlightRecorderOptions).
+	Objective = obs.Objective
+	// ObjectiveKind selects which query-outcome signal feeds an Objective
+	// (latency, error rate, shed rate, cache/artifact hit rate).
+	ObjectiveKind = obs.ObjectiveKind
+	// FlightRecorder is the armed flight recorder handle; get an Engine's
+	// with Engine.FlightRecorder(). Nil is a valid no-op receiver.
+	FlightRecorder = obs.FlightRecorder
+	// FlightStatus is the /debug/slo JSON document: live objective status,
+	// recent triggers, retained bundles, and dashboard history.
+	FlightStatus = obs.FlightStatus
+	// ObjectiveStatus is one objective's live evaluation in FlightStatus.
+	ObjectiveStatus = obs.ObjectiveStatus
+	// BundleInfo describes one retained diagnostic bundle.
+	BundleInfo = obs.BundleInfo
+	// TriggerRecord is one fired (or debounce-suppressed) anomaly trigger.
+	TriggerRecord = obs.TriggerRecord
+)
+
+// ObjectiveKind values for custom FlightRecorderOptions.Objectives.
+const (
+	// ObjectiveLatency: a request is good when it succeeds within the
+	// objective's LatencyBound (sheds excluded, errors bad).
+	ObjectiveLatency = obs.ObjectiveLatency
+	// ObjectiveErrorRate: a non-shed request is good when it succeeds.
+	ObjectiveErrorRate = obs.ObjectiveErrorRate
+	// ObjectiveShedRate: every request counts, good unless load-shed.
+	ObjectiveShedRate = obs.ObjectiveShedRate
+	// ObjectiveCacheHitRate: per-source cache lookups (hits good).
+	ObjectiveCacheHitRate = obs.ObjectiveCacheHitRate
+	// ObjectiveArtifactHitRate: cache misses consulting the precompute
+	// tier (artifact rows good, iterative fallbacks bad).
+	ObjectiveArtifactHitRate = obs.ObjectiveArtifactHitRate
 )
 
 // Error taxonomy. Every failure on the query path wraps one of these
@@ -307,6 +341,17 @@ func WithTraceStore(ts *TraceStore) AdminOption { return obs.WithTraceStore(ts) 
 // result JSON-encoded. The ceps CLI uses it to expose breaker and
 // admission-queue state (Engine.ResilienceStats).
 func WithDebugVar(name string, fn func() any) AdminOption { return obs.WithDebugVar(name, fn) }
+
+// WithFlightAdmin mounts the flight-recorder endpoints (/debug/slo,
+// /debug/flight, /debug/dashboard) on an AdminMux, backed by an Engine's
+// FlightRecorder(). A nil recorder leaves them unmounted. (Named apart
+// from the WithFlightRecorder engine Option that arms the recorder.)
+func WithFlightAdmin(fr *FlightRecorder) AdminOption { return obs.WithFlightRecorder(fr) }
+
+// WithBuildInfo appends the build version to AdminMux's /healthz body
+// (which stays "ok"-prefixed for liveness probes). Pass ceps.Version for
+// parity with the ceps_build_info metric and ceps -version.
+func WithBuildInfo(version string) AdminOption { return obs.WithBuildInfo(version) }
 
 // RelRatio compares a Fast CePS result against a full-graph run (Eq. 19).
 func RelRatio(full, fast *Result) (float64, error) { return core.RelRatio(full, fast) }

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+
+	"ceps"
+)
+
+// runDiag implements `ceps diag`: pull a diagnostic bundle from a live
+// server's admin endpoint (a -flight-dir armed engine).
+//
+//	ceps diag -admin http://host:6060 -list            list retained bundles
+//	ceps diag -admin http://host:6060                  fetch the newest bundle
+//	ceps diag -admin http://host:6060 -id ID           fetch a specific bundle
+//	ceps diag -admin http://host:6060 -trigger         capture a fresh bundle, then fetch it
+//
+// The fetched archive is written to -out (default: <bundle-id>.tar.gz in
+// the current directory). -trigger blocks for the server's CPU-profile
+// window (2s by default), so the fresh bundle profiles the live workload.
+func runDiag(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ceps diag", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		adminURL = fs.String("admin", "", "base URL of the server's admin endpoint, e.g. http://localhost:6060 (required)")
+		list     = fs.Bool("list", false, "list retained bundles instead of fetching one")
+		id       = fs.String("id", "", "fetch this bundle id (default: the newest)")
+		trigger  = fs.Bool("trigger", false, "capture a fresh bundle before fetching (blocks for the server's CPU-profile window)")
+		reason   = fs.String("reason", "", "note recorded with a -trigger capture")
+		out      = fs.String("out", "", "output path for the fetched archive (default: <bundle-id>.tar.gz)")
+		timeout  = fs.Duration("timeout", 60*time.Second, "HTTP timeout for each admin request")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return exitUsage
+	}
+	if *adminURL == "" {
+		fs.Usage()
+		return exitUsage
+	}
+	if *list && (*trigger || *id != "") {
+		fmt.Fprintln(stderr, "ceps diag: -list is exclusive with -trigger and -id")
+		return exitUsage
+	}
+	if *trigger && *id != "" {
+		fmt.Fprintln(stderr, "ceps diag: -trigger captures a new bundle; it is exclusive with -id")
+		return exitUsage
+	}
+	base, err := url.Parse(*adminURL)
+	if err != nil || base.Scheme == "" || base.Host == "" {
+		fmt.Fprintf(stderr, "ceps diag: -admin %q is not an absolute URL\n", *adminURL)
+		return exitUsage
+	}
+	client := &http.Client{Timeout: *timeout}
+	fail := func(err error) int { return failWith(err, stderr) }
+
+	switch {
+	case *list:
+		bundles, err := diagList(client, base)
+		if err != nil {
+			return fail(err)
+		}
+		if len(bundles) == 0 {
+			fmt.Fprintln(stdout, "no retained bundles (trigger one with: ceps diag -admin ... -trigger)")
+			return exitOK
+		}
+		fmt.Fprintf(stdout, "%-45s %-20s %-18s %10s\n", "ID", "TIME", "TRIGGER", "SIZE")
+		for _, b := range bundles {
+			fmt.Fprintf(stdout, "%-45s %-20s %-18s %10d\n",
+				b.ID, b.Time.Format(time.RFC3339), b.Trigger, b.SizeBytes)
+		}
+		return exitOK
+
+	case *trigger:
+		info, err := diagTrigger(client, base, *reason)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "captured %s (%d bytes)\n", info.ID, info.SizeBytes)
+		return diagFetch(client, base, info.ID, *out, stdout, stderr)
+
+	default:
+		bid := *id
+		if bid == "" {
+			bundles, err := diagList(client, base)
+			if err != nil {
+				return fail(err)
+			}
+			if len(bundles) == 0 {
+				fmt.Fprintln(stderr, "ceps diag: server retains no bundles; capture one with -trigger")
+				return exitError
+			}
+			bid = bundles[0].ID // list is newest first
+		}
+		return diagFetch(client, base, bid, *out, stdout, stderr)
+	}
+}
+
+// diagError decodes a flight endpoint's JSON error body, falling back to
+// the raw status.
+func diagError(resp *http.Response) error {
+	var fe struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(body, &fe) == nil && fe.Error != "" {
+		return fmt.Errorf("server: %s (HTTP %d)", fe.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("server answered HTTP %d", resp.StatusCode)
+}
+
+// diagList fetches /debug/flight's bundle listing (newest first).
+func diagList(client *http.Client, base *url.URL) ([]ceps.BundleInfo, error) {
+	resp, err := client.Get(base.JoinPath("/debug/flight").String())
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, diagError(resp)
+	}
+	var bundles []ceps.BundleInfo
+	if err := json.NewDecoder(resp.Body).Decode(&bundles); err != nil {
+		return nil, fmt.Errorf("decoding bundle list (is -admin a flight-armed ceps server?): %w", err)
+	}
+	return bundles, nil
+}
+
+// diagTrigger POSTs a manual capture and returns the new bundle's info.
+func diagTrigger(client *http.Client, base *url.URL, reason string) (ceps.BundleInfo, error) {
+	u := base.JoinPath("/debug/flight")
+	q := u.Query()
+	q.Set("trigger", "1")
+	if reason != "" {
+		q.Set("reason", reason)
+	}
+	u.RawQuery = q.Encode()
+	resp, err := client.Post(u.String(), "", nil)
+	if err != nil {
+		return ceps.BundleInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ceps.BundleInfo{}, diagError(resp)
+	}
+	var info ceps.BundleInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return ceps.BundleInfo{}, fmt.Errorf("decoding capture response: %w", err)
+	}
+	return info, nil
+}
+
+// diagFetch streams one bundle archive to outPath (default <id>.tar.gz),
+// writing atomically via a .partial rename so a dropped connection never
+// leaves a truncated archive behind.
+func diagFetch(client *http.Client, base *url.URL, id, outPath string, stdout, stderr io.Writer) int {
+	fail := func(err error) int { return failWith(err, stderr) }
+	u := base.JoinPath("/debug/flight")
+	q := u.Query()
+	q.Set("id", id)
+	u.RawQuery = q.Encode()
+	resp, err := client.Get(u.String())
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fail(diagError(resp))
+	}
+	if outPath == "" {
+		outPath = id + ".tar.gz"
+	}
+	tmp := outPath + ".partial"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fail(err)
+	}
+	n, err := io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, outPath)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "%s (%d bytes)\n", outPath, n)
+	return exitOK
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ceps"
+	"ceps/internal/obs"
+)
+
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d, body: %s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// flightTestServer arms an engine's flight recorder and serves its admin
+// mux — the surface `ceps diag` talks to.
+func flightTestServer(t *testing.T) (*ceps.Engine, *httptest.Server) {
+	t.Helper()
+	g := testGraph(t)
+	eng := testEngine(t, g,
+		ceps.WithCache(1<<20),
+		ceps.WithFlightRecorder(ceps.FlightRecorderOptions{
+			Dir:        t.TempDir(),
+			CPUProfile: -1, // unit tests must not sleep 2s per capture
+		}))
+	t.Cleanup(func() { eng.Close() })
+	srv := httptest.NewServer(obs.AdminMux(eng.Metrics(), adminOptions(eng)...))
+	t.Cleanup(srv.Close)
+	return eng, srv
+}
+
+func TestDiagListTriggerFetch(t *testing.T) {
+	_, srv := flightTestServer(t)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"diag", "-admin", srv.URL, "-list"}, &out, &errb); code != exitOK {
+		t.Fatalf("diag -list: exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "no retained bundles") {
+		t.Errorf("fresh server should list no bundles, got: %s", out.String())
+	}
+
+	// Trigger a capture and fetch it in one invocation.
+	outPath := filepath.Join(t.TempDir(), "bundle.tar.gz")
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"diag", "-admin", srv.URL, "-trigger", "-reason", "cli test", "-out", outPath}, &out, &errb); code != exitOK {
+		t.Fatalf("diag -trigger: exit = %d, stderr: %s", code, errb.String())
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatalf("fetched archive missing: %v", err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatalf("fetched file is not gzip: %v", err)
+	}
+	members := map[string]bool{}
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("fetched file is not a tar archive: %v", err)
+		}
+		members[hdr.Name] = true
+	}
+	for _, want := range []string{"index.json", "evidence.json", "metrics.prom", "stats.json"} {
+		if !members[want] {
+			t.Errorf("fetched bundle is missing %s (has %v)", want, members)
+		}
+	}
+
+	// The listing now shows the bundle, and the default (no -id) fetch
+	// resolves to it.
+	out.Reset()
+	if code := run([]string{"diag", "-admin", srv.URL, "-list"}, &out, &errb); code != exitOK {
+		t.Fatalf("diag -list after capture: exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "manual") {
+		t.Errorf("listing should show the manual bundle, got: %s", out.String())
+	}
+
+	dir := t.TempDir()
+	defPath := filepath.Join(dir, "newest.tar.gz")
+	if code := run([]string{"diag", "-admin", srv.URL, "-out", defPath}, &out, &errb); code != exitOK {
+		t.Fatalf("diag newest fetch: exit = %d, stderr: %s", code, errb.String())
+	}
+	if _, err := os.Stat(defPath); err != nil {
+		t.Errorf("newest-bundle fetch wrote nothing: %v", err)
+	}
+}
+
+func TestDiagUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	for _, argv := range [][]string{
+		{"diag"},
+		{"diag", "-admin", "not-a-url"},
+		{"diag", "-admin", "http://x", "-list", "-trigger"},
+		{"diag", "-admin", "http://x", "-trigger", "-id", "z"},
+	} {
+		if code := run(argv, &out, &errb); code != exitUsage {
+			t.Errorf("%v: exit = %d, want %d", argv, code, exitUsage)
+		}
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errb); code != exitOK {
+		t.Fatalf("-version: exit = %d", code)
+	}
+	if !strings.Contains(out.String(), ceps.Version) || !strings.Contains(out.String(), "go1") {
+		t.Errorf("-version output %q should carry %q and the go version", out.String(), ceps.Version)
+	}
+}
+
+// TestHealthzCarriesVersion pins the rollout-confirmation contract: the
+// same version string is reachable from the query port, the admin port,
+// and the build-info metric.
+func TestHealthzCarriesVersion(t *testing.T) {
+	g := testGraph(t)
+	eng := testEngine(t, g)
+	qsrv := httptest.NewServer(newQueryMux(eng, g, ceps.DefaultConfig(), 0))
+	defer qsrv.Close()
+	asrv := httptest.NewServer(obs.AdminMux(eng.Metrics(), adminOptions(eng)...))
+	defer asrv.Close()
+
+	for _, u := range []string{qsrv.URL + "/healthz", asrv.URL + "/healthz"} {
+		body := httpGetBody(t, u)
+		if !strings.HasPrefix(body, "ok") || !strings.Contains(body, ceps.Version) {
+			t.Errorf("%s = %q, want ok-prefixed with version %s", u, body, ceps.Version)
+		}
+	}
+	metrics := httpGetBody(t, asrv.URL+"/metrics")
+	if !strings.Contains(metrics, `ceps_build_info{version="`+ceps.Version+`"`) {
+		t.Errorf("/metrics should carry ceps_build_info with version %s", ceps.Version)
+	}
+}

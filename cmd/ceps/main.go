@@ -71,6 +71,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -98,10 +99,14 @@ func main() {
 // whole pipeline, so a stuck partitioner or query is interruptible.
 func run(argv []string, stdout, stderr io.Writer) int {
 	// Verb dispatch: `ceps replace ...` answers a subteam-replacement
-	// query (see replace.go); everything else is the classic flag-driven
-	// center-piece query surface.
+	// query (see replace.go), `ceps diag ...` pulls a diagnostic bundle
+	// from a live server's admin endpoint (see diag.go); everything else
+	// is the classic flag-driven center-piece query surface.
 	if len(argv) > 0 && argv[0] == "replace" {
 		return runReplace(argv[1:], stdout, stderr)
+	}
+	if len(argv) > 0 && argv[0] == "diag" {
+		return runDiag(argv[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("ceps", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -140,9 +145,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 
 		traceSample = fs.Float64("trace-sample", 0, "record span traces for this fraction of queries, 0..1 (0 = tracing off)")
 		traceBuffer = fs.Int("trace-buffer", 0, "how many sampled traces to retain for /debug/traces (0 = default 256)")
+
+		flightDir   = fs.String("flight-dir", "", "arm the flight recorder: SLO tracking plus anomaly-triggered diagnostic bundles written under this directory (served on -admin's /debug/slo, /debug/flight, /debug/dashboard)")
+		showVersion = fs.Bool("version", false, "print the ceps version and exit")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return exitUsage
+	}
+	if *showVersion {
+		// The same string /healthz and ceps_build_info report.
+		fmt.Fprintf(stdout, "ceps %s %s\n", ceps.Version, runtime.Version())
+		return exitOK
 	}
 	if *graphPath == "" {
 		fs.Usage()
@@ -256,6 +269,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			MaxQueue:      *maxQueue,
 			NoDegrade:     *noDegrade,
 		}))
+	}
+	if *flightDir != "" {
+		opts = append(opts, ceps.WithFlightRecorder(ceps.FlightRecorderOptions{Dir: *flightDir}))
 	}
 	eng, err := ceps.NewEngine(g, opts...)
 	if err != nil {

@@ -156,7 +156,10 @@ func newQueryMux(eng *ceps.Engine, g *ceps.Graph, cfg ceps.Config, queryTimeout 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
+		// Same version string as ceps_build_info and ceps -version, so a
+		// rollout can be confirmed from the query port too. Probes grep
+		// for the "ok" prefix.
+		io.WriteString(w, "ok "+ceps.Version+"\n")
 	})
 	mux.HandleFunc("/v1/query", withTrace(eng, "http_query", handleQueryV1(eng, g, cfg, queryTimeout)))
 	mux.HandleFunc("/v1/batch", withTrace(eng, "http_batch", handleBatchV1(eng, g, cfg, queryTimeout)))
@@ -261,15 +264,23 @@ func writeQueryError(w http.ResponseWriter, status int, err error) {
 }
 
 // adminOptions assembles the admin mux options shared by serve mode and
-// -admin: retained traces, plus live resilience state (admission queue,
-// breaker) on /debug/vars when the engine has a resilience layer.
+// -admin: build info on /healthz, retained traces, live resilience state
+// (admission queue, breaker) on /debug/vars when the engine has a
+// resilience layer, and the flight-recorder endpoints (/debug/slo,
+// /debug/flight, /debug/dashboard) when -flight-dir armed one.
 func adminOptions(eng *ceps.Engine) []obs.AdminOption {
-	opts := []obs.AdminOption{obs.WithTraceStore(eng.TraceStore())}
+	opts := []obs.AdminOption{
+		obs.WithTraceStore(eng.TraceStore()),
+		obs.WithBuildInfo(ceps.Version),
+	}
 	if _, ok := eng.ResilienceStats(); ok {
 		opts = append(opts, obs.WithDebugVar("resilience", func() any {
 			st, _ := eng.ResilienceStats()
 			return st
 		}))
+	}
+	if fr := eng.FlightRecorder(); fr != nil {
+		opts = append(opts, obs.WithFlightRecorder(fr))
 	}
 	return opts
 }

@@ -52,9 +52,10 @@ type Engine struct {
 
 	bp *BipartiteGraph // nil unless WithBipartite attached a substrate
 
-	metrics *engineMetrics // never nil
-	slow    *obs.SlowLog   // nil when no slow-query log is attached
-	tracer  *obs.Tracer    // nil when tracing is off (nil is a valid no-op)
+	metrics *engineMetrics      // never nil
+	slow    *obs.SlowLog        // nil when no slow-query log is attached
+	tracer  *obs.Tracer         // nil when tracing is off (nil is a valid no-op)
+	flight  *obs.FlightRecorder // nil when disarmed (nil is a valid no-op)
 }
 
 // Option configures an Engine at construction. Options are applied in
@@ -76,6 +77,7 @@ type engineConfig struct {
 	resilience *ResilienceOptions
 	bp         *BipartiteGraph
 	artifacts  string
+	flight     *FlightRecorderOptions
 }
 
 // WithBipartite attaches the author–paper incidence substrate the engine's
@@ -364,6 +366,14 @@ func NewEngine(g *Graph, opts ...Option) (*Engine, error) {
 		e.graphFP = g.Fingerprint()
 		e.rebindArtifacts()
 	}
+	// The flight recorder arms last: its stat sources and objective set
+	// read the fully assembled engine (artifact tier, resilience layer).
+	if ec.flight != nil {
+		if err := e.armFlightRecorder(*ec.flight); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
 	return e, nil
 }
 
@@ -507,10 +517,12 @@ func (e *Engine) ArtifactStats() (ArtifactStats, bool) {
 }
 
 // Close releases resources the engine holds beyond garbage-collected
-// memory — today that is the mmapped artifact store. It is a no-op on an
-// engine built without WithArtifactDir, and answers issued after Close on
-// one built with it are undefined.
+// memory: the flight recorder's evaluator goroutine (waiting out any
+// in-flight bundle capture) and the mmapped artifact store. It is a no-op
+// on an engine built with neither, and answers issued after Close on one
+// built with WithArtifactDir are undefined.
 func (e *Engine) Close() error {
+	e.flight.Close()
 	if e.artStore == nil {
 		return nil
 	}
@@ -691,6 +703,9 @@ func (e *Engine) queryWith(ctx context.Context, cfg Config, pt *Partitioned, que
 			span.SetAttr(obs.Str("shed", fault.ShedReason(err)))
 			span.SetError(err)
 			span.End()
+			// Sheds skip the metrics funnel at the bottom, so the SLO
+			// windows are fed here — the shed-rate objective counts them.
+			e.flight.ObserveQuery(flightOutcome(nil, err, time.Since(start)))
 			return nil, err
 		}
 		switch e.res.Route() {
@@ -704,6 +719,7 @@ func (e *Engine) queryWith(ctx context.Context, cfg Config, pt *Partitioned, que
 				span.SetAttr(obs.Str("shed", "breaker_open"))
 				span.SetError(err)
 				span.End()
+				e.flight.ObserveQuery(flightOutcome(nil, err, time.Since(start)))
 				return nil, err
 			}
 			cfg, degraded = degradeConfig(cfg, e.res.Options())
@@ -757,6 +773,7 @@ func (e *Engine) queryWith(ctx context.Context, cfg Config, pt *Partitioned, que
 	span.End()
 	e.metrics.observeQuery(res, err, elapsed, pt != nil)
 	e.recordSlow(queries, res, err, elapsed, pt != nil, traceID)
+	e.flight.ObserveQuery(flightOutcome(res, err, elapsed))
 	return res, err
 }
 

@@ -10,19 +10,22 @@ import (
 type TierStats struct {
 	// Loaded is the number of artifacts in the store; Bound is how many
 	// runtime key spaces currently resolve to one.
-	Loaded, Bound int
+	Loaded int `json:"loaded"`
+	Bound  int `json:"bound"`
 	// BytesMapped is the total mapped artifact size.
-	BytesMapped int64
+	BytesMapped int64 `json:"bytes_mapped"`
 	// Hits counts vectors served from an artifact row; Misses counts
 	// consultations that found no bound artifact or an uncovered source
 	// (the query then fell through to the iterative solver).
-	Hits, Misses uint64
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 	// Fallbacks counts artifacts rejected at bind time (fingerprint matched
 	// but the shape disagreed with the live graph).
-	Fallbacks uint64
+	Fallbacks uint64 `json:"fallbacks"`
 	// Rebinds counts Rebind calls (engine construction, Reconfigure,
 	// SetPartitioned) and Generation the current binding generation.
-	Rebinds, Generation uint64
+	Rebinds    uint64 `json:"rebinds"`
+	Generation uint64 `json:"generation"`
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any consultation.

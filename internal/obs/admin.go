@@ -20,8 +20,10 @@ func Handler(r *Registry) http.Handler {
 type AdminOption func(*adminConfig)
 
 type adminConfig struct {
-	traces *TraceStore
-	vars   []debugVar
+	traces  *TraceStore
+	vars    []debugVar
+	flight  *FlightRecorder
+	version string
 }
 
 type debugVar struct {
@@ -41,6 +43,20 @@ func WithTraceStore(ts *TraceStore) AdminOption {
 // to expose live breaker and admission-queue state.
 func WithDebugVar(name string, fn func() any) AdminOption {
 	return func(c *adminConfig) { c.vars = append(c.vars, debugVar{name: name, fn: fn}) }
+}
+
+// WithFlightRecorder mounts the flight-recorder endpoints (/debug/slo,
+// /debug/flight, /debug/dashboard) backed by fr. A nil recorder leaves
+// them unmounted.
+func WithFlightRecorder(fr *FlightRecorder) AdminOption {
+	return func(c *adminConfig) { c.flight = fr }
+}
+
+// WithBuildInfo appends the build version to the /healthz body (the body
+// stays "ok"-prefixed — liveness probes grep for that), so an operator
+// can confirm which build answered without a separate endpoint.
+func WithBuildInfo(version string) AdminOption {
+	return func(c *adminConfig) { c.version = version }
 }
 
 // debugVarsHandler renders the expvar set plus the configured extra vars
@@ -87,6 +103,12 @@ func debugVarsHandler(vars []debugVar) http.Handler {
 //	                    — mounted only with WithTraceStore
 //	/debug/traces/view  dependency-free HTML waterfall of the same traces
 //	                    — mounted only with WithTraceStore
+//	/debug/slo          live SLO/trigger/bundle status JSON — mounted only
+//	                    with WithFlightRecorder
+//	/debug/flight       diagnostic bundle list/fetch/manual-trigger —
+//	                    mounted only with WithFlightRecorder
+//	/debug/dashboard    dependency-free HTML engine dashboard — mounted
+//	                    only with WithFlightRecorder
 func AdminMux(reg *Registry, opts ...AdminOption) *http.ServeMux {
 	var cfg adminConfig
 	for _, o := range opts {
@@ -94,9 +116,13 @@ func AdminMux(reg *Registry, opts ...AdminOption) *http.ServeMux {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(reg))
+	health := "ok\n"
+	if cfg.version != "" {
+		health = "ok " + cfg.version + "\n"
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte("ok\n"))
+		_, _ = w.Write([]byte(health))
 	})
 	if len(cfg.vars) > 0 {
 		mux.Handle("/debug/vars", debugVarsHandler(cfg.vars))
@@ -111,6 +137,11 @@ func AdminMux(reg *Registry, opts ...AdminOption) *http.ServeMux {
 	if cfg.traces != nil {
 		mux.Handle("/debug/traces", TraceHandler(cfg.traces))
 		mux.Handle("/debug/traces/view", TraceViewHandler(cfg.traces))
+	}
+	if cfg.flight != nil {
+		mux.Handle("/debug/slo", SLOHandler(cfg.flight))
+		mux.Handle("/debug/flight", FlightHandler(cfg.flight))
+		mux.Handle("/debug/dashboard", DashboardHandler(cfg.flight))
 	}
 	return mux
 }

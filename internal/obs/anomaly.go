@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// This file is the anomaly detector + trigger pipeline of the flight
+// recorder. Five detectors watch the live SLO aggregates and the latency
+// stream; each can fire a Trigger, which the debouncer turns into at most
+// one diagnostic-bundle capture per cooldown window. Suppressed triggers
+// are still recorded (with Suppressed=true) so the dashboard shows the
+// whole incident, not just the capture that snapshotted it.
+
+// Trigger kinds. The strings are metric-label and index.json contract.
+const (
+	TriggerBurnRate        = "burn_rate"
+	TriggerLatencySpike    = "latency_spike"
+	TriggerShedSurge       = "shed_surge"
+	TriggerHitRateCollapse = "hit_rate_collapse"
+	TriggerBreakerOpen     = "breaker_open"
+	TriggerManual          = "manual"
+)
+
+// TriggerKinds lists every trigger kind (for metric registration and
+// exhaustive tests).
+func TriggerKinds() []string {
+	return []string{TriggerBurnRate, TriggerLatencySpike, TriggerShedSurge,
+		TriggerHitRateCollapse, TriggerBreakerOpen, TriggerManual}
+}
+
+// Trigger is one detected anomaly.
+type Trigger struct {
+	// Kind is one of the Trigger* constants.
+	Kind string `json:"kind"`
+	// Objective names the SLO that breached, when one did.
+	Objective string `json:"objective,omitempty"`
+	// Detail is a one-line human description of the evidence.
+	Detail string `json:"detail"`
+	// Evidence carries the detector's numbers at fire time (burn rates,
+	// ratios, EWMA state) for the bundle's evidence.json.
+	Evidence map[string]float64 `json:"evidence,omitempty"`
+	// Time is when the detector fired.
+	Time time.Time `json:"time"`
+}
+
+// TriggerRecord is a Trigger plus its debounce verdict and, when a bundle
+// was captured, the bundle id.
+type TriggerRecord struct {
+	Trigger
+	// Suppressed reports the trigger fell inside the debounce cooldown and
+	// captured nothing.
+	Suppressed bool `json:"suppressed"`
+	// BundleID is the captured bundle's id, "" when suppressed or capture
+	// failed.
+	BundleID string `json:"bundle_id,omitempty"`
+	// Error is the capture failure, "" otherwise.
+	Error string `json:"error,omitempty"`
+}
+
+// spikeDetector flags latency spikes with an EWMA center and an EWMA of
+// absolute deviations (a streaming MAD stand-in): a sample is spiky when
+// it exceeds ewma + k·mad, and the detector fires after sustain
+// consecutive spiky samples — one slow query is an outlier, a run of them
+// is an anomaly. Sheds and sub-warmup streams never fire.
+type spikeDetector struct {
+	mu      sync.Mutex
+	alpha   float64 // smoothing factor
+	k       float64 // deviation multiplier
+	sustain int     // consecutive spiky samples to fire
+	warmup  int     // samples before spikes are considered
+
+	n      int
+	ewma   float64 // seconds
+	mad    float64 // seconds
+	streak int
+}
+
+func newSpikeDetector(k float64, sustain int) *spikeDetector {
+	if k <= 0 {
+		k = 8
+	}
+	if sustain <= 0 {
+		sustain = 5
+	}
+	return &spikeDetector{alpha: 0.05, k: k, sustain: sustain, warmup: 30}
+}
+
+// observe feeds one latency sample and reports whether the spike trigger
+// fires on it (the streak resets on fire, so a sustained plateau fires
+// once per sustain-length run, not on every sample).
+func (d *spikeDetector) observe(latency time.Duration) (fire bool, evidence map[string]float64) {
+	x := latency.Seconds()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.n == 0 {
+		d.ewma, d.mad = x, 0
+	}
+	d.n++
+	dev := math.Abs(x - d.ewma)
+	spiky := d.n > d.warmup && x > d.ewma+d.k*math.Max(d.mad, 1e-6)
+	// The baseline only learns from non-spiky samples: a run of huge
+	// outliers should fire the detector, not drag the center and spread up
+	// until the run looks normal mid-streak.
+	if !spiky {
+		d.mad += d.alpha * (dev - d.mad)
+		d.ewma += d.alpha * (x - d.ewma)
+	}
+	if !spiky {
+		d.streak = 0
+		return false, nil
+	}
+	d.streak++
+	if d.streak < d.sustain {
+		return false, nil
+	}
+	d.streak = 0
+	return true, map[string]float64{
+		"latency_ms": x * 1e3,
+		"ewma_ms":    d.ewma * 1e3,
+		"mad_ms":     d.mad * 1e3,
+		"k":          d.k,
+		"sustain":    float64(d.sustain),
+	}
+}
+
+// debouncer turns triggers into capture decisions: at most one capture per
+// cooldown, globally across kinds — a single incident (a latency spike
+// that also breaches the burn rate and opens the breaker) should produce
+// one bundle, not three.
+type debouncer struct {
+	mu       sync.Mutex
+	cooldown time.Duration
+	last     time.Time
+}
+
+func newDebouncer(cooldown time.Duration) *debouncer {
+	if cooldown <= 0 {
+		cooldown = 2 * time.Minute
+	}
+	return &debouncer{cooldown: cooldown}
+}
+
+// allow reports whether a capture may run now, and reserves the slot when
+// it may.
+func (d *debouncer) allow(now time.Time) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.last.IsZero() && now.Sub(d.last) < d.cooldown {
+		return false
+	}
+	d.last = now
+	return true
+}
+
+// triggerRing retains the newest triggers for /debug/slo and the
+// dashboard.
+type triggerRing struct {
+	mu   sync.Mutex
+	buf  []TriggerRecord
+	next int
+	n    int
+}
+
+func newTriggerRing(capacity int) *triggerRing {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &triggerRing{buf: make([]TriggerRecord, capacity)}
+}
+
+func (r *triggerRing) add(t TriggerRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// list returns the retained triggers, newest first.
+func (r *triggerRing) list() []TriggerRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TriggerRecord, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

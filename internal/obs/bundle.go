@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the diagnostic-bundle side of the flight recorder: a
+// capture assembles profiles, traces, a metrics snapshot, and subsystem
+// stats into in-memory entries, writes them as one timestamped .tar.gz
+// (tmp+rename, so a crashed capture never leaves a partial bundle), and
+// the store evicts oldest bundles past a disk budget.
+
+// BundleInfo describes one on-disk diagnostic bundle. It is the
+// /debug/flight list JSON and the in-archive index.json contract.
+type BundleInfo struct {
+	// ID is the bundle's identity: the archive file name without .tar.gz.
+	ID string `json:"id"`
+	// Time is when the capture started.
+	Time time.Time `json:"time"`
+	// Trigger is the trigger kind that fired the capture.
+	Trigger string `json:"trigger"`
+	// Detail is the trigger's one-line evidence description.
+	Detail string `json:"detail,omitempty"`
+	// SizeBytes is the archive size on disk.
+	SizeBytes int64 `json:"size_bytes"`
+	// Files lists the archive member names.
+	Files []string `json:"files"`
+	// Notes records per-file capture problems (e.g. a CPU profile skipped
+	// because another profiler held the lock) that did not fail the bundle.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// bundleEntry is one in-memory archive member before writing.
+type bundleEntry struct {
+	name string
+	data []byte
+}
+
+// bundleStore owns the bundle directory: it writes new archives, lists
+// existing ones, and keeps total size under the disk budget by deleting
+// oldest-first.
+type bundleStore struct {
+	dir    string
+	budget int64
+
+	mu      sync.Mutex
+	bundles []BundleInfo // ascending by Time (ID sorts the same way)
+}
+
+const bundlePrefix = "flight-"
+
+// newBundleStore creates dir if needed and seeds the in-memory list from
+// a directory scan, so bundles from a previous process generation are
+// listed and count against the budget.
+func newBundleStore(dir string, budget int64) (*bundleStore, error) {
+	if budget <= 0 {
+		budget = 256 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("flight: create bundle dir: %w", err)
+	}
+	s := &bundleStore{dir: dir, budget: budget}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("flight: scan bundle dir: %w", err)
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, bundlePrefix) || !strings.HasSuffix(name, ".tar.gz") {
+			continue
+		}
+		fi, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		info := BundleInfo{
+			ID:        strings.TrimSuffix(name, ".tar.gz"),
+			Time:      fi.ModTime(),
+			Trigger:   "unknown",
+			SizeBytes: fi.Size(),
+		}
+		// The archive's own index.json is authoritative when readable.
+		if idx, err := readBundleIndex(filepath.Join(dir, name)); err == nil {
+			idx.SizeBytes = fi.Size()
+			info = idx
+		}
+		s.bundles = append(s.bundles, info)
+	}
+	sort.Slice(s.bundles, func(i, j int) bool { return s.bundles[i].ID < s.bundles[j].ID })
+	return s, nil
+}
+
+// write archives the entries as id.tar.gz, records the bundle, and evicts
+// past-budget bundles oldest-first (never the one just written).
+func (s *bundleStore) write(info BundleInfo, entries []bundleEntry) (BundleInfo, error) {
+	for _, e := range entries {
+		info.Files = append(info.Files, e.name)
+	}
+	info.Files = append([]string{"index.json"}, info.Files...)
+
+	idx, err := json.MarshalIndent(info, "", "  ")
+	if err != nil {
+		return BundleInfo{}, fmt.Errorf("flight: encode index: %w", err)
+	}
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	tw := tar.NewWriter(gz)
+	all := append([]bundleEntry{{name: "index.json", data: idx}}, entries...)
+	for _, e := range all {
+		hdr := &tar.Header{
+			Name:    e.name,
+			Mode:    0o644,
+			Size:    int64(len(e.data)),
+			ModTime: info.Time,
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return BundleInfo{}, fmt.Errorf("flight: tar %s: %w", e.name, err)
+		}
+		if _, err := tw.Write(e.data); err != nil {
+			return BundleInfo{}, fmt.Errorf("flight: tar %s: %w", e.name, err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return BundleInfo{}, fmt.Errorf("flight: finish tar: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return BundleInfo{}, fmt.Errorf("flight: finish gzip: %w", err)
+	}
+
+	final := filepath.Join(s.dir, info.ID+".tar.gz")
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return BundleInfo{}, fmt.Errorf("flight: write bundle: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return BundleInfo{}, fmt.Errorf("flight: publish bundle: %w", err)
+	}
+	info.SizeBytes = int64(buf.Len())
+
+	s.mu.Lock()
+	s.bundles = append(s.bundles, info)
+	s.evictLocked(info.ID)
+	s.mu.Unlock()
+	return info, nil
+}
+
+// evictLocked deletes oldest bundles until total size fits the budget,
+// sparing keepID. Caller holds s.mu.
+func (s *bundleStore) evictLocked(keepID string) {
+	var total int64
+	for _, b := range s.bundles {
+		total += b.SizeBytes
+	}
+	for total > s.budget && len(s.bundles) > 1 {
+		victim := -1
+		for i, b := range s.bundles {
+			if b.ID != keepID {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		b := s.bundles[victim]
+		os.Remove(filepath.Join(s.dir, b.ID+".tar.gz"))
+		total -= b.SizeBytes
+		s.bundles = append(s.bundles[:victim], s.bundles[victim+1:]...)
+	}
+}
+
+// list returns the known bundles, newest first.
+func (s *bundleStore) list() []BundleInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]BundleInfo, len(s.bundles))
+	for i, b := range s.bundles {
+		out[len(out)-1-i] = b
+	}
+	return out
+}
+
+// totalBytes returns the summed archive size of the known bundles.
+func (s *bundleStore) totalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, b := range s.bundles {
+		total += b.SizeBytes
+	}
+	return total
+}
+
+// open returns the archive path for id after checking the id is known
+// (the id is user input on /debug/flight — never joined to the directory
+// unchecked).
+func (s *bundleStore) open(id string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range s.bundles {
+		if b.ID == id {
+			return filepath.Join(s.dir, b.ID+".tar.gz"), true
+		}
+	}
+	return "", false
+}
+
+// readBundleIndex extracts index.json from an archive on disk.
+func readBundleIndex(path string) (BundleInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return BundleInfo{}, err
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return BundleInfo{}, err
+	}
+	defer gz.Close()
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err != nil {
+			return BundleInfo{}, fmt.Errorf("no index.json: %w", err)
+		}
+		if hdr.Name != "index.json" {
+			continue
+		}
+		var info BundleInfo
+		if err := json.NewDecoder(tr).Decode(&info); err != nil {
+			return BundleInfo{}, err
+		}
+		return info, nil
+	}
+}
+
+// StatSource is one named subsystem snapshot included in a bundle's
+// stats.json (cache, coalescer, artifact tier, resilience). Fn returns a
+// JSON-marshalable value and must be safe for concurrent use.
+type StatSource struct {
+	Name string
+	Fn   func() any
+}
+
+// captureBundle assembles a diagnostic bundle for trig. The CPU profile
+// runs for cpuDur (skipped with a note when another profiler holds the
+// runtime's single CPU-profile slot — e.g. a concurrent /debug/pprof
+// scrape); every other member failure is likewise a note, not an error,
+// so one broken source never loses the rest of the evidence.
+func captureBundle(trig Trigger, now time.Time, cpuDur time.Duration, traceN int,
+	reg *Registry, traces *TraceStore, stats []StatSource) (BundleInfo, []bundleEntry) {
+
+	info := BundleInfo{
+		ID:      fmt.Sprintf("%s%s-%s", bundlePrefix, now.UTC().Format("20060102T150405.000Z"), trig.Kind),
+		Time:    now,
+		Trigger: trig.Kind,
+		Detail:  trig.Detail,
+	}
+	var entries []bundleEntry
+	note := func(format string, args ...any) {
+		info.Notes = append(info.Notes, fmt.Sprintf(format, args...))
+	}
+
+	// evidence.json: the trigger's own numbers, always first.
+	if b, err := json.MarshalIndent(trig, "", "  "); err == nil {
+		entries = append(entries, bundleEntry{"evidence.json", b})
+	} else {
+		note("evidence: %v", err)
+	}
+
+	// cpu.pprof: a cpuDur sample of where the process is burning CPU.
+	if cpuDur > 0 {
+		var cpu bytes.Buffer
+		if err := pprof.StartCPUProfile(&cpu); err != nil {
+			note("cpu profile unavailable: %v", err)
+		} else {
+			time.Sleep(cpuDur)
+			pprof.StopCPUProfile()
+			entries = append(entries, bundleEntry{"cpu.pprof", cpu.Bytes()})
+		}
+	}
+
+	// heap.pprof + goroutine.pprof.
+	for _, name := range []string{"heap", "goroutine"} {
+		p := pprof.Lookup(name)
+		if p == nil {
+			note("%s profile unavailable", name)
+			continue
+		}
+		var buf bytes.Buffer
+		if err := p.WriteTo(&buf, 0); err != nil {
+			note("%s profile: %v", name, err)
+			continue
+		}
+		entries = append(entries, bundleEntry{name + ".pprof", buf.Bytes()})
+	}
+
+	// traces.json: the last traceN kept traces, newest first.
+	if traces != nil {
+		kept := traces.List(traceN, 0)
+		if b, err := json.MarshalIndent(kept, "", "  "); err == nil {
+			entries = append(entries, bundleEntry{"traces.json", b})
+		} else {
+			note("traces: %v", err)
+		}
+	}
+
+	// metrics.prom: the full exposition at capture time.
+	if reg != nil {
+		var buf bytes.Buffer
+		if err := reg.WriteText(&buf); err == nil {
+			entries = append(entries, bundleEntry{"metrics.prom", buf.Bytes()})
+		} else {
+			note("metrics: %v", err)
+		}
+	}
+
+	// stats.json: named subsystem snapshots.
+	if len(stats) > 0 {
+		snap := make(map[string]any, len(stats))
+		for _, src := range stats {
+			snap[src.Name] = src.Fn()
+		}
+		if b, err := json.MarshalIndent(snap, "", "  "); err == nil {
+			entries = append(entries, bundleEntry{"stats.json", b})
+		} else {
+			note("stats: %v", err)
+		}
+	}
+
+	return info, entries
+}

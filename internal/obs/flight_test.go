@@ -1,0 +1,581 @@
+package obs
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSLOTrackerBurnAndStatus(t *testing.T) {
+	tr, err := NewSLOTracker([]Objective{
+		{Name: "latency_p99", Kind: ObjectiveLatency, Target: 0.99, LatencyBound: 50 * time.Millisecond},
+		{Name: "error_rate", Kind: ObjectiveErrorRate, Target: 0.999},
+		{Name: "cache_hit_rate", Kind: ObjectiveCacheHitRate, Target: 0.80, NoBurnAlert: true},
+	}, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 good, 50 bad latency samples: good ratio 0.5, burn 50x budget.
+	for i := 0; i < 50; i++ {
+		tr.Observe(QueryOutcome{Latency: time.Millisecond, CacheHits: 3, CacheMisses: 1})
+		tr.Observe(QueryOutcome{Latency: time.Second})
+	}
+	sts := tr.Status()
+	if len(sts) != 3 {
+		t.Fatalf("got %d statuses", len(sts))
+	}
+	lat := sts[0]
+	if lat.Windows[0].Good != 50 || lat.Windows[0].Bad != 50 {
+		t.Fatalf("latency 1m counts = %d/%d, want 50/50", lat.Windows[0].Good, lat.Windows[0].Bad)
+	}
+	wantBurn := 0.5 / (1 - 0.99)
+	if got := lat.FastBurn; got < wantBurn-1e-9 || got > wantBurn+1e-9 {
+		t.Fatalf("fast burn = %g, want %g", got, wantBurn)
+	}
+	if !lat.Breached {
+		t.Fatal("latency objective should be breached at 50x burn")
+	}
+	// Errors: all good → burn 0, not breached.
+	if sts[1].Breached || sts[1].FastBurn != 0 {
+		t.Fatalf("error_rate: breached=%v burn=%g", sts[1].Breached, sts[1].FastBurn)
+	}
+	// Hit rate: NoBurnAlert never breaches even at any ratio.
+	if sts[2].Breached {
+		t.Fatal("NoBurnAlert objective must not breach")
+	}
+	if r, n, ok := tr.WindowRatio("cache_hit_rate", "1m"); !ok || n != 200 || r != 0.75 {
+		t.Fatalf("WindowRatio = %g/%d/%v, want 0.75/200/true", r, n, ok)
+	}
+	if _, _, ok := tr.WindowRatio("nope", "1m"); ok {
+		t.Fatal("unknown objective must report !ok")
+	}
+	// Sheds feed the shedless objectives nothing.
+	tr.Observe(QueryOutcome{Shed: true})
+	after := tr.Status()
+	if after[0].Windows[0].Good+after[0].Windows[0].Bad != 100 {
+		t.Fatal("shed leaked into the latency objective")
+	}
+}
+
+func TestSLOTrackerMinEventsGuardsColdWindows(t *testing.T) {
+	tr, err := NewSLOTracker([]Objective{
+		{Name: "error_rate", Kind: ObjectiveErrorRate, Target: 0.999},
+	}, 0, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 hard failures: astronomic burn but below minEvents.
+	for i := 0; i < 5; i++ {
+		tr.Observe(QueryOutcome{Err: true, Latency: time.Millisecond})
+	}
+	if tr.Status()[0].Breached {
+		t.Fatal("5 samples must not breach with minEvents=20")
+	}
+}
+
+func TestObjectiveValidate(t *testing.T) {
+	bad := []Objective{
+		{},
+		{Name: "x", Target: 0},
+		{Name: "x", Target: 1},
+		{Name: "x", Kind: ObjectiveLatency, Target: 0.9},
+	}
+	for i, o := range bad {
+		if o.Validate() == nil {
+			t.Fatalf("objective %d should fail validation", i)
+		}
+	}
+	if _, err := NewSLOTracker(bad[:1], 0, 0, 0); err == nil {
+		t.Fatal("tracker must reject invalid objectives")
+	}
+}
+
+func TestSpikeDetectorFiresOnSustainedSpikes(t *testing.T) {
+	d := newSpikeDetector(8, 3)
+	// Steady 10ms baseline through warmup.
+	for i := 0; i < 100; i++ {
+		if fire, _ := d.observe(10 * time.Millisecond); fire {
+			t.Fatal("steady stream must not fire")
+		}
+	}
+	// One outlier: spiky but below sustain.
+	if fire, _ := d.observe(500 * time.Millisecond); fire {
+		t.Fatal("single outlier must not fire")
+	}
+	// Streak resets on a normal sample.
+	d.observe(10 * time.Millisecond)
+	d.observe(500 * time.Millisecond)
+	d.observe(500 * time.Millisecond)
+	fire, ev := d.observe(500 * time.Millisecond)
+	if !fire {
+		t.Fatal("3 consecutive spikes must fire with sustain=3")
+	}
+	if ev["latency_ms"] != 500 {
+		t.Fatalf("evidence latency = %g, want 500", ev["latency_ms"])
+	}
+}
+
+func TestDebouncerGlobalCooldown(t *testing.T) {
+	d := newDebouncer(time.Minute)
+	t0 := time.Now()
+	if !d.allow(t0) {
+		t.Fatal("first trigger must pass")
+	}
+	if d.allow(t0.Add(30 * time.Second)) {
+		t.Fatal("trigger inside cooldown must be suppressed")
+	}
+	if !d.allow(t0.Add(61 * time.Second)) {
+		t.Fatal("trigger after cooldown must pass")
+	}
+}
+
+func TestTriggerRingNewestFirst(t *testing.T) {
+	r := newTriggerRing(3)
+	for i := 0; i < 5; i++ {
+		r.add(TriggerRecord{Trigger: Trigger{Kind: TriggerManual, Detail: string(rune('a' + i))}})
+	}
+	got := r.list()
+	if len(got) != 3 {
+		t.Fatalf("ring kept %d, want 3", len(got))
+	}
+	if got[0].Detail != "e" || got[2].Detail != "c" {
+		t.Fatalf("order = %s..%s, want e..c", got[0].Detail, got[2].Detail)
+	}
+}
+
+// readBundle unpacks an archive into name → content.
+func readBundle(t *testing.T, path string) map[string][]byte {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[hdr.Name] = b
+	}
+	return out
+}
+
+func TestBundleCaptureRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store, err := newBundleStore(dir, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.Counter("ceps_test_total", "help").Add(7)
+	traces := NewTraceStore(8)
+	traces.Add(&Trace{TraceID: "0123456789abcdef", Name: "query", DurationMS: 12})
+	stats := []StatSource{{Name: "cache", Fn: func() any { return map[string]int{"hits": 3} }}}
+
+	trig := Trigger{Kind: TriggerManual, Detail: "test", Time: time.Now(), Evidence: map[string]float64{"x": 1}}
+	info, entries := captureBundle(trig, trig.Time, 50*time.Millisecond, 4, reg, traces, stats)
+	written, err := store.write(info, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readBundle(t, filepath.Join(dir, written.ID+".tar.gz"))
+	for _, name := range []string{"index.json", "evidence.json", "cpu.pprof", "heap.pprof", "goroutine.pprof", "traces.json", "metrics.prom", "stats.json"} {
+		if len(got[name]) == 0 {
+			t.Fatalf("bundle missing %s (have %v)", name, written.Files)
+		}
+	}
+	// The metrics snapshot must be valid exposition.
+	if _, _, err := ValidateExposition(bytes.NewReader(got["metrics.prom"])); err != nil {
+		t.Fatalf("bundle metrics.prom invalid: %v", err)
+	}
+	if !strings.Contains(string(got["metrics.prom"]), "ceps_test_total 7") {
+		t.Fatal("metrics.prom missing counter sample")
+	}
+	var kept []Trace
+	if err := json.Unmarshal(got["traces.json"], &kept); err != nil || len(kept) != 1 || kept[0].TraceID != "0123456789abcdef" {
+		t.Fatalf("traces.json = %s err=%v", got["traces.json"], err)
+	}
+	var idx BundleInfo
+	if err := json.Unmarshal(got["index.json"], &idx); err != nil || idx.Trigger != TriggerManual {
+		t.Fatalf("index.json = %s err=%v", got["index.json"], err)
+	}
+	// A fresh store scan recovers the bundle from its index.
+	store2, err := newBundleStore(dir, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := store2.list()
+	if len(list) != 1 || list[0].ID != written.ID || list[0].Trigger != TriggerManual {
+		t.Fatalf("rescan = %+v", list)
+	}
+}
+
+func TestBundleStoreEvictsOldestPastBudget(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny budget: each bundle is a few hundred bytes, so budget fits ~2.
+	store, err := newBundleStore(dir, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		trig := Trigger{Kind: TriggerManual, Detail: strings.Repeat("x", 600), Time: time.Now().Add(time.Duration(i) * time.Millisecond)}
+		info, entries := captureBundle(trig, trig.Time, 0, 0, nil, nil, nil)
+		info.ID = info.ID + string(rune('a'+i)) // distinct ids within one ms
+		written, err := store.write(info, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, written.ID)
+	}
+	list := store.list()
+	if len(list) >= 5 {
+		t.Fatalf("no eviction happened: %d bundles retained", len(list))
+	}
+	// The newest bundle always survives.
+	if list[0].ID != ids[4] {
+		t.Fatalf("newest bundle evicted; have %s want %s", list[0].ID, ids[4])
+	}
+	// On-disk files match the in-memory list.
+	ents, _ := os.ReadDir(dir)
+	var files []string
+	for _, e := range ents {
+		files = append(files, e.Name())
+	}
+	sort.Strings(files)
+	if len(files) != len(list) {
+		t.Fatalf("disk has %d archives, list has %d", len(files), len(list))
+	}
+}
+
+// newTestRecorder arms a recorder with fast intervals into a temp dir.
+func newTestRecorder(t *testing.T, opts FlightOptions) *FlightRecorder {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	if opts.EvalInterval == 0 {
+		opts.EvalInterval = 5 * time.Millisecond
+	}
+	if opts.CPUProfile == 0 {
+		opts.CPUProfile = -1 // skip the 2s sleep in unit tests
+	}
+	if opts.MinEvents == 0 {
+		opts.MinEvents = 5
+	}
+	fr, err := NewFlightRecorder(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fr.Close)
+	return fr
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestFlightRecorderBurnTriggerCapturesOneBundle(t *testing.T) {
+	reg := NewRegistry()
+	fr := newTestRecorder(t, FlightOptions{
+		Registry: reg,
+		Objectives: []Objective{
+			{Name: "latency_p99", Kind: ObjectiveLatency, Target: 0.99, LatencyBound: 10 * time.Millisecond},
+		},
+		Debounce: time.Hour, // anything after the first capture is debounced
+		// Disable the spike detector's influence: sustain high.
+		SpikeSustain: 1 << 20,
+	})
+	// Every request blows the bound: burn = 100x.
+	for i := 0; i < 50; i++ {
+		fr.ObserveQuery(QueryOutcome{Latency: 100 * time.Millisecond})
+	}
+	waitFor(t, "burn-rate bundle", func() bool { return len(fr.Bundles()) >= 1 })
+	// Keep observing: the breach persists but stays edge-triggered + debounced.
+	for i := 0; i < 50; i++ {
+		fr.ObserveQuery(QueryOutcome{Latency: 100 * time.Millisecond})
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := len(fr.Bundles()); n != 1 {
+		t.Fatalf("got %d bundles, want exactly 1 (debounced)", n)
+	}
+	bundles := fr.Bundles()
+	if bundles[0].Trigger != TriggerBurnRate {
+		t.Fatalf("bundle trigger = %s, want %s", bundles[0].Trigger, TriggerBurnRate)
+	}
+	st := fr.Status()
+	if !st.Armed || len(st.Triggers) == 0 {
+		t.Fatalf("status = %+v", st)
+	}
+	// The ceps_slo_* and ceps_flight_* families render and validate.
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"ceps_slo_burn_rate", "ceps_slo_good_ratio", "ceps_slo_breaches_total", "ceps_flight_triggers_total", "ceps_flight_bundles_total", "ceps_flight_bundle_bytes"} {
+		if !strings.Contains(buf.String(), fam) {
+			t.Fatalf("exposition missing %s", fam)
+		}
+	}
+}
+
+func TestFlightRecorderBreakerHookAndManual(t *testing.T) {
+	fr := newTestRecorder(t, FlightOptions{Debounce: time.Hour})
+	fr.NoteBreakerState("closed", "half_open") // not open: no trigger
+	fr.NoteBreakerState("half_open", "open")
+	waitFor(t, "breaker bundle", func() bool { return len(fr.Bundles()) == 1 })
+	if fr.Bundles()[0].Trigger != TriggerBreakerOpen {
+		t.Fatalf("trigger = %s", fr.Bundles()[0].Trigger)
+	}
+	// Manual capture bypasses the debounce.
+	info, err := fr.TriggerManual("because")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Trigger != TriggerManual || info.Detail != "because" {
+		t.Fatalf("manual info = %+v", info)
+	}
+	if len(fr.Bundles()) != 2 {
+		t.Fatalf("got %d bundles, want 2", len(fr.Bundles()))
+	}
+}
+
+func TestFlightRecorderShedSurge(t *testing.T) {
+	// shed_rate with NoBurnAlert isolates the surge detector: otherwise
+	// the burn-rate detector wins the debounce race on the same evidence.
+	fr := newTestRecorder(t, FlightOptions{
+		Debounce:   time.Hour,
+		MinEvents:  5,
+		Objectives: []Objective{{Name: "shed_rate", Kind: ObjectiveShedRate, Target: 0.99, NoBurnAlert: true}},
+	})
+	for i := 0; i < 20; i++ {
+		fr.ObserveQuery(QueryOutcome{Shed: true})
+	}
+	waitFor(t, "shed-surge bundle", func() bool { return len(fr.Bundles()) == 1 })
+	if fr.Bundles()[0].Trigger != TriggerShedSurge {
+		t.Fatalf("trigger = %s", fr.Bundles()[0].Trigger)
+	}
+}
+
+func TestNilFlightRecorderNoOps(t *testing.T) {
+	var fr *FlightRecorder
+	fr.ObserveQuery(QueryOutcome{Latency: time.Second, Err: true})
+	fr.NoteBreakerState("closed", "open")
+	fr.Close()
+	if st := fr.Status(); st.Armed {
+		t.Fatal("nil recorder reports armed")
+	}
+	if b := fr.Bundles(); b != nil {
+		t.Fatal("nil recorder lists bundles")
+	}
+	if _, ok := fr.BundlePath("x"); ok {
+		t.Fatal("nil recorder resolves paths")
+	}
+	if _, err := fr.TriggerManual(""); err == nil {
+		t.Fatal("nil recorder must refuse manual capture")
+	}
+}
+
+func TestFlightHandlersAndDashboard(t *testing.T) {
+	reg := NewRegistry()
+	fr := newTestRecorder(t, FlightOptions{Registry: reg, Debounce: time.Hour})
+	mux := AdminMux(reg, WithFlightRecorder(fr), WithBuildInfo("v-test"))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// /healthz carries the version but stays ok-prefixed.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.HasPrefix(string(body), "ok") || !strings.Contains(string(body), "v-test") {
+		t.Fatalf("healthz = %q", body)
+	}
+
+	// /debug/slo returns the status document.
+	resp, err = http.Get(srv.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st FlightStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !st.Armed || len(st.Objectives) == 0 {
+		t.Fatalf("slo status = %+v", st)
+	}
+
+	// Manual trigger over HTTP requires POST...
+	resp, err = http.Get(srv.URL + "/debug/flight?trigger=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET trigger status = %d", resp.StatusCode)
+	}
+	// ...and POST captures a bundle.
+	resp, err = http.Post(srv.URL+"/debug/flight?trigger=1&reason=smoke", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info BundleInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || info.ID == "" {
+		t.Fatalf("trigger status=%d info=%+v", resp.StatusCode, info)
+	}
+
+	// The listing shows it; fetching streams a readable tar.gz.
+	resp, err = http.Get(srv.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []BundleInfo
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].ID != info.ID {
+		t.Fatalf("list = %+v", list)
+	}
+	resp, err = http.Get(srv.URL + "/debug/flight?id=" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/gzip" {
+		t.Fatalf("fetch content-type = %q", ct)
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := tar.NewReader(gz).Next()
+	if err != nil || hdr.Name != "index.json" {
+		t.Fatalf("streamed archive first member = %v err=%v", hdr, err)
+	}
+	// Unknown id: JSON 404.
+	resp, err = http.Get(srv.URL + "/debug/flight?id=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id status = %d", resp.StatusCode)
+	}
+
+	// The dashboard renders and references its data endpoint.
+	resp, err = http.Get(srv.URL + "/debug/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(page), "/debug/slo") || !strings.Contains(string(page), "objectives") {
+		t.Fatal("dashboard page missing expected content")
+	}
+}
+
+// TestSlowQueryEntryFieldSet pins the complete slow-log JSON contract: a
+// fully-populated entry must marshal to exactly this key set, and the
+// always-present fields must appear even on a zero-ish entry.
+func TestSlowQueryEntryFieldSet(t *testing.T) {
+	full := SlowQueryEntry{
+		Time:           time.Now(),
+		Queries:        []int{1, 2},
+		Path:           "fast",
+		ElapsedMS:      12.5,
+		PartitionMS:    1,
+		SolveMS:        2,
+		CombineMS:      3,
+		ExtractMS:      4,
+		CacheHits:      5,
+		CacheMisses:    6,
+		ArtifactHits:   2,
+		Fallback:       "degenerate_partition",
+		Degraded:       "relaxed_tol",
+		DegradedReason: "queue_pressure",
+		Shed:           "queue_full",
+		TraceID:        "0123456789abcdef",
+		SolveKernel:    "blocked",
+		SolveSweeps:    40,
+		Error:          "boom",
+	}
+	b, err := json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"ts", "queries", "path", "elapsed_ms",
+		"partition_ms", "solve_ms", "combine_ms", "extract_ms",
+		"cache_hits", "cache_misses", "artifact_hits",
+		"fallback", "degraded", "degraded_reason", "shed",
+		"trace_id", "solve_kernel", "solve_sweeps", "error",
+	}
+	var got []string
+	for k := range m {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	wantSorted := append([]string(nil), want...)
+	sort.Strings(wantSorted)
+	if strings.Join(got, ",") != strings.Join(wantSorted, ",") {
+		t.Fatalf("slow-log field set drifted:\n got %v\nwant %v", got, wantSorted)
+	}
+	// Minimal entry: artifact_hits has no omitempty — zero still serializes.
+	min, err := json.Marshal(SlowQueryEntry{Time: time.Now(), Queries: []int{1}, Path: "full"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"artifact_hits", "cache_hits", "cache_misses", "solve_sweeps"} {
+		if !strings.Contains(string(min), `"`+key+`"`) {
+			t.Fatalf("minimal entry missing always-present %q: %s", key, min)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"os"
+)
+
+// This file serves the FlightRecorder over the admin mux:
+//
+//	/debug/slo                live SLO + trigger + bundle status as JSON
+//	/debug/flight             bundle listing as JSON
+//	/debug/flight?id=ID       one bundle streamed as .tar.gz
+//	/debug/flight?trigger=1   POST: capture a manual bundle now
+//	/debug/dashboard          dependency-free HTML view (SLO table, burn
+//	                          bars, sparklines, recent triggers)
+
+func writeFlightJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// flightError is the JSON error body of the flight endpoints.
+type flightError struct {
+	Error string `json:"error"`
+}
+
+// SLOHandler serves the live FlightStatus document as JSON.
+func SLOHandler(fr *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeFlightJSON(w, http.StatusOK, fr.Status())
+	})
+}
+
+// FlightHandler serves the bundle API: list (JSON), fetch (?id= streams
+// the archive), and manual capture (POST ?trigger=1 — a capture blocks
+// for the CPU-profile duration and returns the new bundle's info).
+func FlightHandler(fr *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("trigger") != "" {
+			if r.Method != http.MethodPost {
+				writeFlightJSON(w, http.StatusMethodNotAllowed,
+					flightError{Error: "manual capture requires POST (it burns a 2s CPU profile)"})
+				return
+			}
+			info, err := fr.TriggerManual(r.URL.Query().Get("reason"))
+			if err != nil {
+				writeFlightJSON(w, http.StatusConflict, flightError{Error: err.Error()})
+				return
+			}
+			writeFlightJSON(w, http.StatusOK, info)
+			return
+		}
+		if id := r.URL.Query().Get("id"); id != "" {
+			path, ok := fr.BundlePath(id)
+			if !ok {
+				writeFlightJSON(w, http.StatusNotFound, flightError{Error: fmt.Sprintf("no retained bundle %q", id)})
+				return
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				writeFlightJSON(w, http.StatusInternalServerError, flightError{Error: err.Error()})
+				return
+			}
+			defer f.Close()
+			w.Header().Set("Content-Type", "application/gzip")
+			w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".tar.gz"))
+			if fi, err := f.Stat(); err == nil {
+				w.Header().Set("Content-Length", fmt.Sprint(fi.Size()))
+			}
+			_, _ = io.Copy(w, f)
+			return
+		}
+		writeFlightJSON(w, http.StatusOK, fr.Bundles())
+	})
+}
+
+// The dashboard is one self-contained page: the server renders nothing but
+// the skeleton; a small inline script polls /debug/slo once a second and
+// redraws the SLO table, burn bars, sparklines (inline SVG from the
+// history ring), and the trigger/bundle lists. No external assets.
+var dashboardTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
+<html><head><title>ceps dashboard</title><style>
+body{font-family:monospace;margin:1.5em;background:#fafafa;color:#222}
+h2,h3{margin:.4em 0}
+small,.meta{color:#777;font-size:12px}
+table{border-collapse:collapse;min-width:60%}
+td,th{padding:.3em .8em;border-bottom:1px solid #ddd;text-align:left;font-size:13px}
+tr.breach td{background:#fdecea}
+tr.suppressed td{color:#999}
+a{color:#0b57d0;text-decoration:none}
+.burnbar{background:#eee;height:10px;width:120px;display:inline-block;vertical-align:middle;position:relative}
+.burnbar i{position:absolute;left:0;top:0;bottom:0;background:#0b8a3e;display:block}
+.burnbar i.hot{background:#c84a4a}
+.spark{margin:0 1.2em .8em 0}
+.cards{display:flex;flex-wrap:wrap}
+#err{color:#c84a4a}
+</style></head><body>
+<h2>ceps engine dashboard <small id="asof"></small> <span id="err"></span></h2>
+<div class="meta"><a href="/debug/slo">/debug/slo</a> · <a href="/debug/flight">/debug/flight</a> · <a href="/debug/traces/view">trace waterfall</a> · <a href="/metrics">/metrics</a></div>
+<h3>objectives</h3>
+<table id="slo"><tr><th>objective</th><th>kind</th><th>target</th><th>1m</th><th>5m</th><th>1h</th><th>fast burn</th><th>slow burn</th><th>state</th></tr></table>
+<h3>latency &amp; load <small>(windowed per evaluator tick)</small></h3>
+<div class="cards" id="sparks"></div>
+<h3>recent triggers</h3>
+<table id="trig"><tr><th>time</th><th>kind</th><th>detail</th><th>bundle</th></tr></table>
+<h3>bundles <small id="budget"></small></h3>
+<table id="bund"><tr><th>id</th><th>trigger</th><th>size</th><th>files</th></tr></table>
+<script>
+function fmtPct(x){return (100*x).toFixed(2)+"%"}
+function esc(s){var d=document.createElement("div");d.textContent=s==null?"":String(s);return d.innerHTML}
+function spark(name,pts,key){
+  var vals=pts.map(function(p){return p.series[key]}).filter(function(v){return v!==undefined});
+  if(!vals.length)return "";
+  var w=220,h=48,max=Math.max.apply(null,vals.concat([1e-9]));
+  var step=vals.length>1?w/(vals.length-1):w;
+  var d=vals.map(function(v,i){return (i?"L":"M")+(i*step).toFixed(1)+","+(h-4-(v/max)*(h-10)).toFixed(1)}).join(" ");
+  return '<div class="spark"><div class="meta">'+esc(key)+' <b>'+vals[vals.length-1].toFixed(2)+
+    '</b> (max '+max.toFixed(2)+')</div><svg width="'+w+'" height="'+h+'">'+
+    '<rect width="'+w+'" height="'+h+'" fill="#f0f0f0"/><path d="'+d+'" fill="none" stroke="#0b57d0" stroke-width="1.5"/></svg></div>';
+}
+function burnCell(v,thr){
+  var pct=Math.min(100,100*v/Math.max(thr,1e-9));
+  return '<span class="burnbar"><i class="'+(v>=thr?"hot":"")+'" style="width:'+pct.toFixed(0)+'%"></i></span> '+v.toFixed(2);
+}
+function draw(st){
+  document.getElementById("asof").textContent="as of "+new Date().toLocaleTimeString();
+  var rows='<tr><th>objective</th><th>kind</th><th>target</th><th>1m</th><th>5m</th><th>1h</th><th>fast burn</th><th>slow burn</th><th>state</th></tr>';
+  (st.objectives||[]).forEach(function(o){
+    var w=o.windows||[];
+    rows+='<tr'+(o.breached?' class="breach"':'')+'><td>'+esc(o.name)+'</td><td>'+esc(o.kind)+'</td><td>'+fmtPct(o.target)+'</td>';
+    for(var i=0;i<3;i++){rows+='<td>'+(w[i]?fmtPct(w[i].good_ratio)+' <small>('+(w[i].good+w[i].bad)+')</small>':'—')+'</td>'}
+    rows+='<td>'+burnCell(o.fast_burn,st.fast_burn_threshold)+'</td><td>'+burnCell(o.slow_burn,st.slow_burn_threshold)+'</td>';
+    rows+='<td>'+(o.breached?'BREACHED':'ok')+'</td></tr>';
+  });
+  document.getElementById("slo").innerHTML=rows;
+  var hist=st.history||[],keys={};
+  hist.forEach(function(p){Object.keys(p.series||{}).forEach(function(k){keys[k]=1})});
+  var order=Object.keys(keys).filter(function(k){return /_p99_ms$|_p50_ms$|_qps$/.test(k)}).sort();
+  document.getElementById("sparks").innerHTML=order.map(function(k){return spark(k,hist,k)}).join("")||'<div class="meta">no history yet</div>';
+  var trig='<tr><th>time</th><th>kind</th><th>detail</th><th>bundle</th></tr>';
+  (st.triggers||[]).slice(0,15).forEach(function(t){
+    trig+='<tr'+(t.suppressed?' class="suppressed"':'')+'><td>'+esc(new Date(t.time).toLocaleTimeString())+'</td><td>'+esc(t.kind)+'</td><td>'+esc(t.detail)+
+      (t.error?' <span id="err">'+esc(t.error)+'</span>':'')+'</td><td>'+
+      (t.bundle_id?'<a href="/debug/flight?id='+encodeURIComponent(t.bundle_id)+'">'+esc(t.bundle_id)+'</a>':(t.suppressed?'debounced':'—'))+'</td></tr>';
+  });
+  document.getElementById("trig").innerHTML=trig;
+  document.getElementById("budget").textContent="("+(st.bundle_bytes/1048576).toFixed(1)+" MiB of "+(st.bundle_budget/1048576).toFixed(0)+" MiB budget)";
+  var bund='<tr><th>id</th><th>trigger</th><th>size</th><th>files</th></tr>';
+  (st.bundles||[]).forEach(function(b){
+    bund+='<tr><td><a href="/debug/flight?id='+encodeURIComponent(b.id)+'">'+esc(b.id)+'</a></td><td>'+esc(b.trigger)+'</td><td>'+
+      (b.size_bytes/1024).toFixed(1)+' KiB</td><td>'+esc((b.files||[]).join(" "))+'</td></tr>';
+  });
+  document.getElementById("bund").innerHTML=bund;
+}
+function poll(){
+  fetch("/debug/slo").then(function(r){return r.json()}).then(function(st){
+    document.getElementById("err").textContent="";draw(st);
+  }).catch(function(e){document.getElementById("err").textContent="poll failed: "+e});
+}
+poll();setInterval(poll,1000);
+</script>
+</body></html>`))
+
+// DashboardHandler serves the live HTML dashboard for a recorder.
+func DashboardHandler(fr *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_ = dashboardTmpl.Execute(w, nil)
+	})
+}

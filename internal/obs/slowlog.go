@@ -33,12 +33,22 @@ type SlowQueryEntry struct {
 	CacheMisses int `json:"cache_misses"`
 	// ArtifactHits counts the misses answered by a precomputed artifact
 	// row read instead of an iterative solve (subset of CacheMisses).
-	ArtifactHits int `json:"artifact_hits,omitempty"`
+	// Always emitted (no omitempty): dashboards difference it against
+	// cache_misses, and an absent field is indistinguishable from zero.
+	ArtifactHits int `json:"artifact_hits"`
 	// Fallback is the degradation reason when Path is "fast_fallback".
 	Fallback string `json:"fallback,omitempty"`
 	// Degraded is the fidelity-reduction mode ("relaxed_tol",
 	// "full_graph_fallback") when the answer was degraded.
 	Degraded string `json:"degraded,omitempty"`
+	// DegradedReason is the load condition that caused the degradation
+	// ("queue_pressure", "breaker_open"), distinct from Degraded which
+	// names the mode.
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Shed is the shed reason ("queue_full", "queue_timeout",
+	// "breaker_open", "coalesce_wait") when the request was load-shed
+	// before reaching the pipeline.
+	Shed string `json:"shed,omitempty"`
 	// TraceID links the entry to its retained trace in /debug/traces?id=
 	// (empty when tracing is off or the trace was not sampled).
 	TraceID string `json:"trace_id,omitempty"`

@@ -65,6 +65,7 @@ type bucket struct {
 type breaker struct {
 	opts      Options
 	bucketDur time.Duration
+	onChange  func(from, to State) // set before traffic; see Controller.OnStateChange
 
 	mu             sync.Mutex
 	st             State
@@ -112,6 +113,7 @@ func (b *breaker) route() Route {
 			b.toHalfOpen++
 			b.probesInFlight = 1
 			b.probeOKs = 0
+			b.notify(StateOpen, StateHalfOpen)
 			return RouteProbe
 		}
 		return RouteDegrade
@@ -144,6 +146,7 @@ func (b *breaker) record(failure, probe bool) {
 			b.st = StateClosed
 			b.toClosed++
 			b.buckets = [windowBuckets]bucket{}
+			b.notify(StateHalfOpen, StateClosed)
 		}
 		return
 	}
@@ -164,11 +167,23 @@ func (b *breaker) record(failure, probe bool) {
 
 // trip opens the breaker. Callers hold b.mu.
 func (b *breaker) trip(now time.Time) {
+	from := b.st
 	b.st = StateOpen
 	b.openedAt = now
 	b.toOpen++
 	b.probesInFlight = 0
 	b.probeOKs = 0
+	b.notify(from, StateOpen)
+}
+
+// notify invokes the state-change hook on its own goroutine: every
+// transition happens under b.mu, and the hook (the engine's flight
+// recorder, which may schedule a profile capture) must never run under
+// it.
+func (b *breaker) notify(from, to State) {
+	if b.onChange != nil && from != to {
+		go b.onChange(from, to)
+	}
 }
 
 // bucketAt returns the live bucket for now, resetting it if its slot has

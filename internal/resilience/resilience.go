@@ -172,6 +172,12 @@ func New(opts Options, workers int, estimate func() time.Duration, residence fun
 // Options returns the resolved (defaulted) options.
 func (c *Controller) Options() Options { return c.opts }
 
+// OnStateChange registers fn to run (on its own goroutine, never under the
+// breaker mutex) after every breaker state transition. At most one hook is
+// held — later calls replace it — and it must be registered before the
+// controller serves traffic.
+func (c *Controller) OnStateChange(fn func(from, to State)) { c.brk.onChange = fn }
+
 // Admit grants a concurrency slot or sheds the request with a typed
 // *fault.OverloadError (reasons: queue_full, deadline_budget, codel,
 // queue_wait). release must be called exactly once when the query finishes.

@@ -347,3 +347,44 @@ func TestBreakerWindowAgesOut(t *testing.T) {
 		t.Fatalf("state = %v, want closed (window should have aged out)", st)
 	}
 }
+
+func TestBreakerOnStateChangeHook(t *testing.T) {
+	c := newTestController(t, Options{
+		MinSamples: 2, FailureRate: 0.5, OpenFor: 5 * time.Millisecond, HalfOpenProbes: 1,
+	}, nil)
+	type change struct{ from, to State }
+	ch := make(chan change, 8)
+	c.OnStateChange(func(from, to State) { ch <- change{from, to} })
+
+	recv := func(want change) {
+		t.Helper()
+		select {
+		case got := <-ch:
+			if got != want {
+				t.Fatalf("transition = %v->%v, want %v->%v", got.from, got.to, want.from, want.to)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("no %v->%v notification", want.from, want.to)
+		}
+	}
+
+	// Closed -> open on windowed failures (the hook fires off-mutex, so a
+	// re-entrant Stats call inside it would not deadlock either).
+	c.Observe(true, false)
+	c.Observe(true, false)
+	recv(change{StateClosed, StateOpen})
+	// Open -> half-open when the cooldown's route probes.
+	time.Sleep(10 * time.Millisecond)
+	if r := c.Route(); r != RouteProbe {
+		t.Fatalf("route = %v, want probe", r)
+	}
+	recv(change{StateOpen, StateHalfOpen})
+	// Half-open -> closed on probe success.
+	c.Observe(false, true)
+	recv(change{StateHalfOpen, StateClosed})
+	select {
+	case extra := <-ch:
+		t.Fatalf("unexpected extra transition %v->%v", extra.from, extra.to)
+	case <-time.After(20 * time.Millisecond):
+	}
+}

@@ -112,21 +112,22 @@ type CacheStats struct {
 	// Hits counts queries answered without a fresh solve — either from a
 	// stored vector or by joining a solve already in flight for the same
 	// (space, source).
-	Hits uint64
+	Hits uint64 `json:"hits"`
 	// Misses counts queries that had to run a fresh solve.
-	Misses uint64
+	Misses uint64 `json:"misses"`
 	// Evictions counts vectors dropped to fit the byte budget.
-	Evictions uint64
+	Evictions uint64 `json:"evictions"`
 	// Invalidations counts Purge calls (configuration changes).
-	Invalidations uint64
+	Invalidations uint64 `json:"invalidations"`
 	// StaleDrops counts solved vectors discarded instead of stored because
 	// a Purge happened after their flight started: storing them would have
 	// filled the byte budget with dead space no future query can read.
-	StaleDrops uint64
+	StaleDrops uint64 `json:"stale_drops"`
 	// Entries is the number of vectors currently stored.
-	Entries int
+	Entries int `json:"entries"`
 	// BytesUsed and BytesBudget describe the current footprint.
-	BytesUsed, BytesBudget int64
+	BytesUsed   int64 `json:"bytes_used"`
+	BytesBudget int64 `json:"bytes_budget"`
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.

@@ -64,12 +64,14 @@ func (o CoalesceOptions) normalized() CoalesceOptions {
 type CoalesceStats struct {
 	// Panels counts successfully solved panels; Rows counts the score
 	// vectors they produced (Rows/Panels is the mean width).
-	Panels, Rows uint64
+	Panels uint64 `json:"panels"`
+	Rows   uint64 `json:"rows"`
 	// MaxWidth is the widest panel solved so far.
-	MaxWidth int
+	MaxWidth int `json:"max_width"`
 	// Aborts counts panels abandoned before solving because every waiter
 	// left (their contexts died); Errors counts panels whose solve failed.
-	Aborts, Errors uint64
+	Aborts uint64 `json:"aborts"`
+	Errors uint64 `json:"errors"`
 }
 
 // panelKey scopes a forming panel: only misses against the same solver and

@@ -3,6 +3,7 @@ package ceps
 import (
 	"context"
 	"errors"
+	"runtime"
 	"time"
 
 	"ceps/internal/core"
@@ -47,6 +48,16 @@ import (
 //	ceps_replace_total{pool="two_hop"|"densest"|"explicit"}
 //	ceps_replace_duration_seconds                    (histogram)
 //	ceps_replace_candidates                          (histogram: scored pool size)
+//	ceps_build_info{version,go_version}              (gauge, constant 1)
+//
+// and, when the flight recorder is armed (WithFlightRecorder):
+//
+//	ceps_slo_burn_rate{objective,window="1m"|"5m"|"1h"}   (gauge)
+//	ceps_slo_good_ratio{objective,window}                 (gauge)
+//	ceps_slo_breaches_total{objective}
+//	ceps_flight_triggers_total{kind="burn_rate"|"latency_spike"|"shed_surge"|"hit_rate_collapse"|"breaker_open"|"manual"}
+//	ceps_flight_bundles_total{trigger}
+//	ceps_flight_bundle_bytes                              (gauge)
 //
 // plus the Go runtime series of obs.RegisterRuntimeMetrics
 // (go_goroutines, go_heap_alloc_bytes, go_gc_pauses_seconds_total,
@@ -203,6 +214,11 @@ func newEngineMetrics(cacheStats func() (CacheStats, bool), workers int, tracer 
 		func() float64 { return float64(tracer.Sampled()) })
 	reg.CounterFunc("ceps_traces_dropped_total", "Finished traces discarded by the sampling rules.",
 		func() float64 { return float64(tracer.Dropped()) })
+	// The constant-1 build-info gauge carries identity as labels, so any
+	// scrape (or diagnostic bundle) pins which build produced the numbers.
+	reg.Gauge("ceps_build_info", "Build identity as labels; value is always 1.",
+		obs.Label{Name: "version", Value: Version},
+		obs.Label{Name: "go_version", Value: runtime.Version()}).Set(1)
 	obs.RegisterRuntimeMetrics(reg)
 	return m
 }
@@ -437,10 +453,14 @@ func (e *Engine) recordSlow(queries []int, res *Result, err error, elapsed time.
 		}
 		if res.Degraded != nil {
 			entry.Degraded = res.Degraded.Mode
+			entry.DegradedReason = res.Degraded.Reason
 		}
 	}
 	if err != nil {
 		entry.Error = err.Error()
+		if errors.Is(err, ErrOverloaded) {
+			entry.Shed = ShedReason(err)
+		}
 	}
 	if e.slow.Record(entry) {
 		e.metrics.slow.Inc()

@@ -138,6 +138,11 @@ func TestEngineSlowQueryLog(t *testing.T) {
 	if ok.Error != "" {
 		t.Errorf("successful query logged error %q", ok.Error)
 	}
+	// artifact_hits is always-present (no omitempty): dashboards
+	// difference it against cache_misses even when it is zero.
+	if !strings.Contains(lines[0], `"artifact_hits"`) {
+		t.Errorf("slow log line missing artifact_hits: %s", lines[0])
+	}
 
 	var failed ceps.SlowQueryEntry
 	if err := json.Unmarshal([]byte(lines[1]), &failed); err != nil {

@@ -193,6 +193,7 @@ func (e *Engine) replaceWith(ctx context.Context, cfg Config, spec core.ReplaceS
 			span.SetError(err)
 			span.End()
 			e.metrics.observeReplace(nil, replacePoolLabel(spec), err, time.Since(start))
+			e.flight.ObserveQuery(flightReplaceOutcome(nil, err, time.Since(start)))
 			return nil, err
 		}
 		switch e.res.Route() {
@@ -206,6 +207,7 @@ func (e *Engine) replaceWith(ctx context.Context, cfg Config, spec core.ReplaceS
 				span.SetAttr(obs.Str("shed", "breaker_open"))
 				span.SetError(err)
 				span.End()
+				e.flight.ObserveQuery(flightReplaceOutcome(nil, err, time.Since(start)))
 				return nil, err
 			}
 			cfg, degraded = degradeConfig(cfg, e.res.Options())
@@ -249,6 +251,7 @@ func (e *Engine) replaceWith(ctx context.Context, cfg Config, spec core.ReplaceS
 	span.SetError(err)
 	span.End()
 	e.metrics.observeReplace(res, strategy, err, elapsed)
+	e.flight.ObserveQuery(flightReplaceOutcome(res, err, elapsed))
 	return res, err
 }
 

@@ -1,0 +1,7 @@
+package ceps
+
+// Version is the library/CLI release string, one per PR train. It is the
+// single source the serving surface reports everywhere an operator can
+// ask: the ceps_build_info metric, the /healthz body, and ceps -version —
+// so a fleet rollout can be confirmed from any of the three.
+const Version = "0.10.0"
